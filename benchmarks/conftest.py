@@ -1,0 +1,60 @@
+"""Benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper from
+one full-scale pipeline run (the run itself is timed by the pipeline
+benchmark).  ``REPRO_BENCH_SCALE`` overrides the world size (default 1.0 —
+the calibrated full-scale world; use e.g. 0.3 for a quick pass).
+
+Each benchmark prints its artifact next to the paper's published values, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the EXPERIMENTS
+regeneration harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import WorldConfig
+from repro.core import (
+    PipelineInputs,
+    StateOwnershipPipeline,
+    validate_against_world,
+)
+from repro.world.generator import WorldGenerator
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210701"))
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    return WorldGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_inputs(bench_world):
+    return PipelineInputs.from_world(bench_world)
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_inputs):
+    return StateOwnershipPipeline(bench_inputs).run()
+
+
+@pytest.fixture(scope="session")
+def bench_validation(bench_result, bench_world):
+    return validate_against_world(bench_result, bench_world)
+
+
+@pytest.fixture(scope="session")
+def small_bench_world():
+    """A reduced world for the expensive ablation sweeps."""
+    return WorldGenerator(WorldConfig(seed=BENCH_SEED, scale=0.3)).generate()
+
+
+@pytest.fixture(scope="session")
+def small_bench_inputs(small_bench_world):
+    return PipelineInputs.from_world(small_bench_world)

@@ -1,0 +1,72 @@
+"""A3 — sensitivity to geolocation accuracy (the paper cites 74-98 %)."""
+
+from repro.config import PipelineConfig, SourceNoiseConfig
+from repro.core.candidates import harvest_candidates
+from repro.io.tables import render_table
+from repro.sources.geolocation import GeolocationService
+
+ACCURACIES = (0.74, 0.85, 0.93, 0.98, 1.0)
+
+
+def _sweep(world, prefix2as, truth_asns):
+    rows = []
+    for accuracy in ACCURACIES:
+        noise = SourceNoiseConfig(geolocation_accuracy=accuracy)
+        geolocation = GeolocationService.from_world(world, noise)
+        candidates = harvest_candidates(
+            table=prefix2as,
+            geolocation=geolocation,
+            eyeballs=_EMPTY_EYEBALLS,
+            cti_selection=None,
+            orbis_companies=[],
+            wiki_fh_companies=[],
+            config=PipelineConfig(),
+        )
+        selected = candidates.asns()
+        covered = len(selected & truth_asns)
+        rows.append(
+            (accuracy, len(selected), covered,
+             round(covered / len(truth_asns), 3))
+        )
+    return rows
+
+
+class _NoEyeballs:
+    """Empty eyeball dataset so the sweep isolates the geolocation source."""
+
+    def covered_asns(self):
+        return []
+
+    def country_of(self, asn):
+        return None
+
+    def country_shares(self, cc):
+        return {}
+
+
+_EMPTY_EYEBALLS = _NoEyeballs()
+
+
+def test_bench_geolocation_accuracy(benchmark, bench_world, bench_inputs):
+    truth = frozenset(bench_world.ground_truth_asns())
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(bench_world, bench_inputs.prefix2as, truth),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(
+        ("accuracy", "geolocation candidates", "state-owned covered",
+         "truth coverage"),
+        rows,
+        title="Ablation — geolocation accuracy (paper band: 74-98 %)",
+    ))
+    by_accuracy = {acc: cov for acc, _n, _c, cov in rows}
+    # Coverage degrades monotonically as geolocation gets noisier (diluted
+    # country shares push ASes under the 5 % rule) but the source stays
+    # useful across the paper's whole accuracy band — which is exactly why
+    # the methodology leans on multiple redundant sources.
+    coverages = [cov for _a, _n, _c, cov in rows]
+    assert coverages == sorted(coverages)
+    assert by_accuracy[1.0] > 0.3
+    assert by_accuracy[0.74] > 0.4 * by_accuracy[1.0]

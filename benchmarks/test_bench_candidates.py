@@ -1,0 +1,44 @@
+"""S1 — the §4 candidate funnel (793/716/466/1043/93/1091 ASes)."""
+
+from repro.analysis import paper
+from repro.core.candidates import harvest_candidates
+from repro.io.tables import render_table
+
+
+def test_bench_candidate_funnel(benchmark, bench_result, bench_inputs):
+    inputs = bench_inputs
+
+    def harvest():
+        return harvest_candidates(
+            table=inputs.prefix2as,
+            geolocation=inputs.geolocation,
+            eyeballs=inputs.eyeballs,
+            cti_selection=bench_result.cti_selection,
+            orbis_companies=[
+                (r.company_name, r.cc)
+                for r in inputs.orbis.state_owned_telcos()
+            ],
+            wiki_fh_companies=inputs.wikipedia.state_owned_company_names(),
+        )
+
+    candidates = benchmark(harvest)
+    stats = dict(candidates.stats)
+    stats["cti_countries"] = len(
+        bench_result.cti_selection.countries_applied
+        if bench_result.cti_selection
+        else ()
+    )
+    rows = [
+        (key, stats.get(key, "-"), paper.CANDIDATE_FUNNEL.get(key, "-"))
+        for key in sorted(set(stats) | set(paper.CANDIDATE_FUNNEL))
+    ]
+    print()
+    print(render_table(("stat", "measured", "paper"), rows,
+                       title="Candidate funnel (§4)"))
+    # Shape: geolocation and eyeballs are comparable in size with a large
+    # intersection; CTI is an order of magnitude smaller.
+    geo, eye = stats["geolocation_asns"], stats["eyeball_asns"]
+    assert 0.5 < geo / eye < 2.0
+    assert stats["geo_eyeball_intersection"] > 0.3 * min(geo, eye)
+    assert stats["cti_asns"] < 0.25 * geo
+    assert stats["total_asns"] >= stats["geo_eyeball_union"]

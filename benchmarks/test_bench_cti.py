@@ -1,0 +1,30 @@
+"""Micro-benchmark: CTI computation over transit-dominant countries."""
+
+from repro.cti.metric import CTIComputer
+from repro.cti.selection import select_cti_candidates
+from repro.io.tables import render_table
+
+
+def test_bench_cti_selection(benchmark, small_bench_world, small_bench_inputs):
+    world, inputs = small_bench_world, small_bench_inputs
+
+    def compute():
+        cti = CTIComputer(
+            inputs.prefix2as, inputs.geolocation, world.collector
+        )
+        return select_cti_candidates(cti, sorted(world.transit_dominant_ccs))
+
+    selection = benchmark.pedantic(compute, rounds=1, iterations=1)
+    truth = world.ground_truth_asns()
+    print()
+    print(render_table(
+        ("metric", "value"),
+        [
+            ("countries applied", len(selection.countries_applied)),
+            ("ASes selected", len(selection.asns)),
+            ("state-owned among them", len(set(selection.asns) & truth)),
+        ],
+        title="CTI candidate selection",
+    ))
+    assert selection.asns
+    assert len(set(selection.asns) & truth) >= 3

@@ -1,0 +1,55 @@
+"""Figure 1 — world heatmap of domestic (blue) / foreign (green) state
+footprint per country."""
+
+import pytest
+
+from repro.analysis.footprint import compute_footprints, figure1_map_data
+from repro.io.tables import render_table
+from repro.world.countries import country_by_cc
+
+
+@pytest.fixture(scope="module")
+def footprints(bench_result, bench_inputs):
+    return compute_footprints(
+        bench_result.dataset,
+        bench_inputs.prefix2as,
+        bench_inputs.geolocation,
+        bench_inputs.eyeballs,
+    )
+
+
+def _region(cc):
+    try:
+        return country_by_cc(cc).region
+    except KeyError:
+        return "?"
+
+
+def test_bench_figure1(benchmark, footprints):
+    data = benchmark(figure1_map_data, footprints)
+    top = sorted(data.items(), key=lambda kv: -max(kv[1]))[:25]
+    print()
+    print(render_table(
+        ("cc", "region", "domestic (blue)", "foreign (green)"),
+        [
+            (cc, _region(cc), f"{blue:.2f}", f"{green:.2f}")
+            for cc, (blue, green) in top
+        ],
+        title="Figure 1 — strongest state footprints",
+    ))
+    # Shape: Africa and Asia lead domestic state footprint (the paper's
+    # headline geographic finding); the US shows none.
+    region_means = {}
+    for cc, (blue, _green) in data.items():
+        region_means.setdefault(_region(cc), []).append(blue)
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    assert mean(region_means["Africa"]) > mean(region_means["Europe"])
+    assert mean(region_means["Asia"]) > mean(region_means["Americas"])
+    assert data["US"][0] == 0.0
+    # Foreign (green) touches every continent, strongest in Africa.
+    foreign_by_region = {}
+    for cc, (_blue, green) in data.items():
+        foreign_by_region.setdefault(_region(cc), []).append(green)
+    assert mean(foreign_by_region["Africa"]) >= mean(
+        foreign_by_region["Europe"]
+    )

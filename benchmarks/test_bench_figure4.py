@@ -1,0 +1,66 @@
+"""Figure 4 — histograms of per-country state footprint, by RIR."""
+
+import pytest
+
+from repro.analysis.footprint import compute_footprints, figure4_histograms
+from repro.io.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def footprints(bench_result, bench_inputs):
+    return compute_footprints(
+        bench_result.dataset,
+        bench_inputs.prefix2as,
+        bench_inputs.geolocation,
+        bench_inputs.eyeballs,
+    )
+
+
+def _bin_totals(bins):
+    return {
+        label: sum(int(count) for _rir, count in groups)
+        for label, groups in bins.items()
+    }
+
+
+def test_bench_figure4a_addresses(benchmark, footprints):
+    bins = benchmark(figure4_histograms, footprints, "addresses")
+    totals = _bin_totals(bins)
+    print()
+    print(render_table(
+        ("bin", "countries", "per-RIR"),
+        [
+            (label, totals[label],
+             " ".join(f"{rir}:{count}" for rir, count in bins[label]))
+            for label in sorted(bins)
+        ],
+        title="Figure 4a — countries' state-owned address-space footprint",
+    ))
+    # Shape: a big zero bin (ARIN/private world), a visible >= 0.5 tail
+    # (paper: 49 countries) and a >= 0.9 club (paper: 13).
+    assert totals["0.0"] == max(totals.values())
+    high = sum(totals[f"{i / 10:.1f}"] for i in range(5, 11))
+    assert high >= 20
+    assert sum(totals[f"{i / 10:.1f}"] for i in (8, 9, 10)) >= 3
+
+
+def test_bench_figure4b_eyeballs(benchmark, footprints):
+    bins = benchmark(figure4_histograms, footprints, "eyeballs")
+    totals = _bin_totals(bins)
+    print()
+    print(render_table(
+        ("bin", "countries", "per-RIR"),
+        [
+            (label, totals[label],
+             " ".join(f"{rir}:{count}" for rir, count in bins[label]))
+            for label in sorted(bins)
+        ],
+        title="Figure 4b — countries' state-owned eyeball footprint",
+    ))
+    high = sum(totals[f"{i / 10:.1f}"] for i in range(5, 11))
+    assert high >= 20   # paper: 42 countries above 0.5
+    # ARIN countries concentrate in the zero bin.
+    zero_rirs = dict(
+        (rir, int(count)) for rir, count in bins["0.0"]
+    )
+    assert zero_rirs.get("ARIN", 0) >= 5

@@ -1,0 +1,36 @@
+"""Figure 5 — customer-cone growth 2010-2020 of the submarine-cable ASes."""
+
+from repro.analysis.cones import figure5_growth_series
+from repro.sources.asrank import linear_trend
+from repro.world.entities import OperatorRole
+
+
+def test_bench_figure5(benchmark, bench_result, bench_inputs, bench_world):
+    series = benchmark(
+        figure5_growth_series, bench_result.dataset, bench_inputs.asrank, 2
+    )
+    print()
+    for asn, history in series.items():
+        record = bench_world.asn_records.get(asn)
+        role = record.role.value if record else "?"
+        cc = record.cc if record else "?"
+        points = " ".join(
+            f"{year}:{size}" for (year, month), size in history if month == 1
+        )
+        print(f"AS{asn} ({cc}, {role}): {points}")
+    # Shape: the fastest growers start near zero and end with real cones —
+    # the Angola Cables / BSCCL ramp — and their regression slope is
+    # strongly positive.
+    assert len(series) == 2
+    for asn, history in series.items():
+        start, end = history[0][1], history[-1][1]
+        assert end > max(10, 3 * max(start, 1))
+        assert linear_trend(history) > 0
+    # At least one of the two is a cable/transit operator.
+    roles = {
+        bench_world.asn_records[a].role
+        for a in series
+        if a in bench_world.asn_records
+    }
+    assert roles & {OperatorRole.CABLE, OperatorRole.TRANSIT,
+                    OperatorRole.INCUMBENT}

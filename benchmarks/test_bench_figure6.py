@@ -1,0 +1,37 @@
+"""Figure 6 (Appendix A) — world map of majority / minority state ownership."""
+
+from collections import Counter
+
+from repro.analysis.footprint import figure6_map_data
+from repro.analysis.tables import _minority_countries
+from repro.io.tables import render_table
+from repro.world.countries import country_by_cc
+
+
+def test_bench_figure6(benchmark, bench_result):
+    minority = _minority_countries(bench_result)
+    colors = benchmark(figure6_map_data, bench_result.dataset, minority)
+    by_region = {}
+    for cc, color in colors.items():
+        region = country_by_cc(cc).region
+        by_region.setdefault(region, Counter())[color] += 1
+    print()
+    print(render_table(
+        ("region", "majority", "minority", "none"),
+        [
+            (region, counts["majority"], counts["minority"], counts["none"])
+            for region, counts in sorted(by_region.items())
+        ],
+        title="Figure 6 — state-ownership map by region",
+    ))
+    # Shape: the majority color dominates Africa and Asia; the Americas
+    # (ARIN + LACNIC mix) lean to "none"; minority countries exist but are
+    # a small band (paper's orange).
+    africa = by_region["Africa"]
+    americas = by_region["Americas"]
+    assert africa["majority"] > africa["none"]
+    assert americas["none"] > 0
+    total_minority = sum(c["minority"] for c in by_region.values())
+    total_majority = sum(c["majority"] for c in by_region.values())
+    assert 0 < total_minority < total_majority
+    assert colors["US"] == "none"

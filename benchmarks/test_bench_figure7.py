@@ -1,0 +1,24 @@
+"""Figure 7 (Appendix C) — the full five-source Venn diagram."""
+
+from repro.analysis.contributions import venn_regions
+from repro.io.tables import render_table
+
+
+def test_bench_figure7(benchmark, bench_result):
+    regions = benchmark(venn_regions, bench_result)
+    print()
+    print(render_table(
+        ("region (GECWO)", "ASes"),
+        sorted(regions.items(), key=lambda kv: (-kv[1], kv[0]))[:20],
+        title="Figure 7 — five-source Venn regions (top 20 of 31)",
+    ))
+    # Shape: multiple regions are populated (the sources overlap but none
+    # subsumes another), the heaviest mass sits in multi-source regions,
+    # and a CTI-only region exists (paper: '00100' = 11).
+    assert len(regions) >= 6
+    heaviest = max(regions.items(), key=lambda kv: kv[1])[0]
+    assert heaviest.count("1") >= 2
+    assert regions.get("00100", 0) >= 1
+    total = sum(regions.values())
+    assert total <= len(bench_result.dataset.all_asns())
+    assert total >= 0.8 * len(bench_result.dataset.all_asns())

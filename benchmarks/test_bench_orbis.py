@@ -1,0 +1,63 @@
+"""S3 — Orbis quality findings (§7: 12 false positives, ~140 false
+negatives concentrated in the developing world)."""
+
+from repro.analysis import paper
+from repro.io.tables import render_table
+from repro.text.normalize import normalize_name
+from repro.world.countries import country_by_cc
+
+
+def _orbis_quality(bench_result, bench_inputs, bench_world):
+    """Compare Orbis labels against the pipeline-confirmed dataset, the way
+    the paper audited the commercial database."""
+    confirmed_names = {
+        normalize_name(org.org_name)
+        for org in bench_result.dataset.organizations()
+    }
+    truth_names = {
+        normalize_name(gto.operator.name)
+        for gto in bench_world.ground_truth()
+    }
+    labeled = {
+        normalize_name(r.company_name): r
+        for r in bench_inputs.orbis.state_owned_telcos()
+    }
+    false_positives = [
+        record for key, record in labeled.items() if key not in truth_names
+    ]
+    false_negatives = [
+        gto
+        for gto in bench_world.ground_truth()
+        if normalize_name(gto.operator.name) not in labeled
+    ]
+    fn_countries = {gto.operator.cc for gto in false_negatives}
+    return {
+        "false_positives": len(false_positives),
+        "false_negatives": len(false_negatives),
+        "false_negative_countries": len(fn_countries),
+        "_fn_objects": false_negatives,
+        "_confirmed": len(confirmed_names),
+    }
+
+
+def test_bench_orbis_quality(benchmark, bench_result, bench_inputs, bench_world):
+    quality = benchmark(_orbis_quality, bench_result, bench_inputs, bench_world)
+    rows = [
+        (key, quality[key], paper.ORBIS_QUALITY.get(key, "-"))
+        for key in ("false_positives", "false_negatives",
+                    "false_negative_countries")
+    ]
+    print()
+    print(render_table(("metric", "measured", "paper"), rows,
+                       title="Orbis quality audit (§7)"))
+    # Shape: a handful of FPs, an order of magnitude more FNs, spread over
+    # many countries and skewed toward the developing world.
+    assert 1 <= quality["false_positives"] <= 60
+    assert quality["false_negatives"] > 3 * quality["false_positives"]
+    assert quality["false_negative_countries"] > 20
+    developing = sum(
+        1
+        for gto in quality["_fn_objects"]
+        if country_by_cc(gto.operator.cc).dev_tier == 0
+    )
+    assert developing / quality["false_negatives"] > 0.4

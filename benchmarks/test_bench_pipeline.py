@@ -1,0 +1,32 @@
+"""End-to-end pipeline throughput + accuracy gate.
+
+Times the full three-stage classification over the reduced world (one
+round: the run includes CTI route propagation and the document analysis)
+and gates on ground-truth accuracy, standing in for the paper's expert
+validation (§7: experts found no errors in the slices they checked).
+"""
+
+from repro.core import validate_against_world
+from repro.core.pipeline import StateOwnershipPipeline
+from repro.io.tables import render_table
+
+
+def test_bench_full_pipeline(benchmark, small_bench_inputs, small_bench_world):
+    pipeline = StateOwnershipPipeline(small_bench_inputs)
+    result = benchmark.pedantic(pipeline.run, rounds=1, iterations=1)
+    report = validate_against_world(result, small_bench_world)
+    print()
+    print(render_table(
+        ("metric", "value"),
+        [
+            ("state-owned ASNs found", len(result.dataset.all_asns())),
+            ("companies confirmed", len(result.dataset)),
+            ("ASN precision", f"{report.asn_precision:.3f}"),
+            ("ASN recall", f"{report.asn_recall:.3f}"),
+            ("company precision", f"{report.company_precision:.3f}"),
+            ("company recall", f"{report.company_recall:.3f}"),
+        ],
+        title="Full pipeline run (reduced world)",
+    ))
+    assert report.asn_precision > 0.9
+    assert report.asn_recall > 0.6

@@ -1,0 +1,27 @@
+"""Table 1 — confirmation-source breakdown (websites confirm ~50 %)."""
+
+from repro.analysis import paper
+from repro.analysis.tables import table1_confirmation_sources
+from repro.io.tables import render_table
+
+
+def test_bench_table1(benchmark, bench_result):
+    table = benchmark(table1_confirmation_sources, bench_result)
+    rows = [
+        (source, table.get(source, "-"),
+         paper.TABLE1_CONFIRMATION_SOURCES.get(source, "-"))
+        for source in sorted(
+            set(table) | set(paper.TABLE1_CONFIRMATION_SOURCES)
+        )
+    ]
+    print()
+    print(render_table(("confirmation source", "measured", "paper"), rows,
+                       title="Table 1 — confirmation sources"))
+    total = sum(table.values())
+    websites = table.get("Company's website", 0)
+    # Shape: company websites are the dominant confirmation source (paper:
+    # 161 of 302 ~ 53 %), annual reports are second among corporate sources.
+    assert websites == max(table.values())
+    assert 0.35 <= websites / total <= 0.85
+    assert table.get("Company's annual report", 0) > 0
+    assert table.get("Freedom House", 0) > 0

@@ -1,0 +1,25 @@
+"""Table 2 — countries participating in Internet operators (123/19/24)."""
+
+from repro.analysis import paper
+from repro.analysis.tables import table2_country_participation
+from repro.io.tables import render_table
+from repro.world.countries import COUNTRIES
+
+
+def test_bench_table2(benchmark, bench_result):
+    table = benchmark(table2_country_participation, bench_result)
+    rows = [
+        (key, table.get(key, "-"), paper.TABLE2_PARTICIPATION.get(key, "-"))
+        for key in sorted(set(table) | set(paper.TABLE2_PARTICIPATION))
+    ]
+    print()
+    print(render_table(("participation", "measured", "paper"), rows,
+                       title="Table 2 — country participation"))
+    # Shape: roughly half the world's countries majority-own an operator;
+    # subsidiary owners are an order of magnitude fewer; minority owners a
+    # small set.
+    majority = table["state_owned_operators"]
+    assert 0.35 <= majority / len(COUNTRIES) <= 0.7   # paper: 0.53
+    assert table["subsidiaries"] < majority / 3
+    assert table["minority_state_owned"] < majority
+    assert table["total_countries"] >= majority

@@ -1,0 +1,29 @@
+"""Table 4 — state-owned operators by RIR (ARIN is the near-zero outlier)."""
+
+from repro.analysis import paper
+from repro.analysis.tables import table4_by_rir
+from repro.io.tables import render_table
+
+
+def test_bench_table4(benchmark, bench_result):
+    table = benchmark(table4_by_rir, bench_result)
+    print()
+    print(render_table(
+        ("RIR", "companies", "countries", "% countries", "paper (c/c/%)"),
+        [
+            (rir, companies, countries, pct,
+             "/".join(str(v) for v in paper.TABLE4_BY_RIR.get(rir, ())))
+            for rir, (companies, countries, pct) in sorted(table.items())
+        ],
+        title="Table 4 — state-owned operators by RIR",
+    ))
+    # Shape: every non-ARIN RIR has >40 % member-country participation
+    # while ARIN stays far below (paper: 7 %).
+    for rir in ("AFRINIC", "APNIC", "LACNIC", "RIPE"):
+        assert table[rir][2] > 35.0, rir
+    assert table["ARIN"][2] < 30.0
+    assert table["ARIN"][2] < min(
+        table[r][2] for r in ("AFRINIC", "APNIC", "LACNIC", "RIPE")
+    )
+    # World row: about half the countries.
+    assert 35.0 <= table["World"][2] <= 70.0

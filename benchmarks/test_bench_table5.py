@@ -1,0 +1,35 @@
+"""Table 5 — the ten largest customer cones of state-owned ASes."""
+
+from repro.analysis import paper
+from repro.analysis.cones import table5_top_cones
+from repro.io.tables import render_table
+
+#: Countries whose carriers appear in the paper's Table 5.
+_PAPER_TOP_CONE_CCS = {"SG", "RU", "AO", "CO", "CN", "CH", "PL", "BD"}
+
+
+def test_bench_table5(benchmark, bench_result, bench_inputs):
+    rows = benchmark(
+        table5_top_cones,
+        bench_result.dataset, bench_inputs.asrank, bench_inputs.whois,
+    )
+    print()
+    print(render_table(
+        ("ASN", "AS name", "cc", "cone size"),
+        rows,
+        title="Table 5 — largest customer cones of state-owned ASes "
+              "(paper: SingTel 4235 ... BSCCL 556)",
+    ))
+    print("paper's table for comparison:")
+    print(render_table(
+        ("AS", "cc", "cone"), paper.TABLE5_TOP_CONES,
+    ))
+    assert len(rows) == 10
+    sizes = [size for *_x, size in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    # Shape: the international state carriers dominate the ranking — most
+    # of the top-10 countries overlap the paper's list.
+    measured_ccs = {cc for _a, _n, cc, _s in rows}
+    assert len(measured_ccs & _PAPER_TOP_CONE_CCS) >= 4
+    # And the top cone is an order of magnitude above a typical stub.
+    assert sizes[0] > 100

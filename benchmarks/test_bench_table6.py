@@ -1,0 +1,30 @@
+"""Table 6 (Appendix B) — per-source contributions to the final list."""
+
+from repro.analysis import paper
+from repro.analysis.contributions import source_contributions
+from repro.io.tables import render_table
+
+
+def test_bench_table6(benchmark, bench_result):
+    table = benchmark(source_contributions, bench_result)
+    print()
+    print(render_table(
+        ("source", "ASes", "subsidiaries", "minority", "paper (a/s/m)"),
+        [
+            (source, ases, subs, minority,
+             "/".join(str(v) for v in
+                      paper.TABLE6_SOURCE_CONTRIBUTIONS.get(source, ())))
+            for source, (ases, subs, minority) in table.items()
+        ],
+        title="Table 6 — individual contribution of each data source",
+    ))
+    # Shape: each source contributes hundreds of ASes except CTI, which
+    # contributes an order of magnitude fewer (paper: 15 vs 586-728);
+    # subsidiaries appear in every popularity-based source; CTI finds none
+    # (transit gateways are domestic).
+    for code in ("G", "E", "W", "O"):
+        assert table[code][0] > 5 * table["C"][0], code
+        assert table[code][0] > 100
+    assert table["C"][0] > 0
+    assert table["C"][1] <= 2
+    assert table["TOTAL"][0] == len(bench_result.dataset.all_asns())

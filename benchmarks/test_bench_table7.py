@@ -1,0 +1,27 @@
+"""Table 7 (Appendix D) — state-owned ASes only discovered by CTI."""
+
+from repro.analysis import paper
+from repro.analysis.contributions import cti_only_ases
+from repro.io.tables import render_table
+from repro.world.entities import OperatorRole
+
+
+def test_bench_table7(benchmark, bench_result, bench_inputs, bench_world):
+    rows = benchmark(cti_only_ases, bench_result, bench_inputs.whois)
+    print()
+    print(render_table(
+        ("ASN", "cc", "AS name"), rows,
+        title=f"Table 7 — ASes only discovered by CTI "
+              f"(measured {len(rows)}, paper {paper.TABLE7_CTI_ONLY_COUNT})",
+    ))
+    # Shape: a small but non-empty set (paper: 9), dominated by
+    # transit/cable/gateway companies that serve no eyeball population.
+    assert 1 <= len(rows) <= 40
+    transit_like = 0
+    for asn, _cc, _name in rows:
+        record = bench_world.asn_records.get(asn)
+        if record is not None and record.role in (
+            OperatorRole.TRANSIT, OperatorRole.CABLE
+        ):
+            transit_like += 1
+    assert transit_like / len(rows) > 0.5

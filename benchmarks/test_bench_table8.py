@@ -1,0 +1,33 @@
+"""Table 8 (Appendix F) — countries with >= 0.9 state access footprint."""
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.footprint import compute_footprints, table8_dominant_countries
+from repro.io.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def footprints(bench_result, bench_inputs):
+    return compute_footprints(
+        bench_result.dataset,
+        bench_inputs.prefix2as,
+        bench_inputs.geolocation,
+        bench_inputs.eyeballs,
+    )
+
+
+def test_bench_table8(benchmark, footprints):
+    dominant = benchmark(table8_dominant_countries, footprints)
+    print()
+    print(render_table(
+        ("cc", "footprint"), dominant,
+        title=f"Table 8 — >= 0.9 state footprint (measured {len(dominant)}, "
+              f"paper {len(paper.TABLE8_DOMINANT_COUNTRIES)})",
+    ))
+    print(f"paper's club: {', '.join(paper.TABLE8_DOMINANT_COUNTRIES)}")
+    # Shape: a club of roughly a dozen-and-a-half countries, overlapping
+    # the famous monopolies the paper names.
+    assert 6 <= len(dominant) <= 35
+    measured = {cc for cc, _ in dominant}
+    assert len(measured & set(paper.TABLE8_DOMINANT_COUNTRIES)) >= 3

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Censorship-exposure study: who can a state observe or switch off?
+
+The paper motivates its dataset with censorship and surveillance research
+(§1, §11): if a government majority-owns the networks serving its citizens,
+it holds a direct lever over their connectivity.  This example combines the
+state-owned-AS dataset with the access-market estimates to rank countries by
+*state leverage* — the fraction of eyeballs reachable only through ASes the
+local government controls — and flags the countries where a single
+state-owned transit gateway additionally intercepts most inbound traffic
+(the Syria/AS29386 pattern the paper cites).
+
+Run:  python examples/censorship_exposure.py
+"""
+
+from repro import (
+    PipelineInputs,
+    StateOwnershipPipeline,
+    WorldConfig,
+    WorldGenerator,
+)
+from repro.analysis.footprint import compute_footprints
+from repro.cti.metric import CTIComputer
+from repro.io.tables import render_table
+
+
+def main() -> None:
+    print("building world + running the identification pipeline...")
+    world = WorldGenerator(WorldConfig.small()).generate()
+    inputs = PipelineInputs.from_world(world)
+    result = StateOwnershipPipeline(inputs).run()
+    dataset = result.dataset
+
+    print("estimating per-country state leverage...\n")
+    footprints = compute_footprints(
+        dataset, inputs.prefix2as, inputs.geolocation, inputs.eyeballs
+    )
+
+    # CTI tells us whether a state-owned transit AS also sits on the
+    # inbound paths — the interception vector.
+    cti = CTIComputer(inputs.prefix2as, inputs.geolocation, inputs.collector)
+    state_asns = dataset.all_asns()
+
+    rows = []
+    for cc, fp in footprints.items():
+        leverage = fp.domestic_eyeball_share
+        if leverage < 0.5:
+            continue
+        top = cti.top_influencers(cc, k=1)
+        gateway_note = ""
+        if top and top[0][0] in state_asns:
+            gateway_note = (
+                f"state gateway AS{top[0][0]} (CTI {top[0][1]:.2f})"
+            )
+        rows.append((cc, f"{leverage:.2f}", f"{fp.domestic_addr_share:.2f}",
+                     gateway_note or "-"))
+
+    rows.sort(key=lambda r: -float(r[1]))
+    print(render_table(
+        ("country", "eyeball leverage", "address leverage",
+         "inbound interception point"),
+        rows[:20],
+        title="Countries where the state controls the majority of access "
+              "(top 20)",
+    ))
+    total = sum(1 for r in rows)
+    print(f"\n{total} countries have majority state leverage over their "
+          f"citizens' connectivity in this world.")
+
+
+if __name__ == "__main__":
+    main()

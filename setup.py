@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Present so that ``pip install -e .`` works on environments whose setuptools
+lacks the ``wheel`` package required for PEP-517 editable installs; all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

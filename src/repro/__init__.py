@@ -1,0 +1,89 @@
+"""repro — reproduction of "Identifying ASes of State-Owned Internet
+Operators" (Carisimo et al., ACM IMC 2021).
+
+The package has three layers:
+
+* **Substrates** (:mod:`repro.net`, :mod:`repro.world`,
+  :mod:`repro.sources`, :mod:`repro.cti`): a synthetic Internet + corporate
+  ownership world and the noisy data sources derived from it (prefix2as,
+  geolocation, APNIC eyeballs, WHOIS, PeeringDB, AS2Org, ASRank, Orbis,
+  Freedom House, Wikipedia, confirmation documents, CTI).
+* **The pipeline** (:mod:`repro.core`): the paper's three-stage
+  classification process — candidate discovery, ownership confirmation,
+  expansion/consolidation — plus the output dataset and ground-truth
+  validation.
+* **Evaluation** (:mod:`repro.analysis`, :mod:`repro.io`): builders for
+  every table and figure in the paper, side-by-side comparison against the
+  published values, and JSON/SQLite round-trips of the dataset.
+
+Quickstart::
+
+    from repro import (
+        WorldConfig, WorldGenerator, PipelineInputs,
+        StateOwnershipPipeline, validate_against_world,
+    )
+
+    world = WorldGenerator(WorldConfig.small()).generate()
+    inputs = PipelineInputs.from_world(world)
+    result = StateOwnershipPipeline(inputs).run()
+    print(result.stats["state_owned_asns"], "state-owned ASNs found")
+    print(validate_against_world(result, world).as_text())
+"""
+
+from repro.config import (
+    EXPANSION_PROFILES,
+    PipelineConfig,
+    SourceNoiseConfig,
+    WorldConfig,
+)
+from repro.core import (
+    OrganizationRecord,
+    PipelineInputs,
+    PipelineResult,
+    StateOwnedDataset,
+    StateOwnershipPipeline,
+    ValidationReport,
+    validate_against_world,
+)
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    DatasetError,
+    OwnershipError,
+    PipelineError,
+    PrefixError,
+    ReproError,
+    SourceError,
+    TopologyError,
+    WorldError,
+)
+from repro.world import World, WorldGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EXPANSION_PROFILES",
+    "WorldConfig",
+    "SourceNoiseConfig",
+    "PipelineConfig",
+    "World",
+    "WorldGenerator",
+    "PipelineInputs",
+    "PipelineResult",
+    "StateOwnershipPipeline",
+    "StateOwnedDataset",
+    "OrganizationRecord",
+    "ValidationReport",
+    "validate_against_world",
+    "ReproError",
+    "ConfigError",
+    "PrefixError",
+    "TopologyError",
+    "WorldError",
+    "OwnershipError",
+    "SourceError",
+    "PipelineError",
+    "DatasetError",
+    "AnalysisError",
+]

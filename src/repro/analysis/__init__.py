@@ -1,0 +1,52 @@
+"""Evaluation analyses: every table and figure of the paper's §7-§8."""
+
+from repro.analysis.footprint import (
+    CountryFootprint,
+    compute_footprints,
+    figure1_map_data,
+    figure4_histograms,
+    figure6_map_data,
+    table8_dominant_countries,
+)
+from repro.analysis.contributions import (
+    source_contributions,
+    venn_regions,
+    venn_three_categories,
+    cti_only_ases,
+)
+from repro.analysis.tables import (
+    table1_confirmation_sources,
+    table2_country_participation,
+    table3_foreign_subsidiaries,
+    table4_by_rir,
+)
+from repro.analysis.cones import table5_top_cones, figure5_growth_series
+from repro.analysis.minority import minority_report
+from repro.analysis.excluded import excluded_summary, excluded_companies
+from repro.analysis.country_profile import build_country_profile, profile_text
+from repro.analysis.report import full_report
+
+__all__ = [
+    "CountryFootprint",
+    "compute_footprints",
+    "figure1_map_data",
+    "figure4_histograms",
+    "figure6_map_data",
+    "table8_dominant_countries",
+    "source_contributions",
+    "venn_regions",
+    "venn_three_categories",
+    "cti_only_ases",
+    "table1_confirmation_sources",
+    "table2_country_participation",
+    "table3_foreign_subsidiaries",
+    "table4_by_rir",
+    "table5_top_cones",
+    "figure5_growth_series",
+    "minority_report",
+    "excluded_summary",
+    "excluded_companies",
+    "build_country_profile",
+    "profile_text",
+    "full_report",
+]

@@ -1,0 +1,52 @@
+"""Transit-market analyses (Table 5 and Figure 5).
+
+Table 5 ranks state-owned ASes by customer-cone size; Figure 5 plots the
+decade of cone growth for the fastest-growing state-owned transit ASes
+(the submarine-cable archetypes in the paper: Angola Cables and BSCCL).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import StateOwnedDataset
+from repro.sources.asrank import AsRankDataset
+from repro.sources.whois import WhoisDatabase
+
+__all__ = ["table5_top_cones", "figure5_growth_series"]
+
+
+def table5_top_cones(
+    dataset: StateOwnedDataset,
+    asrank: AsRankDataset,
+    whois: Optional[WhoisDatabase] = None,
+    k: int = 10,
+) -> List[Tuple[int, str, str, int]]:
+    """Table 5: the ``k`` largest customer cones among state-owned ASes.
+
+    Returns (asn, AS name, country, cone size) rows, largest first.
+    """
+    rows: List[Tuple[int, str, str, int]] = []
+    for asn, size in asrank.top_cones(dataset.all_asns(), k=k):
+        name, cc = "", ""
+        if whois is not None:
+            record = whois.lookup(asn)
+            if record is not None:
+                name, cc = record.as_name, record.cc
+        rows.append((asn, name, cc, size))
+    return rows
+
+
+def figure5_growth_series(
+    dataset: StateOwnedDataset,
+    asrank: AsRankDataset,
+    k: int = 2,
+) -> Dict[int, List[Tuple[Tuple[int, int], int]]]:
+    """Figure 5: cone-size history of the ``k`` fastest-growing state ASes.
+
+    The ranking uses the same temporal linear regression over ASRank
+    history that the paper applies; the returned series are quarterly
+    (epoch, cone size) points from January 2010 to June 2020.
+    """
+    fastest = asrank.fastest_growing(dataset.all_asns(), k=k)
+    return {asn: asrank.cone_history(asn) for asn, _slope in fastest}

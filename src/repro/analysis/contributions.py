@@ -1,0 +1,160 @@
+"""Source-contribution analyses (Table 6, Table 7, Figures 3 and 7).
+
+The paper's central methodological claim is that *every* input source
+contributes ASes no other source finds — Orbis alone would miss the
+developing world, the technical sources alone would miss ASN-poor
+companies, and only CTI surfaces the quiet transit gateways.  These
+functions compute exactly the artifacts backing that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.pipeline import PipelineResult
+from repro.sources.base import InputSource
+from repro.sources.whois import WhoisDatabase
+
+__all__ = [
+    "source_contributions",
+    "venn_regions",
+    "venn_three_categories",
+    "cti_only_ases",
+]
+
+_SOURCE_ORDER = (
+    InputSource.GEOLOCATION,
+    InputSource.EYEBALLS,
+    InputSource.CTI,
+    InputSource.WIKIPEDIA_FH,
+    InputSource.ORBIS,
+)
+
+
+def source_contributions(
+    result: PipelineResult,
+) -> Dict[str, Tuple[int, int, int]]:
+    """Table 6: per source, (state-owned ASes, subsidiaries, minority ASes).
+
+    An AS counts toward a source when that source either selected the AS
+    directly or surfaced the company that owns it.  Minority counts use the
+    candidate provenance of companies whose verification ended in a
+    minority verdict.
+    """
+    foreign = result.dataset.foreign_subsidiary_asns()
+    per_source: Dict[str, Tuple[int, int, int]] = {}
+
+    minority_asns_by_source: Dict[InputSource, Set[int]] = {
+        source: set() for source in _SOURCE_ORDER
+    }
+    for key in result.minority_keys:
+        item = result.work.get(key)
+        if item is None:
+            continue
+        for source in item.sources:
+            minority_asns_by_source[source].update(item.seed_asns)
+
+    for source in _SOURCE_ORDER:
+        owned = {
+            asn
+            for asn, sources in result.asn_inputs.items()
+            if source in sources
+        }
+        per_source[source.value] = (
+            len(owned),
+            len(owned & foreign),
+            len(minority_asns_by_source[source]),
+        )
+    total_minority = len(
+        set().union(*minority_asns_by_source.values())
+        if minority_asns_by_source
+        else set()
+    )
+    per_source["TOTAL"] = (
+        len(result.dataset.all_asns()),
+        len(foreign),
+        total_minority,
+    )
+    return per_source
+
+
+def venn_regions(result: PipelineResult) -> Dict[str, int]:
+    """Figure 7: the full five-source Venn diagram.
+
+    Keys are 5-bit strings in source order G, E, C, W, O — e.g. ``"11010"``
+    counts ASes contributed by geolocation, eyeballs and Wikipedia+FH but
+    not CTI or Orbis.
+    """
+    regions: Dict[str, int] = {}
+    for asn in result.dataset.all_asns():
+        sources = result.asn_inputs.get(asn, frozenset())
+        bits = "".join(
+            "1" if source in sources else "0" for source in _SOURCE_ORDER
+        )
+        if bits == "00000":
+            continue  # discovered only through subsidiary walks
+        regions[bits] = regions.get(bits, 0) + 1
+    return regions
+
+
+def venn_three_categories(result: PipelineResult) -> Dict[str, int]:
+    """Figure 3: technical / Wikipedia+FH / Orbis category Venn.
+
+    Keys name the seven regions: "technical_only", "wiki_fh_only",
+    "orbis_only", "technical_wiki_fh", "technical_orbis", "wiki_fh_orbis",
+    "all_three".
+    """
+    technical = {
+        InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI
+    }
+    counts = {
+        "technical_only": 0,
+        "wiki_fh_only": 0,
+        "orbis_only": 0,
+        "technical_wiki_fh": 0,
+        "technical_orbis": 0,
+        "wiki_fh_orbis": 0,
+        "all_three": 0,
+    }
+    for asn in result.dataset.all_asns():
+        sources = result.asn_inputs.get(asn, frozenset())
+        has_technical = bool(sources & technical)
+        has_wiki = InputSource.WIKIPEDIA_FH in sources
+        has_orbis = InputSource.ORBIS in sources
+        if has_technical and has_wiki and has_orbis:
+            counts["all_three"] += 1
+        elif has_technical and has_wiki:
+            counts["technical_wiki_fh"] += 1
+        elif has_technical and has_orbis:
+            counts["technical_orbis"] += 1
+        elif has_wiki and has_orbis:
+            counts["wiki_fh_orbis"] += 1
+        elif has_technical:
+            counts["technical_only"] += 1
+        elif has_wiki:
+            counts["wiki_fh_only"] += 1
+        elif has_orbis:
+            counts["orbis_only"] += 1
+    return counts
+
+
+def cti_only_ases(
+    result: PipelineResult, whois: Optional[WhoisDatabase] = None
+) -> List[Tuple[int, str, str]]:
+    """Table 7: state-owned ASes that only CTI discovered.
+
+    Returns (asn, country, AS name) rows; names/countries come from WHOIS
+    when available.
+    """
+    rows: List[Tuple[int, str, str]] = []
+    for asn in sorted(result.dataset.all_asns()):
+        sources = result.asn_inputs.get(asn, frozenset())
+        if sources != frozenset({InputSource.CTI}):
+            continue
+        cc, name = "", ""
+        if whois is not None:
+            record = whois.lookup(asn)
+            if record is not None:
+                cc, name = record.cc, record.as_name
+        rows.append((asn, cc, name))
+    return rows

@@ -1,0 +1,129 @@
+"""Per-country dossiers (the paper's promised "full data for each country").
+
+§8 says the authors "will publish the full data for each country on a
+dedicated website"; this module builds that artifact: everything one run
+knows about a single country — its state-owned organizations (domestic and
+foreign), access-market footprints, minority stakes, and, where CTI was
+applied, its top transit gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.footprint import CountryFootprint, compute_footprints
+from repro.core.pipeline import PipelineInputs, PipelineResult
+from repro.world.countries import country_by_cc
+
+__all__ = ["CountryProfile", "build_country_profile", "profile_text"]
+
+
+@dataclass
+class CountryProfile:
+    """Everything the dataset knows about one country."""
+
+    cc: str
+    name: str
+    region: str
+    rir: str
+    domestic_orgs: List[Tuple[str, str]] = field(default_factory=list)
+    #: (org name, owner cc) of foreign subsidiaries operating here.
+    foreign_orgs: List[Tuple[str, str]] = field(default_factory=list)
+    #: ASNs of organizations abroad that this country's government owns.
+    owns_abroad: List[Tuple[str, str]] = field(default_factory=list)
+    footprint: Optional[CountryFootprint] = None
+    minority_ccs: Tuple[str, ...] = ()
+    cti_applied: bool = False
+    top_gateway: Optional[Tuple[int, float]] = None
+
+
+def build_country_profile(
+    cc: str,
+    result: PipelineResult,
+    inputs: PipelineInputs,
+    footprints: Optional[Dict[str, CountryFootprint]] = None,
+) -> CountryProfile:
+    """Assemble the dossier for ``cc`` from a pipeline run."""
+    country = country_by_cc(cc)
+    profile = CountryProfile(
+        cc=country.cc,
+        name=country.name,
+        region=country.region,
+        rir=country.rir,
+    )
+    for org in result.dataset.organizations_in(country.cc):
+        if org.is_foreign_subsidiary:
+            profile.foreign_orgs.append((org.org_name, org.ownership_cc))
+        else:
+            profile.domestic_orgs.append((org.org_name, org.source))
+    for org in result.dataset.foreign_subsidiaries():
+        if org.ownership_cc == country.cc and org.target_cc:
+            profile.owns_abroad.append((org.org_name, org.target_cc))
+    if footprints is None:
+        footprints = compute_footprints(
+            result.dataset, inputs.prefix2as, inputs.geolocation,
+            inputs.eyeballs,
+        )
+    profile.footprint = footprints.get(country.cc)
+    minority = set()
+    for verdict in result.verdicts.values():
+        if verdict.confirming_doc is not None and (
+            verdict.confirming_doc.cc == country.cc
+        ):
+            for holder_cc, fraction in verdict.state_equity.items():
+                if 0 < fraction < 0.5:
+                    minority.add(holder_cc)
+    profile.minority_ccs = tuple(sorted(minority))
+    profile.cti_applied = country.cc in inputs.cti_eligible_ccs
+    if result.cti_selection is not None:
+        for asn in result.cti_selection.asns:
+            for entry_cc, rank, score in result.cti_selection.provenance.get(
+                asn, ()
+            ):
+                if entry_cc == country.cc and rank == 1:
+                    profile.top_gateway = (asn, round(score, 3))
+    return profile
+
+
+def profile_text(profile: CountryProfile) -> str:
+    """Render a dossier as plain text."""
+    lines = [
+        f"{profile.name} ({profile.cc}) — {profile.region}, {profile.rir}",
+        "-" * 60,
+    ]
+    if profile.footprint is not None:
+        fp = profile.footprint
+        lines.append(
+            f"state footprint: domestic addr {fp.domestic_addr_share:.2f}, "
+            f"eyeballs {fp.domestic_eyeball_share:.2f}; foreign addr "
+            f"{fp.foreign_addr_share:.2f}, eyeballs "
+            f"{fp.foreign_eyeball_share:.2f}"
+        )
+    if profile.domestic_orgs:
+        lines.append("domestic state-owned operators:")
+        for name, source in profile.domestic_orgs:
+            lines.append(f"  - {name} (confirmed via {source})")
+    if profile.foreign_orgs:
+        lines.append("foreign state-owned operators present:")
+        for name, owner in profile.foreign_orgs:
+            lines.append(f"  - {name} (owned by {owner})")
+    if profile.owns_abroad:
+        lines.append("state-owned subsidiaries abroad:")
+        for name, target in profile.owns_abroad:
+            lines.append(f"  - {name} (operates in {target})")
+    if profile.minority_ccs:
+        lines.append(
+            "minority government stakes seen from: "
+            + ", ".join(profile.minority_ccs)
+        )
+    if profile.cti_applied:
+        gateway = (
+            f"AS{profile.top_gateway[0]} (CTI {profile.top_gateway[1]})"
+            if profile.top_gateway
+            else "n/a"
+        )
+        lines.append(f"transit-dominant; top CTI gateway: {gateway}")
+    if len(lines) == 2:
+        lines.append("no state participation detected")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Appendix E — the excluded state-funded organizations.
+
+The paper removes academic networks, government bureaucratic networks,
+Internet administrative organizations (NICs) and subnational operators from
+the dataset, and documents the categories in Appendix E.  This analysis
+summarizes what a run excluded and why, so the filtering behaviour is
+auditable the same way.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["excluded_summary", "excluded_companies"]
+
+
+def excluded_summary(result: PipelineResult) -> Dict[str, int]:
+    """Exclusion reason -> number of companies filtered in stage 2."""
+    return dict(Counter(result.excluded.values()))
+
+
+def excluded_companies(result: PipelineResult) -> List[Tuple[str, str]]:
+    """(company name, exclusion reason) rows, sorted by reason then name."""
+    rows: List[Tuple[str, str]] = []
+    for key, reason in result.excluded.items():
+        item = result.work.get(key)
+        name = item.canonical_name if item is not None else key
+        rows.append((name, reason))
+    rows.sort(key=lambda row: (row[1], row[0]))
+    return rows

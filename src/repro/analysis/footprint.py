@@ -1,0 +1,194 @@
+"""Access-market footprint analyses (Figure 1, Figure 4, Figure 6, Table 8).
+
+The paper approximates each country's Internet-access market with two
+proxies: the fraction of the country's geolocated address space originated
+by state-owned ASes, and the fraction of the country's estimated eyeballs
+served by them — split into *domestic* state ownership (the country's own
+government) and *foreign* (another country's government via subsidiaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import StateOwnedDataset
+from repro.sources.eyeballs import EyeballDataset
+from repro.sources.geolocation import GeolocationService
+from repro.sources.prefix2as import Prefix2ASTable
+from repro.world.countries import COUNTRIES
+
+__all__ = [
+    "CountryFootprint",
+    "compute_footprints",
+    "figure1_map_data",
+    "figure4_histograms",
+    "figure6_map_data",
+    "table8_dominant_countries",
+]
+
+_RIR_OF = {c.cc: c.rir for c in COUNTRIES}
+
+
+@dataclass(frozen=True)
+class CountryFootprint:
+    """State-owned footprint of one country's access market."""
+
+    cc: str
+    domestic_addr_share: float
+    domestic_eyeball_share: float
+    foreign_addr_share: float
+    foreign_eyeball_share: float
+
+    @property
+    def domestic_max(self) -> float:
+        """Figure 1's blue value: max of the two domestic proxies."""
+        return max(self.domestic_addr_share, self.domestic_eyeball_share)
+
+    @property
+    def foreign_max(self) -> float:
+        """Figure 1's green value."""
+        return max(self.foreign_addr_share, self.foreign_eyeball_share)
+
+
+def compute_footprints(
+    dataset: StateOwnedDataset,
+    prefix2as: Prefix2ASTable,
+    geolocation: GeolocationService,
+    eyeballs: EyeballDataset,
+) -> Dict[str, CountryFootprint]:
+    """Per-country footprints of state-owned ASes (domestic and foreign).
+
+    An AS's addresses geolocated in country C count as *domestic* when the
+    organization that owns the AS is majority-held by C's own government,
+    and as *foreign* when held by another government.
+    """
+    owner_of_asn: Dict[int, str] = {}
+    for org in dataset.organizations():
+        for asn in dataset.asns_of(org.org_id):
+            owner_of_asn[asn] = org.ownership_cc
+
+    domestic_addr: Dict[str, int] = {}
+    foreign_addr: Dict[str, int] = {}
+    total_addr: Dict[str, int] = {}
+    for (asn, cc), count in geolocation.country_asn_addresses(prefix2as).items():
+        total_addr[cc] = total_addr.get(cc, 0) + count
+        owner = owner_of_asn.get(asn)
+        if owner is None:
+            continue
+        if owner == cc:
+            domestic_addr[cc] = domestic_addr.get(cc, 0) + count
+        else:
+            foreign_addr[cc] = foreign_addr.get(cc, 0) + count
+
+    domestic_eye: Dict[str, int] = {}
+    foreign_eye: Dict[str, int] = {}
+    total_eye: Dict[str, int] = {}
+    for asn in eyeballs.covered_asns():
+        cc = eyeballs.country_of(asn)
+        users = eyeballs.estimate(asn) or 0
+        if cc is None:
+            continue
+        total_eye[cc] = total_eye.get(cc, 0) + users
+        owner = owner_of_asn.get(asn)
+        if owner is None:
+            continue
+        if owner == cc:
+            domestic_eye[cc] = domestic_eye.get(cc, 0) + users
+        else:
+            foreign_eye[cc] = foreign_eye.get(cc, 0) + users
+
+    footprints: Dict[str, CountryFootprint] = {}
+    all_ccs = set(total_addr) | set(total_eye)
+    for cc in sorted(all_ccs):
+        addr_total = total_addr.get(cc, 0)
+        eye_total = total_eye.get(cc, 0)
+        footprints[cc] = CountryFootprint(
+            cc=cc,
+            domestic_addr_share=(
+                domestic_addr.get(cc, 0) / addr_total if addr_total else 0.0
+            ),
+            domestic_eyeball_share=(
+                domestic_eye.get(cc, 0) / eye_total if eye_total else 0.0
+            ),
+            foreign_addr_share=(
+                foreign_addr.get(cc, 0) / addr_total if addr_total else 0.0
+            ),
+            foreign_eyeball_share=(
+                foreign_eye.get(cc, 0) / eye_total if eye_total else 0.0
+            ),
+        )
+    return footprints
+
+
+def figure1_map_data(
+    footprints: Dict[str, CountryFootprint]
+) -> Dict[str, Tuple[float, float]]:
+    """Figure 1's per-country (blue, green) = (domestic max, foreign max)."""
+    return {
+        cc: (fp.domestic_max, fp.foreign_max)
+        for cc, fp in sorted(footprints.items())
+    }
+
+
+def figure4_histograms(
+    footprints: Dict[str, CountryFootprint],
+    proxy: str = "addresses",
+) -> Dict[str, List[List[str]]]:
+    """Figure 4's stacked histogram: bin -> per-RIR country lists.
+
+    ``proxy`` selects 4a ("addresses") or 4b ("eyeballs").  Returns a map
+    from bin label ("0.0", "0.1", ... "1.0" lower edges) to the countries
+    in that bin, grouped by RIR in a dict-of-lists.
+    """
+    if proxy not in ("addresses", "eyeballs"):
+        raise ValueError(f"unknown proxy {proxy!r}")
+    bins: Dict[str, Dict[str, List[str]]] = {
+        f"{edge / 10:.1f}": {} for edge in range(11)
+    }
+    for cc, fp in footprints.items():
+        share = (
+            fp.domestic_addr_share
+            if proxy == "addresses"
+            else fp.domestic_eyeball_share
+        )
+        edge = min(10, int(share * 10))
+        rir = _RIR_OF.get(cc, "?")
+        bins[f"{edge / 10:.1f}"].setdefault(rir, []).append(cc)
+    # Flatten to bin -> [rir, count] rows for easy rendering.
+    return {
+        label: [
+            [rir, str(len(ccs))] for rir, ccs in sorted(groups.items())
+        ]
+        for label, groups in bins.items()
+    }
+
+
+def figure6_map_data(
+    dataset: StateOwnedDataset, minority_ccs: Optional[set] = None
+) -> Dict[str, str]:
+    """Figure 6's country coloring: majority / minority / none."""
+    majority = dataset.owner_countries()
+    minority = set(minority_ccs or set()) - set(majority)
+    colors: Dict[str, str] = {}
+    for country in COUNTRIES:
+        if country.cc in majority:
+            colors[country.cc] = "majority"
+        elif country.cc in minority:
+            colors[country.cc] = "minority"
+        else:
+            colors[country.cc] = "none"
+    return colors
+
+
+def table8_dominant_countries(
+    footprints: Dict[str, CountryFootprint], threshold: float = 0.9
+) -> List[Tuple[str, float]]:
+    """Countries whose domestic state footprint reaches ``threshold``."""
+    dominant = [
+        (cc, round(fp.domestic_max, 2))
+        for cc, fp in footprints.items()
+        if fp.domestic_max >= threshold
+    ]
+    dominant.sort(key=lambda pair: (-pair[1], pair[0]))
+    return dominant

@@ -1,0 +1,72 @@
+"""The minority-ownership side product (§7, "Large ASes with government
+minority ownership").
+
+The paper did not search for minority stakes systematically but logged the
+ones encountered — Deutsche Telekom (31 %), Orange (22.95 %), Telia
+(39.5 %), Bharti Airtel (SingTel 35.1 %) — and counted 302 minority
+state-owned ASes.  The pipeline's analyst keeps the same log; this module
+turns it into the reportable artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mapping import CompanyMapper
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["MinorityHolding", "minority_report"]
+
+
+@dataclass(frozen=True)
+class MinorityHolding:
+    """One company with a sub-majority government stake."""
+
+    company_name: str
+    government_cc: str
+    fraction: Optional[float]
+    asn_count: int
+
+
+def minority_report(
+    result: PipelineResult,
+    mapper: Optional[CompanyMapper] = None,
+) -> List[MinorityHolding]:
+    """All minority holdings the run encountered, largest stakes first.
+
+    ``mapper`` enables ASN counting per company (the paper reports 302
+    minority *ASes*); without it the count falls back to the candidate
+    seeds recorded in the worklist.
+    """
+    holdings: List[MinorityHolding] = []
+    for key in sorted(result.minority_keys):
+        verdict = result.verdicts.get(key)
+        if verdict is None:
+            continue
+        if not verdict.state_equity:
+            continue
+        government_cc = max(
+            verdict.state_equity, key=lambda cc: (verdict.state_equity[cc], cc)
+        )
+        fraction = verdict.state_equity.get(government_cc)
+        item = result.work.get(key)
+        if mapper is not None:
+            asns = mapper.asns_of_company(verdict.company_name)
+            if item is not None:
+                asns |= item.seed_asns
+            asn_count = len(asns)
+        else:
+            asn_count = len(item.seed_asns) if item is not None else 0
+        holdings.append(
+            MinorityHolding(
+                company_name=verdict.company_name,
+                government_cc=government_cc,
+                fraction=round(fraction, 4) if fraction is not None else None,
+                asn_count=asn_count,
+            )
+        )
+    holdings.sort(
+        key=lambda h: (-(h.fraction or 0.0), h.company_name)
+    )
+    return holdings

@@ -1,0 +1,139 @@
+"""The paper's published numbers, used as shape-comparison targets.
+
+These constants are the values Carisimo et al. report; EXPERIMENTS.md and
+the benchmark harness print measured values side by side with them.  We do
+not expect absolute agreement (the substrate is a synthetic world, not the
+2019-2020 Internet) — the comparison is about who wins, rough ratios, and
+where crossovers fall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "HEADLINE",
+    "CANDIDATE_FUNNEL",
+    "TABLE1_CONFIRMATION_SOURCES",
+    "TABLE2_PARTICIPATION",
+    "TABLE3_SUBSIDIARIES",
+    "TABLE4_BY_RIR",
+    "TABLE5_TOP_CONES",
+    "TABLE6_SOURCE_CONTRIBUTIONS",
+    "TABLE7_CTI_ONLY_COUNT",
+    "TABLE8_DOMINANT_COUNTRIES",
+    "FIGURE3_VENN",
+    "ORBIS_QUALITY",
+]
+
+#: §7 headline numbers.
+HEADLINE: Dict[str, float] = {
+    "state_owned_asns": 989,
+    "foreign_subsidiary_asns": 193,
+    "companies": 302,
+    "foreign_subsidiary_companies": 84,
+    "countries_with_majority": 123,
+    "fraction_of_countries": 0.53,
+    "announced_space_share": 0.17,
+    "announced_space_share_ex_us": 0.25,
+}
+
+#: §4.1 / §4.2 candidate-funnel statistics.
+CANDIDATE_FUNNEL: Dict[str, int] = {
+    "geolocation_asns": 793,
+    "eyeball_asns": 716,
+    "geo_eyeball_intersection": 466,
+    "geo_eyeball_union": 1043,
+    "cti_asns": 93,
+    "cti_countries": 75,
+    "total_asns": 1091,
+    "candidate_organizations": 1023,
+}
+
+#: Table 1 — confirmation data source -> number of companies.
+TABLE1_CONFIRMATION_SOURCES: Dict[str, int] = {
+    "Company's website": 161,
+    "Company's annual report": 44,
+    "Freedom House": 33,
+    "TG's commsupdate": 22,
+    "World Bank": 20,
+    "ITU": 6,
+    "FCC": 4,
+    "News": 2,
+    "regulator": 2,
+    "Others": 9,
+}
+
+#: Table 2 — country participation counts.
+TABLE2_PARTICIPATION: Dict[str, int] = {
+    "state_owned_operators": 123,
+    "subsidiaries": 19,
+    "minority_state_owned": 24,
+    "total_countries": 136,
+}
+
+#: Table 3 — owner country -> number of subsidiary target countries.
+TABLE3_SUBSIDIARIES: Dict[str, int] = {
+    "AE": 12, "CN": 9, "QA": 9, "NO": 9, "VN": 9, "SG": 6, "MY": 5,
+    "CO": 4, "RS": 3, "ID": 3, "BH": 3, "TN": 3, "SA": 2, "FJ": 1,
+    "MU": 1, "BE": 1, "CH": 1, "RU": 1, "SI": 1,
+}
+
+#: Table 4 — per-RIR company and country counts.
+TABLE4_BY_RIR: Dict[str, Tuple[int, int, int]] = {
+    # rir: (companies, countries, % of RIR members)
+    "APNIC": (56, 30, 54),
+    "RIPE": (76, 47, 62),
+    "ARIN": (29, 2, 7),
+    "AFRINIC": (56, 30, 45),
+    "LACNIC": (31, 14, 50),
+    "World": (248, 123, 50),
+}
+
+#: Table 5 — the ten largest customer cones of state-owned ASes (June 2020).
+TABLE5_TOP_CONES: Tuple[Tuple[str, str, int], ...] = (
+    ("7473-SingTel", "SG", 4235),
+    ("12389-Rostelecom", "RU", 3778),
+    ("20485-TTK", "RU", 3171),
+    ("37468-Angola Cables", "AO", 1843),
+    ("262589-Internexa", "CO", 1315),
+    ("4809-China Telecom", "CN", 1134),
+    ("3303-Swisscom", "CH", 702),
+    ("20804-Exatel", "PL", 699),
+    ("10099-China Unicom", "CN", 595),
+    ("132602-BSCCL", "BD", 556),
+)
+
+#: Table 6 (Appendix B) — per-source contributions:
+#: source -> (state-owned ASes, of which subsidiaries, minority ASes).
+TABLE6_SOURCE_CONTRIBUTIONS: Dict[str, Tuple[int, int, int]] = {
+    "G": (593, 126, 253),
+    "E": (586, 151, 288),
+    "C": (15, 0, 7),
+    "W": (728, 126, 4),
+    "O": (587, 123, 0),
+    "TOTAL": (984, 193, 302),
+}
+
+#: Table 7 (Appendix D) — ASes only discovered by CTI.
+TABLE7_CTI_ONLY_COUNT: int = 9
+
+#: Table 8 (Appendix F) — countries with >= 0.9 estimated access-market
+#: footprint held by domestic state-owned ASes.
+TABLE8_DOMINANT_COUNTRIES: Tuple[str, ...] = (
+    "ET", "TV", "CU", "GL", "DJ", "SY", "AE", "ER", "SR", "CN", "LY",
+    "YE", "DZ", "MO", "AD", "IR", "UY", "TM",
+)
+
+#: Figure 3 — three-category Venn (technical / Wikipedia+FH / Orbis).
+FIGURE3_VENN: Dict[str, int] = {
+    "all_three": 193,
+    "technical_only": 95,
+}
+
+#: §7 Orbis quality findings.
+ORBIS_QUALITY: Dict[str, int] = {
+    "false_positives": 12,
+    "false_negatives": 140,
+    "false_negative_countries": 79,
+}

@@ -1,0 +1,118 @@
+"""Builders for Tables 1-4 of the paper.
+
+Each function consumes a :class:`~repro.core.pipeline.PipelineResult` (and,
+where needed, static country data) and returns the table's data in a
+render-ready structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from repro.core.pipeline import PipelineResult
+from repro.world.countries import COUNTRIES
+
+__all__ = [
+    "table1_confirmation_sources",
+    "table2_country_participation",
+    "table3_foreign_subsidiaries",
+    "table4_by_rir",
+]
+
+#: Sources with fewer companies than this collapse into "Others", matching
+#: how the paper presents Table 1.
+_OTHERS_SOURCES = ("Government portal", "SEC")
+
+
+def table1_confirmation_sources(result: PipelineResult) -> Dict[str, int]:
+    """Table 1: confirmation source -> number of companies confirmed by it."""
+    counts: Counter = Counter()
+    for org in result.dataset.organizations():
+        source = org.source or "unknown"
+        if source in _OTHERS_SOURCES:
+            source = "Others"
+        counts[source] += 1
+    return dict(counts)
+
+
+def _minority_countries(result: PipelineResult) -> Set[str]:
+    """Countries holding sub-majority stakes anywhere in the run's evidence.
+
+    Includes pure-minority companies and minority co-owners of confirmed
+    joint ventures (the paper's Singapore-in-Telkomsel case).
+    """
+    minority: Set[str] = set()
+    for verdict in result.verdicts.values():
+        for cc, fraction in verdict.state_equity.items():
+            if 0 < fraction < 0.5 and cc != verdict.controlling_cc:
+                minority.add(cc)
+    return minority
+
+
+def table2_country_participation(result: PipelineResult) -> Dict[str, int]:
+    """Table 2: how many countries participate in Internet operators."""
+    majority = set(result.dataset.owner_countries())
+    subsidiaries = set(result.dataset.subsidiary_owner_countries())
+    minority = _minority_countries(result)
+    return {
+        "state_owned_operators": len(majority),
+        "subsidiaries": len(subsidiaries),
+        "minority_state_owned": len(minority),
+        "total_countries": len(majority | subsidiaries | minority),
+    }
+
+
+def table3_foreign_subsidiaries(
+    result: PipelineResult,
+) -> List[Tuple[str, int, Tuple[str, ...]]]:
+    """Table 3: (owner cc, #targets, target ccs) sorted by reach."""
+    targets: Dict[str, Set[str]] = {}
+    for org in result.dataset.foreign_subsidiaries():
+        if org.target_cc is None:
+            continue
+        targets.setdefault(org.ownership_cc, set()).add(org.target_cc)
+    rows = [
+        (owner, len(ccs), tuple(sorted(ccs)))
+        for owner, ccs in targets.items()
+    ]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def table4_by_rir(result: PipelineResult) -> Dict[str, Tuple[int, int, float]]:
+    """Table 4: per RIR, (#companies, #countries, % of member countries).
+
+    Companies are counted for the RIR serving their *operating* country;
+    only domestic organizations define a country's membership in the
+    "has a state-owned operator" count, as in the paper.
+    """
+    members_per_rir: Counter = Counter(c.rir for c in COUNTRIES)
+    rir_of_cc = {c.cc: c.rir for c in COUNTRIES}
+    companies: Counter = Counter()
+    countries: Dict[str, Set[str]] = {}
+    for org in result.dataset.domestic_organizations():
+        rir = org.rir or rir_of_cc.get(org.operating_cc, "?")
+        companies[rir] += 1
+        countries.setdefault(rir, set()).add(org.ownership_cc)
+    table: Dict[str, Tuple[int, int, float]] = {}
+    world_companies = 0
+    world_countries: Set[str] = set()
+    for rir in sorted(members_per_rir):
+        count = companies.get(rir, 0)
+        ccs = countries.get(rir, set())
+        members = members_per_rir[rir]
+        table[rir] = (
+            count,
+            len(ccs),
+            round(100.0 * len(ccs) / members, 1) if members else 0.0,
+        )
+        world_companies += count
+        world_countries |= ccs
+    total_members = sum(members_per_rir.values())
+    table["World"] = (
+        world_companies,
+        len(world_countries),
+        round(100.0 * len(world_countries) / total_members, 1),
+    )
+    return table

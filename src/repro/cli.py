@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro`` / ``state-owned-ases``.
+
+Subcommands::
+
+    generate   synthesize a world and print its ground-truth summary
+    run        run the full pipeline and export the dataset (JSON/SQLite)
+    report     run the pipeline and print the full evaluation report
+    validate   run the pipeline and score it against the ground truth
+    show       pretty-print organizations from a dataset file
+
+Examples::
+
+    state-owned-ases run --scale 0.3 --json out.json --sqlite out.db
+    state-owned-ases report --scale 0.3 > report.txt
+    state-owned-ases show out.json --country NO
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import WorldConfig
+from repro.core import (
+    PipelineInputs,
+    StateOwnershipPipeline,
+    validate_against_world,
+)
+from repro.world.generator import WorldGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="state-owned-ases",
+        description="Identify ASes of state-owned Internet operators "
+                    "(IMC 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=20210701,
+                       help="world seed (default: 20210701)")
+        p.add_argument("--scale", type=float, default=0.3,
+                       help="world size multiplier (default: 0.3)")
+
+    p_generate = sub.add_parser(
+        "generate", help="synthesize a world and summarize its ground truth"
+    )
+    add_world_args(p_generate)
+
+    p_run = sub.add_parser(
+        "run", help="run the pipeline and export the dataset"
+    )
+    add_world_args(p_run)
+    p_run.add_argument("--json", metavar="PATH", help="write dataset JSON")
+    p_run.add_argument("--sqlite", metavar="PATH", help="write dataset SQLite")
+
+    p_report = sub.add_parser(
+        "report", help="run the pipeline and print the evaluation report"
+    )
+    add_world_args(p_report)
+
+    p_validate = sub.add_parser(
+        "validate", help="run the pipeline and score against ground truth"
+    )
+    add_world_args(p_validate)
+
+    p_show = sub.add_parser("show", help="print organizations from a dataset")
+    p_show.add_argument("path", help="dataset .json or .db/.sqlite file")
+    p_show.add_argument("--country", metavar="CC",
+                        help="filter by operating country code")
+
+    p_churn = sub.add_parser(
+        "churn", help="simulate ownership churn and measure dataset ageing"
+    )
+    add_world_args(p_churn)
+    p_churn.add_argument("--years", type=int, default=5,
+                         help="years of churn to simulate (default: 5)")
+
+    p_plan = sub.add_parser(
+        "plan", help="run the pipeline and print a re-verification plan"
+    )
+    add_world_args(p_plan)
+    p_plan.add_argument("--top", type=int, default=15,
+                        help="number of organizations to list (default: 15)")
+
+    p_profile = sub.add_parser(
+        "profile", help="run the pipeline and print one country's dossier"
+    )
+    add_world_args(p_profile)
+    p_profile.add_argument("cc", help="ISO-3166 country code, e.g. NO")
+    return parser
+
+
+def _make_world(args: argparse.Namespace):
+    config = WorldConfig(seed=args.seed, scale=args.scale)
+    return WorldGenerator(config).generate()
+
+
+def _run_pipeline(world):
+    inputs = PipelineInputs.from_world(world)
+    result = StateOwnershipPipeline(inputs).run()
+    return inputs, result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        world = _make_world(args)
+        truth = world.ground_truth()
+        foreign = sum(1 for g in truth if g.is_foreign_subsidiary)
+        print(f"ASes in topology:        {len(world.graph)}")
+        print(f"state-owned operators:   {len(truth)} ({foreign} foreign)")
+        print(f"state-owned ASNs:        {len(world.ground_truth_asns())}")
+        print(f"owner countries:         {len(world.state_owned_countries())}")
+        print(f"transit-dominant ccs:    {len(world.transit_dominant_ccs)}")
+        return 0
+
+    if args.command in ("run", "report", "validate"):
+        world = _make_world(args)
+        inputs, result = _run_pipeline(world)
+        if args.command == "run":
+            print(
+                f"confirmed {result.stats['confirmed_companies']:.0f} "
+                f"companies owning "
+                f"{result.stats['state_owned_asns']:.0f} ASNs "
+                f"({result.stats['foreign_subsidiary_asns']:.0f} foreign)"
+            )
+            if args.json:
+                from repro.io.jsonio import dump_json
+                dump_json(result.dataset, args.json)
+                print(f"wrote {args.json}")
+            if args.sqlite:
+                from repro.io.sqliteio import dataset_to_sqlite
+                dataset_to_sqlite(result.dataset, args.sqlite)
+                print(f"wrote {args.sqlite}")
+        elif args.command == "report":
+            from repro.analysis.report import full_report
+            validation = validate_against_world(result, world)
+            print(full_report(result, inputs, validation))
+        else:
+            print(validate_against_world(result, world).as_text())
+        return 0
+
+    if args.command == "churn":
+        from repro.io.tables import render_table
+        from repro.world.events import ageing_study
+
+        world = _make_world(args)
+        frozen = world.ground_truth_asns()
+        rows = ageing_study(world, frozen, start_year=2021, years=args.years)
+        print(render_table(
+            ("year", "events", "privatizations", "nationalizations",
+             "new subsidiaries", "precision", "recall"),
+            [
+                (r["year"], r["events"], r["privatizations"],
+                 r["nationalizations"], r["new_subsidiaries"],
+                 r["precision"], r["recall"])
+                for r in rows
+            ],
+            title="Frozen-snapshot decay under ownership churn",
+        ))
+        return 0
+
+    if args.command == "plan":
+        from repro.core.maintenance import plan_reverification
+        from repro.io.tables import render_table
+
+        world = _make_world(args)
+        _inputs, result = _run_pipeline(world)
+        plan = plan_reverification(result, limit=args.top)
+        print(render_table(
+            ("organization", "fragility", "reasons"),
+            [
+                (item.org_name[:40], f"{item.fragility:.2f}",
+                 "; ".join(item.reasons)[:70])
+                for item in plan
+            ],
+            title=f"Re-verification plan (top {args.top})",
+        ))
+        return 0
+
+    if args.command == "profile":
+        from repro.analysis.country_profile import (
+            build_country_profile,
+            profile_text,
+        )
+
+        world = _make_world(args)
+        inputs, result = _run_pipeline(world)
+        profile = build_country_profile(args.cc.upper(), result, inputs)
+        print(profile_text(profile))
+        return 0
+
+    if args.command == "show":
+        if args.path.endswith(".json"):
+            from repro.io.jsonio import load_json
+            dataset = load_json(args.path)
+        else:
+            from repro.io.sqliteio import dataset_from_sqlite
+            dataset = dataset_from_sqlite(args.path)
+        for org in dataset.organizations():
+            if args.country and org.operating_cc != args.country.upper():
+                continue
+            asns = ", ".join(str(a) for a in dataset.asns_of(org.org_id))
+            marker = " [foreign]" if org.is_foreign_subsidiary else ""
+            print(f"{org.org_name} ({org.ownership_cc}){marker}")
+            print(f"  org_id:  {org.org_id}   rir: {org.rir}")
+            print(f"  source:  {org.source}")
+            print(f"  quote:   {org.quote}")
+            print(f"  ASNs:    {asns or '(none)'}")
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

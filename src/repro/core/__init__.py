@@ -1,0 +1,61 @@
+"""The paper's contribution: the three-stage classification pipeline.
+
+Stage 1 (:mod:`.candidates`) harvests candidate ASes from the three
+technical sources and candidate company names from the two non-technical
+sources.  The mapper (:mod:`.mapping`) reconciles ASes with company
+identities through WHOIS, PeeringDB and domain search.  Stage 2
+(:mod:`.confirmation`, :mod:`.subsidiaries`) verifies majority state
+ownership against the confirmation corpus, chasing fund/holding chains and
+walking parent/subsidiary links.  Stage 3 (:mod:`.expansion`) maps
+confirmed companies back to ASNs and adds AS2Org siblings.  The
+orchestrator (:mod:`.pipeline`) wires everything and emits the output
+dataset (:mod:`.dataset`); :mod:`.validation` scores a run against the
+world's ground truth.
+"""
+
+from repro.core.candidates import CandidateSet, CompanyCandidate, harvest_candidates
+from repro.core.mapping import CompanyMapper, MappedCompany
+from repro.core.confirmation import (
+    ConfirmationVerdict,
+    OwnershipAnalyst,
+    ExclusionReason,
+    classify_exclusion,
+)
+from repro.core.subsidiaries import SubsidiaryExplorer
+from repro.core.expansion import expand_to_asns
+from repro.core.dataset import (
+    OrganizationRecord,
+    StateOwnedDataset,
+)
+from repro.core.pipeline import PipelineInputs, PipelineResult, StateOwnershipPipeline
+from repro.core.validation import ValidationReport, validate_against_world
+from repro.core.maintenance import ReverificationItem, plan_reverification
+from repro.core.expertreview import ExpertReview, expert_review
+from repro.core.diffing import DatasetDiff, diff_datasets
+
+__all__ = [
+    "CandidateSet",
+    "CompanyCandidate",
+    "harvest_candidates",
+    "CompanyMapper",
+    "MappedCompany",
+    "ConfirmationVerdict",
+    "OwnershipAnalyst",
+    "ExclusionReason",
+    "classify_exclusion",
+    "SubsidiaryExplorer",
+    "expand_to_asns",
+    "OrganizationRecord",
+    "StateOwnedDataset",
+    "PipelineInputs",
+    "PipelineResult",
+    "StateOwnershipPipeline",
+    "ValidationReport",
+    "validate_against_world",
+    "ReverificationItem",
+    "plan_reverification",
+    "ExpertReview",
+    "expert_review",
+    "DatasetDiff",
+    "diff_datasets",
+]

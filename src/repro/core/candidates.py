@@ -1,0 +1,188 @@
+"""Stage 1: candidate ASes and candidate companies (§4).
+
+Three technical sources yield ASNs:
+
+* **Country-level AS geolocation** — ASes originating at least 5 % of some
+  country's geolocated address space;
+* **APNIC eyeballs** — ASes serving at least 5 % of some country's
+  estimated users;
+* **CTI** — the two most influential transit ASes of each transit-dominant
+  country.
+
+Two non-technical sources yield company names to verify: Orbis's
+state-owned-telco query and the Wikipedia + Freedom House harvest.
+
+The returned :class:`CandidateSet` keeps per-candidate provenance (which
+sources flagged it — the ``inputs`` field of the output dataset) and the
+funnel statistics the paper reports in §4 (793 / 716 / 466 / 1043 / 93 /
+1091 ASes, 1023 organizations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.config import PipelineConfig
+from repro.cti.selection import CTISelection
+from repro.sources.base import InputSource
+from repro.sources.eyeballs import EyeballDataset
+from repro.sources.geolocation import GeolocationService
+from repro.sources.prefix2as import Prefix2ASTable
+
+__all__ = ["CompanyCandidate", "CandidateSet", "harvest_candidates"]
+
+
+@dataclass(frozen=True)
+class CompanyCandidate:
+    """A company name reported as (likely) state-owned by a source."""
+
+    name: str
+    cc: str
+    source: InputSource
+
+
+@dataclass
+class CandidateSet:
+    """Everything stage 1 hands to stage 2."""
+
+    #: Candidate ASNs with the set of sources that selected each.
+    asn_sources: Dict[int, Set[InputSource]] = field(default_factory=dict)
+    #: Candidate company names from the non-technical sources.
+    companies: List[CompanyCandidate] = field(default_factory=list)
+    #: §4.1 funnel statistics, keyed by stat name.
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-AS, per-source detail: country that triggered selection + share.
+    detail: Dict[Tuple[int, InputSource], Tuple[str, float]] = field(
+        default_factory=dict
+    )
+
+    def asns(self) -> FrozenSet[int]:
+        return frozenset(self.asn_sources)
+
+    def asns_from(self, source: InputSource) -> FrozenSet[int]:
+        return frozenset(
+            asn for asn, sources in self.asn_sources.items() if source in sources
+        )
+
+    def add_asn(
+        self,
+        asn: int,
+        source: InputSource,
+        cc: str,
+        share: float,
+    ) -> None:
+        self.asn_sources.setdefault(asn, set()).add(source)
+        key = (asn, source)
+        # Keep the strongest trigger for reporting.
+        if key not in self.detail or share > self.detail[key][1]:
+            self.detail[key] = (cc, share)
+
+
+def _geolocation_candidates(
+    candidates: CandidateSet,
+    table: Prefix2ASTable,
+    geolocation: GeolocationService,
+    threshold: float,
+) -> None:
+    triplets = geolocation.country_asn_addresses(table)
+    country_totals: Dict[str, int] = {}
+    for (_, cc), count in triplets.items():
+        country_totals[cc] = country_totals.get(cc, 0) + count
+    for (asn, cc), count in triplets.items():
+        total = country_totals.get(cc, 0)
+        if total == 0:
+            continue
+        share = count / total
+        if share >= threshold:
+            candidates.add_asn(asn, InputSource.GEOLOCATION, cc, share)
+
+
+def _eyeball_candidates(
+    candidates: CandidateSet,
+    eyeballs: EyeballDataset,
+    threshold: float,
+) -> None:
+    seen_countries: Set[str] = set()
+    for asn in eyeballs.covered_asns():
+        cc = eyeballs.country_of(asn)
+        if cc is not None:
+            seen_countries.add(cc)
+    for cc in sorted(seen_countries):
+        for asn, share in eyeballs.country_shares(cc).items():
+            if share >= threshold:
+                candidates.add_asn(asn, InputSource.EYEBALLS, cc, share)
+
+
+def _cti_candidates(
+    candidates: CandidateSet, selection: CTISelection
+) -> None:
+    for asn in sorted(selection.asns):
+        for cc, _rank, score in selection.provenance.get(asn, ()):
+            candidates.add_asn(asn, InputSource.CTI, cc, score)
+
+
+def harvest_candidates(
+    table: Prefix2ASTable,
+    geolocation: GeolocationService,
+    eyeballs: EyeballDataset,
+    cti_selection: Optional[CTISelection],
+    orbis_companies: Iterable[Tuple[str, str]],
+    wiki_fh_companies: Iterable[Tuple[str, str]],
+    config: Optional[PipelineConfig] = None,
+) -> CandidateSet:
+    """Run all five input sources and assemble the candidate set.
+
+    ``orbis_companies`` and ``wiki_fh_companies`` are (name, cc) iterables —
+    the callers extract them from :class:`~repro.sources.orbis.OrbisDatabase`
+    and the Wikipedia/Freedom House sources.
+    """
+    config = config or PipelineConfig()
+    candidates = CandidateSet()
+    threshold = config.candidate_share_threshold
+
+    _geolocation_candidates(candidates, table, geolocation, threshold)
+    geo_asns = candidates.asns_from(InputSource.GEOLOCATION)
+
+    _eyeball_candidates(candidates, eyeballs, threshold)
+    eyeball_asns = candidates.asns_from(InputSource.EYEBALLS)
+
+    if cti_selection is not None:
+        _cti_candidates(candidates, cti_selection)
+    cti_asns = candidates.asns_from(InputSource.CTI)
+
+    seen_names: Set[Tuple[str, str, InputSource]] = set()
+    for name, cc in orbis_companies:
+        key = (name.lower(), cc, InputSource.ORBIS)
+        if key not in seen_names:
+            seen_names.add(key)
+            candidates.companies.append(
+                CompanyCandidate(name=name, cc=cc, source=InputSource.ORBIS)
+            )
+    for name, cc in wiki_fh_companies:
+        key = (name.lower(), cc, InputSource.WIKIPEDIA_FH)
+        if key not in seen_names:
+            seen_names.add(key)
+            candidates.companies.append(
+                CompanyCandidate(
+                    name=name, cc=cc, source=InputSource.WIKIPEDIA_FH
+                )
+            )
+
+    candidates.stats = {
+        "geolocation_asns": len(geo_asns),
+        "eyeball_asns": len(eyeball_asns),
+        "geo_eyeball_intersection": len(geo_asns & eyeball_asns),
+        "geo_eyeball_union": len(geo_asns | eyeball_asns),
+        "cti_asns": len(cti_asns),
+        "total_asns": len(candidates.asn_sources),
+        "orbis_companies": sum(
+            1 for c in candidates.companies if c.source is InputSource.ORBIS
+        ),
+        "wiki_fh_companies": sum(
+            1
+            for c in candidates.companies
+            if c.source is InputSource.WIKIPEDIA_FH
+        ),
+    }
+    return candidates

@@ -1,0 +1,268 @@
+"""Stage 2: ownership confirmation (§5).
+
+:class:`OwnershipAnalyst` codifies the paper's manual verification: given a
+company name, it retrieves the confirmation documents, reads the shareholder
+claims, and decides whether a *federal-level* government holds at least 50 %
+of the equity — chasing indirect chains (state funds, holding companies,
+corporate parents) exactly the way the authors did by hand:
+
+* a claim naming a government directly contributes its fraction;
+* a claim naming another entity triggers a recursive investigation of that
+  entity; if the entity turns out to be state-controlled, its **full stake**
+  counts toward the controlling government (control-chain semantics — the
+  Telekom Malaysia fund-aggregation case);
+* authoritative sources that assert state ownership without a percentage
+  (Freedom House, World Bank, ITU) confirm on their own, since the paper
+  found them reliable;
+* subnational owners and restricted-sector operators are flagged for
+  exclusion (§5.3);
+* sub-threshold stakes are logged as minority participation (§7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import PipelineConfig
+from repro.sources.documents import ConfirmationCorpus, Document, SourceType
+from repro.text.normalize import normalize_name
+
+__all__ = [
+    "ExclusionReason",
+    "ConfirmationStatus",
+    "ConfirmationVerdict",
+    "OwnershipAnalyst",
+    "classify_exclusion",
+]
+
+
+class ExclusionReason(enum.Enum):
+    """Why an otherwise state-funded organization is excluded (§5.3)."""
+
+    SUBNATIONAL = "subnational government owner"
+    ACADEMIC = "academic / research & education network"
+    GOVNET = "government bureaucratic network"
+    NIC = "Internet administrative organization"
+
+
+_EXCLUSION_KEYWORDS: Tuple[Tuple[str, ExclusionReason], ...] = (
+    ("research and education", ExclusionReason.ACADEMIC),
+    ("university", ExclusionReason.ACADEMIC),
+    ("academic", ExclusionReason.ACADEMIC),
+    ("government network", ExclusionReason.GOVNET),
+    ("ministry", ExclusionReason.GOVNET),
+    ("network information centre", ExclusionReason.NIC),
+    ("network information center", ExclusionReason.NIC),
+    ("regional telecom", ExclusionReason.SUBNATIONAL),
+    ("province of", ExclusionReason.SUBNATIONAL),
+    ("municipal", ExclusionReason.SUBNATIONAL),
+)
+
+_PDB_TYPE_EXCLUSIONS = {
+    "Educational/Research": ExclusionReason.ACADEMIC,
+    "Government": ExclusionReason.GOVNET,
+}
+
+
+def classify_exclusion(
+    company_name: str, pdb_info_type: Optional[str] = None
+) -> Optional[ExclusionReason]:
+    """Keyword/registry classification of excluded organization types.
+
+    Mirrors the paper's filters: the organization's own naming and its
+    self-declared PeeringDB network type identify academic backbones,
+    government office networks, NICs and subnational operators.
+    """
+    normalized = normalize_name(company_name)
+    for keyword, reason in _EXCLUSION_KEYWORDS:
+        if keyword in normalized:
+            return reason
+    if pdb_info_type in _PDB_TYPE_EXCLUSIONS:
+        return _PDB_TYPE_EXCLUSIONS[pdb_info_type]
+    return None
+
+
+class ConfirmationStatus(enum.Enum):
+    CONFIRMED = "confirmed state-owned"
+    MINORITY = "minority state participation"
+    NOT_STATE = "no state participation found"
+    NO_EVIDENCE = "no authoritative evidence found"
+    EXCLUDED_SUBNATIONAL = "owned by a subnational government"
+
+
+@dataclass
+class ConfirmationVerdict:
+    """Outcome of investigating one company."""
+
+    company_name: str
+    status: ConfirmationStatus
+    controlling_cc: Optional[str] = None
+    total_equity: Optional[float] = None      # None: asserted w/o percentage
+    confirming_doc: Optional[Document] = None
+    state_equity: Dict[str, float] = field(default_factory=dict)
+    parent_candidates: List[Tuple[str, float]] = field(default_factory=list)
+    subsidiary_names: List[str] = field(default_factory=list)
+    docs_consulted: int = 0
+
+    @property
+    def is_confirmed(self) -> bool:
+        return self.status is ConfirmationStatus.CONFIRMED
+
+    @property
+    def source_type(self) -> Optional[SourceType]:
+        return (
+            self.confirming_doc.source_type
+            if self.confirming_doc is not None
+            else None
+        )
+
+
+#: Control threshold from the IMF definition the paper adopts (§3).
+_THRESHOLD = 0.5
+#: Maximum ownership-chain depth the analyst chases.
+_MAX_DEPTH = 4
+
+
+class OwnershipAnalyst:
+    """Automated stand-in for the paper's manual verification (§5)."""
+
+    def __init__(
+        self,
+        corpus: ConfirmationCorpus,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self._corpus = corpus
+        self._config = config or PipelineConfig()
+        self._memo: Dict[str, ConfirmationVerdict] = {}
+        self._in_progress: Set[str] = set()
+        #: Companies encountered with minority state stakes (§7 logging).
+        self.minority_log: Dict[str, ConfirmationVerdict] = {}
+
+    def investigate(self, company_name: str, depth: int = 0) -> ConfirmationVerdict:
+        """Investigate one company, chasing ownership chains recursively."""
+        key = normalize_name(company_name)
+        if key in self._memo:
+            return self._memo[key]
+        if key in self._in_progress or depth > _MAX_DEPTH:
+            # Cycle or runaway chain: treat as unresolvable evidence.
+            return ConfirmationVerdict(
+                company_name=company_name,
+                status=ConfirmationStatus.NO_EVIDENCE,
+            )
+        self._in_progress.add(key)
+        try:
+            verdict = self._investigate_uncached(company_name, depth)
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = verdict
+        if verdict.status is ConfirmationStatus.MINORITY:
+            self.minority_log[key] = verdict
+        return verdict
+
+    # -- the actual analysis ------------------------------------------------------
+    def _investigate_uncached(
+        self, company_name: str, depth: int
+    ) -> ConfirmationVerdict:
+        docs = self._corpus.find_documents(company_name)
+        if not docs:
+            return ConfirmationVerdict(
+                company_name=company_name,
+                status=ConfirmationStatus.NO_EVIDENCE,
+            )
+
+        # Gather de-duplicated claims: one entry per holder name.
+        holder_claims: Dict[str, Tuple[Optional[float], bool, Optional[str], bool, Document]] = {}
+        assertions: List[Tuple[str, Document]] = []  # (gov cc, doc) w/o %
+        subsidiary_names: List[str] = []
+        any_claims = False
+        for doc in docs:
+            subsidiary_names.extend(doc.subsidiary_names)
+            for claim in doc.claims:
+                any_claims = True
+                holder_key = normalize_name(claim.holder_name)
+                if claim.holder_is_government and claim.fraction is None:
+                    if claim.holder_cc is not None:
+                        assertions.append((claim.holder_cc, doc))
+                    continue
+                if holder_key not in holder_claims:
+                    holder_claims[holder_key] = (
+                        claim.fraction,
+                        claim.holder_is_government,
+                        claim.holder_cc,
+                        claim.holder_is_subnational,
+                        doc,
+                    )
+
+        state_equity: Dict[str, float] = {}
+        equity_docs: Dict[str, Document] = {}
+        subnational_total = 0.0
+        parent_candidates: List[Tuple[str, float]] = []
+        for holder_key, (fraction, is_gov, holder_cc, is_subnat, doc) in (
+            holder_claims.items()
+        ):
+            if fraction is None:
+                continue
+            if is_gov and holder_cc is not None:
+                state_equity[holder_cc] = (
+                    state_equity.get(holder_cc, 0.0) + fraction
+                )
+                equity_docs.setdefault(holder_cc, doc)
+                continue
+            if is_subnat:
+                subnational_total += fraction
+                continue
+            # Corporate holder: investigate the chain.
+            chained = self.investigate(holder_key, depth + 1)
+            if chained.is_confirmed and chained.controlling_cc is not None:
+                cc = chained.controlling_cc
+                state_equity[cc] = state_equity.get(cc, 0.0) + fraction
+                equity_docs.setdefault(cc, doc)
+            if fraction >= _THRESHOLD:
+                parent_candidates.append((holder_key, fraction))
+
+        verdict = ConfirmationVerdict(
+            company_name=company_name,
+            status=ConfirmationStatus.NOT_STATE,
+            state_equity=dict(state_equity),
+            parent_candidates=parent_candidates,
+            subsidiary_names=sorted(set(subsidiary_names)),
+            docs_consulted=len(docs),
+        )
+
+        if state_equity:
+            top_cc = max(state_equity, key=lambda cc: (state_equity[cc], cc))
+            if state_equity[top_cc] >= _THRESHOLD - 1e-9:
+                verdict.status = ConfirmationStatus.CONFIRMED
+                verdict.controlling_cc = top_cc
+                verdict.total_equity = round(state_equity[top_cc], 4)
+                verdict.confirming_doc = equity_docs[top_cc]
+                return verdict
+
+        if assertions:
+            # An authoritative source asserts state ownership without a
+            # percentage; the paper accepts Freedom House / World Bank at
+            # this stage.
+            cc, doc = assertions[0]
+            verdict.status = ConfirmationStatus.CONFIRMED
+            verdict.controlling_cc = cc
+            verdict.total_equity = None
+            verdict.confirming_doc = doc
+            return verdict
+
+        if subnational_total >= _THRESHOLD - 1e-9:
+            verdict.status = ConfirmationStatus.EXCLUDED_SUBNATIONAL
+            return verdict
+
+        if state_equity:
+            verdict.status = ConfirmationStatus.MINORITY
+            top_cc = max(state_equity, key=lambda cc: (state_equity[cc], cc))
+            verdict.controlling_cc = None
+            verdict.total_equity = round(state_equity[top_cc], 4)
+            verdict.confirming_doc = equity_docs[top_cc]
+            return verdict
+
+        if not any_claims:
+            verdict.status = ConfirmationStatus.NO_EVIDENCE
+        return verdict

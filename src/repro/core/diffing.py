@@ -1,0 +1,89 @@
+"""Longitudinal dataset diffing.
+
+The paper's future-work plan is a recurring pipeline whose yearly output is
+compared with the previous release (§9: "year by year is likely to be
+fractional in size compared with the preceding year's aggregate list").
+This module computes that comparison: which organizations/ASNs appeared,
+disappeared, or changed owner between two dataset snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.dataset import StateOwnedDataset
+from repro.text.normalize import normalize_name
+
+__all__ = ["DatasetDiff", "diff_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetDiff:
+    """Differences between an old and a new dataset snapshot."""
+
+    added_orgs: Tuple[str, ...]          # org names only in the new snapshot
+    removed_orgs: Tuple[str, ...]        # org names only in the old snapshot
+    added_asns: FrozenSet[int]
+    removed_asns: FrozenSet[int]
+    #: org name -> (old owner cc, new owner cc) where ownership moved.
+    owner_changes: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def churn_fraction(self) -> float:
+        """Changed ASNs relative to the old snapshot's size."""
+        base = len(self.added_asns | self.removed_asns)
+        return 0.0 if not base else base / max(
+            1, len(self.removed_asns) + len(self.added_asns)
+        )
+
+    def is_empty(self) -> bool:
+        return not (
+            self.added_orgs or self.removed_orgs or self.added_asns
+            or self.removed_asns or self.owner_changes
+        )
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added_orgs)} orgs / -{len(self.removed_orgs)} orgs; "
+            f"+{len(self.added_asns)} ASNs / -{len(self.removed_asns)} ASNs; "
+            f"{len(self.owner_changes)} ownership changes"
+        )
+
+
+def diff_datasets(
+    old: StateOwnedDataset, new: StateOwnedDataset
+) -> DatasetDiff:
+    """Compare two snapshots by (normalized) organization name and ASN."""
+    old_by_name = {
+        normalize_name(org.org_name): org for org in old.organizations()
+    }
+    new_by_name = {
+        normalize_name(org.org_name): org for org in new.organizations()
+    }
+    added_orgs = tuple(
+        sorted(
+            new_by_name[key].org_name
+            for key in new_by_name.keys() - old_by_name.keys()
+        )
+    )
+    removed_orgs = tuple(
+        sorted(
+            old_by_name[key].org_name
+            for key in old_by_name.keys() - new_by_name.keys()
+        )
+    )
+    owner_changes: Dict[str, Tuple[str, str]] = {}
+    for key in old_by_name.keys() & new_by_name.keys():
+        before, after = old_by_name[key], new_by_name[key]
+        if before.ownership_cc != after.ownership_cc:
+            owner_changes[after.org_name] = (
+                before.ownership_cc, after.ownership_cc
+            )
+    return DatasetDiff(
+        added_orgs=added_orgs,
+        removed_orgs=removed_orgs,
+        added_asns=frozenset(new.all_asns() - old.all_asns()),
+        removed_asns=frozenset(old.all_asns() - new.all_asns()),
+        owner_changes=owner_changes,
+    )

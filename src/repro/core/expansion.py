@@ -1,0 +1,48 @@
+"""Stage 3: mapping confirmed companies to ASNs and adding siblings (§6).
+
+The company-to-AS direction reuses the §4.2 mapping machinery in reverse,
+then expands every found ASN to its AS2Org sibling cluster — which is how
+the paper recovers ASNs whose WHOIS names would never match the company.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.core.mapping import CompanyMapper
+from repro.sources.as2org import As2OrgDataset
+from repro.text.normalize import normalize_name
+
+__all__ = ["expand_to_asns"]
+
+
+def expand_to_asns(
+    company_name: str,
+    mapper: CompanyMapper,
+    as2org: As2OrgDataset,
+    cc: Optional[str] = None,
+    seed_asns: Optional[Set[int]] = None,
+    aliases: Iterable[str] = (),
+) -> Set[int]:
+    """All ASNs attributable to ``company_name``.
+
+    ``seed_asns`` are ASNs already linked to the company during candidate
+    mapping (stage 1).  ``aliases`` are alternative names of the same firm
+    (typically the brand, from the confirming document's subject list) —
+    PeeringDB entries are registered under brands, so searching only the
+    legal name would miss them.  Everything found is expanded through
+    AS2Org sibling clusters.
+    """
+    asns: Set[int] = set(seed_asns or ())
+    searched = {normalize_name(company_name)}
+    asns |= mapper.asns_of_company(company_name, cc=cc)
+    for alias in aliases:
+        key = normalize_name(alias)
+        if key in searched or not key:
+            continue
+        searched.add(key)
+        asns |= mapper.asns_of_company(alias, cc=cc)
+    expanded: Set[int] = set()
+    for asn in asns:
+        expanded |= as2org.siblings_of(asn)
+    return expanded

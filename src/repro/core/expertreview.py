@@ -1,0 +1,106 @@
+"""Simulated third-party expert validation (§7).
+
+The paper recruited two local experts — one covering the whole LACNIC
+region, one covering France — who audited the dataset slices they knew and
+reported zero false positives and zero false negatives.  With a synthetic
+world the expert is the ground truth itself; this module reproduces the
+*protocol*: pick a review scope (a region or a set of countries), extract
+the dataset's claims inside it, and grade them like an expert would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.pipeline import PipelineResult
+from repro.world.countries import COUNTRIES
+
+__all__ = ["ExpertFinding", "ExpertReview", "expert_review"]
+
+_RIR_CCS = {
+    rir: frozenset(c.cc for c in COUNTRIES if c.rir == rir)
+    for rir in ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+}
+
+
+@dataclass(frozen=True)
+class ExpertFinding:
+    """One disagreement the expert raises."""
+
+    kind: str           # "false positive" | "false negative"
+    asn: int
+    company_name: str
+    cc: str
+
+
+@dataclass(frozen=True)
+class ExpertReview:
+    """An expert's audit of the dataset inside their region of knowledge."""
+
+    scope_name: str
+    countries: FrozenSet[str]
+    asns_reviewed: int
+    findings: Tuple[ExpertFinding, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when the expert found nothing wrong (the paper's outcome)."""
+        return not self.findings
+
+
+def _scope_ccs(scope: str) -> FrozenSet[str]:
+    if scope in _RIR_CCS:
+        return _RIR_CCS[scope]
+    return frozenset({scope.upper()})
+
+
+def expert_review(
+    result: PipelineResult,
+    world,
+    scope: str,
+) -> ExpertReview:
+    """Audit the dataset within ``scope`` (an RIR name or a country code).
+
+    The "expert" knows the complete local truth, exactly like the paper's
+    reviewers knew their markets.
+    """
+    countries = _scope_ccs(scope)
+    cc_of_asn = {asn: rec.cc for asn, rec in world.asn_records.items()}
+    truth = {
+        asn
+        for asn in world.ground_truth_asns()
+        if cc_of_asn.get(asn) in countries
+    }
+    claimed = {
+        asn
+        for asn in result.dataset.all_asns()
+        if cc_of_asn.get(asn) in countries
+    }
+    findings: List[ExpertFinding] = []
+    for asn in sorted(claimed - truth):
+        org = result.dataset.org_of_asn(asn)
+        findings.append(
+            ExpertFinding(
+                kind="false positive",
+                asn=asn,
+                company_name=org.org_name if org else "?",
+                cc=cc_of_asn.get(asn, "?"),
+            )
+        )
+    for asn in sorted(truth - claimed):
+        operator = world.operator(world.asn_records[asn].operator_id)
+        findings.append(
+            ExpertFinding(
+                kind="false negative",
+                asn=asn,
+                company_name=operator.display_name,
+                cc=cc_of_asn.get(asn, "?"),
+            )
+        )
+    return ExpertReview(
+        scope_name=scope,
+        countries=countries,
+        asns_reviewed=len(claimed | truth),
+        findings=tuple(findings),
+    )

@@ -1,0 +1,130 @@
+"""Re-verification planning (the §9 maintenance workflow).
+
+The paper argues that keeping the dataset alive is much cheaper than
+rebuilding it: each year one only needs to re-check the classifications
+most likely to have changed.  This module turns that argument into code: it
+scores every organization's *fragility* and emits a prioritized
+re-verification plan.
+
+Fragility signals, in decreasing weight:
+
+* the confirming equity sits close to the 50 % threshold (a small sale
+  flips the verdict — the Telia/Ucell class of events);
+* control rests on aggregated or indirect holdings (funds/holdings can be
+  reshuffled quietly);
+* the confirmation source is weak (news stories age worse than government
+  transparency portals);
+* the home country has announced privatization programs (approximated by
+  developing-tier churn propensity);
+* the record is a foreign subsidiary (group restructurings are common).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import StateOwnedDataset
+from repro.core.pipeline import PipelineResult
+from repro.sources.documents import SourceType
+from repro.text.normalize import normalize_name
+from repro.world.countries import COUNTRIES
+
+__all__ = ["ReverificationItem", "plan_reverification"]
+
+_TIER = {c.cc: c.dev_tier for c in COUNTRIES}
+
+#: How much a confirmation source's verdict is expected to age (0 = very
+#: stable, 1 = very perishable).
+_SOURCE_PERISHABILITY = {
+    SourceType.GOVERNMENT_PORTAL.value: 0.1,
+    SourceType.ANNUAL_REPORT.value: 0.25,
+    SourceType.COMPANY_WEBSITE.value: 0.3,
+    SourceType.SEC.value: 0.3,
+    SourceType.FCC.value: 0.3,
+    SourceType.REGULATOR.value: 0.35,
+    SourceType.WORLD_BANK.value: 0.5,
+    SourceType.ITU.value: 0.5,
+    SourceType.FREEDOM_HOUSE.value: 0.55,
+    SourceType.COMMSUPDATE.value: 0.6,
+    SourceType.NEWS.value: 0.9,
+}
+
+
+@dataclass(frozen=True)
+class ReverificationItem:
+    """One organization queued for re-checking, with its risk breakdown."""
+
+    org_id: str
+    org_name: str
+    fragility: float                  # [0, 1], higher = check sooner
+    reasons: Tuple[str, ...]
+
+
+def _equity_margin_risk(total_equity: Optional[float]) -> Tuple[float, Optional[str]]:
+    if total_equity is None:
+        return 0.35, "control asserted without a percentage"
+    margin = total_equity - 0.5
+    if margin < 0.05:
+        return 0.9, f"equity {total_equity:.1%} sits within 5 pts of the threshold"
+    if margin < 0.15:
+        return 0.5, f"equity {total_equity:.1%} within 15 pts of the threshold"
+    return 0.1, None
+
+
+def plan_reverification(
+    result: PipelineResult, limit: Optional[int] = None
+) -> List[ReverificationItem]:
+    """Rank the dataset's organizations by re-verification urgency."""
+    items: List[ReverificationItem] = []
+    verdicts = result.verdicts
+    for org in result.dataset.organizations():
+        reasons: List[str] = []
+        verdict = verdicts.get(normalize_name(org.org_name))
+
+        equity = verdict.total_equity if verdict is not None else None
+        margin_risk, margin_reason = _equity_margin_risk(equity)
+        if margin_reason:
+            reasons.append(margin_reason)
+
+        structure_risk = 0.1
+        if verdict is not None and (
+            len(verdict.state_equity) > 1 or verdict.parent_candidates
+        ):
+            structure_risk = 0.5
+            reasons.append("control via aggregated or indirect holdings")
+
+        source_risk = _SOURCE_PERISHABILITY.get(org.source, 0.5)
+        if source_risk >= 0.5:
+            reasons.append(f"confirmed only via {org.source or 'unknown'}")
+
+        churn_risk = {0: 0.5, 1: 0.3, 2: 0.1}.get(
+            _TIER.get(org.ownership_cc, 1), 0.3
+        )
+        if churn_risk >= 0.5:
+            reasons.append("home country has high ownership churn")
+
+        subsidiary_risk = 0.4 if org.is_foreign_subsidiary else 0.1
+        if org.is_foreign_subsidiary:
+            reasons.append("foreign subsidiary (group restructuring risk)")
+
+        fragility = min(
+            1.0,
+            0.35 * margin_risk
+            + 0.2 * structure_risk
+            + 0.2 * source_risk
+            + 0.15 * churn_risk
+            + 0.1 * subsidiary_risk,
+        )
+        items.append(
+            ReverificationItem(
+                org_id=org.org_id,
+                org_name=org.org_name,
+                fragility=round(fragility, 4),
+                reasons=tuple(reasons),
+            )
+        )
+    items.sort(key=lambda item: (-item.fragility, item.org_id))
+    if limit is not None:
+        return items[:limit]
+    return items

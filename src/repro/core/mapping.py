@@ -1,0 +1,198 @@
+"""AS <-> company mapping (§4.2, applied in reverse again in §6).
+
+Forward direction (stage 1 -> 2): a candidate ASN must become a company
+identity we can investigate.  The resolution ladder mirrors the paper:
+
+1. **PeeringDB** — self-reported brand names are freshest; try first.
+2. **WHOIS** — the registered legal name (may be stale or unrelated).
+3. **Contact-domain search** — when neither name matches anything in the
+   document corpus (our "web"), search for the WHOIS contact domain, the
+   way the paper Google-searches the listed e-mail/URL domains.
+
+Reverse direction (stage 3): a confirmed company name is resolved back to
+ASNs through WHOIS/PeeringDB name search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import PipelineConfig
+from repro.sources.documents import ConfirmationCorpus, Document
+from repro.sources.peeringdb import PeeringDBDataset
+from repro.sources.whois import WhoisDatabase
+from repro.text.normalize import name_similarity, name_tokens, normalize_name
+
+__all__ = ["MappedCompany", "CompanyMapper"]
+
+
+@dataclass(frozen=True)
+class MappedCompany:
+    """The company identity resolved for one ASN."""
+
+    asn: int
+    company_name: str       # canonical name (best document subject if any)
+    cc: str                 # operating country (from the registry view)
+    via: str                # "peeringdb" | "whois" | "domain"
+    confidence: float       # name-match score in [0, 1]
+    matched_doc: Optional[Document] = None
+
+
+class CompanyMapper:
+    """Resolves ASNs to companies and companies to ASNs."""
+
+    def __init__(
+        self,
+        whois: WhoisDatabase,
+        peeringdb: PeeringDBDataset,
+        corpus: ConfirmationCorpus,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self._whois = whois
+        self._peeringdb = peeringdb
+        self._corpus = corpus
+        self._config = config or PipelineConfig()
+        self._registry_index: Optional[Dict[str, Set[int]]] = None
+
+    def _ensure_registry_index(self) -> Dict[str, Set[int]]:
+        """Token index over WHOIS + PeeringDB names for reverse mapping.
+
+        Very common tokens (``telecom`` appears in half the registry) are
+        dropped from the index; a query's *distinctive* tokens select the
+        candidate ASNs that then get properly similarity-scored.
+        """
+        if self._registry_index is not None:
+            return self._registry_index
+        index: Dict[str, Set[int]] = {}
+        total = 0
+        for record in self._whois:
+            total += 1
+            for token in name_tokens(record.org_name):
+                index.setdefault(token, set()).add(record.asn)
+        for record in self._peeringdb:
+            for token in name_tokens(record.name):
+                index.setdefault(token, set()).add(record.asn)
+        cutoff = max(25, int(total * 0.03))
+        self._registry_index = {
+            token: asns for token, asns in index.items() if len(asns) <= cutoff
+        }
+        return self._registry_index
+
+    # -- forward: ASN -> company -------------------------------------------------
+    def map_asn(self, asn: int) -> Optional[MappedCompany]:
+        """Resolve one ASN to a company identity (None if hopeless)."""
+        whois_record = self._whois.lookup(asn)
+        pdb_record = self._peeringdb.lookup(asn)
+        cc = whois_record.cc if whois_record else (
+            pdb_record.cc if pdb_record else ""
+        )
+        attempts: List[Tuple[str, str]] = []
+        if pdb_record is not None:
+            attempts.append((pdb_record.name, "peeringdb"))
+        if whois_record is not None:
+            attempts.append((whois_record.org_name, "whois"))
+
+        threshold = self._config.mapping_similarity_threshold
+        best: Optional[MappedCompany] = None
+        for name, via in attempts:
+            docs = self._corpus.find_documents(name, min_similarity=threshold)
+            if docs:
+                doc = docs[0]
+                # The canonical identity is always the document's *first*
+                # subject (the legal name): a brand-keyed and a legal-keyed
+                # query must resolve to the same company key, or one firm
+                # splits into duplicate organizations.
+                canonical = doc.subject_names[0]
+                score = self._best_subject_score(name, doc)
+                candidate = MappedCompany(
+                    asn=asn,
+                    company_name=canonical,
+                    cc=cc,
+                    via=via,
+                    confidence=score,
+                    matched_doc=doc,
+                )
+                if best is None or candidate.confidence > best.confidence:
+                    best = candidate
+        if best is not None:
+            return best
+
+        # Fallback: search the contact domain (the paper's Google step).
+        if whois_record is not None and whois_record.email_domain:
+            for doc in self._corpus.find_by_domain(whois_record.email_domain):
+                if doc.subject_names:
+                    return MappedCompany(
+                        asn=asn,
+                        company_name=doc.subject_names[0],
+                        cc=cc,
+                        via="domain",
+                        confidence=0.6,
+                        matched_doc=doc,
+                    )
+        if pdb_record is not None:
+            for doc in self._corpus.find_by_domain(pdb_record.website):
+                if doc.subject_names:
+                    return MappedCompany(
+                        asn=asn,
+                        company_name=doc.subject_names[0],
+                        cc=cc,
+                        via="domain",
+                        confidence=0.6,
+                        matched_doc=doc,
+                    )
+
+        # No corpus identity: fall back to the raw registry name so the
+        # company can at least be recorded (and fail confirmation honestly).
+        if attempts:
+            name, via = attempts[0]
+            return MappedCompany(
+                asn=asn, company_name=name, cc=cc, via=via, confidence=0.3
+            )
+        return None
+
+    @staticmethod
+    def _best_subject_score(query: str, doc: Document) -> float:
+        """How well ``query`` matches the document's best subject name."""
+        return max(
+            name_similarity(query, name) for name in doc.subject_names
+        )
+
+    # -- reverse: company -> ASNs ----------------------------------------------------
+    def asns_of_company(
+        self, company_name: str, cc: Optional[str] = None
+    ) -> Set[int]:
+        """All ASNs whose registry names match ``company_name``.
+
+        ``cc`` restricts matches to one operating country when given — the
+        same brand can exist in several countries (subsidiaries are mapped
+        per country).
+        """
+        threshold = self._config.mapping_similarity_threshold
+        index = self._ensure_registry_index()
+        candidates: Set[int] = set()
+        for token in name_tokens(company_name):
+            candidates |= index.get(token, set())
+        result: Set[int] = set()
+        for asn in candidates:
+            whois_record = self._whois.lookup(asn)
+            if whois_record is not None:
+                if cc is not None and whois_record.cc != cc:
+                    continue
+                if (
+                    name_similarity(company_name, whois_record.org_name)
+                    >= threshold
+                ):
+                    result.add(asn)
+                    continue
+            pdb_record = self._peeringdb.lookup(asn)
+            if pdb_record is not None:
+                if cc is not None and pdb_record.cc != cc:
+                    continue
+                if name_similarity(company_name, pdb_record.name) >= threshold:
+                    result.add(asn)
+        return result
+
+    def company_key(self, company_name: str) -> str:
+        """Canonical dictionary key for a company name."""
+        return normalize_name(company_name)

@@ -1,0 +1,99 @@
+"""Stage 2b: parent and subsidiary discovery (§5.2).
+
+While confirming a company, the analyst sees (i) corporate majority holders
+— parents worth investigating upward — and (ii) subsidiary lists in annual
+reports and filings — children worth investigating downward.  Walking both
+directions discovers state-owned companies that no candidate source
+surfaced, most notably foreign subsidiaries.
+
+The explorer is a breadth-first walk over company names with a visited set;
+every newly confirmed company is reported together with the name of the
+company whose investigation surfaced it (its discovery parent).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.confirmation import (
+    ConfirmationStatus,
+    ConfirmationVerdict,
+    OwnershipAnalyst,
+    classify_exclusion,
+)
+from repro.text.normalize import normalize_name
+
+__all__ = ["DiscoveredCompany", "SubsidiaryExplorer"]
+
+#: Safety bound on the discovery walk.
+_MAX_DISCOVERIES = 5000
+
+
+@dataclass(frozen=True)
+class DiscoveredCompany:
+    """A company found through parent/subsidiary links, not candidates."""
+
+    company_name: str
+    verdict: ConfirmationVerdict
+    discovered_via: str      # name of the company whose docs revealed it
+    relationship: str        # "subsidiary" | "parent"
+
+
+class SubsidiaryExplorer:
+    """Breadth-first discovery of related state-owned companies."""
+
+    def __init__(self, analyst: OwnershipAnalyst) -> None:
+        self._analyst = analyst
+
+    def explore(
+        self, confirmed: Iterable[Tuple[str, ConfirmationVerdict]]
+    ) -> List[DiscoveredCompany]:
+        """Walk out from already-confirmed companies.
+
+        ``confirmed`` provides (name, verdict) pairs.  Returns newly
+        *confirmed* discoveries only — investigated-but-rejected relatives
+        are simply dropped, as in the paper's process.
+        """
+        visited: Set[str] = set()
+        queue: deque = deque()
+        for name, verdict in confirmed:
+            visited.add(normalize_name(name))
+            queue.append((name, verdict))
+
+        discoveries: List[DiscoveredCompany] = []
+        while queue and len(discoveries) < _MAX_DISCOVERIES:
+            name, verdict = queue.popleft()
+            for related_name, relationship in self._related_names(verdict):
+                key = normalize_name(related_name)
+                if key in visited:
+                    continue
+                visited.add(key)
+                if classify_exclusion(related_name) is not None:
+                    continue
+                related_verdict = self._analyst.investigate(related_name)
+                if related_verdict.status is not ConfirmationStatus.CONFIRMED:
+                    continue
+                discovery = DiscoveredCompany(
+                    company_name=related_verdict.company_name,
+                    verdict=related_verdict,
+                    discovered_via=name,
+                    relationship=relationship,
+                )
+                discoveries.append(discovery)
+                queue.append((related_verdict.company_name, related_verdict))
+        return discoveries
+
+    @staticmethod
+    def _related_names(
+        verdict: ConfirmationVerdict,
+    ) -> List[Tuple[str, str]]:
+        related: List[Tuple[str, str]] = [
+            (sub_name, "subsidiary") for sub_name in verdict.subsidiary_names
+        ]
+        related.extend(
+            (parent_name, "parent")
+            for parent_name, _fraction in verdict.parent_candidates
+        )
+        return related

@@ -1,0 +1,6 @@
+"""Country-Level Transit Influence (CTI) — the paper's Appendix G metric."""
+
+from repro.cti.metric import CTIComputer
+from repro.cti.selection import CTISelection, select_cti_candidates
+
+__all__ = ["CTIComputer", "CTISelection", "select_cti_candidates"]

@@ -1,0 +1,126 @@
+"""Country-Level Transit Influence (Appendix G).
+
+For a transit AS and a country C the metric is::
+
+    CTI(AS, C) = sum over monitors m of
+        w(m)/|M| * sum over prefixes p with AS on the preferred path m->p of
+            ( a(p, C) / A(C) ) * ( 1 / d(AS, m, p) )
+
+where ``w(m)`` is the inverse of the number of monitors in m's host AS,
+``a(p, C)`` is the number of addresses of prefix p geolocated to C that are
+not covered by a more-specific announced prefix, ``A(C)`` is the total
+address count geolocated to C, and ``d`` is the AS-hop distance between AS
+and the prefix on the observed path.  The origin AS itself is not a transit
+hop (d would be 0) and a monitor hosted inside AS does not count toward
+AS's influence.
+
+CTI captures how much of a country's inbound connectivity funnels through a
+given transit provider — exactly the lens that surfaces the small,
+state-owned gateways no popularity-based source can see (§4.1, Appendix D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.net.monitors import RouteCollector
+from repro.sources.geolocation import GeolocationService
+from repro.sources.prefix2as import Prefix2ASTable
+
+__all__ = ["CTIComputer"]
+
+
+class CTIComputer:
+    """Computes CTI scores per country over a fixed BGP/geolocation view."""
+
+    def __init__(
+        self,
+        table: Prefix2ASTable,
+        geolocation: GeolocationService,
+        collector: RouteCollector,
+        min_address_fraction: float = 1e-3,
+    ) -> None:
+        self._table = table
+        self._geolocation = geolocation
+        self._collector = collector
+        #: Origins holding less than this fraction of a country's addresses
+        #: are skipped: their CTI contribution is bounded by the fraction
+        #: itself, and pruning them avoids computing routing trees for the
+        #: long tail of geolocation-leak artifacts.
+        self._min_address_fraction = min_address_fraction
+        # Precompute, per country: origin AS -> geolocated address weight,
+        # de-duplicated with the more-specific rule.
+        self._per_country: Dict[str, Dict[int, int]] = {}
+        self._country_totals: Dict[str, int] = {}
+        for prefix, origin in table:
+            usable = table.uncovered_addresses(prefix)
+            if usable == 0:
+                continue
+            split = geolocation.locate_prefix(prefix, origin)
+            scale = usable / prefix.num_addresses
+            for cc, count in split.items():
+                scaled = round(count * scale)
+                if scaled <= 0:
+                    continue
+                weights = self._per_country.setdefault(cc, {})
+                weights[origin] = weights.get(origin, 0) + scaled
+                self._country_totals[cc] = (
+                    self._country_totals.get(cc, 0) + scaled
+                )
+        self._cti_cache: Dict[str, Dict[int, float]] = {}
+
+    def countries(self) -> List[str]:
+        """Countries with any geolocated address space."""
+        return sorted(self._per_country)
+
+    def country_address_total(self, cc: str) -> int:
+        """A(C): total geolocated addresses of the country."""
+        return self._country_totals.get(cc, 0)
+
+    def country_cti(self, cc: str) -> Dict[int, float]:
+        """CTI(AS, cc) for every transit AS with non-zero influence."""
+        if cc in self._cti_cache:
+            return self._cti_cache[cc]
+        origin_weights = self._per_country.get(cc)
+        total = self._country_totals.get(cc, 0)
+        if not origin_weights or total == 0:
+            self._cti_cache[cc] = {}
+            return {}
+        monitors = self._collector.monitors
+        monitor_count = len(monitors)
+        if monitor_count == 0:
+            raise AnalysisError("CTI requires at least one monitor")
+        scores: Dict[int, float] = {}
+        for origin, weight in origin_weights.items():
+            address_fraction = weight / total
+            if address_fraction < self._min_address_fraction:
+                continue
+            for monitor in monitors:
+                path = self._collector.path(monitor, origin)
+                if path is None or len(path) < 2:
+                    continue
+                w = self._collector.monitors.weight(monitor) / monitor_count
+                # path[0] is the monitor's host AS, path[-1] the origin.
+                length = len(path)
+                for index, asn in enumerate(path):
+                    distance = length - 1 - index
+                    if distance == 0:
+                        continue  # the origin is not a transit hop
+                    if asn == monitor.host_asn:
+                        continue  # m is contained within AS itself
+                    scores[asn] = scores.get(asn, 0.0) + (
+                        w * address_fraction / distance
+                    )
+        self._cti_cache[cc] = scores
+        return scores
+
+    def top_influencers(self, cc: str, k: int = 2) -> List[Tuple[int, float]]:
+        """The ``k`` highest-CTI transit ASes for a country."""
+        scores = self.country_cti(cc)
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ranked[:k]
+
+    def cti_of(self, asn: int, cc: str) -> float:
+        """CTI score of one AS on one country (0 when absent)."""
+        return self.country_cti(cc).get(asn, 0.0)

@@ -1,0 +1,63 @@
+"""Selecting candidate ASes from CTI scores (§4.1, "Countries' main
+upstream providers").
+
+The paper applies CTI in the 75 countries previously inferred to be
+transit-dominant and takes the two highest-ranked transit ASes per country.
+Here the transit-dominant country list comes from whoever calls us (the
+pipeline passes the world's inferred list; ablations can pass others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.cti.metric import CTIComputer
+
+__all__ = ["CTISelection", "select_cti_candidates"]
+
+
+@dataclass(frozen=True)
+class CTISelection:
+    """The CTI candidate set plus per-AS provenance."""
+
+    asns: frozenset
+    #: asn -> list of (country, rank, score) entries that selected it.
+    provenance: Dict[int, Tuple[Tuple[str, int, float], ...]]
+    countries_applied: Tuple[str, ...]
+
+    def countries_of(self, asn: int) -> List[str]:
+        """Countries in which ``asn`` ranked among the top influencers."""
+        return [cc for cc, _, _ in self.provenance.get(asn, ())]
+
+
+def select_cti_candidates(
+    cti: CTIComputer,
+    eligible_countries: Iterable[str],
+    top_k: int = 2,
+    min_score: float = 0.02,
+) -> CTISelection:
+    """Take the ``top_k`` CTI-ranked ASes in every eligible country.
+
+    ``min_score`` discards countries whose "top" transit ASes barely carry
+    anything (the metric is meaningless where peering dominates).
+    """
+    provenance: Dict[int, List[Tuple[str, int, float]]] = {}
+    selected: Set[int] = set()
+    applied: List[str] = []
+    for cc in sorted(set(eligible_countries)):
+        ranked = cti.top_influencers(cc, k=top_k)
+        kept = [(asn, score) for asn, score in ranked if score >= min_score]
+        if not kept:
+            continue
+        applied.append(cc)
+        for rank, (asn, score) in enumerate(kept, start=1):
+            selected.add(asn)
+            provenance.setdefault(asn, []).append((cc, rank, score))
+    return CTISelection(
+        asns=frozenset(selected),
+        provenance={
+            asn: tuple(entries) for asn, entries in provenance.items()
+        },
+        countries_applied=tuple(applied),
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class PrefixError(ReproError):
+    """An IPv4 prefix is malformed or an operation on it is invalid."""
+
+
+class TopologyError(ReproError):
+    """The AS-level topology is malformed (unknown AS, bad relationship...)."""
+
+
+class WorldError(ReproError):
+    """The synthetic world model is inconsistent."""
+
+
+class OwnershipError(WorldError):
+    """The ownership graph is malformed (unknown entity, stake > 100 %...)."""
+
+
+class SourceError(ReproError):
+    """A derived data source could not be built or queried."""
+
+
+class PipelineError(ReproError):
+    """A stage of the classification pipeline failed."""
+
+
+class DatasetError(ReproError):
+    """The output dataset is malformed or an import/export failed."""
+
+
+class AnalysisError(ReproError):
+    """An evaluation/analysis routine received inconsistent inputs."""

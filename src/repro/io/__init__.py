@@ -1,0 +1,15 @@
+"""Serialization (JSON / SQLite, per §6) and plain-text table rendering."""
+
+from repro.io.jsonio import dataset_to_json, dataset_from_json, dump_json, load_json
+from repro.io.sqliteio import dataset_to_sqlite, dataset_from_sqlite
+from repro.io.tables import render_table
+
+__all__ = [
+    "dataset_to_json",
+    "dataset_from_json",
+    "dump_json",
+    "load_json",
+    "dataset_to_sqlite",
+    "dataset_from_sqlite",
+    "render_table",
+]

@@ -1,0 +1,85 @@
+"""JSON round-trip of the output dataset (the paper's Listing 1 format).
+
+The JSON document holds the same two products the paper publishes: the
+organization list (ownership metadata + confirmation provenance) and the
+org-to-ASN mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.errors import DatasetError
+
+__all__ = ["dataset_to_json", "dataset_from_json", "dump_json", "load_json"]
+
+_FORMAT_VERSION = 1
+
+
+def dataset_to_json(dataset: StateOwnedDataset) -> str:
+    """Serialize a dataset to a JSON string."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "organizations": [org.to_dict() for org in dataset.organizations()],
+        "asns": [
+            {"org_id": org.org_id, "asn": list(dataset.asns_of(org.org_id))}
+            for org in dataset.organizations()
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def dataset_from_json(text: str) -> StateOwnedDataset:
+    """Parse a dataset from its JSON serialization."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"malformed dataset JSON: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported format_version {payload.get('format_version')!r}"
+        )
+    organizations: List[OrganizationRecord] = []
+    for entry in payload.get("organizations", []):
+        try:
+            organizations.append(
+                OrganizationRecord(
+                    conglomerate_name=entry["conglomerate_name"],
+                    org_id=entry["org_id"],
+                    org_name=entry["org_name"],
+                    ownership_cc=entry["ownership_cc"],
+                    ownership_country_name=entry["ownership_country_name"],
+                    rir=entry["rir"],
+                    source=entry["source"],
+                    quote=entry["quote"],
+                    quote_lang=entry["quote_lang"],
+                    url=entry["url"],
+                    additional_info=entry.get("additional_info", ""),
+                    inputs=tuple(entry.get("inputs", ())),
+                    parent_org=entry.get("parent_org"),
+                    target_cc=entry.get("target_cc"),
+                    target_country_name=entry.get("target_country_name"),
+                )
+            )
+        except KeyError as exc:
+            raise DatasetError(f"organization entry missing field {exc}") from exc
+    asns: Dict[str, List[int]] = {}
+    for entry in payload.get("asns", []):
+        try:
+            asns[entry["org_id"]] = [int(a) for a in entry["asn"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed ASN entry: {entry!r}") from exc
+    return StateOwnedDataset(organizations, asns)
+
+
+def dump_json(dataset: StateOwnedDataset, path: Union[str, Path]) -> None:
+    """Write a dataset to a JSON file."""
+    Path(path).write_text(dataset_to_json(dataset), encoding="utf-8")
+
+
+def load_json(path: Union[str, Path]) -> StateOwnedDataset:
+    """Read a dataset from a JSON file."""
+    return dataset_from_json(Path(path).read_text(encoding="utf-8"))

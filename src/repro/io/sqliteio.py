@@ -1,0 +1,130 @@
+"""SQLite round-trip of the output dataset.
+
+The paper's primary distribution format is an SQLite database (also
+exported to JSON, §6).  The schema mirrors the two data products:
+``organizations`` (one row per state-owned organization) and ``asns``
+(one row per (org_id, ASN) pair).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.errors import DatasetError
+
+__all__ = ["dataset_to_sqlite", "dataset_from_sqlite"]
+
+_SCHEMA = """
+CREATE TABLE organizations (
+    org_id TEXT PRIMARY KEY,
+    conglomerate_name TEXT NOT NULL,
+    org_name TEXT NOT NULL,
+    ownership_cc TEXT NOT NULL,
+    ownership_country_name TEXT NOT NULL,
+    rir TEXT NOT NULL,
+    source TEXT NOT NULL,
+    quote TEXT NOT NULL,
+    quote_lang TEXT NOT NULL,
+    url TEXT NOT NULL,
+    additional_info TEXT NOT NULL DEFAULT '',
+    inputs TEXT NOT NULL DEFAULT '',
+    parent_org TEXT,
+    target_cc TEXT,
+    target_country_name TEXT
+);
+CREATE TABLE asns (
+    org_id TEXT NOT NULL REFERENCES organizations(org_id),
+    asn INTEGER NOT NULL,
+    PRIMARY KEY (org_id, asn)
+);
+CREATE INDEX idx_asns_asn ON asns(asn);
+"""
+
+
+def dataset_to_sqlite(
+    dataset: StateOwnedDataset, path: Union[str, Path]
+) -> None:
+    """Write the dataset to an SQLite file (overwrites existing)."""
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    connection = sqlite3.connect(str(path))
+    try:
+        connection.executescript(_SCHEMA)
+        for org in dataset.organizations():
+            connection.execute(
+                "INSERT INTO organizations VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    org.org_id,
+                    org.conglomerate_name,
+                    org.org_name,
+                    org.ownership_cc,
+                    org.ownership_country_name,
+                    org.rir,
+                    org.source,
+                    org.quote,
+                    org.quote_lang,
+                    org.url,
+                    org.additional_info,
+                    ",".join(org.inputs),
+                    org.parent_org,
+                    org.target_cc,
+                    org.target_country_name,
+                ),
+            )
+            for asn in dataset.asns_of(org.org_id):
+                connection.execute(
+                    "INSERT INTO asns VALUES (?, ?)", (org.org_id, asn)
+                )
+        connection.commit()
+    finally:
+        connection.close()
+
+
+def dataset_from_sqlite(path: Union[str, Path]) -> StateOwnedDataset:
+    """Load a dataset from an SQLite file."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such database: {path}")
+    connection = sqlite3.connect(str(path))
+    try:
+        organizations: List[OrganizationRecord] = []
+        for row in connection.execute(
+            "SELECT org_id, conglomerate_name, org_name, ownership_cc, "
+            "ownership_country_name, rir, source, quote, quote_lang, url, "
+            "additional_info, inputs, parent_org, target_cc, "
+            "target_country_name FROM organizations ORDER BY org_id"
+        ):
+            organizations.append(
+                OrganizationRecord(
+                    org_id=row[0],
+                    conglomerate_name=row[1],
+                    org_name=row[2],
+                    ownership_cc=row[3],
+                    ownership_country_name=row[4],
+                    rir=row[5],
+                    source=row[6],
+                    quote=row[7],
+                    quote_lang=row[8],
+                    url=row[9],
+                    additional_info=row[10],
+                    inputs=tuple(part for part in row[11].split(",") if part),
+                    parent_org=row[12],
+                    target_cc=row[13],
+                    target_country_name=row[14],
+                )
+            )
+        asns: Dict[str, List[int]] = {}
+        for org_id, asn in connection.execute(
+            "SELECT org_id, asn FROM asns ORDER BY org_id, asn"
+        ):
+            asns.setdefault(org_id, []).append(int(asn))
+    except sqlite3.DatabaseError as exc:
+        raise DatasetError(f"corrupt dataset database: {exc}") from exc
+    finally:
+        connection.close()
+    return StateOwnedDataset(organizations, asns)

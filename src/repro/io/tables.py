@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the evaluation harness.
+
+Every benchmark prints its table/figure data with this renderer so the
+output visually matches the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    >>> print(render_table(("a", "b"), [(1, 22)]))
+    a | b
+    --+---
+    1 | 22
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(widths):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(widths)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 3 * len(widths) - 3))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

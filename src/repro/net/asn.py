@@ -1,0 +1,112 @@
+"""Autonomous System Numbers.
+
+ASNs are plain integers throughout the library (cheap to hash, sort and
+store); this module provides validation helpers and a deterministic allocator
+that mimics how Regional Internet Registries hand out AS numbers from
+per-registry ranges.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Set
+
+from repro.errors import ConfigError
+
+__all__ = ["ASN", "MAX_ASN", "is_valid_asn", "ASNAllocator"]
+
+#: Type alias used in signatures for readability; ASNs are plain ints.
+ASN = int
+
+#: Highest 32-bit AS number.
+MAX_ASN = 2**32 - 1
+
+#: Reserved ASNs that a registry would never delegate to an operator.
+_RESERVED = frozenset({0, 23456, 65535, MAX_ASN})
+
+#: Private-use ranges (RFC 6996).
+_PRIVATE_RANGES = ((64512, 65534), (4200000000, 4294967294))
+
+
+def is_valid_asn(value: int) -> bool:
+    """Return True if ``value`` is a delegatable public AS number."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        return False
+    if value < 1 or value > MAX_ASN or value in _RESERVED:
+        return False
+    return not any(low <= value <= high for low, high in _PRIVATE_RANGES)
+
+
+#: Per-RIR 16-bit allocation blocks, loosely modelled on real delegations.
+#: Each RIR also gets a 32-bit block for "young" networks.
+_RIR_BLOCKS = {
+    "ARIN": [(1, 7299), (10000, 14999), (393216, 399260)],
+    "RIPE": [(1877, 1901), (8192, 9215), (12288, 13311), (196608, 210331)],
+    "APNIC": [(4608, 4865), (9216, 10239), (17408, 18431), (131072, 141625)],
+    "LACNIC": [(26592, 27647), (52224, 53247), (262144, 273820)],
+    "AFRINIC": [(36864, 37887), (327680, 328703)],
+}
+
+
+class ASNAllocator:
+    """Deterministically allocate AS numbers from per-RIR ranges.
+
+    The allocator scatters assignments within each RIR's blocks (like real
+    registries, which do not hand out strictly consecutive numbers to
+    unrelated operators) while remaining fully reproducible from its RNG.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._allocated: Set[int] = set()
+        self._cursors = {rir: 0 for rir in _RIR_BLOCKS}
+        # Pre-shuffle candidate numbers per RIR so allocation is O(1) amortized.
+        self._pools = {rir: self._build_pool(rir) for rir in _RIR_BLOCKS}
+
+    def _build_pool(self, rir: str) -> List[int]:
+        pool: List[int] = []
+        for low, high in _RIR_BLOCKS[rir]:
+            # Sample a generous but bounded slice of each block; worlds never
+            # need more than a few thousand ASNs per RIR.
+            span = min(high - low + 1, 20000)
+            pool.extend(range(low, low + span))
+        pool = [asn for asn in pool if is_valid_asn(asn)]
+        self._rng.shuffle(pool)
+        return pool
+
+    @property
+    def allocated(self) -> Set[int]:
+        """The set of ASNs handed out so far."""
+        return set(self._allocated)
+
+    def allocate(self, rir: str) -> int:
+        """Allocate the next free ASN from ``rir``'s pool."""
+        if rir not in self._pools:
+            raise ConfigError(f"unknown RIR {rir!r}")
+        pool = self._pools[rir]
+        cursor = self._cursors[rir]
+        while cursor < len(pool):
+            candidate = pool[cursor]
+            cursor += 1
+            if candidate not in self._allocated:
+                self._cursors[rir] = cursor
+                self._allocated.add(candidate)
+                return candidate
+        raise ConfigError(f"RIR {rir!r} exhausted its ASN pool")
+
+    def allocate_many(self, rir: str, count: int) -> List[int]:
+        """Allocate ``count`` ASNs from ``rir``."""
+        return [self.allocate(rir) for _ in range(count)]
+
+    def rir_of(self, asn: int) -> Optional[str]:
+        """Return the RIR whose block contains ``asn``, if any."""
+        for rir, blocks in _RIR_BLOCKS.items():
+            if any(low <= asn <= high for low, high in blocks):
+                return rir
+        return None
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._allocated))
+
+    def __len__(self) -> int:
+        return len(self._allocated)

@@ -1,0 +1,215 @@
+"""Gao-Rexford BGP route propagation.
+
+For a given origin AS we compute, for every other AS, its *preferred* route
+toward the origin under the standard policy model:
+
+* prefer routes learned from customers over peers over providers;
+* among equally-preferred routes, prefer the shortest AS path;
+* break remaining ties on the lowest next-hop ASN (deterministic stand-in
+  for router-id tie-breaking).
+
+Export rules follow from the valley-free property: routes learned from a
+customer are exported to everyone; routes learned from a peer or provider are
+exported only to customers.
+
+The result is a :class:`RoutingTree` — a compact next-hop table from which
+full AS paths (as observed by the paper's BGP monitors) are reconstructed.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.net.topology import ASGraph
+
+__all__ = ["RouteClass", "Route", "RoutingTree", "propagate_routes"]
+
+
+class RouteClass(enum.IntEnum):
+    """Preference class of a route (lower value = more preferred)."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """A selected route from one AS toward an origin."""
+
+    source: int          # the AS holding the route
+    origin: int          # destination origin AS
+    path: Tuple[int, ...]  # AS path: source first, origin last
+    route_class: RouteClass
+
+    @property
+    def length(self) -> int:
+        """Number of AS-level hops (path edges)."""
+        return len(self.path) - 1
+
+
+_UNREACHED = 255
+
+
+class RoutingTree:
+    """Preferred next-hops of every AS toward a single origin AS."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        origin: int,
+        next_hop: List[int],
+        dist: List[int],
+        route_class: List[int],
+    ) -> None:
+        self._graph = graph
+        self.origin = origin
+        self._next_hop = next_hop          # dense index of next hop, -1 at origin
+        self._dist = dist                  # hop count, _UNREACHED if none
+        self._route_class = route_class
+
+    def has_route(self, asn: int) -> bool:
+        """True if ``asn`` selected any route toward the origin."""
+        return self._dist[self._graph.index_of(asn)] != _UNREACHED
+
+    def distance(self, asn: int) -> Optional[int]:
+        """AS-hop distance from ``asn`` to the origin (None if unreachable)."""
+        d = self._dist[self._graph.index_of(asn)]
+        return None if d == _UNREACHED else d
+
+    def route_class(self, asn: int) -> Optional[RouteClass]:
+        """Preference class of the route selected by ``asn``."""
+        if not self.has_route(asn):
+            return None
+        return RouteClass(self._route_class[self._graph.index_of(asn)])
+
+    def path_from(self, asn: int) -> Optional[Tuple[int, ...]]:
+        """AS path from ``asn`` to the origin (inclusive), or None."""
+        idx = self._graph.index_of(asn)
+        if self._dist[idx] == _UNREACHED:
+            return None
+        path = [self._graph.asn_at(idx)]
+        while self._next_hop[idx] != -1:
+            idx = self._next_hop[idx]
+            path.append(self._graph.asn_at(idx))
+        return tuple(path)
+
+    def route_from(self, asn: int) -> Optional[Route]:
+        """Full :class:`Route` object selected by ``asn`` (or None)."""
+        path = self.path_from(asn)
+        if path is None:
+            return None
+        return Route(
+            source=asn,
+            origin=self.origin,
+            path=path,
+            route_class=RouteClass(self._route_class[self._graph.index_of(asn)]),
+        )
+
+    def reachable_count(self) -> int:
+        """Number of ASes (including the origin) with a route."""
+        return sum(1 for d in self._dist if d != _UNREACHED)
+
+
+def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
+    """Compute the Gao-Rexford routing tree toward ``origin``.
+
+    Runs the classic three-phase breadth-first propagation: customer routes
+    bubble up through providers, then spread one hop across peering edges,
+    then provider routes sink down through customers.  Each phase processes
+    nodes in increasing path length so that the first route installed at a
+    node within a phase is its shortest; ties are broken on lowest next-hop
+    ASN by pre-sorting adjacency in ASN order.
+    """
+    if origin not in graph:
+        raise TopologyError(f"origin AS{origin} not in graph")
+
+    n = len(graph)
+    dist = [_UNREACHED] * n
+    route_class = [_UNREACHED] * n
+    next_hop = [-1] * n
+
+    origin_idx = graph.index_of(origin)
+    dist[origin_idx] = 0
+    route_class[origin_idx] = int(RouteClass.ORIGIN)
+
+    def sorted_by_asn(indices: Iterable[int]) -> List[int]:
+        return sorted(indices, key=graph.asn_at)
+
+    # Phase 1: customer routes climb provider edges (valley-free "uphill").
+    # BFS by hop count; a node adopts the first (shortest, lowest-ASN) offer.
+    frontier = [origin_idx]
+    hop = 0
+    while frontier:
+        hop += 1
+        next_frontier: List[int] = []
+        for node in frontier:
+            for provider in sorted_by_asn(graph.providers[node]):
+                if dist[provider] == _UNREACHED:
+                    dist[provider] = hop
+                    route_class[provider] = int(RouteClass.CUSTOMER)
+                    next_hop[provider] = node
+                    next_frontier.append(provider)
+        frontier = next_frontier
+
+    # Phase 2: every AS holding a customer (or origin) route exports it to
+    # its peers; peer routes are not re-exported to other peers/providers.
+    # Process exporters in increasing distance for shortest-path selection.
+    exporters = sorted(
+        (i for i in range(n) if route_class[i] in
+         (int(RouteClass.ORIGIN), int(RouteClass.CUSTOMER))),
+        key=lambda i: (dist[i], graph.asn_at(i)),
+    )
+    peer_updates: List[Tuple[int, int, int]] = []
+    for node in exporters:
+        for peer in sorted_by_asn(graph.peers[node]):
+            if dist[peer] == _UNREACHED:
+                peer_updates.append((peer, node, dist[node] + 1))
+    for peer, via, d in peer_updates:
+        # A peer may get multiple offers; exporters were pre-sorted so the
+        # first recorded offer is the preferred one.
+        if dist[peer] == _UNREACHED:
+            dist[peer] = d
+            route_class[peer] = int(RouteClass.PEER)
+            next_hop[peer] = via
+
+    # Phase 3: provider routes sink down customer edges ("downhill").
+    # Seed with every routed node, ordered by distance, and BFS downward.
+    queue = deque(
+        sorted(
+            (i for i in range(n) if dist[i] != _UNREACHED),
+            key=lambda i: (dist[i], graph.asn_at(i)),
+        )
+    )
+    while queue:
+        node = queue.popleft()
+        for customer in sorted_by_asn(graph.customers[node]):
+            if dist[customer] == _UNREACHED:
+                dist[customer] = dist[node] + 1
+                route_class[customer] = int(RouteClass.PROVIDER)
+                next_hop[customer] = node
+                queue.append(customer)
+
+    return RoutingTree(graph, origin, next_hop, dist, route_class)
+
+
+class RoutingTreeCache:
+    """Lazy per-origin cache of routing trees over a fixed graph."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._trees: Dict[int, RoutingTree] = {}
+
+    def tree(self, origin: int) -> RoutingTree:
+        """Return (computing if needed) the routing tree toward ``origin``."""
+        if origin not in self._trees:
+            self._trees[origin] = propagate_routes(self._graph, origin)
+        return self._trees[origin]
+
+    def __len__(self) -> int:
+        return len(self._trees)

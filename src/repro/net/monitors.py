@@ -1,0 +1,127 @@
+"""BGP monitors (vantage points) and route collection.
+
+The paper's CTI metric consumes AS paths observed by RouteViews/RIS monitors,
+where each monitor is an operational border router inside a host AS.  Here a
+:class:`Monitor` is placed inside an AS of the simulated topology, and the
+:class:`RouteCollector` reconstructs each monitor's preferred path to any
+origin from the Gao-Rexford routing trees.
+
+Monitor weighting follows Appendix G: a monitor's weight is the inverse of
+the number of monitors hosted by its own AS, so over-instrumented ASes do not
+dominate the metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.net.bgp import RoutingTreeCache
+from repro.net.topology import ASGraph
+
+__all__ = ["Monitor", "MonitorSet", "RouteCollector"]
+
+
+@dataclass(frozen=True)
+class Monitor:
+    """A BGP vantage point hosted inside ``host_asn``."""
+
+    monitor_id: str
+    host_asn: int
+
+
+class MonitorSet:
+    """An ordered collection of monitors with Appendix-G weights."""
+
+    def __init__(self, monitors: Iterable[Monitor]) -> None:
+        self._monitors: List[Monitor] = list(monitors)
+        counts: Dict[int, int] = {}
+        for monitor in self._monitors:
+            counts[monitor.host_asn] = counts.get(monitor.host_asn, 0) + 1
+        self._weights = {
+            monitor.monitor_id: 1.0 / counts[monitor.host_asn]
+            for monitor in self._monitors
+        }
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def __iter__(self) -> Iterator[Monitor]:
+        return iter(self._monitors)
+
+    def weight(self, monitor: Monitor) -> float:
+        """Appendix-G weight w(m) = 1 / (#monitors in m's AS)."""
+        return self._weights[monitor.monitor_id]
+
+    @property
+    def host_asns(self) -> List[int]:
+        """Host ASNs in monitor order (duplicates possible)."""
+        return [m.host_asn for m in self._monitors]
+
+    @classmethod
+    def place(
+        cls,
+        graph: ASGraph,
+        count: int,
+        rng,
+        bias_to_degree: bool = True,
+    ) -> "MonitorSet":
+        """Place ``count`` monitors in the topology.
+
+        Real route collectors are disproportionately hosted by large,
+        well-connected networks; with ``bias_to_degree`` the sampling weight
+        of each AS is its neighbor degree.  A small fraction of ASes host
+        two monitors, exercising the 1/|monitors-in-AS| weighting.
+        """
+        asns = graph.asns
+        if not asns:
+            raise TopologyError("cannot place monitors in an empty graph")
+        if bias_to_degree:
+            weights = [graph.degree(asn) + 1 for asn in asns]
+        else:
+            weights = [1] * len(asns)
+        hosts = rng.choices(asns, weights=weights, k=count)
+        monitors = [
+            Monitor(monitor_id=f"mon{i:03d}", host_asn=host)
+            for i, host in enumerate(hosts)
+        ]
+        return cls(monitors)
+
+
+class RouteCollector:
+    """Reconstructs monitor-observed AS paths from routing trees.
+
+    Mirrors a RouteViews/RIS collector: for each (monitor, origin) pair it
+    reports the AS path the monitor's host AS prefers toward the origin.
+    Routing trees are computed lazily and cached per origin.
+    """
+
+    def __init__(self, graph: ASGraph, monitors: MonitorSet) -> None:
+        self._graph = graph
+        self.monitors = monitors
+        self._cache = RoutingTreeCache(graph)
+
+    def path(self, monitor: Monitor, origin: int) -> Optional[Tuple[int, ...]]:
+        """AS path from the monitor's host AS to ``origin`` (inclusive).
+
+        Returns None when the host AS has no route.  When the monitor sits
+        inside the origin AS itself, the path is the single-element tuple
+        ``(origin,)``.
+        """
+        tree = self._cache.tree(origin)
+        return tree.path_from(monitor.host_asn)
+
+    def paths_to(self, origin: int) -> Dict[str, Tuple[int, ...]]:
+        """Paths from every monitor (by monitor_id) that can reach ``origin``."""
+        tree = self._cache.tree(origin)
+        result: Dict[str, Tuple[int, ...]] = {}
+        for monitor in self.monitors:
+            path = tree.path_from(monitor.host_asn)
+            if path is not None:
+                result[monitor.monitor_id] = path
+        return result
+
+    def trees_computed(self) -> int:
+        """Number of routing trees materialized so far (for diagnostics)."""
+        return len(self._cache)

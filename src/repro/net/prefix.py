@@ -1,0 +1,308 @@
+"""IPv4 prefix arithmetic and a binary prefix trie.
+
+Prefixes are value objects stored as ``(base, length)`` where ``base`` is the
+32-bit network address as an int.  The :class:`PrefixTrie` supports the two
+queries the paper's machinery needs:
+
+* longest-prefix match (geolocation, origin lookup), and
+* "addresses of p not covered by a more specific prefix" — the ``a(p, C)``
+  term of the CTI formula (Appendix G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.errors import PrefixError
+
+__all__ = ["Prefix", "PrefixTrie", "summarize_address_counts"]
+
+_MAX = 2**32
+
+
+def _mask(length: int) -> int:
+    """Return the netmask int for a prefix of ``length`` bits."""
+    if length == 0:
+        return 0
+    return ((1 << length) - 1) << (32 - length)
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 network prefix, e.g. ``Prefix.parse("10.0.0.0/8")``."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise PrefixError(f"invalid prefix length {self.length}")
+        if not 0 <= self.base < _MAX:
+            raise PrefixError(f"invalid base address {self.base}")
+        if self.base & ~_mask(self.length):
+            raise PrefixError(
+                f"base {self._format_addr(self.base)} has host bits set "
+                f"for /{self.length}"
+            )
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse dotted-quad CIDR notation, e.g. ``"192.0.2.0/24"``."""
+        try:
+            addr_text, length_text = text.strip().split("/")
+            octets = [int(part) for part in addr_text.split(".")]
+            length = int(length_text)
+        except (ValueError, AttributeError) as exc:
+            raise PrefixError(f"malformed prefix {text!r}") from exc
+        if len(octets) != 4 or any(not 0 <= o <= 255 for o in octets):
+            raise PrefixError(f"malformed address in {text!r}")
+        base = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        return cls(base, length)
+
+    @classmethod
+    def from_host(cls, address: int, length: int) -> "Prefix":
+        """Build the /``length`` prefix containing host ``address``."""
+        return cls(address & _mask(length), length)
+
+    # -- properties -------------------------------------------------------
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2^(32-length))."""
+        return 1 << (32 - self.length)
+
+    @property
+    def last(self) -> int:
+        """The highest address in the prefix."""
+        return self.base + self.num_addresses - 1
+
+    # -- set-like operations ----------------------------------------------
+    def contains_address(self, address: int) -> bool:
+        """True if ``address`` (an int) falls inside this prefix."""
+        return self.base <= address <= self.last
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return self.length <= other.length and (
+            other.base & _mask(self.length)
+        ) == self.base
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.covers(other) or other.covers(self)
+
+    def subprefixes(self, length: int) -> Iterator["Prefix"]:
+        """Yield all sub-prefixes of the given (longer) ``length``."""
+        if length < self.length or length > 32:
+            raise PrefixError(
+                f"cannot split /{self.length} into /{length} subprefixes"
+            )
+        step = 1 << (32 - length)
+        for base in range(self.base, self.base + self.num_addresses, step):
+            yield Prefix(base, length)
+
+    def split(self) -> Tuple["Prefix", "Prefix"]:
+        """Split into the two halves one bit longer."""
+        if self.length >= 32:
+            raise PrefixError("cannot split a /32")
+        left = Prefix(self.base, self.length + 1)
+        right = Prefix(self.base | (1 << (31 - self.length)), self.length + 1)
+        return left, right
+
+    # -- formatting ---------------------------------------------------------
+    @staticmethod
+    def _format_addr(address: int) -> str:
+        return ".".join(
+            str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+        )
+
+    def __str__(self) -> str:
+        return f"{self._format_addr(self.base)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+
+V = TypeVar("V")
+
+
+class _TrieNode(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """A binary trie mapping prefixes to values.
+
+    Supports exact lookup, longest-prefix match for addresses, enumeration,
+    and the CTI helper :meth:`uncovered_addresses`.
+    """
+
+    def __init__(self, items: Optional[Iterable[Tuple[Prefix, V]]] = None) -> None:
+        self._root: _TrieNode[V] = _TrieNode()
+        self._size = 0
+        if items is not None:
+            for prefix, value in items:
+                self.insert(prefix, value)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix) is not None or self._has_exact(prefix)
+
+    def _walk_bits(self, prefix: Prefix) -> Iterator[int]:
+        for i in range(prefix.length):
+            yield (prefix.base >> (31 - i)) & 1
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for bit in self._walk_bits(prefix):
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]  # type: ignore[assignment]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def _find_exact(self, prefix: Prefix) -> Optional[_TrieNode[V]]:
+        node = self._root
+        for bit in self._walk_bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def _has_exact(self, prefix: Prefix) -> bool:
+        node = self._find_exact(prefix)
+        return node is not None and node.has_value
+
+    def get(self, prefix: Prefix) -> Optional[V]:
+        """Return the value stored exactly at ``prefix`` (None if absent)."""
+        node = self._find_exact(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return None
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Return the (prefix, value) of the longest prefix covering ``address``."""
+        node = self._root
+        best: Optional[Tuple[Prefix, V]] = None
+        if node.has_value:
+            best = (Prefix(0, 0), node.value)  # type: ignore[arg-type]
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (
+                    Prefix.from_host(address, depth + 1),
+                    node.value,  # type: ignore[arg-type]
+                )
+        return best
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Yield all (prefix, value) pairs in address order."""
+
+        def _walk(node: _TrieNode[V], base: int, depth: int) -> Iterator[Tuple[Prefix, V]]:
+            if node.has_value:
+                yield Prefix(base, depth), node.value  # type: ignore[misc]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    child_base = base | (bit << (31 - depth)) if depth < 32 else base
+                    yield from _walk(child, child_base, depth + 1)
+
+        yield from _walk(self._root, 0, 0)
+
+    def covering(self, prefix: Prefix) -> List[Tuple[Prefix, V]]:
+        """Return all stored prefixes that cover ``prefix`` (shortest first)."""
+        result: List[Tuple[Prefix, V]] = []
+        node = self._root
+        if node.has_value:
+            result.append((Prefix(0, 0), node.value))  # type: ignore[arg-type]
+        depth = 0
+        for bit in self._walk_bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return result
+            node = child
+            depth += 1
+            if node.has_value:
+                result.append(
+                    (Prefix.from_host(prefix.base, depth), node.value)  # type: ignore[arg-type]
+                )
+        return result
+
+    def covered_by(self, prefix: Prefix) -> List[Tuple[Prefix, V]]:
+        """Return all stored prefixes equal to or more specific than ``prefix``."""
+        node = self._find_exact(prefix)
+        if node is None:
+            return []
+
+        result: List[Tuple[Prefix, V]] = []
+
+        def _walk(current: _TrieNode[V], base: int, depth: int) -> None:
+            if current.has_value:
+                result.append((Prefix(base, depth), current.value))  # type: ignore[arg-type]
+            for bit in (0, 1):
+                child = current.children[bit]
+                if child is not None and depth < 32:
+                    _walk(child, base | (bit << (31 - depth)), depth + 1)
+
+        _walk(node, prefix.base, prefix.length)
+        return result
+
+    def uncovered_addresses(self, prefix: Prefix) -> int:
+        """Addresses of ``prefix`` not covered by a *more specific* stored prefix.
+
+        This is the ``a(p, C)`` accounting rule from the paper's Appendix G:
+        when both 10.0.0.0/16 and 10.0.0.0/24 are announced, the /24's
+        addresses are attributed to the /24 only.
+        """
+        more_specifics = [
+            p for p, _ in self.covered_by(prefix) if p.length > prefix.length
+        ]
+        if not more_specifics:
+            return prefix.num_addresses
+        # More specifics can nest; count the union of their address spans by
+        # keeping only the maximal (shortest) ones.
+        more_specifics.sort(key=lambda p: (p.base, p.length))
+        covered = 0
+        current_end = -1
+        for specific in more_specifics:
+            if specific.base > current_end:
+                covered += specific.num_addresses
+                current_end = specific.last
+            elif specific.last > current_end:
+                covered += specific.last - current_end
+                current_end = specific.last
+        return prefix.num_addresses - covered
+
+
+def summarize_address_counts(
+    prefixes: Iterable[Tuple[Prefix, V]]
+) -> Dict[V, int]:
+    """Aggregate announced address counts per value (e.g. per origin AS).
+
+    Overlapping announcements are de-duplicated with the more-specific rule:
+    each address is attributed to the longest prefix covering it.
+    """
+    trie: PrefixTrie[V] = PrefixTrie()
+    pairs = list(prefixes)
+    for prefix, value in pairs:
+        trie.insert(prefix, value)
+    totals: Dict[V, int] = {}
+    for prefix, value in trie.items():
+        totals[value] = totals.get(value, 0) + trie.uncovered_addresses(prefix)
+    return totals

@@ -1,0 +1,243 @@
+"""AS-level topology with business relationships.
+
+The graph stores the two relationship kinds used by Gao-Rexford routing
+policies: customer-to-provider (``c2p``) and peer-to-peer (``p2p``).  It
+offers validation, neighbor queries, and customer-cone computation (the
+ASRank substrate behind Table 5 / Figure 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["Relationship", "ASGraph"]
+
+
+class Relationship(enum.Enum):
+    """Business relationship between two ASes, from the first AS's view."""
+
+    CUSTOMER = "customer"  # the other AS is my customer
+    PROVIDER = "provider"  # the other AS is my provider
+    PEER = "peer"
+
+
+class ASGraph:
+    """A mutable AS-level topology.
+
+    ASes are identified by integer ASN.  Internally nodes get dense indices
+    so that the BGP propagation code can use flat lists instead of dicts.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[int, int] = {}
+        self._asns: List[int] = []
+        self.providers: List[List[int]] = []  # provider *indices* per node
+        self.customers: List[List[int]] = []
+        self.peers: List[List[int]] = []
+        self._edges: Set[Tuple[int, int, str]] = set()
+
+    # -- construction -------------------------------------------------------
+    def add_as(self, asn: int) -> int:
+        """Add an AS (idempotent); return its dense index."""
+        if asn in self._index:
+            return self._index[asn]
+        if asn < 1:
+            raise TopologyError(f"invalid ASN {asn}")
+        idx = len(self._asns)
+        self._index[asn] = idx
+        self._asns.append(asn)
+        self.providers.append([])
+        self.customers.append([])
+        self.peers.append([])
+        return idx
+
+    def add_c2p(self, customer: int, provider: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        if customer == provider:
+            raise TopologyError(f"self-loop on AS{customer}")
+        ci, pi = self.add_as(customer), self.add_as(provider)
+        key = (min(ci, pi), max(ci, pi), "c2p" if ci < pi else "p2c")
+        rev = (key[0], key[1], "p2c" if key[2] == "c2p" else "c2p")
+        peer_key = (key[0], key[1], "p2p")
+        if key in self._edges:
+            return
+        if rev in self._edges or peer_key in self._edges:
+            raise TopologyError(
+                f"conflicting relationship between AS{customer} and AS{provider}"
+            )
+        self._edges.add(key)
+        self.providers[ci].append(pi)
+        self.customers[pi].append(ci)
+
+    def add_p2p(self, left: int, right: int) -> None:
+        """Record a settlement-free peering between ``left`` and ``right``."""
+        if left == right:
+            raise TopologyError(f"self-loop on AS{left}")
+        li, ri = self.add_as(left), self.add_as(right)
+        lo, hi = min(li, ri), max(li, ri)
+        key = (lo, hi, "p2p")
+        if key in self._edges:
+            return
+        if (lo, hi, "c2p") in self._edges or (lo, hi, "p2c") in self._edges:
+            raise TopologyError(
+                f"conflicting relationship between AS{left} and AS{right}"
+            )
+        self._edges.add(key)
+        self.peers[li].append(ri)
+        self.peers[ri].append(li)
+
+    # -- queries --------------------------------------------------------------
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._index
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._asns)
+
+    @property
+    def asns(self) -> List[int]:
+        """All ASNs in insertion order."""
+        return list(self._asns)
+
+    def index_of(self, asn: int) -> int:
+        """Dense index of ``asn`` (raises TopologyError if unknown)."""
+        try:
+            return self._index[asn]
+        except KeyError:
+            raise TopologyError(f"unknown AS{asn}") from None
+
+    def asn_at(self, index: int) -> int:
+        """ASN stored at dense ``index``."""
+        return self._asns[index]
+
+    def num_edges(self) -> int:
+        """Total number of relationship edges."""
+        return len(self._edges)
+
+    def providers_of(self, asn: int) -> List[int]:
+        """ASNs of the providers of ``asn``."""
+        return [self._asns[i] for i in self.providers[self.index_of(asn)]]
+
+    def customers_of(self, asn: int) -> List[int]:
+        """ASNs of the customers of ``asn``."""
+        return [self._asns[i] for i in self.customers[self.index_of(asn)]]
+
+    def peers_of(self, asn: int) -> List[int]:
+        """ASNs of the peers of ``asn``."""
+        return [self._asns[i] for i in self.peers[self.index_of(asn)]]
+
+    def degree(self, asn: int) -> int:
+        """Total neighbor count of ``asn``."""
+        idx = self.index_of(asn)
+        return len(self.providers[idx]) + len(self.customers[idx]) + len(self.peers[idx])
+
+    def relationship(self, asn_a: int, asn_b: int) -> Optional[Relationship]:
+        """Relationship of ``asn_b`` from ``asn_a``'s point of view."""
+        ai, bi = self.index_of(asn_a), self.index_of(asn_b)
+        if bi in self.providers[ai]:
+            return Relationship.PROVIDER
+        if bi in self.customers[ai]:
+            return Relationship.CUSTOMER
+        if bi in self.peers[ai]:
+            return Relationship.PEER
+        return None
+
+    def is_stub(self, asn: int) -> bool:
+        """True if ``asn`` has no customers (an access/edge network)."""
+        return not self.customers[self.index_of(asn)]
+
+    def transit_free(self) -> List[int]:
+        """ASNs with no providers (the Tier-1 clique candidates)."""
+        return [asn for asn in self._asns if not self.providers[self._index[asn]]]
+
+    # -- customer cones ---------------------------------------------------------
+    def customer_cone(self, asn: int) -> FrozenSet[int]:
+        """The customer cone of ``asn``: itself plus all ASes reachable by
+        repeatedly following provider-to-customer edges (CAIDA's definition).
+        """
+        start = self.index_of(asn)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for child in self.customers[node]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        return frozenset(self._asns[i] for i in seen)
+
+    def customer_cone_size(self, asn: int) -> int:
+        """Number of ASes in the customer cone of ``asn`` (including itself)."""
+        return len(self.customer_cone(asn))
+
+    def customer_cone_sizes(self, asns: Iterable[int]) -> Dict[int, int]:
+        """Cone sizes for a batch of ASes."""
+        return {asn: self.customer_cone_size(asn) for asn in asns}
+
+    # -- validation -------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TopologyError` if broken.
+
+        Invariants: provider/customer adjacency is mutually consistent, peer
+        adjacency is symmetric, and the c2p relation is acyclic (no provider
+        loops, which would break Gao-Rexford convergence).
+        """
+        for idx in range(len(self._asns)):
+            for p in self.providers[idx]:
+                if idx not in self.customers[p]:
+                    raise TopologyError(
+                        f"asymmetric c2p edge AS{self._asns[idx]}->AS{self._asns[p]}"
+                    )
+            for c in self.customers[idx]:
+                if idx not in self.providers[c]:
+                    raise TopologyError(
+                        f"asymmetric p2c edge AS{self._asns[idx]}->AS{self._asns[c]}"
+                    )
+            for q in self.peers[idx]:
+                if idx not in self.peers[q]:
+                    raise TopologyError(
+                        f"asymmetric p2p edge AS{self._asns[idx]}<->AS{self._asns[q]}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        indegree = [len(self.providers[i]) for i in range(len(self._asns))]
+        queue = deque(i for i, d in enumerate(indegree) if d == 0)
+        visited = 0
+        while queue:
+            node = queue.popleft()
+            visited += 1
+            for child in self.customers[node]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if visited != len(self._asns):
+            raise TopologyError("customer-provider hierarchy contains a cycle")
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components over all edge types (as ASN sets)."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in range(len(self._asns)):
+            if start in seen:
+                continue
+            component = {start}
+            queue = deque([start])
+            seen.add(start)
+            while queue:
+                node = queue.popleft()
+                for nxt in (
+                    self.providers[node] + self.customers[node] + self.peers[node]
+                ):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        component.add(nxt)
+                        queue.append(nxt)
+            components.append({self._asns[i] for i in component})
+        return components

@@ -1,0 +1,65 @@
+"""Derived data sources: noisy projections of the ground-truth world.
+
+Each module simulates one of the paper's input or confirmation datasets:
+
+========================  =====================================================
+Module                    Stands in for
+========================  =====================================================
+:mod:`.prefix2as`         CAIDA prefix-to-AS (BGP-routed prefixes -> origins)
+:mod:`.geolocation`       Digital Element NetAcuity country-level geolocation
+:mod:`.eyeballs`          APNIC per-AS eyeball population estimates
+:mod:`.whois`             RIR WHOIS organization records
+:mod:`.peeringdb`         PeeringDB self-reported operator records
+:mod:`.as2org`            CAIDA AS2Org sibling inference
+:mod:`.asrank`            CAIDA ASRank customer cones + decade history
+:mod:`.orbis`             Bureau van Dijk's Orbis ownership database
+:mod:`.freedomhouse`      Freedom House "Freedom on the Net" reports
+:mod:`.wikipedia`         Wikipedia country telecom / SOE articles
+:mod:`.documents`         Confirmation corpus (websites, annual reports,
+                          regulators, World Bank/IMF, CommsUpdate, ITU...)
+========================  =====================================================
+
+The classification pipeline consumes only these projections — never the
+world object's ground truth — so the reproduction preserves the paper's
+actual inference problem.
+"""
+
+from repro.sources.base import InputSource, SOURCE_CODES
+from repro.sources.prefix2as import Prefix2ASTable
+from repro.sources.geolocation import GeolocationService
+from repro.sources.eyeballs import EyeballDataset
+from repro.sources.whois import WhoisDatabase, WhoisRecord
+from repro.sources.peeringdb import PeeringDBDataset, PeeringDBRecord
+from repro.sources.as2org import As2OrgDataset
+from repro.sources.asrank import AsRankDataset
+from repro.sources.orbis import OrbisDatabase, OrbisRecord
+from repro.sources.freedomhouse import FreedomHouseReports
+from repro.sources.wikipedia import WikipediaArticles
+from repro.sources.documents import (
+    ConfirmationCorpus,
+    Document,
+    OwnershipClaim,
+    SourceType,
+)
+
+__all__ = [
+    "InputSource",
+    "SOURCE_CODES",
+    "Prefix2ASTable",
+    "GeolocationService",
+    "EyeballDataset",
+    "WhoisDatabase",
+    "WhoisRecord",
+    "PeeringDBDataset",
+    "PeeringDBRecord",
+    "As2OrgDataset",
+    "AsRankDataset",
+    "OrbisDatabase",
+    "OrbisRecord",
+    "FreedomHouseReports",
+    "WikipediaArticles",
+    "ConfirmationCorpus",
+    "Document",
+    "OwnershipClaim",
+    "SourceType",
+]

@@ -1,0 +1,159 @@
+"""ASRank-style customer cones with a synthetic decade of history.
+
+Current customer-cone sizes come straight from the world's topology (the
+real ASRank computes them from inferred relationships; ours are exact by
+construction).  The 2010-2020 history behind Figure 5 is synthesized from
+per-AS growth profiles: submarine-cable operators founded to fix a country's
+international connectivity grow explosively (the Angola Cables / BSCCL
+pattern), ordinary transit networks grow modestly, and everything else is
+roughly flat.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SourceError
+from repro.rng import derive_seed
+from repro.world.entities import OperatorRole
+
+__all__ = ["AsRankDataset", "linear_trend"]
+
+#: History timeline: (year, month) from January 2010 to June 2020, quarterly.
+HISTORY_EPOCHS: Tuple[Tuple[int, int], ...] = tuple(
+    (year, month)
+    for year in range(2010, 2021)
+    for month in (1, 4, 7, 10)
+    if (year, month) <= (2020, 6)
+)
+
+
+def linear_trend(series: Sequence[Tuple[Tuple[int, int], int]]) -> float:
+    """Least-squares slope of a cone-size series, in ASes per year."""
+    if len(series) < 2:
+        return 0.0
+    xs = [year + (month - 1) / 12.0 for (year, month), _ in series]
+    ys = [float(size) for _, size in series]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+
+
+class AsRankDataset:
+    """Customer-cone sizes (current + decade history) per ASN."""
+
+    def __init__(
+        self,
+        cone_sizes: Dict[int, int],
+        growth_profiles: Dict[int, Tuple[str, int]],
+        seed: int,
+    ) -> None:
+        self._cone_sizes = dict(cone_sizes)
+        #: asn -> (profile kind, anchor year); kinds: "cable", "transit", "flat"
+        self._profiles = dict(growth_profiles)
+        self._seed = seed
+        self._history_cache: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+
+    @classmethod
+    def from_world(cls, world) -> "AsRankDataset":
+        graph = world.graph
+        # Cones are only needed for ASes with customers; stubs have cone 1.
+        cone_sizes: Dict[int, int] = {}
+        profiles: Dict[int, Tuple[str, int]] = {}
+        for asn in graph.asns:
+            if graph.is_stub(asn):
+                cone_sizes[asn] = 1
+            else:
+                cone_sizes[asn] = graph.customer_cone_size(asn)
+            record = world.asn_records.get(asn)
+            if record is None:
+                profiles[asn] = ("flat", 2005)
+                continue
+            operator = world.operator(record.operator_id)
+            if record.role is OperatorRole.CABLE:
+                profiles[asn] = ("cable", max(2009, operator.founded_year))
+            elif record.role in (OperatorRole.TRANSIT, OperatorRole.INCUMBENT):
+                profiles[asn] = ("transit", operator.founded_year)
+            else:
+                profiles[asn] = ("flat", operator.founded_year)
+        return cls(cone_sizes, profiles, derive_seed(world.config.seed, "asrank"))
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._cone_sizes
+
+    def cone_size(self, asn: int) -> int:
+        """Current (June 2020) customer-cone size of ``asn``."""
+        try:
+            return self._cone_sizes[asn]
+        except KeyError:
+            raise SourceError(f"AS{asn} not in ASRank data") from None
+
+    def top_cones(self, asns: Iterable[int], k: int = 10) -> List[Tuple[int, int]]:
+        """The ``k`` largest cones among ``asns`` as (asn, size) pairs."""
+        sized = [
+            (asn, self._cone_sizes[asn])
+            for asn in asns
+            if asn in self._cone_sizes
+        ]
+        sized.sort(key=lambda pair: (-pair[1], pair[0]))
+        return sized[:k]
+
+    # -- history ----------------------------------------------------------------
+    def cone_history(self, asn: int) -> List[Tuple[Tuple[int, int], int]]:
+        """Quarterly cone-size series from 2010-01 to 2020-06."""
+        if asn in self._history_cache:
+            return self._history_cache[asn]
+        final = self.cone_size(asn)
+        kind, anchor = self._profiles.get(asn, ("flat", 2005))
+        rng = random.Random(derive_seed(self._seed, f"history:{asn}"))
+        series: List[Tuple[Tuple[int, int], int]] = []
+        for year, month in HISTORY_EPOCHS:
+            t = year + (month - 1) / 12.0
+            fraction = self._profile_fraction(kind, anchor, t, rng)
+            noisy = fraction * (1.0 + rng.uniform(-0.05, 0.05))
+            size = max(0, round(final * noisy))
+            if t >= anchor:
+                size = max(size, 1)
+            series.append(((year, month), size))
+        # The series must end exactly at the current published value.
+        series[-1] = (series[-1][0], final)
+        self._history_cache[asn] = series
+        return series
+
+    @staticmethod
+    def _profile_fraction(kind: str, anchor: int, t: float, rng) -> float:
+        if kind == "cable":
+            # Logistic ramp: nothing before the cable lands, explosive
+            # growth afterwards.
+            if t < anchor:
+                return 0.0
+            return 1.0 / (1.0 + math.exp(-(t - anchor - 4.0) * 0.9))
+        if kind == "transit":
+            # Mild, roughly linear growth across the decade.
+            start_fraction = 0.45
+            progress = (t - 2010.0) / 10.5
+            return start_fraction + (1.0 - start_fraction) * min(1.0, progress)
+        # Flat: stubs and access networks keep their (tiny) cones.
+        return 1.0
+
+    def growth_slope(self, asn: int) -> float:
+        """Least-squares cone growth (ASes/year) over the decade."""
+        return linear_trend(self.cone_history(asn))
+
+    def fastest_growing(
+        self, asns: Iterable[int], k: int = 10
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` ASes with the steepest cone growth (Figure 5 ranking)."""
+        slopes = [
+            (asn, self.growth_slope(asn))
+            for asn in asns
+            if asn in self._cone_sizes
+        ]
+        slopes.sort(key=lambda pair: (-pair[1], pair[0]))
+        return slopes[:k]

@@ -1,0 +1,34 @@
+"""Common definitions for the derived data sources."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+__all__ = ["InputSource", "SOURCE_CODES"]
+
+
+class InputSource(enum.Enum):
+    """The five candidate input sources of the paper (Figure 2, §6).
+
+    The one-letter codes follow the paper's own abbreviation convention:
+    G = Country-level AS geolocation, E = APNIC eyeballs dataset,
+    C = Country Transit Influence, W = Wikipedia & Freedom House, O = Orbis.
+    """
+
+    GEOLOCATION = "G"
+    EYEBALLS = "E"
+    CTI = "C"
+    WIKIPEDIA_FH = "W"
+    ORBIS = "O"
+
+    @property
+    def is_technical(self) -> bool:
+        """True for the computer-networking (AS-list) sources (§4.1)."""
+        return self in (
+            InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI
+        )
+
+
+#: Code-to-source lookup, e.g. ``SOURCE_CODES["G"]``.
+SOURCE_CODES: Dict[str, InputSource] = {s.value: s for s in InputSource}

@@ -1,0 +1,81 @@
+"""APNIC-style per-AS eyeball population estimates.
+
+APNIC estimates AS user populations from web-advertising samples (§4.1);
+estimates are noisy and do not cover every AS.  We model both effects: a
+coverage draw per AS (biased toward ASes that actually serve users) and a
+log-normal multiplicative error on the true population.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SourceNoiseConfig
+from repro.rng import derive_seed
+
+__all__ = ["EyeballDataset"]
+
+
+class EyeballDataset:
+    """Per-AS estimated user populations, queryable per country."""
+
+    def __init__(self, estimates: Dict[int, Tuple[str, int]]) -> None:
+        #: asn -> (country, estimated users)
+        self._estimates = dict(estimates)
+        self._by_country: Dict[str, List[Tuple[int, int]]] = {}
+        for asn, (cc, users) in self._estimates.items():
+            self._by_country.setdefault(cc, []).append((asn, users))
+
+    @classmethod
+    def from_world(
+        cls, world, noise: Optional[SourceNoiseConfig] = None
+    ) -> "EyeballDataset":
+        noise = noise or SourceNoiseConfig()
+        rng = random.Random(derive_seed(world.config.seed, "eyeballs"))
+        estimates: Dict[int, Tuple[str, int]] = {}
+        for asn, record in sorted(world.asn_records.items()):
+            if record.eyeballs <= 0:
+                continue
+            if rng.random() > noise.eyeball_coverage:
+                continue
+            error = math.exp(rng.gauss(0.0, noise.eyeball_noise_sigma))
+            estimate = max(1, round(record.eyeballs * error))
+            estimates[asn] = (record.cc, estimate)
+        return cls(estimates)
+
+    def __len__(self) -> int:
+        return len(self._estimates)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._estimates
+
+    def estimate(self, asn: int) -> Optional[int]:
+        """Estimated users of ``asn`` (None if not covered)."""
+        entry = self._estimates.get(asn)
+        return entry[1] if entry else None
+
+    def country_of(self, asn: int) -> Optional[str]:
+        entry = self._estimates.get(asn)
+        return entry[0] if entry else None
+
+    def covered_asns(self) -> List[int]:
+        return sorted(self._estimates)
+
+    def country_estimates(self, cc: str) -> List[Tuple[int, int]]:
+        """All (asn, users) estimates for one country."""
+        return sorted(self._by_country.get(cc, []))
+
+    def country_total(self, cc: str) -> int:
+        """Total estimated users in ``cc``."""
+        return sum(users for _, users in self._by_country.get(cc, []))
+
+    def country_shares(self, cc: str) -> Dict[int, float]:
+        """Per-AS share of a country's estimated eyeballs."""
+        total = self.country_total(cc)
+        if total == 0:
+            return {}
+        return {
+            asn: users / total for asn, users in self._by_country.get(cc, [])
+        }

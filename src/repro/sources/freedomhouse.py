@@ -1,0 +1,115 @@
+"""Freedom House "Freedom on the Net" style reports.
+
+Freedom House's annual reports cover 65 countries, written by in-country
+experts; the paper finds them *reliable* — no false positives among their
+state-ownership assessments — though they can miss companies and often omit
+market-share information (§7, §9).
+
+The simulated reports therefore: (i) cover a fixed subset of countries
+biased toward large and developing ones (where Internet-freedom reporting
+concentrates), (ii) list truly state-owned operators with imperfect recall,
+and (iii) never fabricate state ownership.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import SourceNoiseConfig
+from repro.rng import derive_seed
+
+__all__ = ["FreedomHouseMention", "FreedomHouseReports"]
+
+
+@dataclass(frozen=True)
+class FreedomHouseMention:
+    """One company the report describes as state-owned."""
+
+    company_name: str   # the brand name, as an in-country expert writes it
+    cc: str             # country the report covers
+    year: int
+    quote: str
+
+
+class FreedomHouseReports:
+    """Per-country report index with state-ownership mentions."""
+
+    def __init__(
+        self,
+        covered_ccs: Set[str],
+        mentions: List[FreedomHouseMention],
+    ) -> None:
+        self._covered = set(covered_ccs)
+        self._mentions = list(mentions)
+        self._by_cc: Dict[str, List[FreedomHouseMention]] = {}
+        for mention in mentions:
+            self._by_cc.setdefault(mention.cc, []).append(mention)
+
+    @classmethod
+    def from_world(
+        cls, world, noise: Optional[SourceNoiseConfig] = None
+    ) -> "FreedomHouseReports":
+        noise = noise or SourceNoiseConfig()
+        rng = random.Random(derive_seed(world.config.seed, "freedomhouse"))
+        # Coverage favors populous and developing countries (the project
+        # tracks Internet freedom where it is most contested).
+        weights = {
+            c.cc: (c.pop_class + 1) * (3 - c.dev_tier + 1)
+            for c in world.countries
+        }
+        ordered = sorted(
+            world.countries,
+            key=lambda c: (-(weights[c.cc] + rng.random()), c.cc),
+        )
+        covered = {c.cc for c in ordered[: noise.freedomhouse_country_count]}
+        mentions: List[FreedomHouseMention] = []
+        for gto in sorted(
+            world.ground_truth(), key=lambda g: g.operator.entity_id
+        ):
+            operator = gto.operator
+            if operator.cc not in covered:
+                continue
+            recall = noise.freedomhouse_recall
+            if operator.role.value in ("transit", "cable"):
+                # Reports focus on the providers citizens actually use;
+                # wholesale transit firms are rarely named.
+                recall *= 0.3
+            if rng.random() > recall:
+                continue
+            owner = "the government"
+            if gto.is_foreign_subsidiary:
+                owner = f"the government of {gto.controlling_cc}"
+            mentions.append(
+                FreedomHouseMention(
+                    company_name=operator.display_name,
+                    cc=operator.cc,
+                    year=rng.choice((2018, 2019, 2020)),
+                    quote=(
+                        f"{operator.display_name}, the state-owned provider "
+                        f"controlled by {owner}, dominates key segments of "
+                        f"the market."
+                    ),
+                )
+            )
+        return cls(covered, mentions)
+
+    @property
+    def covered_countries(self) -> Set[str]:
+        """Countries with a Freedom on the Net report."""
+        return set(self._covered)
+
+    def covers(self, cc: str) -> bool:
+        return cc in self._covered
+
+    def mentions_in(self, cc: str) -> List[FreedomHouseMention]:
+        """State-ownership mentions in the report for ``cc``."""
+        return list(self._by_cc.get(cc, []))
+
+    def all_mentions(self) -> List[FreedomHouseMention]:
+        return list(self._mentions)
+
+    def state_owned_company_names(self) -> List[Tuple[str, str]]:
+        """(company name, country) pairs reported as state-owned."""
+        return [(m.company_name, m.cc) for m in self._mentions]

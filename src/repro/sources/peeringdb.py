@@ -1,0 +1,99 @@
+"""PeeringDB-style self-reported operator records.
+
+PeeringDB is voluntary and covers only ~20 % of registered ASes (§4.2), but
+operators keep their entries fresh and list recognizable *brand* names and
+working websites, which makes it the best corrective for stale WHOIS data.
+Coverage is biased toward transit and large networks, who register to
+attract peers and customers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.config import SourceNoiseConfig
+from repro.rng import derive_seed
+from repro.world.entities import OperatorRole
+
+__all__ = ["PeeringDBRecord", "PeeringDBDataset"]
+
+#: PeeringDB "info_type" labels per operator role.
+_INFO_TYPES = {
+    OperatorRole.INCUMBENT: "Cable/DSL/ISP",
+    OperatorRole.ACCESS: "Cable/DSL/ISP",
+    OperatorRole.MOBILE: "Cable/DSL/ISP",
+    OperatorRole.TRANSIT: "NSP",
+    OperatorRole.CABLE: "NSP",
+    OperatorRole.ACADEMIC: "Educational/Research",
+    OperatorRole.GOVNET: "Government",
+    OperatorRole.NIC: "Non-Profit",
+    OperatorRole.ENTERPRISE: "Enterprise",
+}
+
+
+@dataclass(frozen=True)
+class PeeringDBRecord:
+    """One self-reported network entry."""
+
+    asn: int
+    name: str          # the operator's current brand name
+    website: str
+    info_type: str
+    cc: str
+
+
+class PeeringDBDataset:
+    """The subset of ASNs registered on PeeringDB."""
+
+    def __init__(self, records: List[PeeringDBRecord]) -> None:
+        self._records: Dict[int, PeeringDBRecord] = {r.asn: r for r in records}
+
+    @classmethod
+    def from_world(
+        cls, world, noise: Optional[SourceNoiseConfig] = None
+    ) -> "PeeringDBDataset":
+        noise = noise or SourceNoiseConfig()
+        rng = random.Random(derive_seed(world.config.seed, "peeringdb"))
+        records: List[PeeringDBRecord] = []
+        for asn, rec in sorted(world.asn_records.items()):
+            operator = world.operator(rec.operator_id)
+            probability = noise.peeringdb_coverage
+            if rec.role in (OperatorRole.TRANSIT, OperatorRole.CABLE):
+                probability = min(
+                    1.0, probability * noise.peeringdb_transit_boost
+                )
+            elif rec.role is OperatorRole.INCUMBENT:
+                probability = min(1.0, probability * 2.0)
+            if rng.random() > probability:
+                continue
+            records.append(
+                PeeringDBRecord(
+                    asn=asn,
+                    name=operator.display_name,
+                    website=operator.website or "",
+                    info_type=_INFO_TYPES[rec.role],
+                    cc=rec.cc,
+                )
+            )
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __iter__(self) -> Iterator[PeeringDBRecord]:
+        return iter(self._records.values())
+
+    def lookup(self, asn: int) -> Optional[PeeringDBRecord]:
+        """The PeeringDB entry for ``asn`` (None: not registered)."""
+        return self._records.get(asn)
+
+    def coverage(self, universe_size: int) -> float:
+        """Fraction of the AS universe present in PeeringDB."""
+        if universe_size <= 0:
+            return 0.0
+        return len(self._records) / universe_size

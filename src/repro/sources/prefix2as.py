@@ -1,0 +1,74 @@
+"""Prefix-to-AS table (the CAIDA ``prefix2as`` stand-in).
+
+Derived directly from the world's announced prefixes — the real dataset is
+built from public BGP dumps and is essentially exact, so this source carries
+no noise model.  It provides the origin-AS view that both the geolocation
+candidate source and the CTI metric consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import SourceError
+from repro.net.prefix import Prefix, PrefixTrie
+
+__all__ = ["Prefix2ASTable"]
+
+
+class Prefix2ASTable:
+    """All BGP-announced (prefix, origin ASN) pairs with lookup structures."""
+
+    def __init__(self, entries: List[Tuple[Prefix, int]]) -> None:
+        if not entries:
+            raise SourceError("prefix2as table cannot be empty")
+        self._entries = sorted(entries, key=lambda pair: (pair[0].base, pair[0].length))
+        self._trie: PrefixTrie[int] = PrefixTrie(self._entries)
+        self._by_origin: Dict[int, List[Prefix]] = {}
+        for prefix, origin in self._entries:
+            self._by_origin.setdefault(origin, []).append(prefix)
+
+    @classmethod
+    def from_world(cls, world) -> "Prefix2ASTable":
+        """Build the table from a :class:`~repro.world.generator.World`."""
+        return cls(world.prefix_table())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Prefix, int]]:
+        return iter(self._entries)
+
+    @property
+    def origins(self) -> Set[int]:
+        """All origin ASNs visible in the global routing table."""
+        return set(self._by_origin)
+
+    def prefixes_of(self, origin: int) -> List[Prefix]:
+        """Prefixes announced by ``origin`` (empty list if none)."""
+        return list(self._by_origin.get(origin, []))
+
+    def origin_of(self, address: int) -> Optional[int]:
+        """Origin AS of the longest prefix covering ``address``."""
+        match = self._trie.longest_match(address)
+        return match[1] if match else None
+
+    def origin_of_prefix(self, prefix: Prefix) -> Optional[int]:
+        """Origin of an exactly-announced prefix."""
+        return self._trie.get(prefix)
+
+    def uncovered_addresses(self, prefix: Prefix) -> int:
+        """Addresses of ``prefix`` not covered by a more-specific announcement
+        (the Appendix-G ``a(p, C)`` accounting rule)."""
+        return self._trie.uncovered_addresses(prefix)
+
+    def announced_address_counts(self) -> Dict[int, int]:
+        """De-duplicated announced address count per origin AS."""
+        totals: Dict[int, int] = {}
+        for prefix, origin in self._entries:
+            totals[origin] = totals.get(origin, 0) + self.uncovered_addresses(prefix)
+        return totals
+
+    def total_announced_addresses(self) -> int:
+        """Total de-duplicated announced address space."""
+        return sum(self.announced_address_counts().values())

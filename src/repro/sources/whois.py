@@ -1,0 +1,143 @@
+"""RIR WHOIS organization records.
+
+WHOIS is the compulsory registration database; its failure modes drive much
+of the paper's §4.2 mapping difficulty:
+
+* ``org_name`` is a *legal* name that may be stale (pre-rebrand) or an
+  unrelated local registrant (foreign subsidiaries);
+* sibling ASNs of one operator can appear under entirely different names;
+* the contact e-mail domain is often the only thread back to the operator's
+  actual web presence (the paper resorts to searching those domains).
+
+Records are derived from each AS's registered name in the world, with an
+extra staleness pass on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.config import SourceNoiseConfig
+from repro.rng import derive_seed
+from repro.text.names import NameForge
+from repro.text.normalize import normalize_name
+
+__all__ = ["WhoisRecord", "WhoisDatabase"]
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """One WHOIS entry (the fields common across all five RIRs, §4.2)."""
+
+    asn: int
+    as_name: str       # short AS handle, e.g. "ZAMTEL-AS"
+    org_name: str      # registrant organization legal name
+    org_id: str        # registry organization handle
+    cc: str
+    rir: str
+    email_domain: str  # domain of the registered point of contact
+
+
+def _org_handle(org_name: str, rir: str, registrant: str = "") -> str:
+    """Stable registry-style organization handle.
+
+    Handles are unique per *registrant account*, not per name: two unrelated
+    companies that happen to register identical legal names still get
+    distinct handles (as in real RIR databases), while the same registrant
+    reusing one name across ASNs shares a handle.
+    """
+    digest = hashlib.blake2b(
+        f"{normalize_name(org_name)}:{rir}:{registrant}".encode("utf-8"),
+        digest_size=3,
+    ).hexdigest().upper()
+    return f"ORG-{digest}-{rir}"
+
+
+def _as_handle(org_name: str, cc: str, rng: random.Random) -> str:
+    tokens = [t for t in normalize_name(org_name).split() if t]
+    if not tokens:
+        return f"AS-{cc}"
+    if len(tokens) >= 2 and rng.random() < 0.5:
+        stem = "".join(t[0] for t in tokens).upper()
+    else:
+        stem = tokens[0][:8].upper()
+    suffix = rng.choice(["-AS", f"-{cc}", "-NET", ""])
+    return f"{stem}{suffix}"
+
+
+class WhoisDatabase:
+    """Queryable WHOIS snapshot for all delegated ASNs."""
+
+    def __init__(self, records: List[WhoisRecord]) -> None:
+        self._records: Dict[int, WhoisRecord] = {r.asn: r for r in records}
+        self._by_org: Dict[str, List[int]] = {}
+        for record in records:
+            self._by_org.setdefault(record.org_id, []).append(record.asn)
+
+    @classmethod
+    def from_world(
+        cls, world, noise: Optional[SourceNoiseConfig] = None
+    ) -> "WhoisDatabase":
+        noise = noise or SourceNoiseConfig()
+        rng = random.Random(derive_seed(world.config.seed, "whois"))
+        forge = NameForge(random.Random(derive_seed(world.config.seed, "whois-names")))
+        records: List[WhoisRecord] = []
+        for asn, rec in sorted(world.asn_records.items()):
+            operator = world.operator(rec.operator_id)
+            org_name = rec.registered_name
+            if rng.random() < noise.whois_stale_prob:
+                org_name = forge.stale_variant(org_name)
+            # Contact domain: usually the operator's real web domain — the
+            # thread the paper follows when names fail — but sometimes a
+            # registrar or generic mailbox.
+            if operator.website and rng.random() < 0.8:
+                email_domain = operator.website
+            else:
+                stem = normalize_name(org_name).split()
+                email_domain = (stem[0] if stem else "noc") + "-mail.example"
+            records.append(
+                WhoisRecord(
+                    asn=asn,
+                    as_name=_as_handle(org_name, rec.cc, rng),
+                    org_name=org_name,
+                    org_id=_org_handle(org_name, rec.rir, rec.operator_id),
+                    cc=rec.cc,
+                    rir=rec.rir,
+                    email_domain=email_domain,
+                )
+            )
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __iter__(self) -> Iterator[WhoisRecord]:
+        return iter(self._records.values())
+
+    def lookup(self, asn: int) -> Optional[WhoisRecord]:
+        """The WHOIS record for ``asn`` (None if not delegated)."""
+        return self._records.get(asn)
+
+    def asns_of_org(self, org_id: str) -> List[int]:
+        """All ASNs registered under one organization handle."""
+        return sorted(self._by_org.get(org_id, []))
+
+    def org_ids(self) -> List[str]:
+        return sorted(self._by_org)
+
+    def search_name(self, fragment: str) -> List[WhoisRecord]:
+        """Case-insensitive substring search over org names."""
+        needle = normalize_name(fragment)
+        if not needle:
+            return []
+        return [
+            record
+            for record in self._records.values()
+            if needle in normalize_name(record.org_name)
+        ]

@@ -1,0 +1,111 @@
+"""Wikipedia-style country telecom / state-owned-enterprise articles.
+
+The paper harvests two kinds of articles per country: "Telecommunications in
+X" landscape pages and "List of state-owned enterprises of X" pages (§4.3).
+Articles exist more often for countries with mature digital ecosystems, have
+imperfect recall, and — unlike Freedom House — are *not* taken at face
+value: they contain occasional false positives (stale privatization status,
+minority stakes reported as control) that the manual confirmation stage must
+filter out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SourceNoiseConfig
+from repro.rng import derive_seed
+
+__all__ = ["WikipediaArticle", "WikipediaArticles"]
+
+
+@dataclass(frozen=True)
+class WikipediaArticle:
+    """One country article listing purportedly state-owned telcos."""
+
+    cc: str
+    title: str
+    claimed_state_owned: Tuple[str, ...]  # company names as written
+
+
+class WikipediaArticles:
+    """Per-country article index."""
+
+    def __init__(self, articles: List[WikipediaArticle]) -> None:
+        self._articles = list(articles)
+        self._by_cc: Dict[str, List[WikipediaArticle]] = {}
+        for article in articles:
+            self._by_cc.setdefault(article.cc, []).append(article)
+
+    @classmethod
+    def from_world(
+        cls, world, noise: Optional[SourceNoiseConfig] = None
+    ) -> "WikipediaArticles":
+        noise = noise or SourceNoiseConfig()
+        rng = random.Random(derive_seed(world.config.seed, "wikipedia"))
+        truth_by_cc: Dict[str, List[Tuple[str, str]]] = {}
+        for gto in sorted(
+            world.ground_truth(), key=lambda g: g.operator.entity_id
+        ):
+            truth_by_cc.setdefault(gto.operator.cc, []).append(
+                (gto.operator.display_name, gto.operator.role.value)
+            )
+        minority_by_cc: Dict[str, List[str]] = {}
+        for operator_id in sorted(world.minority_operator_ids()):
+            operator = world.operator(operator_id)
+            minority_by_cc.setdefault(operator.cc, []).append(
+                operator.display_name
+            )
+        articles: List[WikipediaArticle] = []
+        country_by_cc = {c.cc: c for c in world.countries}
+        for cc in sorted(country_by_cc):
+            country = country_by_cc[cc]
+            exists = rng.random() < noise.wikipedia_coverage[country.dev_tier]
+            if not exists:
+                continue
+            claimed: List[str] = []
+            for name, role in truth_by_cc.get(cc, []):
+                recall = noise.wikipedia_recall
+                if role in ("transit", "cable"):
+                    # Landscape articles rarely list wholesale-only firms.
+                    recall *= 0.3
+                if rng.random() < recall:
+                    claimed.append(name)
+            # Stale/incorrect claims: minority stakes written up as state
+            # ownership (removed later by the confirmation stage).
+            for name in minority_by_cc.get(cc, []):
+                if rng.random() < 0.12:
+                    claimed.append(name)
+            if not claimed:
+                continue
+            title = rng.choice(
+                (
+                    f"Telecommunications in {country.name}",
+                    f"List of state-owned enterprises of {country.name}",
+                )
+            )
+            articles.append(
+                WikipediaArticle(
+                    cc=cc, title=title, claimed_state_owned=tuple(claimed)
+                )
+            )
+        return cls(articles)
+
+    def __len__(self) -> int:
+        return len(self._articles)
+
+    def articles_for(self, cc: str) -> List[WikipediaArticle]:
+        return list(self._by_cc.get(cc, []))
+
+    def all_articles(self) -> List[WikipediaArticle]:
+        return list(self._articles)
+
+    def state_owned_company_names(self) -> List[Tuple[str, str]]:
+        """(company name, country) pairs claimed state-owned by articles."""
+        return [
+            (name, article.cc)
+            for article in self._articles
+            for name in article.claimed_state_owned
+        ]

@@ -1,0 +1,23 @@
+"""Text utilities: company-name normalization, similarity and synthesis."""
+
+from repro.text.normalize import (
+    normalize_name,
+    name_tokens,
+    jaccard_similarity,
+    edit_distance,
+    name_similarity,
+    acronym_of,
+    acronym_match,
+)
+from repro.text.names import NameForge
+
+__all__ = [
+    "normalize_name",
+    "name_tokens",
+    "jaccard_similarity",
+    "edit_distance",
+    "name_similarity",
+    "acronym_of",
+    "acronym_match",
+    "NameForge",
+]

@@ -1,0 +1,198 @@
+"""Synthesis of plausible telecom company names.
+
+The world generator needs legal names, brand names, WHOIS registrant aliases
+and subsidiary names that exhibit the pathologies documented in the paper:
+brands differing from legal names, stale WHOIS names surviving rebrands,
+foreign subsidiaries registered under unrelated local legal names
+(the Internexa/"Transamerican Telecomunication S.A." case), and misleading
+names left behind by nationalizations (the Vodafone Fiji case).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+__all__ = ["NameForge"]
+
+_TELCO_STEMS = [
+    "Telecom", "Telekom", "Telecomunicaciones", "Communications", "Telia",
+    "Connect", "Net", "Link", "Datacom", "Teleservices", "Broadband",
+]
+
+_TRANSIT_STEMS = [
+    "Backbone", "Transit", "Carrier", "IX", "Gateway", "Cables", "Fiber",
+    "Longhaul", "Exchange",
+]
+
+_GENERIC_WORDS = [
+    "National", "United", "Global", "First", "Royal", "Pacific", "Atlantic",
+    "Equatorial", "Continental", "Premier", "Horizon", "Summit", "Meridian",
+    "Aurora", "Vector", "Nimbus", "Zenith", "Quantum", "Stellar", "Crescent",
+]
+
+_LEGAL_BY_RIR = {
+    "ARIN": ["Inc.", "LLC", "Corp."],
+    "RIPE": ["AS", "GmbH", "AB", "PJSC", "S.p.A.", "B.V.", "Ltd"],
+    "APNIC": ["Berhad", "Pte Ltd", "Co., Ltd.", "PT", "Ltd"],
+    "LACNIC": ["S.A.", "S.A. de C.V.", "S.R.L.", "Ltda."],
+    "AFRINIC": ["S.A.", "Ltd", "PLC", "SARL"],
+}
+
+
+class NameForge:
+    """Deterministic generator of company-name families.
+
+    All methods draw from the RNG handed to the constructor, so a fixed seed
+    yields a fixed set of names.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set = set()
+
+    def _unique(self, candidate: str, salt_pool: List[str]) -> str:
+        """Ensure global uniqueness by appending a salt word if needed."""
+        name = candidate
+        attempts = 0
+        while name.lower() in self._used:
+            salt = self._rng.choice(salt_pool)
+            name = f"{salt} {candidate}"
+            attempts += 1
+            if attempts > 5:
+                name = f"{candidate} {self._rng.randint(2, 99)}"
+        self._used.add(name.lower())
+        return name
+
+    def legal_suffix(self, rir: str) -> str:
+        """A legal-form suffix plausible for the given registry region."""
+        return self._rng.choice(_LEGAL_BY_RIR.get(rir, ["Ltd"]))
+
+    # -- operator names ------------------------------------------------------
+    def incumbent(self, country_name: str, rir: str) -> Tuple[str, str]:
+        """(legal name, brand) for a country's incumbent operator.
+
+        Incumbents usually carry the country name ("Telekom Malaysia",
+        "Angola Telecom") and a contracted brand ("TM", "AngoTel").
+        """
+        stem = self._rng.choice(_TELCO_STEMS)
+        order = self._rng.random()
+        if order < 0.5:
+            base = f"{country_name} {stem}"
+        else:
+            base = f"{stem} {country_name}"
+        base = self._unique(base, _GENERIC_WORDS)
+        legal = f"{base} {self.legal_suffix(rir)}"
+        brand = self._contract(country_name, stem)
+        return legal, brand
+
+    def _contract(self, country_name: str, stem: str) -> str:
+        """Build a contracted brand, e.g. Zambia+Telecom -> "ZamTel"."""
+        country_part = country_name.split(" ")[0][:4].capitalize()
+        stem_part = stem[:3].capitalize()
+        return self._unique_brand(f"{country_part}{stem_part}")
+
+    def challenger(self, country_name: str, rir: str) -> Tuple[str, str]:
+        """(legal, brand) for a non-incumbent access operator."""
+        word = self._rng.choice(_GENERIC_WORDS)
+        stem = self._rng.choice(_TELCO_STEMS)
+        base = self._unique(f"{word} {stem}", _GENERIC_WORDS)
+        legal = f"{base} {self.legal_suffix(rir)}"
+        if self._rng.random() < 0.5:
+            brand = base
+        else:
+            brand = self._unique_brand(word + stem[:4])
+        return legal, brand
+
+    def _unique_brand(self, brand: str) -> str:
+        """Brands must be globally unique too: real-world brand collisions
+        would poison Freedom-House-style mentions that only carry brands."""
+        candidate = brand
+        attempt = 2
+        while candidate.lower() in self._used:
+            candidate = f"{brand}{attempt}"
+            attempt += 1
+        self._used.add(candidate.lower())
+        return candidate
+
+    def transit_operator(self, country_name: str, rir: str) -> Tuple[str, str]:
+        """(legal, brand) for a transit/backbone/submarine-cable operator."""
+        stem = self._rng.choice(_TRANSIT_STEMS)
+        if self._rng.random() < 0.6:
+            base = f"{country_name} {stem}"
+        else:
+            base = f"{self._rng.choice(_GENERIC_WORDS)} {stem}"
+        base = self._unique(base, _GENERIC_WORDS)
+        legal = f"{base} {self.legal_suffix(rir)}"
+        # Transit companies often go by an acronym (BSCCL, TTK, ACS).
+        brand = "".join(w[0] for w in base.split()).upper()
+        if len(brand) < 3:
+            brand = base
+        else:
+            brand = self._unique_brand(brand)
+        return legal, brand
+
+    def subsidiary(
+        self, parent_brand: str, target_country_name: str, rir: str
+    ) -> Tuple[str, str]:
+        """(legal, brand) for a foreign subsidiary, Ooredoo-Tunisia style."""
+        base = self._unique(f"{parent_brand} {target_country_name}", _GENERIC_WORDS)
+        legal = f"{base} {self.legal_suffix(rir)}"
+        return legal, base
+
+    def fund(self, country_name: str) -> str:
+        """Name of a state-controlled investment/pension fund."""
+        kind = self._rng.choice(
+            ["Sovereign Wealth Fund", "National Investment Fund",
+             "Employees Pension Fund", "State Holding"]
+        )
+        return self._unique(f"{country_name} {kind}", _GENERIC_WORDS)
+
+    # -- aliasing / pathology ---------------------------------------------------
+    def unrelated_legal_name(self, rir: str) -> str:
+        """A local legal name with no resemblance to the parent brand.
+
+        Models foreign-subsidiary registrations such as Internexa's Argentine
+        AS appearing in WHOIS as "Transamerican Telecomunication S.A.".
+        """
+        first = self._rng.choice(_GENERIC_WORDS)
+        second = self._rng.choice(_TELCO_STEMS)
+        base = self._unique(f"{first} {second}", _GENERIC_WORDS)
+        return f"{base} {self.legal_suffix(rir)}"
+
+    def stale_variant(self, name: str) -> str:
+        """An outdated WHOIS variant of ``name`` (pre-rebrand legal name)."""
+        prefix = self._rng.choice(["", "The ", ""])
+        marker = self._rng.choice(
+            ["Posts and Telecommunications", "PTT", "Telegraph and Telephone",
+             "State Telecommunication Enterprise"]
+        )
+        head = name.split(" ")[0]
+        return f"{prefix}{head} {marker}".strip()
+
+    def typo_variant(self, name: str) -> str:
+        """A name with one transliteration-style character slip."""
+        if len(name) < 5:
+            return name
+        pos = self._rng.randrange(1, len(name) - 1)
+        ch = name[pos]
+        if not ch.isalpha():
+            return name
+        swap = {"c": "k", "k": "c", "i": "y", "y": "i", "s": "z", "z": "s",
+                "f": "ph", "o": "ou"}
+        replacement = swap.get(ch.lower(), ch)
+        if ch.isupper():
+            replacement = replacement.capitalize()
+        return name[:pos] + replacement + name[pos + 1:]
+
+    def misleading_private_name(self, country_name: str) -> Tuple[str, str]:
+        """A nationalized company keeping a private-sounding global brand.
+
+        Models the Vodafone Fiji case: the state owns the firm but the name
+        still points at a private multinational.
+        """
+        global_brand = self._rng.choice(
+            ["Vodaphone", "Oranger", "GlobalCell", "AirNet", "Telefonix"]
+        )
+        base = self._unique(f"{global_brand} {country_name}", _GENERIC_WORDS)
+        return f"{base} Ltd", base

@@ -1,0 +1,235 @@
+"""Company-name normalization and similarity scoring.
+
+The paper's AS-to-company mapping (§4.2) has to reconcile WHOIS legal names
+("Transamerican Telecomunication S.A."), PeeringDB brand names ("Internexa"),
+and the names that appear in ownership documents.  This module provides the
+normalization and fuzzy-matching primitives that the mapping stage builds on.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from functools import lru_cache
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+__all__ = [
+    "LEGAL_SUFFIXES",
+    "normalize_name",
+    "name_tokens",
+    "jaccard_similarity",
+    "edit_distance",
+    "name_similarity",
+    "acronym_of",
+    "acronym_match",
+]
+
+#: Legal-form suffixes and filler words stripped during normalization.  The
+#: list covers the corporate forms that appear in RIR WHOIS data across the
+#: five registries (and in the paper's own examples: "S.A.", "Berhad", ...).
+LEGAL_SUFFIXES: FrozenSet[str] = frozenset(
+    {
+        "sa", "s a", "ltd", "limited", "llc", "inc", "incorporated", "corp",
+        "corporation", "co", "company", "plc", "pjsc", "jsc", "ojsc", "cjsc",
+        "gmbh", "ag", "bv", "nv", "spa", "srl", "sarl", "pte", "pty", "pt",
+        "berhad", "bhd", "sdn", "tbk", "kk", "oy", "ab", "as", "asa", "aps",
+        "ao", "ooo", "pao", "zao", "sae", "saoc", "saog", "qsc", "kft", "doo",
+        "dd", "ad", "sl", "cv", "ep", "epe", "spc", "wll", "psc", "group",
+        "holding", "holdings", "intl", "international",
+    }
+)
+
+#: Tokens so common in operator names that sharing them says almost nothing
+#: about identity ("Telecom X" vs "Telekom X" are different firms).  They
+#: get a reduced weight in similarity scoring.
+GENERIC_TOKENS: FrozenSet[str] = frozenset(
+    {
+        "telecom", "telekom", "telecoms", "telecomunicaciones",
+        "telecommunications", "telecommunication", "communications",
+        "communication", "comunicaciones", "net", "network", "networks",
+        "link", "connect", "datacom", "teleservices", "broadband", "telia",
+        "backbone", "transit", "carrier", "gateway", "cables", "cable",
+        "fiber", "fibre", "longhaul", "exchange", "ix", "mobile", "wireless",
+        "internet", "digital", "data", "services", "service", "operator",
+        "posts", "post", "telegraph", "telephone", "ptt", "state",
+        "enterprise", "and", "of", "the", "de", "la", "du", "del",
+        # Marketing adjectives so common across operator names that they
+        # identify nothing by themselves ("Global Telekom" is not the same
+        # firm as "Equatorial Global Telekom").
+        "national", "united", "global", "first", "royal", "pacific",
+        "atlantic", "equatorial", "continental", "premier", "horizon",
+        "summit", "meridian", "aurora", "vector", "nimbus", "zenith",
+        "quantum", "stellar", "crescent", "new",
+    }
+)
+
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_WS_RE = re.compile(r"\s+")
+
+
+def _strip_accents(text: str) -> str:
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+@lru_cache(maxsize=65536)
+def normalize_name(name: str) -> str:
+    """Normalize a company name for comparison.
+
+    Lower-cases, strips accents and punctuation, removes legal-form suffixes
+    and collapses whitespace.  Suffixes are only stripped from the *end* of
+    the name so that e.g. "AS Telecom" keeps its leading token.
+    """
+    text = _strip_accents(name).lower()
+    text = _PUNCT_RE.sub(" ", text)
+    tokens = _WS_RE.sub(" ", text).strip().split(" ") if text.strip() else []
+    # Trailing single letters are legal-form debris after punctuation
+    # removal ("S.A." -> "s", "a"; "B.V." -> "b", "v").
+    while tokens and (tokens[-1] in LEGAL_SUFFIXES or len(tokens[-1]) == 1):
+        tokens.pop()
+    return " ".join(tokens)
+
+
+@lru_cache(maxsize=65536)
+def name_tokens(name: str) -> Tuple[str, ...]:
+    """Normalized tokens of a company name."""
+    normalized = normalize_name(name)
+    return tuple(normalized.split(" ")) if normalized else ()
+
+
+def jaccard_similarity(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard similarity of two token sequences (on their sets)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance with the standard O(len(a)*len(b)) DP."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def acronym_of(name: str) -> str:
+    """Uppercase acronym built from a name's token initials.
+
+    Legal-form suffixes are kept: real acronyms usually include them
+    (BSCCL = Bangladesh Submarine Cable **Company Limited**).
+    """
+    text = _PUNCT_RE.sub(" ", _strip_accents(name).lower())
+    tokens = [t for t in _WS_RE.sub(" ", text).strip().split(" ") if t]
+    return "".join(token[0] for token in tokens).upper()
+
+
+def acronym_match(short: str, long_name: str) -> bool:
+    """True if ``short`` looks like an acronym of ``long_name``.
+
+    Handles the BSCCL-style case where WHOIS carries an acronym while
+    documents carry the expanded legal name.  The acronym must be at least
+    four letters: three-letter acronyms collide far too often across
+    unrelated operators.
+    """
+    candidate = normalize_name(short).replace(" ", "").upper()
+    if len(candidate) < 4:
+        return False
+    if candidate == acronym_of(long_name):
+        return True
+    # Also accept the acronym of the suffix-stripped name: sources differ in
+    # whether they spell out the legal form ("... Company Limited").
+    stripped = "".join(
+        token[0] for token in name_tokens(long_name) if token
+    ).upper()
+    return len(stripped) >= 4 and candidate == stripped
+
+
+def _token_weight(token: str) -> float:
+    """Weight of a token in weighted-Jaccard scoring."""
+    if token in GENERIC_TOKENS:
+        return 0.4
+    if len(token) <= 2:
+        return 0.2
+    return 1.0
+
+
+def _tokens_match(a: str, b: str) -> bool:
+    """Fuzzy token equality: exact, or one transliteration slip for long
+    tokens (``Telecomunication`` vs ``Telecommunication``)."""
+    if a == b:
+        return True
+    if min(len(a), len(b)) >= 5 and abs(len(a) - len(b)) <= 2:
+        return edit_distance(a, b) <= 1
+    return False
+
+
+@lru_cache(maxsize=262144)
+def name_similarity(a: str, b: str) -> float:
+    """Similarity score in [0, 1] for two company names.
+
+    The core signal is a *distinctiveness-weighted* token Jaccard: generic
+    telecom vocabulary ("Telecom", "Communications", "Network"...) carries
+    little weight, so "Macao Telekom" and "Canada Telekom" score low while
+    "Telekom Malaysia Berhad" and "Telekom Malaysia" score ~1.  On top of
+    that: a containment bonus for brand-inside-legal-name pairs, an acronym
+    bonus (BSCCL vs its expansion), and a character-level channel reserved
+    for single-token brand names.
+    """
+    norm_a, norm_b = normalize_name(a), normalize_name(b)
+    if not norm_a or not norm_b:
+        return 0.0
+    if norm_a == norm_b:
+        return 1.0
+    tokens_a, tokens_b = norm_a.split(), norm_b.split()
+
+    # Weighted fuzzy Jaccard.
+    matched_b: set = set()
+    inter_weight = 0.0
+    for token_a in set(tokens_a):
+        for token_b in set(tokens_b):
+            if token_b in matched_b:
+                continue
+            if _tokens_match(token_a, token_b):
+                inter_weight += max(_token_weight(token_a), _token_weight(token_b))
+                matched_b.add(token_b)
+                break
+    union_tokens = set(tokens_a) | set(tokens_b)
+    # Matched fuzzy pairs count once: remove the lighter twin from the union.
+    union_weight = sum(_token_weight(t) for t in union_tokens)
+    for token_b in matched_b:
+        if token_b not in set(tokens_a):
+            union_weight -= _token_weight(token_b)
+    score = inter_weight / union_weight if union_weight > 0 else 0.0
+
+    shorter, longer = (
+        (norm_a, norm_b) if len(norm_a) <= len(norm_b) else (norm_b, norm_a)
+    )
+    if shorter in longer and all(
+        token not in GENERIC_TOKENS for token in shorter.split()
+    ):
+        # Brand-contained-in-legal-name bonus ("ZamTel" in "ZamTel
+        # Communications Ltd") — only when the contained name is made of
+        # distinctive tokens, otherwise "honduras state" would swallow any
+        # longer name built from the same generic vocabulary.
+        score = max(score, 0.8)
+    if acronym_match(a, b) or acronym_match(b, a):
+        score = max(score, 0.9)
+    if len(tokens_a) == 1 and len(tokens_b) == 1:
+        longest = max(len(norm_a), len(norm_b))
+        score = max(score, 1.0 - edit_distance(norm_a, norm_b) / longest)
+    return min(score, 1.0)

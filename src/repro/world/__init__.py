@@ -1,0 +1,37 @@
+"""Ground-truth world model: countries, companies, ownership, markets.
+
+Everything the classification pipeline is later asked to *discover* is
+synthesized here first: which operators exist in each country, who owns them
+(including funds, holding chains, joint ventures and foreign subsidiaries),
+and which ASNs and prefixes they operate.  The derived data sources in
+:mod:`repro.sources` only ever see noisy projections of this model.
+"""
+
+from repro.world.countries import Country, COUNTRIES, country_by_cc, countries_by_rir
+from repro.world.entities import (
+    EntityKind,
+    Entity,
+    OwnershipStake,
+    Operator,
+    OperatorRole,
+    AsnRecord,
+)
+from repro.world.ownership import OwnershipGraph, ControlAssessment
+from repro.world.generator import World, WorldGenerator
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "country_by_cc",
+    "countries_by_rir",
+    "EntityKind",
+    "Entity",
+    "OwnershipStake",
+    "Operator",
+    "OperatorRole",
+    "AsnRecord",
+    "OwnershipGraph",
+    "ControlAssessment",
+    "World",
+    "WorldGenerator",
+]

@@ -1,0 +1,285 @@
+"""Static country table.
+
+Roughly the ISO-3166 universe with, per country: the Regional Internet
+Registry serving it, its continent-level region, and coarse size classes for
+announced address space and Internet user population.  The classes are
+relative units that the world generator converts into prefix counts and
+eyeball populations; the United States deliberately carries an outsized
+address-space weight to reproduce the paper's observation that excluding the
+US raises the state-owned share of announced space from 17 % to 25 %.
+
+Size classes — address space (``addr``) and eyeballs (``pop``):
+``5``=XXL, ``4``=XL, ``3``=L, ``2``=M, ``1``=S, ``0``=XS.
+
+Development tier (``dev``): ``2``=advanced, ``1``=emerging, ``0``=developing.
+The tier drives the generator's priors for state ownership and the coverage
+of non-technical sources (Orbis misses developing-world firms, per §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "country_by_cc",
+    "countries_by_rir",
+    "countries_by_region",
+    "RIRS",
+    "REGIONS",
+]
+
+RIRS = ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+REGIONS = ("Africa", "Americas", "Asia", "Europe", "Oceania")
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country and its coarse Internet-size descriptors."""
+
+    cc: str          # ISO-3166 alpha-2
+    name: str
+    rir: str         # serving Regional Internet Registry
+    region: str      # continent-level region
+    addr_class: int  # announced address-space size class (0-5)
+    pop_class: int   # Internet-user population size class (0-5)
+    dev_tier: int    # 2 advanced, 1 emerging, 0 developing
+
+
+# (cc, name, rir, region, addr, pop, dev)
+_ROWS: List[Tuple[str, str, str, str, int, int, int]] = [
+    # ---- ARIN ------------------------------------------------------------
+    ("US", "United States", "ARIN", "Americas", 5, 4, 2),
+    ("CA", "Canada", "ARIN", "Americas", 3, 2, 2),
+    ("AG", "Antigua and Barbuda", "ARIN", "Americas", 0, 0, 1),
+    ("BS", "Bahamas", "ARIN", "Americas", 0, 0, 1),
+    ("BB", "Barbados", "ARIN", "Americas", 0, 0, 1),
+    ("BM", "Bermuda", "ARIN", "Americas", 0, 0, 2),
+    ("DM", "Dominica", "ARIN", "Americas", 0, 0, 0),
+    ("GD", "Grenada", "ARIN", "Americas", 0, 0, 0),
+    ("JM", "Jamaica", "ARIN", "Americas", 1, 1, 1),
+    ("KN", "Saint Kitts and Nevis", "ARIN", "Americas", 0, 0, 1),
+    ("LC", "Saint Lucia", "ARIN", "Americas", 0, 0, 0),
+    ("VC", "Saint Vincent", "ARIN", "Americas", 0, 0, 0),
+    ("KY", "Cayman Islands", "ARIN", "Americas", 0, 0, 2),
+    ("VG", "British Virgin Islands", "ARIN", "Americas", 0, 0, 1),
+    ("TC", "Turks and Caicos", "ARIN", "Americas", 0, 0, 1),
+    ("AI", "Anguilla", "ARIN", "Americas", 0, 0, 0),
+    # ---- LACNIC ------------------------------------------------------------
+    ("MX", "Mexico", "LACNIC", "Americas", 3, 3, 1),
+    ("GT", "Guatemala", "LACNIC", "Americas", 1, 1, 0),
+    ("BZ", "Belize", "LACNIC", "Americas", 0, 0, 0),
+    ("SV", "El Salvador", "LACNIC", "Americas", 1, 1, 0),
+    ("HN", "Honduras", "LACNIC", "Americas", 1, 1, 0),
+    ("NI", "Nicaragua", "LACNIC", "Americas", 0, 1, 0),
+    ("CR", "Costa Rica", "LACNIC", "Americas", 1, 1, 1),
+    ("PA", "Panama", "LACNIC", "Americas", 1, 1, 1),
+    ("CU", "Cuba", "LACNIC", "Americas", 1, 1, 0),
+    ("DO", "Dominican Republic", "LACNIC", "Americas", 1, 1, 1),
+    ("HT", "Haiti", "LACNIC", "Americas", 0, 1, 0),
+    ("CO", "Colombia", "LACNIC", "Americas", 3, 2, 1),
+    ("VE", "Venezuela", "LACNIC", "Americas", 2, 2, 0),
+    ("EC", "Ecuador", "LACNIC", "Americas", 1, 1, 1),
+    ("PE", "Peru", "LACNIC", "Americas", 2, 2, 1),
+    ("BO", "Bolivia", "LACNIC", "Americas", 1, 1, 0),
+    ("BR", "Brazil", "LACNIC", "Americas", 4, 4, 1),
+    ("PY", "Paraguay", "LACNIC", "Americas", 1, 1, 0),
+    ("UY", "Uruguay", "LACNIC", "Americas", 1, 1, 1),
+    ("AR", "Argentina", "LACNIC", "Americas", 3, 2, 1),
+    ("CL", "Chile", "LACNIC", "Americas", 2, 2, 1),
+    ("SR", "Suriname", "LACNIC", "Americas", 0, 0, 0),
+    ("GY", "Guyana", "LACNIC", "Americas", 0, 0, 0),
+    ("TT", "Trinidad and Tobago", "LACNIC", "Americas", 0, 0, 1),
+    # ---- AFRINIC ----------------------------------------------------------
+    ("DZ", "Algeria", "AFRINIC", "Africa", 2, 2, 1),
+    ("AO", "Angola", "AFRINIC", "Africa", 1, 1, 0),
+    ("BJ", "Benin", "AFRINIC", "Africa", 0, 1, 0),
+    ("BW", "Botswana", "AFRINIC", "Africa", 0, 0, 1),
+    ("BF", "Burkina Faso", "AFRINIC", "Africa", 0, 1, 0),
+    ("BI", "Burundi", "AFRINIC", "Africa", 0, 0, 0),
+    ("CM", "Cameroon", "AFRINIC", "Africa", 1, 1, 0),
+    ("CV", "Cabo Verde", "AFRINIC", "Africa", 0, 0, 1),
+    ("CF", "Central African Republic", "AFRINIC", "Africa", 0, 0, 0),
+    ("TD", "Chad", "AFRINIC", "Africa", 0, 0, 0),
+    ("KM", "Comoros", "AFRINIC", "Africa", 0, 0, 0),
+    ("CG", "Congo", "AFRINIC", "Africa", 0, 0, 0),
+    ("CD", "DR Congo", "AFRINIC", "Africa", 1, 1, 0),
+    ("CI", "Cote d'Ivoire", "AFRINIC", "Africa", 1, 1, 0),
+    ("DJ", "Djibouti", "AFRINIC", "Africa", 0, 0, 0),
+    ("EG", "Egypt", "AFRINIC", "Africa", 2, 3, 1),
+    ("GQ", "Equatorial Guinea", "AFRINIC", "Africa", 0, 0, 0),
+    ("ER", "Eritrea", "AFRINIC", "Africa", 0, 0, 0),
+    ("ET", "Ethiopia", "AFRINIC", "Africa", 1, 2, 0),
+    ("GA", "Gabon", "AFRINIC", "Africa", 0, 0, 1),
+    ("GM", "Gambia", "AFRINIC", "Africa", 0, 0, 0),
+    ("GH", "Ghana", "AFRINIC", "Africa", 1, 1, 0),
+    ("GN", "Guinea", "AFRINIC", "Africa", 0, 0, 0),
+    ("GW", "Guinea-Bissau", "AFRINIC", "Africa", 0, 0, 0),
+    ("KE", "Kenya", "AFRINIC", "Africa", 1, 2, 0),
+    ("LS", "Lesotho", "AFRINIC", "Africa", 0, 0, 0),
+    ("LR", "Liberia", "AFRINIC", "Africa", 0, 0, 0),
+    ("LY", "Libya", "AFRINIC", "Africa", 1, 1, 0),
+    ("MG", "Madagascar", "AFRINIC", "Africa", 0, 1, 0),
+    ("MW", "Malawi", "AFRINIC", "Africa", 0, 0, 0),
+    ("ML", "Mali", "AFRINIC", "Africa", 0, 1, 0),
+    ("MR", "Mauritania", "AFRINIC", "Africa", 0, 0, 0),
+    ("MU", "Mauritius", "AFRINIC", "Africa", 0, 0, 1),
+    ("MA", "Morocco", "AFRINIC", "Africa", 2, 2, 1),
+    ("MZ", "Mozambique", "AFRINIC", "Africa", 0, 1, 0),
+    ("NA", "Namibia", "AFRINIC", "Africa", 0, 0, 1),
+    ("NE", "Niger", "AFRINIC", "Africa", 0, 0, 0),
+    ("NG", "Nigeria", "AFRINIC", "Africa", 2, 3, 0),
+    ("RW", "Rwanda", "AFRINIC", "Africa", 0, 0, 0),
+    ("ST", "Sao Tome and Principe", "AFRINIC", "Africa", 0, 0, 0),
+    ("SN", "Senegal", "AFRINIC", "Africa", 1, 1, 0),
+    ("SC", "Seychelles", "AFRINIC", "Africa", 0, 0, 1),
+    ("SL", "Sierra Leone", "AFRINIC", "Africa", 0, 0, 0),
+    ("SO", "Somalia", "AFRINIC", "Africa", 0, 0, 0),
+    ("ZA", "South Africa", "AFRINIC", "Africa", 3, 2, 1),
+    ("SS", "South Sudan", "AFRINIC", "Africa", 0, 0, 0),
+    ("SD", "Sudan", "AFRINIC", "Africa", 1, 1, 0),
+    ("SZ", "Eswatini", "AFRINIC", "Africa", 0, 0, 0),
+    ("TZ", "Tanzania", "AFRINIC", "Africa", 1, 1, 0),
+    ("TG", "Togo", "AFRINIC", "Africa", 0, 0, 0),
+    ("TN", "Tunisia", "AFRINIC", "Africa", 1, 1, 1),
+    ("UG", "Uganda", "AFRINIC", "Africa", 1, 1, 0),
+    ("ZM", "Zambia", "AFRINIC", "Africa", 0, 1, 0),
+    ("ZW", "Zimbabwe", "AFRINIC", "Africa", 0, 1, 0),
+    # ---- APNIC -------------------------------------------------------------
+    ("AF", "Afghanistan", "APNIC", "Asia", 0, 1, 0),
+    ("AU", "Australia", "APNIC", "Oceania", 3, 2, 2),
+    ("BD", "Bangladesh", "APNIC", "Asia", 1, 3, 0),
+    ("BT", "Bhutan", "APNIC", "Asia", 0, 0, 0),
+    ("BN", "Brunei", "APNIC", "Asia", 0, 0, 2),
+    ("KH", "Cambodia", "APNIC", "Asia", 0, 1, 0),
+    ("CN", "China", "APNIC", "Asia", 4, 5, 1),
+    ("FJ", "Fiji", "APNIC", "Oceania", 0, 0, 1),
+    ("HK", "Hong Kong", "APNIC", "Asia", 2, 1, 2),
+    ("IN", "India", "APNIC", "Asia", 4, 5, 1),
+    ("ID", "Indonesia", "APNIC", "Asia", 3, 4, 1),
+    ("JP", "Japan", "APNIC", "Asia", 4, 3, 2),
+    ("KI", "Kiribati", "APNIC", "Oceania", 0, 0, 0),
+    ("KP", "North Korea", "APNIC", "Asia", 0, 0, 0),
+    ("KR", "South Korea", "APNIC", "Asia", 4, 3, 2),
+    ("LA", "Laos", "APNIC", "Asia", 0, 1, 0),
+    ("LK", "Sri Lanka", "APNIC", "Asia", 1, 1, 1),
+    ("MO", "Macao", "APNIC", "Asia", 0, 0, 2),
+    ("MY", "Malaysia", "APNIC", "Asia", 2, 2, 1),
+    ("MV", "Maldives", "APNIC", "Asia", 0, 0, 1),
+    ("MH", "Marshall Islands", "APNIC", "Oceania", 0, 0, 0),
+    ("FM", "Micronesia", "APNIC", "Oceania", 0, 0, 0),
+    ("MN", "Mongolia", "APNIC", "Asia", 0, 0, 1),
+    ("MM", "Myanmar", "APNIC", "Asia", 1, 1, 0),
+    ("NR", "Nauru", "APNIC", "Oceania", 0, 0, 0),
+    ("NP", "Nepal", "APNIC", "Asia", 0, 1, 0),
+    ("NZ", "New Zealand", "APNIC", "Oceania", 2, 1, 2),
+    ("PK", "Pakistan", "APNIC", "Asia", 2, 3, 0),
+    ("PW", "Palau", "APNIC", "Oceania", 0, 0, 1),
+    ("PG", "Papua New Guinea", "APNIC", "Oceania", 0, 0, 0),
+    ("PH", "Philippines", "APNIC", "Asia", 2, 3, 1),
+    ("WS", "Samoa", "APNIC", "Oceania", 0, 0, 0),
+    ("SB", "Solomon Islands", "APNIC", "Oceania", 0, 0, 0),
+    ("SG", "Singapore", "APNIC", "Asia", 2, 1, 2),
+    ("TW", "Taiwan", "APNIC", "Asia", 3, 2, 2),
+    ("TH", "Thailand", "APNIC", "Asia", 2, 2, 1),
+    ("TL", "Timor-Leste", "APNIC", "Asia", 0, 0, 0),
+    ("TO", "Tonga", "APNIC", "Oceania", 0, 0, 0),
+    ("TV", "Tuvalu", "APNIC", "Oceania", 0, 0, 0),
+    ("VU", "Vanuatu", "APNIC", "Oceania", 0, 0, 0),
+    ("VN", "Vietnam", "APNIC", "Asia", 3, 3, 1),
+    # ---- RIPE -----------------------------------------------------------------
+    ("AL", "Albania", "RIPE", "Europe", 0, 0, 1),
+    ("AD", "Andorra", "RIPE", "Europe", 0, 0, 2),
+    ("AM", "Armenia", "RIPE", "Asia", 0, 0, 1),
+    ("AT", "Austria", "RIPE", "Europe", 2, 1, 2),
+    ("AZ", "Azerbaijan", "RIPE", "Asia", 1, 1, 1),
+    ("BY", "Belarus", "RIPE", "Europe", 1, 1, 1),
+    ("BE", "Belgium", "RIPE", "Europe", 2, 1, 2),
+    ("BA", "Bosnia and Herzegovina", "RIPE", "Europe", 0, 0, 1),
+    ("BG", "Bulgaria", "RIPE", "Europe", 1, 1, 1),
+    ("HR", "Croatia", "RIPE", "Europe", 1, 0, 2),
+    ("CY", "Cyprus", "RIPE", "Europe", 0, 0, 2),
+    ("CZ", "Czechia", "RIPE", "Europe", 2, 1, 2),
+    ("DK", "Denmark", "RIPE", "Europe", 2, 1, 2),
+    ("EE", "Estonia", "RIPE", "Europe", 0, 0, 2),
+    ("FI", "Finland", "RIPE", "Europe", 2, 1, 2),
+    ("FR", "France", "RIPE", "Europe", 4, 3, 2),
+    ("GE", "Georgia", "RIPE", "Asia", 0, 0, 1),
+    ("DE", "Germany", "RIPE", "Europe", 4, 3, 2),
+    ("GR", "Greece", "RIPE", "Europe", 1, 1, 2),
+    ("GL", "Greenland", "RIPE", "Americas", 0, 0, 2),
+    ("HU", "Hungary", "RIPE", "Europe", 1, 1, 1),
+    ("IS", "Iceland", "RIPE", "Europe", 0, 0, 2),
+    ("IE", "Ireland", "RIPE", "Europe", 1, 1, 2),
+    ("IL", "Israel", "RIPE", "Asia", 2, 1, 2),
+    ("IT", "Italy", "RIPE", "Europe", 3, 2, 2),
+    ("KZ", "Kazakhstan", "RIPE", "Asia", 1, 1, 1),
+    ("KG", "Kyrgyzstan", "RIPE", "Asia", 0, 0, 0),
+    ("LV", "Latvia", "RIPE", "Europe", 0, 0, 2),
+    ("LI", "Liechtenstein", "RIPE", "Europe", 0, 0, 2),
+    ("LT", "Lithuania", "RIPE", "Europe", 1, 0, 2),
+    ("LU", "Luxembourg", "RIPE", "Europe", 0, 0, 2),
+    ("MT", "Malta", "RIPE", "Europe", 0, 0, 2),
+    ("MD", "Moldova", "RIPE", "Europe", 0, 0, 0),
+    ("MC", "Monaco", "RIPE", "Europe", 0, 0, 2),
+    ("ME", "Montenegro", "RIPE", "Europe", 0, 0, 1),
+    ("NL", "Netherlands", "RIPE", "Europe", 3, 2, 2),
+    ("MK", "North Macedonia", "RIPE", "Europe", 0, 0, 1),
+    ("NO", "Norway", "RIPE", "Europe", 2, 1, 2),
+    ("PL", "Poland", "RIPE", "Europe", 2, 2, 2),
+    ("PT", "Portugal", "RIPE", "Europe", 1, 1, 2),
+    ("RO", "Romania", "RIPE", "Europe", 2, 1, 1),
+    ("RU", "Russia", "RIPE", "Europe", 4, 4, 1),
+    ("SM", "San Marino", "RIPE", "Europe", 0, 0, 2),
+    ("RS", "Serbia", "RIPE", "Europe", 1, 1, 1),
+    ("SK", "Slovakia", "RIPE", "Europe", 1, 0, 2),
+    ("SI", "Slovenia", "RIPE", "Europe", 0, 0, 2),
+    ("ES", "Spain", "RIPE", "Europe", 3, 2, 2),
+    ("SE", "Sweden", "RIPE", "Europe", 2, 1, 2),
+    ("CH", "Switzerland", "RIPE", "Europe", 2, 1, 2),
+    ("TJ", "Tajikistan", "RIPE", "Asia", 0, 0, 0),
+    ("TM", "Turkmenistan", "RIPE", "Asia", 0, 0, 0),
+    ("TR", "Turkey", "RIPE", "Asia", 2, 3, 1),
+    ("UA", "Ukraine", "RIPE", "Europe", 2, 2, 1),
+    ("GB", "United Kingdom", "RIPE", "Europe", 4, 3, 2),
+    ("UZ", "Uzbekistan", "RIPE", "Asia", 1, 1, 0),
+    ("AE", "United Arab Emirates", "RIPE", "Asia", 1, 1, 2),
+    ("BH", "Bahrain", "RIPE", "Asia", 0, 0, 2),
+    ("IQ", "Iraq", "RIPE", "Asia", 1, 1, 0),
+    ("IR", "Iran", "RIPE", "Asia", 2, 3, 1),
+    ("JO", "Jordan", "RIPE", "Asia", 0, 1, 1),
+    ("KW", "Kuwait", "RIPE", "Asia", 0, 0, 2),
+    ("LB", "Lebanon", "RIPE", "Asia", 0, 0, 1),
+    ("OM", "Oman", "RIPE", "Asia", 0, 0, 1),
+    ("PS", "Palestine", "RIPE", "Asia", 0, 0, 0),
+    ("QA", "Qatar", "RIPE", "Asia", 0, 0, 2),
+    ("SA", "Saudi Arabia", "RIPE", "Asia", 2, 2, 2),
+    ("SY", "Syria", "RIPE", "Asia", 0, 1, 0),
+    ("YE", "Yemen", "RIPE", "Asia", 0, 1, 0),
+]
+
+COUNTRIES: Tuple[Country, ...] = tuple(
+    Country(cc, name, rir, region, addr, pop, dev)
+    for cc, name, rir, region, addr, pop, dev in _ROWS
+)
+
+_BY_CC: Dict[str, Country] = {country.cc: country for country in COUNTRIES}
+if len(_BY_CC) != len(COUNTRIES):
+    raise AssertionError("duplicate country codes in the static table")
+
+
+def country_by_cc(cc: str) -> Country:
+    """Look up a country by ISO-3166 alpha-2 code (KeyError if unknown)."""
+    return _BY_CC[cc.upper()]
+
+
+def countries_by_rir(rir: str) -> List[Country]:
+    """All countries served by the given RIR."""
+    return [country for country in COUNTRIES if country.rir == rir]
+
+
+def countries_by_region(region: str) -> List[Country]:
+    """All countries in the given continent-level region."""
+    return [country for country in COUNTRIES if country.region == region]

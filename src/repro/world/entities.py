@@ -1,0 +1,164 @@
+"""Entities of the ground-truth world: governments, funds, companies, ASNs.
+
+The ownership universe is a directed graph of *entities* connected by equity
+stakes.  Operators are the entities that actually run networks; every other
+kind exists to make ownership discovery hard in the ways the paper documents
+(state funds whose aggregate holdings confer control, holding-company chains,
+private conglomerates, joint ventures).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import OwnershipError
+
+__all__ = [
+    "EntityKind",
+    "OperatorRole",
+    "OperatorScope",
+    "Entity",
+    "Operator",
+    "OwnershipStake",
+    "AsnRecord",
+]
+
+
+class EntityKind(enum.Enum):
+    """What kind of legal entity this is."""
+
+    GOVERNMENT = "government"    # a federal-level government unit
+    STATE_FUND = "state_fund"    # sovereign wealth / pension fund
+    HOLDING = "holding"          # intermediate holding company
+    OPERATOR = "operator"        # a company operating networks
+    PRIVATE = "private"          # private conglomerate / investor pool
+    SUBNATIONAL = "subnational"  # province/municipality government unit
+
+
+class OperatorRole(enum.Enum):
+    """Business role of an operator (drives topology + market share)."""
+
+    INCUMBENT = "incumbent"        # legacy national access operator
+    ACCESS = "access"              # competitive access ISP
+    MOBILE = "mobile"              # mobile-first access operator
+    TRANSIT = "transit"            # wholesale transit / backbone
+    CABLE = "cable"                # submarine-cable operator
+    ACADEMIC = "academic"          # research & education network
+    GOVNET = "govnet"              # government-office connectivity
+    NIC = "nic"                    # ccTLD / registry infrastructure
+    ENTERPRISE = "enterprise"      # hosting / enterprise network
+
+
+#: Roles whose services are restricted to certain sectors; the paper's §5.3
+#: excludes these from the state-owned *Internet operator* definition.
+RESTRICTED_ROLES = frozenset(
+    {OperatorRole.ACADEMIC, OperatorRole.GOVNET, OperatorRole.NIC}
+)
+
+
+class OperatorScope(enum.Enum):
+    """Administrative level at which the operator works."""
+
+    NATIONAL = "national"
+    SUBNATIONAL = "subnational"
+
+
+@dataclass
+class Entity:
+    """A legal entity in the ownership graph."""
+
+    entity_id: str
+    kind: EntityKind
+    name: str                      # legal name
+    cc: str                        # country of registration
+    brand: Optional[str] = None    # commercial/brand name, if different
+
+    @property
+    def display_name(self) -> str:
+        """Brand if present, otherwise the legal name."""
+        return self.brand or self.name
+
+    def __post_init__(self) -> None:
+        if not self.entity_id:
+            raise OwnershipError("entity_id must be non-empty")
+        if not self.name:
+            raise OwnershipError(f"entity {self.entity_id} has an empty name")
+
+
+@dataclass
+class Operator(Entity):
+    """An entity that operates networks (may own zero or more ASNs).
+
+    ``home_cc`` is the country whose market the operator serves; for foreign
+    subsidiaries it equals ``cc`` (the registration country) while the
+    controlling government sits elsewhere in the ownership graph.
+    """
+
+    role: OperatorRole = OperatorRole.ACCESS
+    scope: OperatorScope = OperatorScope.NATIONAL
+    founded_year: int = 2000
+    website: Optional[str] = None    # domain, e.g. "zamtel.example"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind is not EntityKind.OPERATOR:
+            raise OwnershipError(
+                f"operator {self.entity_id} must have kind OPERATOR"
+            )
+
+    @property
+    def offers_unrestricted_service(self) -> bool:
+        """True if the operator sells access/transit to the general market."""
+        return self.role not in RESTRICTED_ROLES
+
+
+@dataclass(frozen=True)
+class OwnershipStake:
+    """``owner`` holds ``fraction`` of ``owned``'s equity."""
+
+    owner_id: str
+    owned_id: str
+    fraction: float
+    since_year: int = 2000  # enables timestamped-ownership extensions (§9)
+
+    def __post_init__(self) -> None:
+        if self.owner_id == self.owned_id:
+            raise OwnershipError(f"{self.owner_id} cannot own itself")
+        if not 0.0 < self.fraction <= 1.0:
+            raise OwnershipError(
+                f"stake {self.owner_id}->{self.owned_id} has invalid "
+                f"fraction {self.fraction}"
+            )
+
+
+@dataclass
+class AsnRecord:
+    """An AS number delegated to an operator.
+
+    ``registered_name`` is what WHOIS will report — often a stale or local
+    legal name that differs from the operator's current name (§2, §4.2).
+    ``cc`` is the country where the AS operates (the subsidiary's country for
+    foreign subsidiaries, which also determines the delegating RIR).
+    """
+
+    asn: int
+    operator_id: str
+    cc: str
+    rir: str
+    registered_name: str
+    role: OperatorRole
+    prefixes: List[Tuple[int, int]] = field(default_factory=list)  # (base, len)
+    eyeballs: int = 0              # true user population served by this AS
+
+    def __post_init__(self) -> None:
+        if self.asn < 1:
+            raise OwnershipError(f"invalid ASN {self.asn}")
+        if self.eyeballs < 0:
+            raise OwnershipError(f"AS{self.asn} has negative eyeballs")
+
+    @property
+    def num_addresses(self) -> int:
+        """Total announced address count across this AS's prefixes."""
+        return sum(1 << (32 - length) for _, length in self.prefixes)

@@ -1,0 +1,948 @@
+"""The synthetic ground-truth world generator.
+
+Materializes a full world from a :class:`~repro.config.WorldConfig`:
+
+* governments, funds, holdings, private groups and operator companies with
+  equity stakes reproducing the ownership archetypes of the paper;
+* foreign subsidiaries following the configured expansion profiles;
+* ASN delegations with realistic registered names (including stale and
+  unrelated local aliases);
+* IPv4 prefixes and eyeball populations sized by country;
+* a valley-free AS-level topology (tier-1 clique, international carriers,
+  country gateways, domestic operators, sibling ASNs, long-tail networks);
+* a set of BGP monitors.
+
+Everything is deterministic given the config's seed.  The derived data
+sources (:mod:`repro.sources`) and the classification pipeline only see
+noisy projections of this world; the world itself is the scoring oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import WorldConfig
+from repro.errors import WorldError
+from repro.net.asn import ASNAllocator
+from repro.net.monitors import MonitorSet, RouteCollector
+from repro.net.prefix import Prefix, summarize_address_counts
+from repro.net.topology import ASGraph
+from repro.rng import SeedSequenceFactory
+from repro.text.names import NameForge
+from repro.world.countries import COUNTRIES, Country
+from repro.world.entities import (
+    AsnRecord,
+    Entity,
+    EntityKind,
+    Operator,
+    OperatorRole,
+    OperatorScope,
+    OwnershipStake,
+)
+from repro.world.markets import CountryMarketPlan, OperatorPlan, plan_country
+from repro.world.ownership import OwnershipGraph
+
+__all__ = ["World", "WorldGenerator", "GroundTruthOperator"]
+
+#: Countries whose flagship state carrier acts as an international transit
+#: provider (big customer cones — the Table 5 archetypes: SingTel,
+#: Rostelecom, China Telecom, Angola Cables, Internexa, Swisscom, Exatel,
+#: BSCCL...).
+INTERNATIONAL_CARRIER_CCS: Tuple[str, ...] = (
+    "SG", "RU", "CN", "AO", "CO", "CH", "PL", "BD", "QA", "AE", "NO", "MY",
+)
+
+#: Advanced economies hosting the private global tier-1 carriers.
+_TIER1_HOME_CCS: Tuple[str, ...] = (
+    "US", "US", "US", "GB", "DE", "FR", "JP", "NL", "SE", "IT",
+)
+
+#: Private multinational groups (America-Movil-style) that own operators in
+#: several countries; they create the Orbis false-positive surface.
+_PRIVATE_GROUP_HOME_CCS: Tuple[str, ...] = ("MX", "ES", "GB", "IN", "FR", "ZA")
+
+
+@dataclass
+class GroundTruthOperator:
+    """One confirmed-by-construction state-owned Internet operator."""
+
+    operator: Operator
+    controlling_cc: str
+    is_foreign_subsidiary: bool
+    parent_operator_id: Optional[str]
+    asns: Tuple[int, ...]
+
+
+@dataclass
+class World:
+    """A fully materialized synthetic world (the scoring oracle)."""
+
+    config: WorldConfig
+    countries: Tuple[Country, ...]
+    ownership: OwnershipGraph
+    plans: Dict[str, CountryMarketPlan]
+    asn_records: Dict[int, AsnRecord]
+    operator_asns: Dict[str, List[int]]
+    graph: ASGraph
+    monitors: MonitorSet
+    tier1_asns: Tuple[int, ...]
+    international_carrier_asns: Dict[str, int]   # cc -> carrier ASN
+    gateway_asns: Dict[str, List[int]]            # cc -> gateway ASNs
+    transit_dominant_ccs: Set[str]
+    _collector: Optional[RouteCollector] = field(default=None, repr=False)
+    _truth_cache: Optional[List[GroundTruthOperator]] = field(
+        default=None, repr=False
+    )
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def collector(self) -> RouteCollector:
+        """Lazy route collector over the world's monitors."""
+        if self._collector is None:
+            self._collector = RouteCollector(self.graph, self.monitors)
+        return self._collector
+
+    def operators(self) -> List[Operator]:
+        return self.ownership.operators()
+
+    def operator(self, operator_id: str) -> Operator:
+        entity = self.ownership.entity(operator_id)
+        if not isinstance(entity, Operator):
+            raise WorldError(f"{operator_id} is not an operator")
+        return entity
+
+    def records_of(self, operator_id: str) -> List[AsnRecord]:
+        return [self.asn_records[a] for a in self.operator_asns.get(operator_id, [])]
+
+    def prefix_table(self) -> List[Tuple[Prefix, int]]:
+        """All announced (prefix, origin ASN) pairs."""
+        table: List[Tuple[Prefix, int]] = []
+        for record in self.asn_records.values():
+            for base, length in record.prefixes:
+                table.append((Prefix(base, length), record.asn))
+        return table
+
+    def true_address_counts(self) -> Dict[int, int]:
+        """De-duplicated announced address count per origin ASN."""
+        return summarize_address_counts(self.prefix_table())
+
+    def country_of_asn(self, asn: int) -> str:
+        return self.asn_records[asn].cc
+
+    # -- ground truth --------------------------------------------------------
+    def ground_truth(self) -> List[GroundTruthOperator]:
+        """All operators meeting the paper's state-owned definition (§3):
+        majority state control, national scope, unrestricted services."""
+        if self._truth_cache is not None:
+            return self._truth_cache
+        assessments = self.ownership.assess_all()
+        truth: List[GroundTruthOperator] = []
+        for op in self.ownership.operators():
+            verdict = assessments[op.entity_id]
+            if not verdict.is_state_controlled:
+                continue
+            if op.scope is not OperatorScope.NATIONAL:
+                continue
+            if not op.offers_unrestricted_service:
+                continue
+            controlling = verdict.controlling_cc
+            assert controlling is not None
+            foreign = controlling != op.cc
+            parent = self.ownership.majority_parent(op.entity_id)
+            parent_id = (
+                parent.entity_id
+                if parent is not None and isinstance(parent, Operator)
+                else None
+            )
+            truth.append(
+                GroundTruthOperator(
+                    operator=op,
+                    controlling_cc=controlling,
+                    is_foreign_subsidiary=foreign,
+                    parent_operator_id=parent_id,
+                    asns=tuple(self.operator_asns.get(op.entity_id, ())),
+                )
+            )
+        self._truth_cache = truth
+        return truth
+
+    def ground_truth_asns(self) -> Set[int]:
+        """The true set of state-owned ASNs."""
+        return {asn for gto in self.ground_truth() for asn in gto.asns}
+
+    def ground_truth_operator_ids(self) -> Set[str]:
+        return {gto.operator.entity_id for gto in self.ground_truth()}
+
+    def foreign_subsidiary_asns(self) -> Set[int]:
+        return {
+            asn
+            for gto in self.ground_truth()
+            if gto.is_foreign_subsidiary
+            for asn in gto.asns
+        }
+
+    def minority_operator_ids(self) -> Set[str]:
+        """Operators with a sub-threshold government stake (and no majority)."""
+        assessments = self.ownership.assess_all()
+        result: Set[str] = set()
+        for op in self.ownership.operators():
+            verdict = assessments[op.entity_id]
+            if verdict.is_state_controlled:
+                continue
+            if verdict.minority_stakes():
+                result.add(op.entity_id)
+        return result
+
+    def state_owned_countries(self) -> Set[str]:
+        """Countries that majority-own at least one Internet operator."""
+        return {gto.controlling_cc for gto in self.ground_truth()}
+
+
+class WorldGenerator:
+    """Builds a :class:`World` from a :class:`WorldConfig`."""
+
+    def __init__(self, config: Optional[WorldConfig] = None) -> None:
+        self.config = config or WorldConfig()
+        self._factory = SeedSequenceFactory(self.config.seed)
+        self._forge = NameForge(self._factory.stream("names"))
+        self._asn_alloc = ASNAllocator(self._factory.stream("asn"))
+        self._ownership = OwnershipGraph()
+        self._records: Dict[int, AsnRecord] = {}
+        self._operator_asns: Dict[str, List[int]] = {}
+        self._plans: Dict[str, CountryMarketPlan] = {}
+        self._graph = ASGraph()
+        self._addr_cursor = 1 << 24  # start allocating at 1.0.0.0
+        self._op_counter: Dict[str, int] = {}
+        self._gateway_asns: Dict[str, List[int]] = {}
+        self._primary_asn: Dict[str, int] = {}  # operator_id -> primary ASN
+        self._tier1_asns: List[int] = []
+        self._intl_carriers: Dict[str, int] = {}
+        self._transit_dominant: Set[str] = set()
+        self._private_groups: List[Entity] = []
+
+    # -- public entry point ----------------------------------------------------
+    def generate(self) -> World:
+        """Materialize the full world (deterministic for a given config)."""
+        self._create_governments()
+        self._create_private_groups()
+        self._plan_markets()
+        self._materialize_operators()
+        self._materialize_subsidiaries()
+        self._materialize_excluded_and_subnational()
+        self._materialize_tail()
+        self._build_tier1()
+        self._build_topology()
+        self._graph.validate()
+        self._ownership.validate()
+        monitors = MonitorSet.place(
+            self._graph,
+            self.config.monitor_count,
+            self._factory.stream("monitors"),
+        )
+        return World(
+            config=self.config,
+            countries=COUNTRIES,
+            ownership=self._ownership,
+            plans=self._plans,
+            asn_records=self._records,
+            operator_asns=self._operator_asns,
+            graph=self._graph,
+            monitors=monitors,
+            tier1_asns=tuple(self._tier1_asns),
+            international_carrier_asns=dict(self._intl_carriers),
+            gateway_asns=self._gateway_asns,
+            transit_dominant_ccs=set(self._transit_dominant),
+        )
+
+    # -- id helpers ----------------------------------------------------------
+    def _next_op_id(self, cc: str) -> str:
+        self._op_counter[cc] = self._op_counter.get(cc, 0) + 1
+        return f"op-{cc}-{self._op_counter[cc]}"
+
+    # -- step 1: governments and private groups --------------------------------
+    def _create_governments(self) -> None:
+        for country in COUNTRIES:
+            self._ownership.add_entity(
+                Entity(
+                    entity_id=f"gov-{country.cc}",
+                    kind=EntityKind.GOVERNMENT,
+                    name=f"Government of {country.name}",
+                    cc=country.cc,
+                )
+            )
+
+    def _create_private_groups(self) -> None:
+        rng = self._factory.stream("private-groups")
+        for i, cc in enumerate(_PRIVATE_GROUP_HOME_CCS):
+            group = Entity(
+                entity_id=f"group-{i}",
+                kind=EntityKind.PRIVATE,
+                name=self._forge.unrelated_legal_name("ARIN"),
+                cc=cc,
+            )
+            self._ownership.add_entity(group)
+            self._private_groups.append(group)
+        # A generic dispersed-float shareholder used where no named private
+        # owner is needed.
+        rng.random()  # keep the stream warm for future extensions
+
+    # -- step 2: market plans -----------------------------------------------------
+    def _plan_markets(self) -> None:
+        for country in COUNTRIES:
+            rng = self._factory.fresh(f"market:{country.cc}")
+            plan = plan_country(country, self.config, rng)
+            # Expansion-profile owners must have a state-owned flagship to
+            # attach subsidiaries to; force the incumbent if needed.
+            if (
+                country.cc in self.config.expansion_profiles
+                and country.cc not in self.config.no_state_ownership
+                and not plan.operators[0].is_state_owned
+            ):
+                plan.operators[0].archetype = "state_direct"
+            if plan.transit_dominant:
+                self._transit_dominant.add(country.cc)
+            self._plans[country.cc] = plan
+
+    # -- step 3: operators ---------------------------------------------------------
+    def _materialize_operators(self) -> None:
+        for country in COUNTRIES:
+            plan = self._plans[country.cc]
+            rng = self._factory.fresh(f"operators:{country.cc}")
+            for op_plan in plan.operators:
+                self._materialize_operator(country, op_plan, rng)
+
+    def _materialize_operator(
+        self, country: Country, op_plan: OperatorPlan, rng
+    ) -> Operator:
+        if op_plan.misleading_name:
+            legal, brand = self._forge.misleading_private_name(country.name)
+        elif op_plan.role is OperatorRole.INCUMBENT:
+            legal, brand = self._forge.incumbent(country.name, country.rir)
+        elif op_plan.role in (OperatorRole.TRANSIT, OperatorRole.CABLE):
+            legal, brand = self._forge.transit_operator(country.name, country.rir)
+        else:
+            legal, brand = self._forge.challenger(country.name, country.rir)
+        operator = Operator(
+            entity_id=self._next_op_id(country.cc),
+            kind=EntityKind.OPERATOR,
+            name=legal,
+            cc=country.cc,
+            brand=brand,
+            role=op_plan.role,
+            scope=OperatorScope.NATIONAL,
+            founded_year=rng.randint(1985, 2015),
+            website=f"{brand.lower().replace(' ', '')}.example",
+        )
+        self._ownership.add_entity(operator)
+        self._attach_ownership(operator, op_plan.archetype, country, rng)
+        self._allocate_asns(operator, op_plan, country, rng)
+        return operator
+
+    def _attach_ownership(
+        self, operator: Operator, archetype: str, country: Country, rng
+    ) -> None:
+        gov_id = f"gov-{country.cc}"
+        if archetype == "state_direct":
+            fraction = rng.uniform(0.51, 1.0)
+            self._ownership.add_stake(
+                OwnershipStake(gov_id, operator.entity_id, round(fraction, 3))
+            )
+        elif archetype == "state_funds":
+            # 2-3 funds, each a minority holder; their aggregate confers
+            # control (Telekom Malaysia pattern).
+            fund_count = rng.randint(2, 3)
+            target_total = rng.uniform(0.52, 0.72)
+            cuts = sorted(rng.random() for _ in range(fund_count - 1))
+            shares = [
+                (b - a) * target_total
+                for a, b in zip([0.0] + cuts, cuts + [1.0])
+            ]
+            for i, share in enumerate(shares):
+                fund = Entity(
+                    entity_id=f"fund-{country.cc}-{operator.entity_id}-{i}",
+                    kind=EntityKind.STATE_FUND,
+                    name=self._forge.fund(country.name),
+                    cc=country.cc,
+                )
+                self._ownership.add_entity(fund)
+                self._ownership.add_stake(
+                    OwnershipStake(gov_id, fund.entity_id, round(rng.uniform(0.7, 1.0), 3))
+                )
+                self._ownership.add_stake(
+                    OwnershipStake(
+                        fund.entity_id, operator.entity_id,
+                        round(min(share, 0.49), 3),
+                    )
+                )
+        elif archetype == "state_holding":
+            holding = Entity(
+                entity_id=f"hold-{country.cc}-{operator.entity_id}",
+                kind=EntityKind.HOLDING,
+                name=f"{country.name} Telecommunications Holding",
+                cc=country.cc,
+            )
+            self._ownership.add_entity(holding)
+            self._ownership.add_stake(
+                OwnershipStake(gov_id, holding.entity_id, round(rng.uniform(0.55, 1.0), 3))
+            )
+            self._ownership.add_stake(
+                OwnershipStake(
+                    holding.entity_id, operator.entity_id,
+                    round(rng.uniform(0.51, 0.95), 3),
+                )
+            )
+        elif archetype == "state_jv":
+            partner = rng.choice([c for c in COUNTRIES if c.cc != country.cc])
+            major = rng.uniform(0.51, 0.7)
+            minor = rng.uniform(0.1, min(0.3, 0.99 - major))
+            self._ownership.add_stake(
+                OwnershipStake(gov_id, operator.entity_id, round(major, 3))
+            )
+            self._ownership.add_stake(
+                OwnershipStake(
+                    f"gov-{partner.cc}", operator.entity_id, round(minor, 3)
+                )
+            )
+        elif archetype == "minority":
+            fraction = rng.uniform(0.08, 0.45)
+            self._ownership.add_stake(
+                OwnershipStake(gov_id, operator.entity_id, round(fraction, 3))
+            )
+        elif archetype == "private":
+            if self._private_groups and rng.random() < 0.22:
+                group = rng.choice(self._private_groups)
+                self._ownership.add_stake(
+                    OwnershipStake(
+                        group.entity_id, operator.entity_id,
+                        round(rng.uniform(0.51, 1.0), 3),
+                    )
+                )
+        else:
+            raise WorldError(f"unknown ownership archetype {archetype!r}")
+
+    # -- ASN + prefix + eyeball allocation ----------------------------------------
+    def _allocate_block(self, num_slash24: int) -> List[Tuple[int, int]]:
+        """Allocate non-overlapping aligned prefixes totalling ``num_slash24``
+        /24-equivalents; returns (base, length) tuples."""
+        prefixes: List[Tuple[int, int]] = []
+        remaining = max(1, num_slash24)
+        while remaining > 0:
+            size = 1 << (remaining.bit_length() - 1)  # largest power of two
+            addresses = size * 256
+            # Align the cursor to the block size.
+            if self._addr_cursor % addresses:
+                self._addr_cursor += addresses - (self._addr_cursor % addresses)
+            length = 24 - (size.bit_length() - 1)
+            prefixes.append((self._addr_cursor, length))
+            self._addr_cursor += addresses
+            remaining -= size
+        return prefixes
+
+    def _allocate_asns(
+        self, operator: Operator, op_plan: OperatorPlan, country: Country, rng
+    ) -> None:
+        budget_24s = self.config.addr_budget_by_class[country.addr_class]
+        addr_24s = max(1, round(op_plan.addr_share * budget_24s))
+        eyeballs_total = round(
+            op_plan.eyeball_share
+            * self.config.eyeball_budget_by_class[country.pop_class]
+        )
+        self._register_asns(
+            operator,
+            country.cc,
+            country.rir,
+            sibling_count=op_plan.sibling_count,
+            addr_24s=addr_24s,
+            eyeballs=eyeballs_total,
+            rng=rng,
+        )
+
+    def _register_asns(
+        self,
+        operator: Operator,
+        cc: str,
+        rir: str,
+        sibling_count: int,
+        addr_24s: int,
+        eyeballs: int,
+        rng,
+        unrelated_alias_prob: float = 0.0,
+    ) -> None:
+        asns = self._asn_alloc.allocate_many(rir, sibling_count)
+        self._operator_asns[operator.entity_id] = asns
+        self._primary_asn[operator.entity_id] = asns[0]
+        # The primary ASN gets the bulk of the address space and users.
+        if sibling_count == 1:
+            weights = [1.0]
+        else:
+            primary_weight = rng.uniform(0.55, 0.85)
+            rest = [rng.random() + 0.1 for _ in range(sibling_count - 1)]
+            rest_total = sum(rest)
+            weights = [primary_weight] + [
+                (1 - primary_weight) * r / rest_total for r in rest
+            ]
+        for i, (asn, weight) in enumerate(zip(asns, weights)):
+            share_24s = max(1, round(addr_24s * weight))
+            prefixes = self._allocate_block(share_24s)
+            if i == 0:
+                registered = operator.name
+            elif rng.random() < unrelated_alias_prob:
+                registered = self._forge.unrelated_legal_name(rir)
+            elif rng.random() < 0.26:
+                # Sibling from an acquisition keeps the acquired legal name.
+                registered = self._forge.unrelated_legal_name(rir)
+            elif rng.random() < 0.3:
+                registered = self._forge.stale_variant(operator.name)
+            else:
+                registered = operator.name
+            record = AsnRecord(
+                asn=asn,
+                operator_id=operator.entity_id,
+                cc=cc,
+                rir=rir,
+                registered_name=registered,
+                role=operator.role,
+                prefixes=prefixes,
+                eyeballs=round(eyeballs * weight),
+            )
+            self._records[asn] = record
+        # Occasionally announce a more-specific /24 out of a sibling ASN,
+        # exercising the more-specific de-duplication everywhere downstream.
+        if len(asns) > 1 and rng.random() < 0.25:
+            donor = self._records[asns[0]]
+            wide = next(
+                ((b, l) for b, l in donor.prefixes if l <= 22), None
+            )
+            if wide is not None:
+                base, _ = wide
+                self._records[asns[1]].prefixes.append((base, 24))
+
+    # -- step 4: foreign subsidiaries --------------------------------------------
+    def _materialize_subsidiaries(self) -> None:
+        by_cc = {c.cc: c for c in COUNTRIES}
+        for owner_cc, targets in self.config.expansion_profiles.items():
+            if owner_cc not in by_cc:
+                continue
+            rng = self._factory.fresh(f"expansion:{owner_cc}")
+            parent_id = self._flagship_state_operator(owner_cc)
+            if parent_id is None:
+                continue
+            parent = self._ownership.entity(parent_id)
+            for target_cc in targets:
+                target = by_cc.get(target_cc)
+                if target is None:
+                    continue
+                self._materialize_one_subsidiary(parent, target, rng)
+
+    def _flagship_state_operator(self, cc: str) -> Optional[str]:
+        """The state-owned operator with the most address space in ``cc``."""
+        assessments = self._ownership.assess_all()
+        best: Optional[str] = None
+        best_size = -1
+        for op in self._ownership.operators():
+            if op.cc != cc:
+                continue
+            verdict = assessments[op.entity_id]
+            if verdict.controlling_cc != cc:
+                continue
+            size = sum(
+                self._records[a].num_addresses
+                for a in self._operator_asns.get(op.entity_id, [])
+            )
+            if size > best_size:
+                best, best_size = op.entity_id, size
+        return best
+
+    def _materialize_one_subsidiary(
+        self, parent: Entity, target: Country, rng
+    ) -> None:
+        parent_brand = parent.display_name
+        legal, brand = self._forge.subsidiary(parent_brand, target.name, target.rir)
+        if parent.cc == "CO":
+            role = OperatorRole.TRANSIT          # the Internexa archetype
+        elif rng.random() < 0.6:
+            role = OperatorRole.MOBILE
+        else:
+            role = OperatorRole.ACCESS
+        subsidiary = Operator(
+            entity_id=self._next_op_id(target.cc),
+            kind=EntityKind.OPERATOR,
+            name=legal,
+            cc=target.cc,
+            brand=brand,
+            role=role,
+            scope=OperatorScope.NATIONAL,
+            founded_year=rng.randint(1998, 2018),
+            website=f"{brand.lower().replace(' ', '')}.example",
+        )
+        self._ownership.add_entity(subsidiary)
+        self._ownership.add_stake(
+            OwnershipStake(
+                parent.entity_id, subsidiary.entity_id,
+                round(rng.uniform(0.51, 1.0), 3),
+            )
+        )
+        if rng.random() < self.config.asnless_subsidiary_prob:
+            # Registered for legal purposes only; runs no network of its own
+            # (the China-Telecom-in-Brazil case).
+            self._operator_asns[subsidiary.entity_id] = []
+            return
+        # Foreign subsidiaries command a real access-market share, larger in
+        # Africa (Ooredoo/Etisalat pattern, where the paper finds foreign
+        # majorities in 6 countries), smaller elsewhere.
+        if target.region == "Africa":
+            share = rng.uniform(0.1, 0.65)
+        else:
+            share = rng.uniform(0.03, 0.22)
+        if role is OperatorRole.TRANSIT:
+            share *= 0.15
+        # In big address-space markets even a successful foreign entrant is
+        # a sliver of the announced space (China Telecom Americas in the US);
+        # eyeball share is dampened less (Optus serves 18 % of Australians).
+        addr_damp = (1.0, 1.0, 0.8, 0.25, 0.06, 0.02)[target.addr_class]
+        eyeball_share = share * addr_damp ** 0.5
+        share *= addr_damp
+        # Make room by shrinking the domestic operators' shares.
+        plan = self._plans[target.cc]
+        for op_plan in plan.operators:
+            op_plan.addr_share *= 1.0 - share
+            op_plan.eyeball_share *= 1.0 - share
+        # NOTE: domestic operators were already materialized with their
+        # original shares; the shrink applies to the *recorded plan*, while
+        # the subsidiary's own allocation below draws from the same country
+        # budget, slightly overcommitting it.  This models the generator's
+        # market totals approximately — shares are normalized downstream.
+        budget_24s = self.config.addr_budget_by_class[target.addr_class]
+        eyeball_budget = self.config.eyeball_budget_by_class[target.pop_class]
+        sub_plan_siblings = rng.randint(*self.config.subsidiary_sibling_range)
+        # The domestic market was already materialized against the full
+        # budget, so hitting a *net* share of s requires allocating
+        # s/(1-s) of the budget on top (s/(1-s) / (1 + s/(1-s)) == s).
+        addr_grossup = share / max(1e-6, 1.0 - min(share, 0.85))
+        eyeball_grossup = eyeball_share / max(
+            1e-6, 1.0 - min(eyeball_share, 0.85)
+        )
+        self._register_asns(
+            subsidiary,
+            target.cc,
+            target.rir,
+            sibling_count=sub_plan_siblings,
+            addr_24s=max(1, round(addr_grossup * budget_24s)),
+            eyeballs=round(
+                eyeball_grossup * eyeball_budget * rng.uniform(0.8, 1.2)
+            ),
+            rng=rng,
+            unrelated_alias_prob=0.35,
+        )
+        plan.operators.append(
+            OperatorPlan(
+                role=role,
+                archetype="foreign_subsidiary",
+                addr_share=share,
+                eyeball_share=eyeball_share,
+                sibling_count=sub_plan_siblings,
+            )
+        )
+
+    # -- step 5: excluded + subnational organizations ------------------------------
+    def _materialize_excluded_and_subnational(self) -> None:
+        for country in COUNTRIES:
+            plan = self._plans[country.cc]
+            rng = self._factory.fresh(f"excluded:{country.cc}")
+            for role in plan.excluded_roles:
+                suffix = {
+                    OperatorRole.ACADEMIC: "National Research and Education Network",
+                    OperatorRole.GOVNET: "Government Network Agency",
+                    OperatorRole.NIC: "Network Information Centre",
+                }[role]
+                operator = Operator(
+                    entity_id=self._next_op_id(country.cc),
+                    kind=EntityKind.OPERATOR,
+                    name=f"{country.name} {suffix}",
+                    cc=country.cc,
+                    brand=None,
+                    role=role,
+                    scope=OperatorScope.NATIONAL,
+                    founded_year=rng.randint(1990, 2012),
+                )
+                self._ownership.add_entity(operator)
+                self._ownership.add_stake(
+                    OwnershipStake(f"gov-{country.cc}", operator.entity_id, 1.0)
+                )
+                budget_24s = self.config.addr_budget_by_class[country.addr_class]
+                self._register_asns(
+                    operator, country.cc, country.rir,
+                    sibling_count=1,
+                    addr_24s=max(1, round(0.008 * budget_24s * rng.uniform(0.5, 1.5))),
+                    eyeballs=rng.randint(0, 20000)
+                    if role is OperatorRole.ACADEMIC else 0,
+                    rng=rng,
+                )
+            # Subnational state operators in large countries (§5.3 excludes
+            # them from the dataset even though a state entity owns them).
+            if country.addr_class >= 3 and rng.random() < 0.35:
+                province = Entity(
+                    entity_id=f"subnat-{country.cc}",
+                    kind=EntityKind.SUBNATIONAL,
+                    name=f"Province of {country.name} North",
+                    cc=country.cc,
+                )
+                self._ownership.add_entity(province)
+                operator = Operator(
+                    entity_id=self._next_op_id(country.cc),
+                    kind=EntityKind.OPERATOR,
+                    name=f"{country.name} Northern Regional Telecom",
+                    cc=country.cc,
+                    role=OperatorRole.ACCESS,
+                    scope=OperatorScope.SUBNATIONAL,
+                    founded_year=rng.randint(1995, 2015),
+                )
+                self._ownership.add_entity(operator)
+                self._ownership.add_stake(
+                    OwnershipStake(
+                        province.entity_id, operator.entity_id,
+                        round(rng.uniform(0.6, 1.0), 3),
+                    )
+                )
+                budget_24s = self.config.addr_budget_by_class[country.addr_class]
+                self._register_asns(
+                    operator, country.cc, country.rir,
+                    sibling_count=1,
+                    addr_24s=max(2, round(0.006 * budget_24s * rng.uniform(0.5, 1.5))),
+                    eyeballs=rng.randint(5000, 80000),
+                    rng=rng,
+                )
+
+    # -- step 6: long tail of small networks --------------------------------------
+    def _materialize_tail(self) -> None:
+        for country in COUNTRIES:
+            plan = self._plans[country.cc]
+            rng = self._factory.fresh(f"tail:{country.cc}")
+            eyeball_budget = self.config.eyeball_budget_by_class[country.pop_class]
+            tail_eyeballs = round(0.1 * eyeball_budget)
+            count = plan.tail_as_count
+            # The long tail shares ~5 % of the country's address budget so
+            # it never dilutes the planned operator market shares.
+            budget_24s = self.config.addr_budget_by_class[country.addr_class]
+            tail_24s_each = max(1, round(0.05 * budget_24s / max(count, 1)))
+            for i in range(count):
+                legal = self._forge.unrelated_legal_name(country.rir)
+                operator = Operator(
+                    entity_id=self._next_op_id(country.cc),
+                    kind=EntityKind.OPERATOR,
+                    name=legal,
+                    cc=country.cc,
+                    role=OperatorRole.ENTERPRISE
+                    if rng.random() < 0.6 else OperatorRole.ACCESS,
+                    scope=OperatorScope.NATIONAL,
+                    founded_year=rng.randint(1995, 2019),
+                )
+                self._ownership.add_entity(operator)
+                self._register_asns(
+                    operator, country.cc, country.rir,
+                    sibling_count=1,
+                    addr_24s=max(1, round(tail_24s_each * rng.uniform(0.5, 1.5))),
+                    eyeballs=max(0, round(tail_eyeballs / max(count, 1)))
+                    if operator.role is OperatorRole.ACCESS else 0,
+                    rng=rng,
+                )
+
+    # -- step 7: tier-1 carriers ------------------------------------------------------
+    def _build_tier1(self) -> None:
+        rng = self._factory.stream("tier1")
+        for i, cc in enumerate(_TIER1_HOME_CCS):
+            legal, brand = self._forge.transit_operator(
+                f"Backbone {i + 1}", "ARIN" if cc == "US" else "RIPE"
+            )
+            country = next(c for c in COUNTRIES if c.cc == cc)
+            operator = Operator(
+                entity_id=self._next_op_id(cc),
+                kind=EntityKind.OPERATOR,
+                name=legal,
+                cc=cc,
+                brand=brand,
+                role=OperatorRole.TRANSIT,
+                scope=OperatorScope.NATIONAL,
+                founded_year=rng.randint(1988, 2000),
+                website=f"{brand.lower().replace(' ', '')}.example",
+            )
+            self._ownership.add_entity(operator)
+            self._register_asns(
+                operator, cc, country.rir,
+                sibling_count=1,
+                addr_24s=rng.randint(20, 80),
+                eyeballs=0,
+                rng=rng,
+            )
+            self._tier1_asns.append(self._primary_asn[operator.entity_id])
+
+    # -- step 8: topology ---------------------------------------------------------------
+    def _build_topology(self) -> None:
+        rng = self._factory.stream("topology")
+        graph = self._graph
+        for asn in self._records:
+            graph.add_as(asn)
+        # Tier-1 full mesh.
+        for i, a in enumerate(self._tier1_asns):
+            for b in self._tier1_asns[i + 1:]:
+                graph.add_p2p(a, b)
+
+        assessments = self._ownership.assess_all()
+
+        # International carriers: the flagship state carrier of selected
+        # countries acts as cross-border transit.
+        for cc in INTERNATIONAL_CARRIER_CCS:
+            flagship = self._flagship_state_operator(cc)
+            if flagship is None:
+                continue
+            carrier_asn = self._primary_asn[flagship]
+            self._intl_carriers[cc] = carrier_asn
+            for provider in rng.sample(self._tier1_asns, k=2):
+                graph.add_c2p(carrier_asn, provider)
+            for other_cc, other_asn in self._intl_carriers.items():
+                if other_cc != cc and rng.random() < 0.4:
+                    graph.add_p2p(carrier_asn, other_asn)
+
+        carrier_asns = set(self._intl_carriers.values())
+        by_cc: Dict[str, List[int]] = {}
+        for asn, record in self._records.items():
+            by_cc.setdefault(record.cc, []).append(asn)
+
+        for country in COUNTRIES:
+            self._wire_country(country, rng, carrier_asns, assessments)
+
+    def _wire_country(self, country: Country, rng, carrier_asns, assessments) -> None:
+        graph = self._graph
+        cc = country.cc
+        plan = self._plans[cc]
+        # Identify this country's operator primaries (excluding tier-1s,
+        # which are wired already).
+        operator_primaries: List[Tuple[int, float, bool]] = []
+        gateway_candidates: List[int] = []
+        for op in self._ownership.operators():
+            if op.cc != cc:
+                continue
+            asns = self._operator_asns.get(op.entity_id, [])
+            if not asns:
+                continue
+            primary = asns[0]
+            if primary in self._tier1_asns:
+                continue
+            record = self._records[primary]
+            if record.role is OperatorRole.ENTERPRISE:
+                continue
+            is_carrier = primary in carrier_asns
+            operator_primaries.append(
+                (primary, record.num_addresses, is_carrier)
+            )
+            if record.role in (OperatorRole.TRANSIT, OperatorRole.CABLE):
+                gateway_candidates.append(primary)
+            elif record.role is OperatorRole.INCUMBENT:
+                gateway_candidates.append(primary)
+
+        if not operator_primaries:
+            return
+
+        # Gateways: prefer explicit transit/cable operators, else incumbent.
+        transit_gateways = [
+            asn for asn in gateway_candidates
+            if self._records[asn].role in (OperatorRole.TRANSIT, OperatorRole.CABLE)
+        ]
+        gateways = transit_gateways or gateway_candidates[:1]
+        self._gateway_asns[cc] = gateways
+
+        intl_pool = self._tier1_asns + [
+            asn for ccx, asn in self._intl_carriers.items() if ccx != cc
+        ]
+
+        # Gateways buy international transit.
+        for gateway in gateways:
+            if gateway in carrier_asns:
+                continue  # already wired to tier-1s
+            providers = rng.sample(intl_pool, k=min(len(intl_pool), rng.randint(1, 3)))
+            for provider in providers:
+                graph.add_c2p(gateway, provider)
+
+        transit_dominant = cc in self._transit_dominant
+        gateway_set = set(gateways)
+
+        # Operator primaries buy from gateways (transit-dominant) or mix in
+        # direct international transit (open markets).
+        for primary, _, is_carrier in operator_primaries:
+            if primary in gateway_set or is_carrier:
+                continue
+            if transit_dominant or rng.random() < 0.5:
+                for gateway in gateways[: rng.randint(1, max(1, len(gateways)))]:
+                    if gateway != primary:
+                        graph.add_c2p(primary, gateway)
+                if not transit_dominant and rng.random() < 0.4:
+                    graph.add_c2p(primary, rng.choice(intl_pool))
+            else:
+                providers = rng.sample(
+                    intl_pool, k=min(len(intl_pool), rng.randint(1, 2))
+                )
+                for provider in providers:
+                    graph.add_c2p(primary, provider)
+                if gateways and rng.random() < 0.3:
+                    if gateways[0] != primary:
+                        graph.add_c2p(primary, gateways[0])
+
+        # Sibling ASNs hang off their operator's primary.
+        for op in self._ownership.operators():
+            if op.cc != cc:
+                continue
+            asns = self._operator_asns.get(op.entity_id, [])
+            for sibling in asns[1:]:
+                graph.add_c2p(sibling, asns[0])
+
+        # Domestic peering among access operators (IXP effect).
+        access_primaries = [
+            p for p, _, _ in operator_primaries
+            if self._records[p].role
+            in (OperatorRole.ACCESS, OperatorRole.MOBILE, OperatorRole.INCUMBENT)
+        ]
+        for i, a in enumerate(access_primaries):
+            for b in access_primaries[i + 1:]:
+                if rng.random() < 0.25 and graph.relationship(a, b) is None:
+                    graph.add_p2p(a, b)
+
+        # Long-tail networks buy from domestic operators.
+        weights = [max(size, 1) for _, size, _ in operator_primaries]
+        primaries_only = [p for p, _, _ in operator_primaries]
+        for op in self._ownership.operators():
+            if op.cc != cc or op.role is not OperatorRole.ENTERPRISE:
+                continue
+            for asn in self._operator_asns.get(op.entity_id, []):
+                count = 1 if rng.random() < 0.7 else 2
+                chosen = set()
+                for _ in range(count):
+                    provider = rng.choices(primaries_only, weights=weights, k=1)[0]
+                    if provider != asn and provider not in chosen:
+                        graph.add_c2p(asn, provider)
+                        chosen.add(provider)
+
+        # Regional export: cable/carrier gateways pick up foreign customers
+        # in the same region (Angola Cables / BSCCL cone growth).
+        for gateway in gateways:
+            record = self._records[gateway]
+            if record.role is not OperatorRole.CABLE:
+                continue
+            neighbors = [
+                c for c in COUNTRIES
+                if c.region == country.region and c.cc != cc
+            ]
+            rng.shuffle(neighbors)
+            for neighbor in neighbors[: rng.randint(2, 6)]:
+                for foreign_gateway in self._gateway_asns.get(neighbor.cc, []):
+                    if (
+                        foreign_gateway != gateway
+                        and foreign_gateway not in carrier_asns
+                        # Never chain cable gateways under each other: a
+                        # triangle of such edges would create a c2p cycle.
+                        and self._records[foreign_gateway].role
+                        is not OperatorRole.CABLE
+                        and graph.relationship(foreign_gateway, gateway) is None
+                    ):
+                        graph.add_c2p(foreign_gateway, gateway)
+                        break

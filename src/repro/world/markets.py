@@ -1,0 +1,263 @@
+"""Per-country telecom market planning.
+
+For each country the planner decides — before any entity is materialized —
+which operators exist, their business roles, their ownership archetype, and
+their shares of the national access market (both address space and eyeballs).
+The generator then turns each plan into entities, stakes, ASNs and prefixes.
+
+Ownership archetypes mirror the structures documented in the paper (§2, §7):
+
+* ``state_direct``      — the government holds a direct majority.
+* ``state_funds``       — control via 2-3 state funds, none majority alone
+                          (Telekom Malaysia).
+* ``state_holding``     — control through a state holding company chain.
+* ``state_jv``          — two governments, one with the larger (majority)
+                          equity (PTCL, Telkomsel).
+* ``minority``          — a government minority stake in a private carrier
+                          (Deutsche Telekom, Orange).
+* ``private``           — no state participation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import WorldConfig
+from repro.world.countries import Country
+from repro.world.entities import OperatorRole
+
+__all__ = ["OwnershipArchetype", "OperatorPlan", "CountryMarketPlan", "plan_country"]
+
+OwnershipArchetype = str  # one of the literals documented above
+
+_STATE_ARCHETYPES: Tuple[str, ...] = (
+    "state_direct", "state_funds", "state_holding", "state_jv",
+)
+
+
+@dataclass
+class OperatorPlan:
+    """Blueprint for one operator inside a country's market."""
+
+    role: OperatorRole
+    archetype: OwnershipArchetype
+    addr_share: float = 0.0       # share of the country's announced space
+    eyeball_share: float = 0.0    # share of the country's Internet users
+    sibling_count: int = 1
+    is_gateway: bool = False      # transit gateway for the country
+    stealth: bool = False         # tiny footprint: only CTI can surface it
+    misleading_name: bool = False # Vodafone-Fiji-style naming
+
+    @property
+    def is_state_owned(self) -> bool:
+        return self.archetype in _STATE_ARCHETYPES
+
+
+@dataclass
+class CountryMarketPlan:
+    """All planned operators and excluded organizations for one country."""
+
+    country: Country
+    transit_dominant: bool
+    operators: List[OperatorPlan] = field(default_factory=list)
+    tail_as_count: int = 0
+    excluded_roles: List[OperatorRole] = field(default_factory=list)
+
+    @property
+    def state_owned_plans(self) -> List[OperatorPlan]:
+        return [plan for plan in self.operators if plan.is_state_owned]
+
+
+def _pick_archetype(config: WorldConfig, rng: random.Random) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for archetype, prob in zip(_STATE_ARCHETYPES, config.ownership_structure_mix):
+        cumulative += prob
+        if roll < cumulative:
+            return archetype
+    return "state_direct"
+
+
+def _split_shares(
+    rng: random.Random, leader_share: float, count: int
+) -> List[float]:
+    """Split ``1 - leader_share`` across ``count`` followers, descending."""
+    if count == 0:
+        return []
+    weights = sorted((rng.random() + 0.2 for _ in range(count)), reverse=True)
+    total = sum(weights)
+    remaining = max(0.0, 1.0 - leader_share)
+    return [remaining * w / total for w in weights]
+
+
+def plan_country(
+    country: Country, config: WorldConfig, rng: random.Random
+) -> CountryMarketPlan:
+    """Plan the telecom market of one country.
+
+    The draw order is fixed so that a given (seed, country) pair always
+    yields the same plan regardless of how other countries are planned.
+    """
+    region_prob = config.incumbent_state_prob.get(country.region, 0.4)
+    extra_prob = config.extra_state_operator_prob.get(country.region, 0.2)
+    if country.rir == "ARIN":
+        # The ARIN region is the paper's outlier: state ownership is nearly
+        # absent (2 of ~29 member economies).
+        region_prob *= 0.15
+        extra_prob *= 0.15
+    if country.dev_tier == 2 and country.addr_class >= 3:
+        # Large advanced economies privatized their incumbents decades ago
+        # (DT, Orange, NTT, KT are at most *minority* state-owned, §7).
+        region_prob *= 0.15
+        extra_prob *= 0.3
+    allows_state = country.cc not in config.no_state_ownership
+
+    transit_dominant = (
+        rng.random() < config.transit_dominant_prob.get(country.dev_tier, 0.2)
+    )
+
+    plan = CountryMarketPlan(country=country, transit_dominant=transit_dominant)
+
+    # --- incumbent ---------------------------------------------------------
+    forced_share = config.forced_state_share.get(country.cc)
+    incumbent_state = allows_state and (
+        forced_share is not None or rng.random() < region_prob
+    )
+    if incumbent_state:
+        archetype = _pick_archetype(config, rng)
+    else:
+        archetype = (
+            "minority"
+            if allows_state and rng.random() < config.minority_stake_prob
+            else "private"
+        )
+    # State incumbents in the developing world are sometimes de-facto
+    # monopolies — the Table 8 "over 0.9 of the access market" club.
+    monopoly_prob = {0: 0.40, 1: 0.10, 2: 0.03}[country.dev_tier]
+    if incumbent_state and forced_share is not None:
+        leader_share = forced_share * rng.uniform(0.99, 1.0)
+    elif incumbent_state and country.addr_class <= 2 and rng.random() < monopoly_prob:
+        leader_share = rng.uniform(0.88, 1.0)
+    elif country.addr_class >= 3:
+        # Large address-space markets are fragmented: even state incumbents
+        # hold a moderate slice of the announced space (BSNL, Rostelecom).
+        leader_share = rng.uniform(0.12, 0.38)
+    else:
+        leader_share = rng.uniform(0.28, 0.62)
+    incumbent = OperatorPlan(
+        role=OperatorRole.INCUMBENT,
+        archetype=archetype,
+        addr_share=leader_share,
+        sibling_count=rng.randint(*config.incumbent_sibling_range),
+        misleading_name=incumbent_state and rng.random() < 0.04,
+    )
+    plan.operators.append(incumbent)
+
+    # --- challengers -------------------------------------------------------
+    challenger_count = max(
+        1, config.access_operators_by_class[country.addr_class] - 1
+    )
+    challenger_shares = _split_shares(rng, leader_share, challenger_count)
+    # Reserve a slice of the remainder for the long tail of small networks.
+    tail_fraction = rng.uniform(0.25, 0.6)
+    extra_state_budget = 1 if (allows_state and rng.random() < extra_prob) else 0
+    for i, raw_share in enumerate(challenger_shares):
+        share = raw_share * (1.0 - tail_fraction)
+        if extra_state_budget > 0 and i == 0 and not incumbent_state:
+            archetype = _pick_archetype(config, rng)
+            extra_state_budget -= 1
+        elif extra_state_budget > 0 and i == 1:
+            archetype = _pick_archetype(config, rng)
+            extra_state_budget -= 1
+        elif allows_state and rng.random() < config.minority_stake_prob * 0.3:
+            archetype = "minority"
+        else:
+            archetype = "private"
+        role = OperatorRole.MOBILE if rng.random() < 0.45 else OperatorRole.ACCESS
+        plan.operators.append(
+            OperatorPlan(
+                role=role,
+                archetype=archetype,
+                addr_share=share,
+                sibling_count=rng.randint(*config.other_sibling_range),
+            )
+        )
+
+    # --- transit / gateway operators -----------------------------------------
+    if country.cc in config.forced_cable_ccs and allows_state:
+        # The Figure 5 archetypes: a young state-owned submarine-cable
+        # company built to fix the country's international connectivity.
+        transit_dominant = True
+        plan.transit_dominant = True
+        plan.operators.append(
+            OperatorPlan(
+                role=OperatorRole.CABLE,
+                archetype="state_direct",
+                addr_share=rng.uniform(0.01, 0.04),
+                sibling_count=1,
+                is_gateway=True,
+            )
+        )
+    elif transit_dominant and allows_state and rng.random() < config.state_gateway_prob:
+        stealth = rng.random() < config.stealth_gateway_prob
+        role = OperatorRole.CABLE if rng.random() < 0.35 else OperatorRole.TRANSIT
+        plan.operators.append(
+            OperatorPlan(
+                role=role,
+                archetype=_pick_archetype(config, rng),
+                addr_share=0.002 if stealth else rng.uniform(0.01, 0.05),
+                sibling_count=1 if stealth else rng.randint(1, 2),
+                is_gateway=True,
+                stealth=stealth,
+            )
+        )
+    elif country.addr_class >= 3 and rng.random() < 0.5:
+        # Large countries get a private wholesale transit carrier.
+        plan.operators.append(
+            OperatorPlan(
+                role=OperatorRole.TRANSIT,
+                archetype="private",
+                addr_share=rng.uniform(0.005, 0.03),
+                sibling_count=rng.randint(1, 2),
+                is_gateway=not transit_dominant and rng.random() < 0.3,
+            )
+        )
+
+    # --- eyeball shares -----------------------------------------------------
+    # Eyeball share correlates with, but is not identical to, address share:
+    # mobile operators serve many users over little address space (CGNAT).
+    access_plans = [
+        p for p in plan.operators
+        if p.role in (OperatorRole.INCUMBENT, OperatorRole.ACCESS, OperatorRole.MOBILE)
+    ]
+    raw_weights: List[float] = []
+    for p in access_plans:
+        weight = max(p.addr_share, 1e-4)
+        if p.role is OperatorRole.MOBILE:
+            weight *= rng.uniform(1.2, 2.6)
+        else:
+            weight *= rng.uniform(0.8, 1.2)
+        raw_weights.append(weight)
+    if leader_share >= 0.85:
+        # De-facto monopolies leave almost no eyeballs to the long tail.
+        eyeball_tail = rng.uniform(0.01, 0.05)
+    else:
+        eyeball_tail = rng.uniform(0.05, 0.2)
+    weight_total = sum(raw_weights)
+    for p, w in zip(access_plans, raw_weights):
+        p.eyeball_share = (1.0 - eyeball_tail) * w / weight_total
+
+    # --- tail + excluded organizations --------------------------------------
+    plan.tail_as_count = config.scaled(
+        config.tail_ases_by_class[country.addr_class], minimum=1
+    )
+    if rng.random() < config.excluded_org_prob:
+        plan.excluded_roles.append(OperatorRole.ACADEMIC)
+    if rng.random() < config.excluded_org_prob * 0.7:
+        plan.excluded_roles.append(OperatorRole.GOVNET)
+    if rng.random() < config.excluded_org_prob * 0.4:
+        plan.excluded_roles.append(OperatorRole.NIC)
+
+    return plan

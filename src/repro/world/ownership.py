@@ -1,0 +1,289 @@
+"""Ownership graph and state-control assessment.
+
+Implements the paper's working definition (§3): a firm is state-owned when a
+federal-level government unit holds at least 50 % of its equity, where the
+holding may be *indirect* — aggregated across entities the government itself
+controls (sovereign funds, pension funds, holding companies).  The
+Telekom-Malaysia example from §2 is the canonical case: three state funds,
+none with a majority alone, jointly confer control.
+
+Control is computed as a fixed point: a government controls an entity when
+the stakes held by the government plus the stakes held by already-controlled
+entities sum to >= the control threshold.  This matches the "control chain"
+reading of the IMF definition (control of a shareholder confers that
+shareholder's full voting weight, not a multiplicative slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import OwnershipError
+from repro.world.entities import Entity, EntityKind, Operator, OwnershipStake
+
+__all__ = ["CONTROL_THRESHOLD", "ControlAssessment", "OwnershipGraph"]
+
+#: IMF Fiscal Monitor (April 2020) threshold used by the paper.
+CONTROL_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class ControlAssessment:
+    """The state-control verdict for one entity.
+
+    ``controlling_cc`` is the country code of the (single) government with
+    aggregate control, or None.  ``state_equity`` maps every government cc
+    with any direct or chained stake to its aggregate voting fraction, so
+    minority participations (§7) are visible too.
+    """
+
+    entity_id: str
+    controlling_cc: Optional[str]
+    state_equity: Mapping[str, float]
+
+    @property
+    def is_state_controlled(self) -> bool:
+        return self.controlling_cc is not None
+
+    def minority_stakes(self) -> Dict[str, float]:
+        """Government stakes that do not reach the control threshold."""
+        return {
+            cc: fraction
+            for cc, fraction in self.state_equity.items()
+            if fraction < CONTROL_THRESHOLD and fraction > 0
+        }
+
+
+class OwnershipGraph:
+    """Entities plus equity stakes, with control queries.
+
+    The graph enforces that total declared equity of an entity never exceeds
+    100 % (undeclared remainder is implicitly dispersed private float).
+    """
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, Entity] = {}
+        self._stakes_in: Dict[str, List[OwnershipStake]] = {}
+        self._stakes_out: Dict[str, List[OwnershipStake]] = {}
+        self._assessment_cache: Optional[Dict[str, ControlAssessment]] = None
+
+    # -- construction -------------------------------------------------------
+    def add_entity(self, entity: Entity) -> None:
+        if entity.entity_id in self._entities:
+            raise OwnershipError(f"duplicate entity {entity.entity_id}")
+        self._entities[entity.entity_id] = entity
+        self._stakes_in.setdefault(entity.entity_id, [])
+        self._stakes_out.setdefault(entity.entity_id, [])
+        self._assessment_cache = None
+
+    def add_stake(self, stake: OwnershipStake) -> None:
+        for endpoint in (stake.owner_id, stake.owned_id):
+            if endpoint not in self._entities:
+                raise OwnershipError(f"unknown entity {endpoint}")
+        declared = sum(s.fraction for s in self._stakes_in[stake.owned_id])
+        if declared + stake.fraction > 1.0 + 1e-9:
+            raise OwnershipError(
+                f"{stake.owned_id} equity would exceed 100 % "
+                f"({declared + stake.fraction:.3f})"
+            )
+        self._stakes_in[stake.owned_id].append(stake)
+        self._stakes_out[stake.owner_id].append(stake)
+        self._assessment_cache = None
+
+    # -- basic queries ---------------------------------------------------------
+    def entity(self, entity_id: str) -> Entity:
+        try:
+            return self._entities[entity_id]
+        except KeyError:
+            raise OwnershipError(f"unknown entity {entity_id}") from None
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def entities(self, kind: Optional[EntityKind] = None) -> List[Entity]:
+        """All entities, optionally filtered by kind."""
+        if kind is None:
+            return list(self._entities.values())
+        return [e for e in self._entities.values() if e.kind is kind]
+
+    def operators(self) -> List[Operator]:
+        """All operator entities."""
+        return [e for e in self._entities.values() if isinstance(e, Operator)]
+
+    def shareholders_of(self, entity_id: str) -> List[OwnershipStake]:
+        """Direct stakes into ``entity_id``."""
+        self.entity(entity_id)
+        return list(self._stakes_in[entity_id])
+
+    def holdings_of(self, entity_id: str) -> List[OwnershipStake]:
+        """Direct stakes held by ``entity_id``."""
+        self.entity(entity_id)
+        return list(self._stakes_out[entity_id])
+
+    def governments(self) -> List[Entity]:
+        return self.entities(EntityKind.GOVERNMENT)
+
+    # -- control computation ----------------------------------------------------
+    def _government_ccs(self) -> List[str]:
+        return [e.cc for e in self.governments()]
+
+    def controlled_set(self, government_cc: str) -> Set[str]:
+        """Entity ids controlled by the government of ``government_cc``.
+
+        Fixed-point expansion: an entity joins the controlled set when the
+        stakes held by the government entity itself plus stakes held by
+        already-controlled entities reach :data:`CONTROL_THRESHOLD`.
+        """
+        government_ids = {
+            e.entity_id
+            for e in self.governments()
+            if e.cc == government_cc
+        }
+        if not government_ids:
+            raise OwnershipError(f"no government entity for {government_cc!r}")
+        # Only entities reachable from the government via stake edges can
+        # possibly be controlled; restrict the fixpoint to that set so the
+        # computation stays proportional to the government's actual holdings.
+        reachable: Set[str] = set()
+        frontier = list(government_ids)
+        while frontier:
+            entity_id = frontier.pop()
+            for stake in self._stakes_out[entity_id]:
+                if stake.owned_id not in reachable:
+                    reachable.add(stake.owned_id)
+                    frontier.append(stake.owned_id)
+        controlled: Set[str] = set(government_ids)
+        changed = True
+        while changed:
+            changed = False
+            for entity_id in reachable:
+                if entity_id in controlled:
+                    continue
+                weight = sum(
+                    stake.fraction
+                    for stake in self._stakes_in[entity_id]
+                    if stake.owner_id in controlled
+                )
+                if weight >= CONTROL_THRESHOLD - 1e-9:
+                    controlled.add(entity_id)
+                    changed = True
+        return controlled - government_ids
+
+    def state_equity_of(self, entity_id: str, government_cc: str) -> float:
+        """Aggregate voting fraction the government holds in ``entity_id``.
+
+        Counts direct stakes of the government plus the full stakes of every
+        entity the government controls (chain semantics, not multiplicative).
+        """
+        controlled = self.controlled_set(government_cc)
+        government_ids = {
+            e.entity_id for e in self.governments() if e.cc == government_cc
+        }
+        holders = controlled | government_ids
+        return sum(
+            stake.fraction
+            for stake in self._stakes_in[entity_id]
+            if stake.owner_id in holders and stake.owned_id == entity_id
+        )
+
+    def assess_all(self) -> Dict[str, ControlAssessment]:
+        """Control assessments for every entity (cached until mutation)."""
+        if self._assessment_cache is not None:
+            return self._assessment_cache
+        per_government: Dict[str, Set[str]] = {}
+        for cc in set(self._government_ccs()):
+            per_government[cc] = self.controlled_set(cc)
+        assessments: Dict[str, ControlAssessment] = {}
+        government_ids_by_cc = {
+            cc: {e.entity_id for e in self.governments() if e.cc == cc}
+            for cc in per_government
+        }
+        for entity_id in self._entities:
+            equity: Dict[str, float] = {}
+            controlling: Optional[str] = None
+            for cc, controlled in per_government.items():
+                holders = controlled | government_ids_by_cc[cc]
+                weight = sum(
+                    stake.fraction
+                    for stake in self._stakes_in[entity_id]
+                    if stake.owner_id in holders
+                )
+                if weight > 0:
+                    equity[cc] = weight
+                if entity_id in controlled:
+                    # The fixed point guarantees at most one government can
+                    # hold >= 50 % of a single entity's equity... unless two
+                    # governments share a 50/50 joint venture; prefer the
+                    # larger aggregate stake, ties broken lexicographically.
+                    if controlling is None or equity.get(cc, 0.0) > equity.get(
+                        controlling, 0.0
+                    ):
+                        controlling = cc
+            assessments[entity_id] = ControlAssessment(
+                entity_id=entity_id,
+                controlling_cc=controlling,
+                state_equity=equity,
+            )
+        self._assessment_cache = assessments
+        return assessments
+
+    def assess(self, entity_id: str) -> ControlAssessment:
+        """Control assessment for one entity."""
+        self.entity(entity_id)
+        return self.assess_all()[entity_id]
+
+    # -- structure queries used by subsidiary discovery -----------------------------
+    def majority_parent(self, entity_id: str) -> Optional[Entity]:
+        """The single direct shareholder holding >= 50 %, if any."""
+        for stake in self._stakes_in[entity_id]:
+            if stake.fraction >= CONTROL_THRESHOLD - 1e-9:
+                return self._entities[stake.owner_id]
+        return None
+
+    def conglomerate_root(self, entity_id: str) -> Entity:
+        """Walk majority-parent links upward to the top company of the group.
+
+        Stops below government/fund entities: the root is the highest
+        *corporate* entity (the "conglomerate" name in the output dataset,
+        e.g. Telenor for Telenor Norge AS).
+        """
+        current = self.entity(entity_id)
+        seen = {current.entity_id}
+        while True:
+            parent = self.majority_parent(current.entity_id)
+            if parent is None or parent.kind in (
+                EntityKind.GOVERNMENT,
+                EntityKind.STATE_FUND,
+                EntityKind.SUBNATIONAL,
+            ):
+                return current
+            if parent.entity_id in seen:
+                raise OwnershipError(
+                    f"ownership cycle through {parent.entity_id}"
+                )
+            seen.add(parent.entity_id)
+            current = parent
+
+    def majority_subsidiaries(self, entity_id: str) -> List[Entity]:
+        """Entities in which ``entity_id`` directly holds >= 50 %."""
+        return [
+            self._entities[stake.owned_id]
+            for stake in self._stakes_out[entity_id]
+            if stake.fraction >= CONTROL_THRESHOLD - 1e-9
+        ]
+
+    def validate(self) -> None:
+        """Check invariants: stake endpoints exist, equity <= 100 %, no
+        majority-parent cycles."""
+        for entity_id, stakes in self._stakes_in.items():
+            total = sum(s.fraction for s in stakes)
+            if total > 1.0 + 1e-9:
+                raise OwnershipError(
+                    f"{entity_id} declared equity {total:.3f} exceeds 100 %"
+                )
+        for entity_id in self._entities:
+            self.conglomerate_root(entity_id)  # raises on cycles

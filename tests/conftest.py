@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Expensive artifacts (worlds, a full pipeline run) are session-scoped: the
+small world takes a couple of seconds to generate and the pipeline run ~20
+seconds, so every integration test reuses one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig, SourceNoiseConfig, WorldConfig
+from repro.core import PipelineInputs, StateOwnershipPipeline
+from repro.world.generator import World, WorldGenerator
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> World:
+    """A minimal world for fast structural tests."""
+    return WorldGenerator(WorldConfig.tiny()).generate()
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """The standard integration-test world."""
+    return WorldGenerator(WorldConfig.small()).generate()
+
+
+@pytest.fixture(scope="session")
+def small_inputs(small_world):
+    """All derived data sources for the small world."""
+    return PipelineInputs.from_world(small_world)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_inputs):
+    """One full pipeline run over the small world (shared, read-only)."""
+    return StateOwnershipPipeline(small_inputs).run()
+
+
+@pytest.fixture()
+def noise() -> SourceNoiseConfig:
+    return SourceNoiseConfig()
+
+
+@pytest.fixture()
+def pipeline_config() -> PipelineConfig:
+    return PipelineConfig()

@@ -1,0 +1,218 @@
+"""Tests for the evaluation analyses (tables, figures, report)."""
+
+import pytest
+
+from repro.analysis.cones import figure5_growth_series, table5_top_cones
+from repro.analysis.contributions import (
+    cti_only_ases,
+    source_contributions,
+    venn_regions,
+    venn_three_categories,
+)
+from repro.analysis.footprint import (
+    compute_footprints,
+    figure1_map_data,
+    figure4_histograms,
+    figure6_map_data,
+    table8_dominant_countries,
+)
+from repro.analysis.report import full_report, headline_stats
+from repro.analysis.tables import (
+    table1_confirmation_sources,
+    table2_country_participation,
+    table3_foreign_subsidiaries,
+    table4_by_rir,
+)
+from repro.core import validate_against_world
+from repro.sources.base import InputSource
+
+
+@pytest.fixture(scope="module")
+def footprints(pipeline_result, small_inputs):
+    return compute_footprints(
+        pipeline_result.dataset,
+        small_inputs.prefix2as,
+        small_inputs.geolocation,
+        small_inputs.eyeballs,
+    )
+
+
+class TestHeadline:
+    def test_shares_in_paper_band(self, pipeline_result, small_inputs):
+        stats = headline_stats(pipeline_result, small_inputs)
+        assert 0.08 <= stats["announced_space_share"] <= 0.3
+        assert (
+            stats["announced_space_share_ex_us"]
+            > stats["announced_space_share"]
+        )
+
+    def test_counts_consistent(self, pipeline_result, small_inputs):
+        stats = headline_stats(pipeline_result, small_inputs)
+        assert stats["foreign_subsidiary_asns"] <= stats["state_owned_asns"]
+        assert (
+            stats["foreign_subsidiary_companies"] <= stats["companies"]
+        )
+
+
+class TestTable1:
+    def test_website_dominates(self, pipeline_result):
+        table = table1_confirmation_sources(pipeline_result)
+        assert table["Company's website"] == max(table.values())
+
+    def test_totals_match_org_count(self, pipeline_result):
+        table = table1_confirmation_sources(pipeline_result)
+        assert sum(table.values()) == len(pipeline_result.dataset)
+
+
+class TestTable2:
+    def test_shape(self, pipeline_result):
+        table = table2_country_participation(pipeline_result)
+        assert table["state_owned_operators"] > table["subsidiaries"]
+        assert table["total_countries"] >= table["state_owned_operators"]
+
+
+class TestTable3:
+    def test_owners_sorted_by_reach(self, pipeline_result):
+        rows = table3_foreign_subsidiaries(pipeline_result)
+        counts = [count for _, count, _ in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_targets_differ_from_owner(self, pipeline_result):
+        for owner, _count, targets in table3_foreign_subsidiaries(
+            pipeline_result
+        ):
+            assert owner not in targets
+
+
+class TestTable4:
+    def test_arin_is_the_outlier(self, pipeline_result):
+        table = table4_by_rir(pipeline_result)
+        arin_pct = table["ARIN"][2]
+        for rir in ("AFRINIC", "APNIC", "RIPE"):
+            assert table[rir][2] > arin_pct
+
+    def test_world_row_aggregates(self, pipeline_result):
+        table = table4_by_rir(pipeline_result)
+        rirs = [r for r in table if r != "World"]
+        assert table["World"][0] == sum(table[r][0] for r in rirs)
+
+
+class TestTable5AndFigure5:
+    def test_top_cones_shape(self, pipeline_result, small_inputs):
+        rows = table5_top_cones(
+            pipeline_result.dataset, small_inputs.asrank, small_inputs.whois
+        )
+        assert len(rows) == 10
+        sizes = [size for *_x, size in rows]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] > 50  # state carriers serve real cones
+
+    def test_growth_series(self, pipeline_result, small_inputs):
+        series = figure5_growth_series(
+            pipeline_result.dataset, small_inputs.asrank, k=2
+        )
+        assert len(series) == 2
+        for history in series.values():
+            assert history[0][0] == (2010, 1)
+            assert history[-1][0] == (2020, 4)
+            assert history[-1][1] >= history[0][1]  # the decade grew
+
+
+class TestContributions:
+    def test_every_source_contributes(self, pipeline_result):
+        table = source_contributions(pipeline_result)
+        for code in ("G", "E", "C", "W", "O"):
+            ases, _subs, _minority = table[code]
+            assert ases > 0, f"source {code} contributed nothing"
+
+    def test_cti_is_smallest(self, pipeline_result):
+        table = source_contributions(pipeline_result)
+        cti = table["C"][0]
+        for code in ("G", "E", "W", "O"):
+            assert table[code][0] > cti
+
+    def test_total_row(self, pipeline_result):
+        table = source_contributions(pipeline_result)
+        assert table["TOTAL"][0] == len(pipeline_result.dataset.all_asns())
+
+    def test_cti_unique_contribution(self, pipeline_result, small_inputs):
+        rows = cti_only_ases(pipeline_result, small_inputs.whois)
+        assert rows, "CTI must contribute ASes no other source finds"
+        for asn, cc, name in rows:
+            assert pipeline_result.asn_inputs[asn] == frozenset(
+                {InputSource.CTI}
+            )
+
+    def test_venn_regions_sum(self, pipeline_result):
+        regions = venn_regions(pipeline_result)
+        attributed = sum(regions.values())
+        assert attributed <= len(pipeline_result.dataset.all_asns())
+        assert "00000" not in regions
+
+    def test_three_category_venn_sum(self, pipeline_result):
+        venn = venn_three_categories(pipeline_result)
+        total = sum(venn.values())
+        assert total <= len(pipeline_result.dataset.all_asns())
+        assert venn["all_three"] > 0
+
+
+class TestFootprint:
+    def test_shares_bounded(self, footprints):
+        for fp in footprints.values():
+            for value in (
+                fp.domestic_addr_share, fp.domestic_eyeball_share,
+                fp.foreign_addr_share, fp.foreign_eyeball_share,
+            ):
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_us_has_no_domestic_state_footprint(self, footprints):
+        us = footprints.get("US")
+        assert us is not None
+        assert us.domestic_addr_share == 0.0
+
+    def test_africa_hosts_foreign_footprints(self, footprints, small_world):
+        region_of = {c.cc: c.region for c in small_world.countries}
+        african_foreign = [
+            fp.foreign_max
+            for cc, fp in footprints.items()
+            if region_of.get(cc) == "Africa"
+        ]
+        assert sum(1 for v in african_foreign if v > 0.05) >= 3
+
+    def test_figure1_map(self, footprints):
+        data = figure1_map_data(footprints)
+        for blue, green in data.values():
+            assert 0.0 <= blue <= 1.0 + 1e-9
+            assert 0.0 <= green <= 1.0 + 1e-9
+
+    def test_figure4_bins(self, footprints):
+        for proxy in ("addresses", "eyeballs"):
+            bins = figure4_histograms(footprints, proxy)
+            assert set(bins) == {f"{i / 10:.1f}" for i in range(11)}
+
+    def test_figure4_rejects_bad_proxy(self, footprints):
+        with pytest.raises(ValueError):
+            figure4_histograms(footprints, "bananas")
+
+    def test_table8_dominants(self, footprints):
+        dominant = table8_dominant_countries(footprints)
+        assert len(dominant) >= 3
+        for _cc, value in dominant:
+            assert value >= 0.9
+
+    def test_figure6_colors(self, pipeline_result):
+        colors = figure6_map_data(pipeline_result.dataset, {"DE"})
+        assert set(colors.values()) <= {"majority", "minority", "none"}
+        assert "US" in colors and colors["US"] == "none"
+
+
+class TestFullReport:
+    def test_report_renders(self, pipeline_result, small_inputs, small_world):
+        validation = validate_against_world(pipeline_result, small_world)
+        text = full_report(pipeline_result, small_inputs, validation)
+        for marker in (
+            "Headline", "Table 1", "Table 2", "Table 3", "Table 4",
+            "Table 5", "Table 6", "Table 7", "Table 8", "Figure 3",
+            "Validation",
+        ):
+            assert marker in text

@@ -1,0 +1,69 @@
+"""Tests for ASN validation and the per-RIR allocator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.asn import ASNAllocator, MAX_ASN, is_valid_asn
+
+
+class TestIsValidAsn:
+    def test_ordinary_asns(self):
+        assert is_valid_asn(3356)
+        assert is_valid_asn(7473)
+        assert is_valid_asn(400000)
+
+    @pytest.mark.parametrize("reserved", [0, 23456, 65535, MAX_ASN])
+    def test_reserved_rejected(self, reserved):
+        assert not is_valid_asn(reserved)
+
+    @pytest.mark.parametrize("private", [64512, 65000, 65534, 4200000000])
+    def test_private_rejected(self, private):
+        assert not is_valid_asn(private)
+
+    def test_out_of_range(self):
+        assert not is_valid_asn(-1)
+        assert not is_valid_asn(2**32)
+
+    def test_bool_is_not_asn(self):
+        assert not is_valid_asn(True)
+
+
+class TestAllocator:
+    def make(self, seed=1):
+        return ASNAllocator(random.Random(seed))
+
+    def test_allocates_valid_unique(self):
+        alloc = self.make()
+        seen = set()
+        for rir in ("ARIN", "RIPE", "APNIC", "LACNIC", "AFRINIC"):
+            for asn in alloc.allocate_many(rir, 50):
+                assert is_valid_asn(asn)
+                assert asn not in seen
+                seen.add(asn)
+        assert len(alloc) == 250
+
+    def test_rir_of_allocated(self):
+        alloc = self.make()
+        asn = alloc.allocate("LACNIC")
+        assert alloc.rir_of(asn) == "LACNIC"
+
+    def test_rir_of_unknown_block(self):
+        alloc = self.make()
+        assert alloc.rir_of(65000) is None
+
+    def test_unknown_rir_raises(self):
+        with pytest.raises(ConfigError):
+            self.make().allocate("EXAMPLENIC")
+
+    def test_deterministic(self):
+        a = self.make(seed=7)
+        b = self.make(seed=7)
+        assert a.allocate_many("RIPE", 20) == b.allocate_many("RIPE", 20)
+
+    def test_iteration_sorted(self):
+        alloc = self.make()
+        alloc.allocate_many("APNIC", 10)
+        listed = list(alloc)
+        assert listed == sorted(listed)

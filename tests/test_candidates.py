@@ -1,0 +1,100 @@
+"""Tests for stage-1 candidate harvesting."""
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core.candidates import harvest_candidates
+from repro.sources.base import SOURCE_CODES, InputSource
+
+
+class TestInputSourceEnum:
+    def test_paper_codes(self):
+        assert InputSource.GEOLOCATION.value == "G"
+        assert InputSource.EYEBALLS.value == "E"
+        assert InputSource.CTI.value == "C"
+        assert InputSource.WIKIPEDIA_FH.value == "W"
+        assert InputSource.ORBIS.value == "O"
+
+    def test_technical_partition(self):
+        technical = {s for s in InputSource if s.is_technical}
+        assert technical == {
+            InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI
+        }
+
+    def test_code_lookup(self):
+        assert SOURCE_CODES["G"] is InputSource.GEOLOCATION
+
+
+@pytest.fixture(scope="module")
+def candidates(small_inputs):
+    return harvest_candidates(
+        table=small_inputs.prefix2as,
+        geolocation=small_inputs.geolocation,
+        eyeballs=small_inputs.eyeballs,
+        cti_selection=None,
+        orbis_companies=[
+            (r.company_name, r.cc)
+            for r in small_inputs.orbis.state_owned_telcos()
+        ],
+        wiki_fh_companies=small_inputs.wikipedia.state_owned_company_names(),
+    )
+
+
+class TestThresholdSemantics:
+    def test_geolocation_share_threshold(self, candidates, small_inputs):
+        geo = small_inputs.geolocation
+        triplets = geo.country_asn_addresses(small_inputs.prefix2as)
+        totals = {}
+        for (_, cc), count in triplets.items():
+            totals[cc] = totals.get(cc, 0) + count
+        for asn in candidates.asns_from(InputSource.GEOLOCATION):
+            cc, share = candidates.detail[(asn, InputSource.GEOLOCATION)]
+            assert share >= 0.05
+            assert triplets[(asn, cc)] / totals[cc] == pytest.approx(share)
+
+    def test_eyeball_share_threshold(self, candidates):
+        for asn in candidates.asns_from(InputSource.EYEBALLS):
+            _cc, share = candidates.detail[(asn, InputSource.EYEBALLS)]
+            assert share >= 0.05
+
+    def test_higher_threshold_fewer_candidates(self, small_inputs, candidates):
+        strict = harvest_candidates(
+            table=small_inputs.prefix2as,
+            geolocation=small_inputs.geolocation,
+            eyeballs=small_inputs.eyeballs,
+            cti_selection=None,
+            orbis_companies=[],
+            wiki_fh_companies=[],
+            config=PipelineConfig(candidate_share_threshold=0.2),
+        )
+        assert len(strict.asn_sources) < len(candidates.asn_sources)
+        assert strict.asns() <= candidates.asns() | strict.asns()
+
+
+class TestStats:
+    def test_union_intersection_consistency(self, candidates):
+        stats = candidates.stats
+        geo = stats["geolocation_asns"]
+        eye = stats["eyeball_asns"]
+        union = stats["geo_eyeball_union"]
+        inter = stats["geo_eyeball_intersection"]
+        assert union == geo + eye - inter
+        assert stats["total_asns"] >= union
+
+    def test_intersection_substantial(self, candidates):
+        # Big access networks appear in both technical sources (paper: 466
+        # of 793/716).
+        stats = candidates.stats
+        assert stats["geo_eyeball_intersection"] > 0.3 * stats["eyeball_asns"]
+
+
+class TestCompanyCandidates:
+    def test_company_sources_tagged(self, candidates):
+        sources = {c.source for c in candidates.companies}
+        assert sources == {InputSource.ORBIS, InputSource.WIKIPEDIA_FH}
+
+    def test_deduplicated(self, candidates):
+        keys = [
+            (c.name.lower(), c.cc, c.source) for c in candidates.companies
+        ]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface (on a tiny world for speed)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--seed", "20210701", "--scale", "0.12"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.scale == 0.3
+        assert args.seed == 20210701
+
+
+class TestGenerate:
+    def test_generate_summary(self, capsys):
+        assert main(["generate", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "state-owned operators" in out
+        assert "state-owned ASNs" in out
+
+
+@pytest.mark.slow
+class TestRunAndShow:
+    def test_run_exports_and_show_reads(self, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        db_path = tmp_path / "out.db"
+        assert main(
+            ["run", *ARGS, "--json", str(json_path), "--sqlite", str(db_path)]
+        ) == 0
+        assert json_path.exists() and db_path.exists()
+        capsys.readouterr()
+
+        assert main(["show", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "org_id" in out
+
+        assert main(["show", str(db_path), "--country", "NO"]) == 0
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out

@@ -1,0 +1,66 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import PipelineConfig, SourceNoiseConfig, WorldConfig
+from repro.errors import ConfigError
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(scale=0)
+
+    def test_structure_mix_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(ownership_structure_mix=(0.5, 0.5, 0.5, 0.5))
+
+    def test_prior_out_of_range(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(incumbent_state_prob={"Africa": 1.5})
+
+    def test_class_tables_length(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(addr_budget_by_class=(1, 2, 3))
+
+    def test_scaled_minimum(self):
+        config = WorldConfig(scale=0.01)
+        assert config.scaled(10) >= 1
+        assert config.scaled(10, minimum=3) == 3
+
+    def test_presets(self):
+        assert WorldConfig.small().scale < 1.0
+        assert WorldConfig.tiny().scale < WorldConfig.small().scale
+
+
+class TestSourceNoiseConfig:
+    def test_defaults_valid(self):
+        SourceNoiseConfig()
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            SourceNoiseConfig(geolocation_accuracy=1.2)
+        with pytest.raises(ConfigError):
+            SourceNoiseConfig(peeringdb_coverage=-0.1)
+
+
+class TestPipelineConfig:
+    def test_defaults_valid(self):
+        PipelineConfig()
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(candidate_share_threshold=0.0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(candidate_share_threshold=1.0)
+
+    def test_cti_top_k_positive(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(cti_top_k=0)
+
+    def test_similarity_threshold_bounds(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(mapping_similarity_threshold=0.0)

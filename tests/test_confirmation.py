@@ -1,0 +1,276 @@
+"""Tests for the ownership-confirmation analyst on hand-made corpora."""
+
+import pytest
+
+from repro.core.confirmation import (
+    ConfirmationStatus,
+    ExclusionReason,
+    OwnershipAnalyst,
+    classify_exclusion,
+)
+from repro.sources.documents import (
+    ConfirmationCorpus,
+    Document,
+    OwnershipClaim,
+    SourceType,
+)
+
+
+def doc(doc_id, subject, claims=(), source=SourceType.COMPANY_WEBSITE,
+        cc="XX", subsidiaries=(), quote="q"):
+    return Document(
+        doc_id=doc_id,
+        source_type=source,
+        cc=cc,
+        url=f"https://example/{doc_id}",
+        language="English",
+        subject_names=(subject,) if isinstance(subject, str) else tuple(subject),
+        claims=tuple(claims),
+        subsidiary_names=tuple(subsidiaries),
+        quote=quote,
+    )
+
+
+def gov_claim(subject, fraction, cc="XX"):
+    return OwnershipClaim(
+        subject_name=subject,
+        holder_name=f"Government of {cc}",
+        fraction=fraction,
+        holder_is_government=True,
+        holder_cc=cc,
+    )
+
+
+def corp_claim(subject, holder, fraction, cc="XX"):
+    return OwnershipClaim(
+        subject_name=subject,
+        holder_name=holder,
+        fraction=fraction,
+        holder_is_government=False,
+        holder_cc=cc,
+    )
+
+
+class TestDirectConfirmation:
+    def test_majority_confirms(self):
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Zamtelia Telecom", [gov_claim("Zamtelia Telecom", 0.547)])]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Zamtelia Telecom")
+        assert verdict.status is ConfirmationStatus.CONFIRMED
+        assert verdict.controlling_cc == "XX"
+        assert verdict.total_equity == pytest.approx(0.547)
+        assert verdict.source_type is SourceType.COMPANY_WEBSITE
+
+    def test_minority_logged(self):
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Orangutan Telecom", [gov_claim("Orangutan Telecom", 0.23)])]
+        )
+        analyst = OwnershipAnalyst(corpus)
+        verdict = analyst.investigate("Orangutan Telecom")
+        assert verdict.status is ConfirmationStatus.MINORITY
+        assert analyst.minority_log
+
+    def test_no_documents_no_evidence(self):
+        corpus = ConfirmationCorpus([doc("d1", "Unrelated Company Here")])
+        verdict = OwnershipAnalyst(corpus).investigate("Ghost Operator Xy")
+        assert verdict.status is ConfirmationStatus.NO_EVIDENCE
+
+    def test_document_without_claims_no_evidence(self):
+        corpus = ConfirmationCorpus([doc("d1", "Quiet Firma")])
+        verdict = OwnershipAnalyst(corpus).investigate("Quiet Firma")
+        assert verdict.status is ConfirmationStatus.NO_EVIDENCE
+
+    def test_private_holders_not_state(self):
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Privy Netco",
+                 [corp_claim("Privy Netco", "Owner Capital Partners", 0.8)])]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Privy Netco")
+        assert verdict.status is ConfirmationStatus.NOT_STATE
+
+
+class TestChains:
+    def test_fund_aggregation(self):
+        """Telekom-Malaysia pattern: three sub-majority funds add up."""
+        corpus = ConfirmationCorpus(
+            [
+                doc("d1", "Malaco Telecom", [
+                    corp_claim("Malaco Telecom", "Khaz Fund", 0.26),
+                    corp_claim("Malaco Telecom", "Amanah Fund", 0.18),
+                    corp_claim("Malaco Telecom", "Pension Fund Alpha", 0.12),
+                ]),
+                doc("d2", "Khaz Fund", [gov_claim("Khaz Fund", 1.0)]),
+                doc("d3", "Amanah Fund", [gov_claim("Amanah Fund", 0.9)]),
+                doc("d4", "Pension Fund Alpha",
+                    [gov_claim("Pension Fund Alpha", 0.8)]),
+            ]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Malaco Telecom")
+        assert verdict.status is ConfirmationStatus.CONFIRMED
+        assert verdict.total_equity == pytest.approx(0.56)
+
+    def test_broken_chain_yields_minority(self):
+        corpus = ConfirmationCorpus(
+            [
+                doc("d1", "Malaco Telecom", [
+                    corp_claim("Malaco Telecom", "Khaz Fund", 0.26),
+                    corp_claim("Malaco Telecom", "Mystery Fund", 0.3),
+                ]),
+                doc("d2", "Khaz Fund", [gov_claim("Khaz Fund", 1.0)]),
+                # no document exists about Mystery Fund
+            ]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Malaco Telecom")
+        assert verdict.status is ConfirmationStatus.MINORITY
+
+    def test_parent_chain_confirms_subsidiary(self):
+        corpus = ConfirmationCorpus(
+            [
+                doc("d1", "Qtel Tunisia", [
+                    corp_claim("Qtel Tunisia", "Qtel Group", 0.9, cc="QA"),
+                ], cc="TN"),
+                doc("d2", "Qtel Group", [gov_claim("Qtel Group", 0.68, cc="QA")],
+                    cc="QA"),
+            ]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Qtel Tunisia")
+        assert verdict.status is ConfirmationStatus.CONFIRMED
+        assert verdict.controlling_cc == "QA"
+        assert ("qtel", 0.9) in [  # "group" is stripped as a legal suffix
+            (name, frac) for name, frac in verdict.parent_candidates
+        ]
+
+    def test_cycle_terminates(self):
+        corpus = ConfirmationCorpus(
+            [
+                doc("d1", "Alpha Loop Holdings Xq",
+                    [corp_claim("Alpha Loop Holdings Xq", "Beta Loop Holdings Xq", 0.6)]),
+                doc("d2", "Beta Loop Holdings Xq",
+                    [corp_claim("Beta Loop Holdings Xq", "Alpha Loop Holdings Xq", 0.6)]),
+            ]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Alpha Loop Holdings Xq")
+        assert verdict.status in (
+            ConfirmationStatus.NOT_STATE, ConfirmationStatus.NO_EVIDENCE
+        )
+
+
+class TestAssertions:
+    def test_authoritative_assertion_confirms(self):
+        claim = OwnershipClaim(
+            subject_name="Sahel Telecom",
+            holder_name="the state",
+            fraction=None,
+            holder_is_government=True,
+            holder_cc="ML",
+        )
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Sahel Telecom", [claim], source=SourceType.WORLD_BANK,
+                 cc="ML")]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Sahel Telecom")
+        assert verdict.status is ConfirmationStatus.CONFIRMED
+        assert verdict.total_equity is None
+        assert verdict.source_type is SourceType.WORLD_BANK
+
+    def test_quantified_majority_beats_assertion(self):
+        claims = [gov_claim("Dual Evidence Telco", 0.72)]
+        assertion = OwnershipClaim(
+            subject_name="Dual Evidence Telco",
+            holder_name="the state",
+            fraction=None,
+            holder_is_government=True,
+            holder_cc="XX",
+        )
+        corpus = ConfirmationCorpus(
+            [
+                doc("d1", "Dual Evidence Telco", claims),
+                doc("d2", "Dual Evidence Telco", [assertion],
+                    source=SourceType.FREEDOM_HOUSE),
+            ]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Dual Evidence Telco")
+        assert verdict.total_equity == pytest.approx(0.72)
+
+
+class TestSubnational:
+    def test_subnational_majority_excluded(self):
+        claim = OwnershipClaim(
+            subject_name="Northland Regional Telecom",
+            holder_name="Province of Northland",
+            fraction=0.8,
+            holder_is_government=False,
+            holder_cc="XX",
+            holder_is_subnational=True,
+        )
+        corpus = ConfirmationCorpus([doc("d1", "Northland Regional Telecom", [claim])])
+        verdict = OwnershipAnalyst(corpus).investigate("Northland Regional Telecom")
+        assert verdict.status is ConfirmationStatus.EXCLUDED_SUBNATIONAL
+
+
+class TestJointVenture:
+    def test_majority_government_wins(self):
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Paktel Dual", [
+                gov_claim("Paktel Dual", 0.62, cc="PK"),
+                gov_claim("Paktel Dual", 0.26, cc="AE"),
+            ])]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Paktel Dual")
+        assert verdict.controlling_cc == "PK"
+        assert verdict.state_equity["AE"] == pytest.approx(0.26)
+
+
+class TestSubsidiaryNames:
+    def test_subsidiary_list_surfaces(self):
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Expansion Grp Telco", [gov_claim("Expansion Grp Telco", 0.7)],
+                 source=SourceType.ANNUAL_REPORT,
+                 subsidiaries=("Expansion Grp Kenya", "Expansion Grp Ghana"))]
+        )
+        verdict = OwnershipAnalyst(corpus).investigate("Expansion Grp Telco")
+        assert verdict.subsidiary_names == [
+            "Expansion Grp Ghana", "Expansion Grp Kenya"
+        ]
+
+
+class TestExclusionClassifier:
+    @pytest.mark.parametrize(
+        "name,reason",
+        [
+            ("Kenya National Research and Education Network",
+             ExclusionReason.ACADEMIC),
+            ("University of Testland Network", ExclusionReason.ACADEMIC),
+            ("Testland Government Network Agency", ExclusionReason.GOVNET),
+            ("Testland Network Information Centre", ExclusionReason.NIC),
+            ("Testland Northern Regional Telecom", ExclusionReason.SUBNATIONAL),
+        ],
+    )
+    def test_names_classified(self, name, reason):
+        assert classify_exclusion(name) is reason
+
+    def test_ordinary_operator_not_excluded(self):
+        assert classify_exclusion("Telekom Malaysia Berhad") is None
+
+    def test_peeringdb_type_classifies(self):
+        assert (
+            classify_exclusion("Plain Name", "Educational/Research")
+            is ExclusionReason.ACADEMIC
+        )
+        assert (
+            classify_exclusion("Plain Name", "Government")
+            is ExclusionReason.GOVNET
+        )
+        assert classify_exclusion("Plain Name", "NSP") is None
+
+
+class TestMemoization:
+    def test_repeated_investigation_cached(self):
+        corpus = ConfirmationCorpus(
+            [doc("d1", "Cachable Telco", [gov_claim("Cachable Telco", 0.9)])]
+        )
+        analyst = OwnershipAnalyst(corpus)
+        first = analyst.investigate("Cachable Telco")
+        second = analyst.investigate("Cachable Telco")
+        assert first is second

@@ -1,0 +1,64 @@
+"""Integrity tests for the static country table."""
+
+from repro.world.countries import (
+    COUNTRIES,
+    REGIONS,
+    RIRS,
+    countries_by_region,
+    countries_by_rir,
+    country_by_cc,
+)
+
+
+class TestTableIntegrity:
+    def test_reasonable_size(self):
+        assert 180 <= len(COUNTRIES) <= 220
+
+    def test_unique_codes(self):
+        codes = [c.cc for c in COUNTRIES]
+        assert len(set(codes)) == len(codes)
+
+    def test_codes_are_alpha2(self):
+        for c in COUNTRIES:
+            assert len(c.cc) == 2 and c.cc.isupper()
+
+    def test_rirs_valid(self):
+        assert {c.rir for c in COUNTRIES} == set(RIRS)
+
+    def test_regions_valid(self):
+        assert {c.region for c in COUNTRIES} <= set(REGIONS)
+
+    def test_classes_in_range(self):
+        for c in COUNTRIES:
+            assert 0 <= c.addr_class <= 5
+            assert 0 <= c.pop_class <= 5
+            assert c.dev_tier in (0, 1, 2)
+
+    def test_us_is_the_only_class5(self):
+        class5 = [c.cc for c in COUNTRIES if c.addr_class == 5]
+        assert class5 == ["US"]
+
+
+class TestLookups:
+    def test_country_by_cc(self):
+        assert country_by_cc("no").name == "Norway"
+
+    def test_rir_memberships_plausible(self):
+        # Rough RIR membership shapes used by Table 4's percentages.
+        assert len(countries_by_rir("RIPE")) > 55
+        assert len(countries_by_rir("AFRINIC")) > 45
+        assert 10 <= len(countries_by_rir("ARIN")) <= 35
+        assert 20 <= len(countries_by_rir("LACNIC")) <= 35
+
+    def test_regions_nonempty(self):
+        for region in REGIONS:
+            assert countries_by_region(region)
+
+    def test_expansion_profiles_reference_known_countries(self):
+        from repro.config import EXPANSION_PROFILES
+
+        known = {c.cc for c in COUNTRIES}
+        for owner, targets in EXPANSION_PROFILES.items():
+            assert owner in known
+            for target in targets:
+                assert target in known, (owner, target)

@@ -1,0 +1,202 @@
+"""Tests for the output dataset container and its JSON/SQLite round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.errors import DatasetError
+from repro.io.jsonio import dataset_from_json, dataset_to_json, dump_json, load_json
+from repro.io.sqliteio import dataset_from_sqlite, dataset_to_sqlite
+from repro.io.tables import render_table
+
+
+def org(org_id="ORG-1", cc="NO", target_cc=None, source="Company's website"):
+    return OrganizationRecord(
+        conglomerate_name="Telenor",
+        org_id=org_id,
+        org_name="Telenor Norge AS",
+        ownership_cc=cc,
+        ownership_country_name="Norway",
+        rir="RIPE",
+        source=source,
+        quote="Major Shareholdings: Government of Norway (54.7%)",
+        quote_lang="English",
+        url="https://telenor.example/investors",
+        inputs=("E", "G", "O", "W"),
+        target_cc=target_cc,
+        target_country_name="Sweden" if target_cc else None,
+    )
+
+
+class TestDatasetContainer:
+    def test_basic_queries(self):
+        ds = StateOwnedDataset([org()], {"ORG-1": [2119, 8210]})
+        assert len(ds) == 1
+        assert ds.asns_of("ORG-1") == (2119, 8210)
+        assert ds.all_asns() == frozenset({2119, 8210})
+        assert ds.owner_countries() == frozenset({"NO"})
+        assert ds.org_of_asn(2119).org_id == "ORG-1"
+        assert ds.org_of_asn(9999) is None
+
+    def test_duplicate_org_rejected(self):
+        with pytest.raises(DatasetError):
+            StateOwnedDataset([org(), org()], {})
+
+    def test_unknown_org_asns_rejected(self):
+        with pytest.raises(DatasetError):
+            StateOwnedDataset([org()], {"ORG-X": [1]})
+
+    def test_foreign_subsidiary_flags(self):
+        domestic = org("ORG-1")
+        foreign = org("ORG-2", cc="NO", target_cc="SE")
+        ds = StateOwnedDataset(
+            [domestic, foreign], {"ORG-1": [1], "ORG-2": [2]}
+        )
+        assert not domestic.is_foreign_subsidiary
+        assert foreign.is_foreign_subsidiary
+        assert ds.foreign_subsidiary_asns() == frozenset({2})
+        assert ds.subsidiary_owner_countries() == frozenset({"NO"})
+        assert foreign.operating_cc == "SE"
+
+    def test_organizations_in(self):
+        ds = StateOwnedDataset(
+            [org("ORG-1"), org("ORG-2", target_cc="SE")],
+            {"ORG-1": [1], "ORG-2": [2]},
+        )
+        assert len(ds.organizations_in("SE")) == 1
+        assert len(ds.organizations_in("NO")) == 1
+
+    def test_asnless_org_allowed(self):
+        ds = StateOwnedDataset([org()], {})
+        assert ds.asns_of("ORG-1") == ()
+
+    def test_merge(self):
+        a = StateOwnedDataset([org("ORG-1")], {"ORG-1": [1]})
+        b = StateOwnedDataset([org("ORG-2")], {"ORG-2": [2]})
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.all_asns() == frozenset({1, 2})
+
+    def test_unknown_org_lookup_raises(self):
+        ds = StateOwnedDataset([org()], {})
+        with pytest.raises(DatasetError):
+            ds.organization("ORG-NOPE")
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        ds = StateOwnedDataset(
+            [org("ORG-1"), org("ORG-2", target_cc="SE")],
+            {"ORG-1": [2119], "ORG-2": [8210, 39197]},
+        )
+        restored = dataset_from_json(dataset_to_json(ds))
+        assert [o.to_dict() for o in restored.organizations()] == [
+            o.to_dict() for o in ds.organizations()
+        ]
+        assert restored.asns_of("ORG-2") == (8210, 39197)
+
+    def test_files(self, tmp_path):
+        ds = StateOwnedDataset([org()], {"ORG-1": [2119]})
+        path = tmp_path / "dataset.json"
+        dump_json(ds, path)
+        assert load_json(path).all_asns() == frozenset({2119})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_from_json("not json at all {")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_from_json('{"format_version": 99}')
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_from_json(
+                '{"format_version": 1, "organizations": [{"org_id": "x"}]}'
+            )
+
+
+class TestSqliteRoundTrip:
+    def test_round_trip(self, tmp_path):
+        ds = StateOwnedDataset(
+            [org("ORG-1"), org("ORG-2", target_cc="SE")],
+            {"ORG-1": [2119], "ORG-2": [8210]},
+        )
+        path = tmp_path / "dataset.db"
+        dataset_to_sqlite(ds, path)
+        restored = dataset_from_sqlite(path)
+        assert [o.to_dict() for o in restored.organizations()] == sorted(
+            (o.to_dict() for o in ds.organizations()),
+            key=lambda d: d["org_id"],
+        )
+
+    def test_overwrites(self, tmp_path):
+        path = tmp_path / "dataset.db"
+        dataset_to_sqlite(StateOwnedDataset([org()], {"ORG-1": [1]}), path)
+        dataset_to_sqlite(StateOwnedDataset([org()], {"ORG-1": [2]}), path)
+        assert dataset_from_sqlite(path).all_asns() == frozenset({2})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            dataset_from_sqlite(tmp_path / "nope.db")
+
+    def test_pipeline_dataset_round_trips(self, pipeline_result, tmp_path):
+        ds = pipeline_result.dataset
+        json_restored = dataset_from_json(dataset_to_json(ds))
+        assert json_restored.all_asns() == ds.all_asns()
+        path = tmp_path / "run.db"
+        dataset_to_sqlite(ds, path)
+        assert dataset_from_sqlite(path).all_asns() == ds.all_asns()
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(("a", "b"), [(1, 22)])
+        assert "a | b" in text
+        assert "1 | 22" in text
+
+    def test_title(self):
+        text = render_table(("x",), [("y",)], title="Table 9")
+        assert text.startswith("Table 9")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20
+)
+
+
+class TestJsonProperty:
+    @given(
+        st.lists(
+            st.builds(
+                OrganizationRecord,
+                conglomerate_name=_text,
+                org_id=st.uuids().map(str),
+                org_name=_text,
+                ownership_cc=st.sampled_from(["NO", "CN", "QA"]),
+                ownership_country_name=_text,
+                rir=st.sampled_from(["RIPE", "APNIC"]),
+                source=_text,
+                quote=_text,
+                quote_lang=_text,
+                url=_text,
+                inputs=st.lists(
+                    st.sampled_from(["G", "E", "C", "W", "O"]), max_size=5
+                ).map(tuple),
+            ),
+            max_size=5,
+            unique_by=lambda o: o.org_id,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_records_round_trip(self, orgs):
+        ds = StateOwnedDataset(orgs, {o.org_id: [1, 2] for o in orgs})
+        restored = dataset_from_json(dataset_to_json(ds))
+        assert [o.to_dict() for o in restored.organizations()] == [
+            o.to_dict() for o in ds.organizations()
+        ]

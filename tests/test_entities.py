@@ -1,0 +1,96 @@
+"""Tests for entity dataclasses and their validation."""
+
+import pytest
+
+from repro.errors import OwnershipError
+from repro.world.entities import (
+    AsnRecord,
+    Entity,
+    EntityKind,
+    Operator,
+    OperatorRole,
+    OperatorScope,
+    OwnershipStake,
+    RESTRICTED_ROLES,
+)
+
+
+class TestEntity:
+    def test_display_name_prefers_brand(self):
+        e = Entity("x", EntityKind.OPERATOR, "Legal Name Ltd", "NO", brand="Brand")
+        assert e.display_name == "Brand"
+
+    def test_display_name_falls_back(self):
+        e = Entity("x", EntityKind.PRIVATE, "Legal Name Ltd", "NO")
+        assert e.display_name == "Legal Name Ltd"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(OwnershipError):
+            Entity("", EntityKind.PRIVATE, "Name", "NO")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OwnershipError):
+            Entity("x", EntityKind.PRIVATE, "", "NO")
+
+
+class TestOperator:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(OwnershipError):
+            Operator(
+                entity_id="x",
+                kind=EntityKind.PRIVATE,
+                name="N",
+                cc="NO",
+            )
+
+    def test_restricted_roles(self):
+        assert OperatorRole.ACADEMIC in RESTRICTED_ROLES
+        assert OperatorRole.INCUMBENT not in RESTRICTED_ROLES
+        op = Operator(
+            entity_id="x",
+            kind=EntityKind.OPERATOR,
+            name="N",
+            cc="NO",
+            role=OperatorRole.GOVNET,
+        )
+        assert not op.offers_unrestricted_service
+
+    def test_default_scope_national(self):
+        op = Operator(
+            entity_id="x", kind=EntityKind.OPERATOR, name="N", cc="NO"
+        )
+        assert op.scope is OperatorScope.NATIONAL
+
+
+class TestAsnRecord:
+    def test_num_addresses(self):
+        record = AsnRecord(
+            asn=100,
+            operator_id="op",
+            cc="NO",
+            rir="RIPE",
+            registered_name="N",
+            role=OperatorRole.ACCESS,
+            prefixes=[(0, 24), (256 * 256, 16)],
+        )
+        assert record.num_addresses == 256 + 65536
+
+    def test_invalid_asn(self):
+        with pytest.raises(OwnershipError):
+            AsnRecord(
+                asn=0, operator_id="op", cc="NO", rir="RIPE",
+                registered_name="N", role=OperatorRole.ACCESS,
+            )
+
+    def test_negative_eyeballs(self):
+        with pytest.raises(OwnershipError):
+            AsnRecord(
+                asn=5, operator_id="op", cc="NO", rir="RIPE",
+                registered_name="N", role=OperatorRole.ACCESS, eyeballs=-1,
+            )
+
+
+class TestOwnershipStakeValidation:
+    def test_since_year_default(self):
+        stake = OwnershipStake("a", "b", 0.5)
+        assert stake.since_year == 2000

@@ -1,0 +1,116 @@
+"""Tests for ownership churn and the dataset-ageing study (§9 extension)."""
+
+import pytest
+
+from repro.config import WorldConfig
+from repro.errors import WorldError
+from repro.world.events import (
+    ChurnRates,
+    ChurnSimulator,
+    EventKind,
+    OwnershipEvent,
+    ageing_study,
+)
+from repro.world.generator import WorldGenerator
+
+
+@pytest.fixture()
+def churn_world():
+    """A private world instance (the simulator mutates it)."""
+    return WorldGenerator(WorldConfig.tiny(seed=77)).generate()
+
+
+HOT_RATES = ChurnRates(
+    privatization=0.3, nationalization=0.1, new_subsidiary_per_expander=0.5
+)
+
+
+class TestSimulator:
+    def test_negative_years_rejected(self, churn_world):
+        with pytest.raises(WorldError):
+            ChurnSimulator(churn_world).simulate_years(2021, -1)
+
+    def test_zero_years_no_events(self, churn_world):
+        assert ChurnSimulator(churn_world).simulate_years(2021, 0) == []
+
+    def test_events_have_valid_shape(self, churn_world):
+        events = ChurnSimulator(churn_world, HOT_RATES).simulate_years(2021, 2)
+        assert events
+        for event in events:
+            assert isinstance(event, OwnershipEvent)
+            assert event.year in (2021, 2022)
+            assert event.kind in EventKind
+            assert event.operator_name
+
+    def test_privatization_removes_control(self, churn_world):
+        before = churn_world.ground_truth_asns()
+        simulator = ChurnSimulator(churn_world, HOT_RATES)
+        events = simulator.simulate_years(2021, 1)
+        privatized_ids = {
+            e.operator_id
+            for e in events
+            if e.kind is EventKind.PRIVATIZATION
+        }
+        if not privatized_ids:
+            pytest.skip("no privatization drawn")
+        after_ids = churn_world.ground_truth_operator_ids()
+        for operator_id in privatized_ids:
+            assert operator_id not in after_ids
+
+    def test_nationalization_adds_control(self, churn_world):
+        simulator = ChurnSimulator(churn_world, HOT_RATES)
+        events = simulator.simulate_years(2021, 2)
+        nationalized = {
+            e.operator_id
+            for e in events
+            if e.kind is EventKind.NATIONALIZATION
+        }
+        if not nationalized:
+            pytest.skip("no nationalization drawn")
+        truth_ids = churn_world.ground_truth_operator_ids()
+        # Nationalized operators join the ground truth (unless privatized
+        # again in a later simulated year).
+        rejoined = nationalized & truth_ids
+        assert rejoined or len(nationalized) <= 2
+
+    def test_new_subsidiaries_are_asnless(self, churn_world):
+        simulator = ChurnSimulator(churn_world, HOT_RATES)
+        events = simulator.simulate_years(2021, 1)
+        for event in events:
+            if event.kind is EventKind.NEW_SUBSIDIARY:
+                assert churn_world.operator_asns[event.operator_id] == []
+
+    def test_graph_stays_consistent(self, churn_world):
+        ChurnSimulator(churn_world, HOT_RATES).simulate_years(2021, 3)
+        churn_world.ownership.validate()
+
+    def test_deterministic(self):
+        w1 = WorldGenerator(WorldConfig.tiny(seed=5)).generate()
+        w2 = WorldGenerator(WorldConfig.tiny(seed=5)).generate()
+        e1 = ChurnSimulator(w1, HOT_RATES).simulate_years(2021, 2)
+        e2 = ChurnSimulator(w2, HOT_RATES).simulate_years(2021, 2)
+        assert [(e.kind, e.operator_id) for e in e1] == [
+            (e.kind, e.operator_id) for e in e2
+        ]
+
+
+class TestAgeingStudy:
+    def test_rows_shape(self, churn_world):
+        frozen = churn_world.ground_truth_asns()
+        rows = ageing_study(
+            churn_world, frozen, start_year=2021, years=3, rates=HOT_RATES
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["recall"] <= 1.0
+
+    def test_frozen_list_decays(self, churn_world):
+        frozen = churn_world.ground_truth_asns()
+        rows = ageing_study(
+            churn_world, frozen, start_year=2021, years=4, rates=HOT_RATES
+        )
+        # With hot churn the frozen snapshot cannot stay perfect.
+        assert rows[-1]["precision"] < 1.0 or rows[-1]["recall"] < 1.0
+        # Decay is monotone-ish: later precision never exceeds year one's.
+        assert rows[-1]["precision"] <= rows[0]["precision"] + 1e-9

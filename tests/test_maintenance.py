@@ -1,0 +1,50 @@
+"""Tests for the re-verification planner (§9 maintenance extension)."""
+
+import pytest
+
+from repro.core.maintenance import plan_reverification
+
+
+class TestPlan:
+    def test_covers_every_organization(self, pipeline_result):
+        plan = plan_reverification(pipeline_result)
+        assert len(plan) == len(pipeline_result.dataset)
+
+    def test_sorted_by_fragility(self, pipeline_result):
+        plan = plan_reverification(pipeline_result)
+        scores = [item.fragility for item in plan]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fragility_bounded(self, pipeline_result):
+        for item in plan_reverification(pipeline_result):
+            assert 0.0 <= item.fragility <= 1.0
+
+    def test_limit(self, pipeline_result):
+        plan = plan_reverification(pipeline_result, limit=5)
+        assert len(plan) == 5
+
+    def test_risky_items_have_reasons(self, pipeline_result):
+        plan = plan_reverification(pipeline_result)
+        for item in plan[:10]:
+            assert item.reasons, item.org_name
+
+    def test_threshold_hugging_orgs_rank_high(self, pipeline_result):
+        """Organizations whose equity is within 5 pts of 50 % must appear
+        in the top half of the plan."""
+        plan = plan_reverification(pipeline_result)
+        order = {item.org_id: rank for rank, item in enumerate(plan)}
+        verdicts = pipeline_result.verdicts
+        from repro.text.normalize import normalize_name
+
+        marginal = [
+            org.org_id
+            for org in pipeline_result.dataset.organizations()
+            if (v := verdicts.get(normalize_name(org.org_name))) is not None
+            and v.total_equity is not None
+            and v.total_equity - 0.5 < 0.05
+        ]
+        if not marginal:
+            pytest.skip("no threshold-hugging organizations in this run")
+        midpoint = len(plan) / 2
+        in_top_half = sum(1 for org_id in marginal if order[org_id] < midpoint)
+        assert in_top_half / len(marginal) > 0.7

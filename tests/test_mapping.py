@@ -1,0 +1,97 @@
+"""Tests for AS <-> company mapping."""
+
+import pytest
+
+from repro.core.mapping import CompanyMapper
+from repro.text.normalize import name_similarity, normalize_name
+
+
+@pytest.fixture(scope="module")
+def mapper(small_inputs, ):
+    return CompanyMapper(
+        small_inputs.whois, small_inputs.peeringdb, small_inputs.corpus
+    )
+
+
+class TestForwardMapping:
+    def test_maps_most_incumbent_asns_correctly(self, small_world, mapper):
+        correct = total = 0
+        for gto in small_world.ground_truth():
+            if gto.operator.role.value != "incumbent" or not gto.asns:
+                continue
+            total += 1
+            mapped = mapper.map_asn(gto.asns[0])
+            if mapped is None:
+                continue
+            truth_names = {
+                normalize_name(gto.operator.name),
+                normalize_name(gto.operator.display_name),
+            }
+            if normalize_name(mapped.company_name) in truth_names:
+                correct += 1
+        assert total > 10
+        assert correct / total > 0.8
+
+    def test_unknown_asn_returns_none(self, mapper):
+        assert mapper.map_asn(999999999) is None
+
+    def test_mapping_carries_country(self, small_world, mapper):
+        gto = next(g for g in small_world.ground_truth() if g.asns)
+        mapped = mapper.map_asn(gto.asns[0])
+        assert mapped is not None
+        assert mapped.cc == small_world.asn_records[gto.asns[0]].cc
+
+    def test_via_field_valid(self, small_world, mapper):
+        gto = next(g for g in small_world.ground_truth() if g.asns)
+        mapped = mapper.map_asn(gto.asns[0])
+        assert mapped.via in ("peeringdb", "whois", "domain")
+
+    def test_confidence_bounds(self, small_world, mapper):
+        for gto in small_world.ground_truth()[:20]:
+            for asn in gto.asns[:1]:
+                mapped = mapper.map_asn(asn)
+                if mapped is not None:
+                    assert 0.0 < mapped.confidence <= 1.0
+
+
+class TestReverseMapping:
+    def test_finds_primary_asns(self, small_world, mapper):
+        hit = total = 0
+        for gto in small_world.ground_truth():
+            if not gto.asns:
+                continue
+            total += 1
+            found = mapper.asns_of_company(
+                gto.operator.name, cc=gto.operator.cc
+            )
+            if gto.asns[0] in found:
+                hit += 1
+        assert hit / total > 0.75
+
+    def test_country_restriction(self, small_world, mapper):
+        gto = next(g for g in small_world.ground_truth() if g.asns)
+        found = mapper.asns_of_company(gto.operator.name, cc=gto.operator.cc)
+        for asn in found:
+            record = small_world.asn_records.get(asn)
+            if record is not None:
+                assert record.cc == gto.operator.cc
+
+    def test_no_wild_overmatching(self, small_world, mapper):
+        """Reverse mapping must not pull in other operators' ASNs."""
+        wrong = total = 0
+        for gto in small_world.ground_truth()[:60]:
+            found = mapper.asns_of_company(
+                gto.operator.name, cc=gto.operator.cc
+            )
+            for asn in found:
+                record = small_world.asn_records.get(asn)
+                if record is None:
+                    continue
+                total += 1
+                if record.operator_id != gto.operator.entity_id:
+                    wrong += 1
+        if total:
+            assert wrong / total < 0.1
+
+    def test_company_key_normalizes(self, mapper):
+        assert mapper.company_key("Telekom Malaysia Berhad") == "telekom malaysia"

@@ -1,0 +1,82 @@
+"""Tests for BGP monitor placement and route collection."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.monitors import Monitor, MonitorSet, RouteCollector
+from repro.net.topology import ASGraph
+
+
+def small_graph():
+    g = ASGraph()
+    g.add_p2p(1, 2)
+    g.add_c2p(10, 1)
+    g.add_c2p(100, 10)
+    return g
+
+
+class TestMonitorSet:
+    def test_weights_inverse_of_colocation(self):
+        monitors = MonitorSet(
+            [Monitor("a", 1), Monitor("b", 1), Monitor("c", 2)]
+        )
+        assert monitors.weight(Monitor("a", 1)) == 0.5
+        assert monitors.weight(Monitor("b", 1)) == 0.5
+        assert monitors.weight(Monitor("c", 2)) == 1.0
+
+    def test_len_and_hosts(self):
+        monitors = MonitorSet([Monitor("a", 1), Monitor("b", 2)])
+        assert len(monitors) == 2
+        assert monitors.host_asns == [1, 2]
+
+    def test_place_respects_count(self):
+        g = small_graph()
+        monitors = MonitorSet.place(g, 5, random.Random(1))
+        assert len(monitors) == 5
+        for monitor in monitors:
+            assert monitor.host_asn in g
+
+    def test_place_degree_bias(self):
+        g = small_graph()
+        rng = random.Random(7)
+        monitors = MonitorSet.place(g, 200, rng, bias_to_degree=True)
+        hosts = monitors.host_asns
+        # AS 100 is a stub with degree 1; the well-connected ASes get most
+        # of the vantage points.
+        assert hosts.count(100) < hosts.count(1) + hosts.count(10)
+
+    def test_place_empty_graph(self):
+        with pytest.raises(TopologyError):
+            MonitorSet.place(ASGraph(), 3, random.Random(1))
+
+
+class TestRouteCollector:
+    def test_path_reaches_origin(self):
+        g = small_graph()
+        collector = RouteCollector(g, MonitorSet([Monitor("m", 2)]))
+        path = collector.path(Monitor("m", 2), 100)
+        assert path is not None
+        assert path[0] == 2 and path[-1] == 100
+
+    def test_monitor_inside_origin(self):
+        g = small_graph()
+        collector = RouteCollector(g, MonitorSet([Monitor("m", 100)]))
+        assert collector.path(Monitor("m", 100), 100) == (100,)
+
+    def test_paths_to_all_monitors(self):
+        g = small_graph()
+        monitors = MonitorSet([Monitor("m0", 2), Monitor("m1", 1)])
+        collector = RouteCollector(g, monitors)
+        paths = collector.paths_to(100)
+        assert set(paths) == {"m0", "m1"}
+
+    def test_tree_cache_grows_lazily(self):
+        g = small_graph()
+        collector = RouteCollector(g, MonitorSet([Monitor("m", 2)]))
+        assert collector.trees_computed() == 0
+        collector.path(Monitor("m", 2), 100)
+        assert collector.trees_computed() == 1
+        collector.path(Monitor("m", 2), 100)
+        assert collector.trees_computed() == 1

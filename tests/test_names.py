@@ -1,0 +1,78 @@
+"""Tests for the company-name forge."""
+
+import random
+
+from repro.text.names import NameForge
+
+
+def make_forge(seed=3):
+    return NameForge(random.Random(seed))
+
+
+class TestUniqueness:
+    def test_incumbents_unique(self):
+        forge = make_forge()
+        seen = set()
+        for i in range(120):
+            legal, brand = forge.incumbent(f"Country{i % 40}", "RIPE")
+            assert legal.lower() not in seen
+            assert brand.lower() not in seen
+            seen.add(legal.lower())
+            seen.add(brand.lower())
+
+    def test_all_generators_globally_unique(self):
+        forge = make_forge()
+        names = []
+        for i in range(40):
+            legal, brand = forge.challenger("Xlandia", "APNIC")
+            names.extend([legal, brand])
+            legal, brand = forge.transit_operator("Xlandia", "AFRINIC")
+            names.extend([legal, brand])
+            legal, brand = forge.subsidiary("MegaBrand", f"Target{i}", "LACNIC")
+            names.extend([legal, brand])
+        lowered = [n.lower() for n in names]
+        # Brands may equal their own base legal name minus the suffix; only
+        # exact duplicates across entries are forbidden.
+        assert len(set(lowered)) == len(lowered)
+
+
+class TestDeterminism:
+    def test_same_seed_same_names(self):
+        a, b = make_forge(9), make_forge(9)
+        for _ in range(20):
+            assert a.incumbent("Foo", "RIPE") == b.incumbent("Foo", "RIPE")
+            assert a.fund("Foo") == b.fund("Foo")
+
+
+class TestShapes:
+    def test_incumbent_contains_country(self):
+        forge = make_forge()
+        legal, brand = forge.incumbent("Zambonia", "AFRINIC")
+        assert "Zambonia" in legal
+        assert brand  # contracted brand exists
+
+    def test_subsidiary_carries_parent_brand(self):
+        forge = make_forge()
+        legal, brand = forge.subsidiary("Ooredoo", "Tunisia", "AFRINIC")
+        assert "Ooredoo" in legal
+        assert "Tunisia" in brand
+
+    def test_unrelated_legal_name_has_suffix(self):
+        forge = make_forge()
+        name = forge.unrelated_legal_name("LACNIC")
+        assert len(name.split()) >= 3
+
+    def test_stale_variant_differs(self):
+        forge = make_forge()
+        stale = forge.stale_variant("Zambonia Telecom Ltd")
+        assert stale != "Zambonia Telecom Ltd"
+        assert stale.split()[0] in ("Zambonia", "The")
+
+    def test_misleading_name_sounds_private(self):
+        forge = make_forge()
+        legal, brand = forge.misleading_private_name("Fiji")
+        assert "Fiji" in legal
+
+    def test_typo_variant_short_name_unchanged(self):
+        forge = make_forge()
+        assert forge.typo_variant("abc") == "abc"

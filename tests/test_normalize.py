@@ -1,0 +1,133 @@
+"""Tests for name normalization and similarity scoring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.normalize import (
+    acronym_match,
+    acronym_of,
+    edit_distance,
+    jaccard_similarity,
+    name_similarity,
+    name_tokens,
+    normalize_name,
+)
+
+
+class TestNormalizeName:
+    def test_lowercase_and_punctuation(self):
+        assert normalize_name("Tele-Com, S.A.") == "tele com"
+
+    def test_strips_trailing_legal_suffixes(self):
+        assert normalize_name("Telekom Malaysia Berhad") == "telekom malaysia"
+        assert normalize_name("Acme Telecom Co., Ltd.") == "acme telecom"
+
+    def test_keeps_leading_suffix_token(self):
+        # "AS" is a legal form in Norway but also a leading word elsewhere.
+        assert normalize_name("AS Telecom") == "as telecom"
+
+    def test_accents_stripped(self):
+        assert normalize_name("Télécom São Tomé") == "telecom sao tome"
+
+    def test_empty(self):
+        assert normalize_name("") == ""
+        assert normalize_name("S.A.") == ""
+
+    def test_tokens(self):
+        assert name_tokens("Angola Cables S.A.") == ("angola", "cables")
+        assert name_tokens("") == ()
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert edit_distance("abc", "abc") == 0
+
+    def test_empty(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_known_value(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestJaccard:
+    def test_bounds(self):
+        assert jaccard_similarity(["a"], ["a"]) == 1.0
+        assert jaccard_similarity(["a"], ["b"]) == 0.0
+        assert jaccard_similarity([], []) == 1.0
+        assert jaccard_similarity(["a"], []) == 0.0
+
+
+class TestAcronyms:
+    def test_acronym_of_keeps_legal_form(self):
+        assert acronym_of("Bangladesh Submarine Cable Company Limited") == "BSCCL"
+
+    def test_acronym_match(self):
+        assert acronym_match("BSCCL", "Bangladesh Submarine Cable Company Limited")
+
+    def test_short_acronyms_rejected(self):
+        assert not acronym_match("TTK", "Trans Telecom Kompany")
+
+    def test_non_acronym(self):
+        assert not acronym_match("Telenor", "Bangladesh Submarine Cable Co")
+
+
+class TestNameSimilarity:
+    def test_identical(self):
+        assert name_similarity("Telenor Norge AS", "Telenor Norge AS") == 1.0
+
+    def test_legal_suffix_invariance(self):
+        assert name_similarity("Telekom Malaysia Berhad", "Telekom Malaysia") == 1.0
+
+    def test_generic_stem_does_not_connect(self):
+        # Different distinctive tokens, shared generic vocabulary.
+        assert name_similarity("Macao Telekom", "Canada Telekom") < 0.5
+        assert name_similarity("Honduras State Holding",
+                               "Honduras Communications Ltd") < 0.7
+
+    def test_brand_containment(self):
+        assert name_similarity("ZamTel", "ZamTel Communications Ltd") >= 0.8
+
+    def test_generic_containment_no_bonus(self):
+        score = name_similarity(
+            "honduras state", "honduras state telecommunication enterprise"
+        )
+        assert score < 0.8
+
+    def test_acronym_bonus(self):
+        assert name_similarity(
+            "BSCCL", "Bangladesh Submarine Cable Company Limited"
+        ) >= 0.9
+
+    def test_unrelated_names_score_zero(self):
+        assert name_similarity("Internexa", "Transamerican Telecomunication") == 0.0
+
+    def test_transliteration_slip_tolerated(self):
+        score = name_similarity(
+            "Telecomunication Services Zambia", "Telecommunication Services Zambia"
+        )
+        assert score > 0.9
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        score = name_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(name_similarity(b, a))
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_identity_property(self, name):
+        if normalize_name(name):
+            assert name_similarity(name, name) == 1.0

@@ -1,0 +1,218 @@
+"""Tests for the ownership graph and state-control assessment.
+
+Each archetype from the paper gets a hand-built fixture: direct majority,
+aggregated fund control (Telekom Malaysia), holding chains, joint ventures,
+and minority stakes.
+"""
+
+import pytest
+
+from repro.errors import OwnershipError
+from repro.world.entities import (
+    Entity,
+    EntityKind,
+    Operator,
+    OperatorRole,
+    OperatorScope,
+    OwnershipStake,
+)
+from repro.world.ownership import CONTROL_THRESHOLD, OwnershipGraph
+
+
+def gov(cc):
+    return Entity(f"gov-{cc}", EntityKind.GOVERNMENT, f"Government of {cc}", cc)
+
+
+def operator(entity_id, cc, name=None):
+    return Operator(
+        entity_id=entity_id,
+        kind=EntityKind.OPERATOR,
+        name=name or f"{entity_id} Telecom",
+        cc=cc,
+        role=OperatorRole.INCUMBENT,
+        scope=OperatorScope.NATIONAL,
+    )
+
+
+class TestGraphBasics:
+    def test_duplicate_entity_rejected(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("NO"))
+        with pytest.raises(OwnershipError):
+            g.add_entity(gov("NO"))
+
+    def test_stake_unknown_entity(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("NO"))
+        with pytest.raises(OwnershipError):
+            g.add_stake(OwnershipStake("gov-NO", "nobody", 0.5))
+
+    def test_equity_cannot_exceed_100(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("NO"))
+        g.add_entity(operator("op", "NO"))
+        g.add_stake(OwnershipStake("gov-NO", "op", 0.7))
+        with pytest.raises(OwnershipError):
+            g.add_stake(OwnershipStake("gov-NO", "op", 0.5))
+
+    def test_self_ownership_rejected(self):
+        with pytest.raises(OwnershipError):
+            OwnershipStake("x", "x", 0.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(OwnershipError):
+            OwnershipStake("a", "b", 0.0)
+        with pytest.raises(OwnershipError):
+            OwnershipStake("a", "b", 1.5)
+
+
+class TestDirectControl:
+    def make(self, fraction):
+        g = OwnershipGraph()
+        g.add_entity(gov("NO"))
+        g.add_entity(operator("telenor", "NO", "Telenor Norge AS"))
+        g.add_stake(OwnershipStake("gov-NO", "telenor", fraction))
+        return g
+
+    def test_majority_controls(self):
+        g = self.make(0.547)
+        verdict = g.assess("telenor")
+        assert verdict.is_state_controlled
+        assert verdict.controlling_cc == "NO"
+        assert verdict.state_equity["NO"] == pytest.approx(0.547)
+
+    def test_exact_threshold_controls(self):
+        g = self.make(CONTROL_THRESHOLD)
+        assert g.assess("telenor").is_state_controlled
+
+    def test_minority_does_not_control(self):
+        g = self.make(0.31)
+        verdict = g.assess("telenor")
+        assert not verdict.is_state_controlled
+        assert verdict.minority_stakes() == {"NO": pytest.approx(0.31)}
+
+
+class TestFundAggregation:
+    """The Telekom Malaysia pattern: three funds, none majority alone."""
+
+    def make(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("MY"))
+        g.add_entity(operator("tm", "MY", "Telekom Malaysia Berhad"))
+        for i, share in enumerate((0.26, 0.18, 0.12)):
+            fund = Entity(f"fund{i}", EntityKind.STATE_FUND, f"Fund {i}", "MY")
+            g.add_entity(fund)
+            g.add_stake(OwnershipStake("gov-MY", f"fund{i}", 0.9))
+            g.add_stake(OwnershipStake(f"fund{i}", "tm", share))
+        return g
+
+    def test_aggregate_confers_control(self):
+        verdict = self.make().assess("tm")
+        assert verdict.is_state_controlled
+        assert verdict.state_equity["MY"] == pytest.approx(0.56)
+
+    def test_uncontrolled_fund_does_not_count(self):
+        g = self.make()
+        # A private fund holding 0.2 of a different op: no state credit.
+        g.add_entity(Entity("priv", EntityKind.PRIVATE, "PrivCo", "MY"))
+        g.add_entity(operator("other", "MY"))
+        g.add_stake(OwnershipStake("priv", "other", 0.6))
+        assert not g.assess("other").is_state_controlled
+
+
+class TestHoldingChain:
+    def test_chain_control(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("DZ"))
+        holding = Entity("hold", EntityKind.HOLDING, "DZ Holding", "DZ")
+        g.add_entity(holding)
+        g.add_entity(operator("op", "DZ"))
+        g.add_stake(OwnershipStake("gov-DZ", "hold", 0.8))
+        g.add_stake(OwnershipStake("hold", "op", 0.6))
+        verdict = g.assess("op")
+        assert verdict.controlling_cc == "DZ"
+        # Chain semantics: the holding's full stake counts.
+        assert verdict.state_equity["DZ"] == pytest.approx(0.6)
+
+    def test_uncontrolled_holding_breaks_chain(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("DZ"))
+        g.add_entity(Entity("hold", EntityKind.HOLDING, "H", "DZ"))
+        g.add_entity(operator("op", "DZ"))
+        g.add_stake(OwnershipStake("gov-DZ", "hold", 0.4))  # minority of holding
+        g.add_stake(OwnershipStake("hold", "op", 0.9))
+        assert not g.assess("op").is_state_controlled
+
+
+class TestJointVenture:
+    def make(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("PK"))
+        g.add_entity(gov("AE"))
+        g.add_entity(operator("ptcl", "PK", "PTCL"))
+        g.add_stake(OwnershipStake("gov-PK", "ptcl", 0.62))
+        g.add_stake(OwnershipStake("gov-AE", "ptcl", 0.26))
+        return g
+
+    def test_majority_government_controls(self):
+        verdict = self.make().assess("ptcl")
+        assert verdict.controlling_cc == "PK"
+
+    def test_minor_partner_recorded(self):
+        verdict = self.make().assess("ptcl")
+        assert verdict.state_equity["AE"] == pytest.approx(0.26)
+        assert verdict.minority_stakes() == {"AE": pytest.approx(0.26)}
+
+
+class TestForeignSubsidiary:
+    def test_control_crosses_borders(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("QA"))
+        g.add_entity(operator("ooredoo", "QA", "Ooredoo"))
+        g.add_entity(operator("ooredoo-tn", "TN", "Ooredoo Tunisia"))
+        g.add_stake(OwnershipStake("gov-QA", "ooredoo", 0.68))
+        g.add_stake(OwnershipStake("ooredoo", "ooredoo-tn", 0.9))
+        verdict = g.assess("ooredoo-tn")
+        assert verdict.controlling_cc == "QA"
+
+    def test_conglomerate_root(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("QA"))
+        g.add_entity(operator("ooredoo", "QA", "Ooredoo"))
+        g.add_entity(operator("sub", "TN", "Ooredoo Tunisia"))
+        g.add_stake(OwnershipStake("gov-QA", "ooredoo", 0.68))
+        g.add_stake(OwnershipStake("ooredoo", "sub", 0.9))
+        assert g.conglomerate_root("sub").entity_id == "ooredoo"
+        assert g.conglomerate_root("ooredoo").entity_id == "ooredoo"
+
+    def test_majority_subsidiaries(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("QA"))
+        g.add_entity(operator("parent", "QA"))
+        g.add_entity(operator("sub", "TN"))
+        g.add_stake(OwnershipStake("parent", "sub", 0.55))
+        subs = g.majority_subsidiaries("parent")
+        assert [s.entity_id for s in subs] == ["sub"]
+
+
+class TestSubnational:
+    def test_subnational_owner_is_not_state_control(self):
+        g = OwnershipGraph()
+        g.add_entity(gov("CO"))
+        province = Entity("prov", EntityKind.SUBNATIONAL, "County", "CO")
+        g.add_entity(province)
+        g.add_entity(operator("op", "CO"))
+        g.add_stake(OwnershipStake("prov", "op", 0.9))
+        assert not g.assess("op").is_state_controlled
+
+
+class TestWorldAssessments:
+    def test_every_truth_operator_controlled(self, tiny_world):
+        assessments = tiny_world.ownership.assess_all()
+        for gto in tiny_world.ground_truth():
+            verdict = assessments[gto.operator.entity_id]
+            assert verdict.is_state_controlled
+            assert verdict.controlling_cc == gto.controlling_cc
+
+    def test_validate_passes(self, tiny_world):
+        tiny_world.ownership.validate()

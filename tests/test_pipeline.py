@@ -1,0 +1,171 @@
+"""Integration tests: the full pipeline against a generated world."""
+
+import pytest
+
+from repro.core import validate_against_world
+from repro.core.confirmation import ConfirmationStatus
+from repro.core.pipeline import StateOwnershipPipeline
+from repro.sources.base import InputSource
+from repro.text.normalize import normalize_name
+from repro.world.entities import OperatorRole, OperatorScope
+
+
+class TestAccuracy:
+    def test_precision_floor(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        assert report.asn_precision > 0.9
+
+    def test_recall_floor(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        assert report.asn_recall > 0.65
+
+    def test_company_level_floors(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        assert report.company_precision > 0.9
+        assert report.company_recall > 0.65
+
+
+class TestDefinitionCompliance:
+    def test_no_domestic_us_organizations(self, pipeline_result):
+        for org in pipeline_result.dataset.organizations():
+            assert org.ownership_cc != "US"
+
+    def test_no_restricted_roles_in_dataset(self, pipeline_result, small_world):
+        for asn in pipeline_result.dataset.all_asns():
+            record = small_world.asn_records.get(asn)
+            if record is None:
+                continue
+            operator = small_world.operator(record.operator_id)
+            assert operator.role not in (
+                OperatorRole.ACADEMIC, OperatorRole.GOVNET, OperatorRole.NIC
+            ), operator.name
+
+    def test_no_subnational_operators(self, pipeline_result, small_world):
+        for asn in pipeline_result.dataset.all_asns():
+            record = small_world.asn_records.get(asn)
+            if record is None:
+                continue
+            operator = small_world.operator(record.operator_id)
+            assert operator.scope is OperatorScope.NATIONAL
+
+    def test_asn_belongs_to_one_org(self, pipeline_result):
+        seen = set()
+        for org in pipeline_result.dataset.organizations():
+            for asn in pipeline_result.dataset.asns_of(org.org_id):
+                assert asn not in seen
+                seen.add(asn)
+
+
+class TestRecordQuality:
+    def test_every_org_has_confirmation_metadata(self, pipeline_result):
+        for org in pipeline_result.dataset.organizations():
+            assert org.source, org.org_name
+            assert org.url
+            assert org.ownership_country_name
+
+    def test_foreign_records_have_target_fields(self, pipeline_result):
+        for org in pipeline_result.dataset.foreign_subsidiaries():
+            assert org.target_cc is not None
+            assert org.target_country_name
+            assert org.target_cc != org.ownership_cc
+
+    def test_inputs_use_paper_codes(self, pipeline_result):
+        valid = {"G", "E", "C", "W", "O"}
+        for org in pipeline_result.dataset.organizations():
+            assert set(org.inputs) <= valid
+
+    def test_foreign_owners_match_expansion_profiles(
+        self, pipeline_result, small_world
+    ):
+        profiles = set(small_world.config.expansion_profiles)
+        for org in pipeline_result.dataset.foreign_subsidiaries():
+            assert org.ownership_cc in profiles, org.org_name
+
+    def test_conglomerate_names_present(self, pipeline_result):
+        for org in pipeline_result.dataset.organizations():
+            assert org.conglomerate_name
+
+
+class TestDiagnostics:
+    def test_funnel_stats_consistent(self, pipeline_result):
+        stats = pipeline_result.stats
+        assert stats["geo_eyeball_union"] <= stats["total_asns"]
+        assert (
+            stats["geo_eyeball_intersection"]
+            <= min(stats["geolocation_asns"], stats["eyeball_asns"])
+        )
+        assert stats["state_owned_asns"] == len(
+            pipeline_result.dataset.all_asns()
+        )
+
+    def test_verdict_partition(self, pipeline_result):
+        # Every investigated work item lands in exactly one outcome bucket.
+        outcomes = (
+            pipeline_result.confirmed_keys
+            | pipeline_result.minority_keys
+            | set(pipeline_result.excluded)
+            | pipeline_result.unconfirmed_keys
+        )
+        for key in pipeline_result.work:
+            if key in pipeline_result.verdicts or key in pipeline_result.excluded:
+                assert key in outcomes
+
+    def test_minority_not_in_dataset(self, pipeline_result):
+        dataset_names = {
+            normalize_name(org.org_name)
+            for org in pipeline_result.dataset.organizations()
+        }
+        for key in pipeline_result.minority_keys:
+            assert key not in dataset_names
+
+    def test_asn_inputs_cover_dataset(self, pipeline_result):
+        covered = set(pipeline_result.asn_inputs)
+        dataset_asns = set(pipeline_result.dataset.all_asns())
+        assert dataset_asns <= covered | dataset_asns
+        # Every AS with provenance is in the dataset.
+        assert covered <= dataset_asns
+
+    def test_cti_selection_present(self, pipeline_result):
+        assert pipeline_result.cti_selection is not None
+        assert len(pipeline_result.cti_selection.countries_applied) > 10
+
+
+class TestExclusions:
+    def test_excluded_companies_recorded(self, pipeline_result, small_world):
+        # Worlds include academic/government networks; if any reached the
+        # candidate list they must be in the excluded bucket, never in the
+        # dataset.
+        assert isinstance(pipeline_result.excluded, dict)
+        dataset_names = {
+            normalize_name(org.org_name)
+            for org in pipeline_result.dataset.organizations()
+        }
+        for key in pipeline_result.excluded:
+            assert key not in dataset_names
+
+
+class TestAblation:
+    def test_skip_source_removes_candidates(self, small_inputs):
+        pipeline = StateOwnershipPipeline(small_inputs)
+        result = pipeline.run(skip_sources=[InputSource.CTI, InputSource.ORBIS])
+        assert result.cti_selection is None
+        assert result.stats["cti_asns"] == 0
+        assert result.stats["orbis_companies"] == 0
+
+    def test_skip_geolocation(self, small_inputs):
+        pipeline = StateOwnershipPipeline(small_inputs)
+        result = pipeline.run(
+            skip_sources=[
+                InputSource.GEOLOCATION,
+                InputSource.CTI,  # skip CTI too: keeps the test fast
+            ]
+        )
+        assert result.stats["geolocation_asns"] == 0
+        assert not result.candidates.asns_from(InputSource.GEOLOCATION)
+
+
+class TestDeterminism:
+    def test_rerun_is_identical(self, small_inputs, pipeline_result):
+        again = StateOwnershipPipeline(small_inputs).run()
+        assert again.dataset.all_asns() == pipeline_result.dataset.all_asns()
+        assert again.confirmed_keys == pipeline_result.confirmed_keys

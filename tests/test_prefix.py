@@ -1,0 +1,257 @@
+"""Unit and property tests for IPv4 prefix arithmetic and the trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrefixError
+from repro.net.prefix import Prefix, PrefixTrie, summarize_address_counts
+
+
+def addr(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+class TestPrefixParsing:
+    def test_parse_basic(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.base == addr(192, 0, 2, 0)
+        assert p.length == 24
+
+    def test_parse_default_route(self):
+        p = Prefix.parse("0.0.0.0/0")
+        assert p.num_addresses == 2**32
+
+    def test_parse_host_route(self):
+        p = Prefix.parse("10.1.2.3/32")
+        assert p.num_addresses == 1
+
+    def test_str_round_trip(self):
+        for text in ("10.0.0.0/8", "172.16.0.0/12", "203.0.113.64/26"):
+            assert str(Prefix.parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "10.0.0.0", "10.0.0/24", "10.0.0.0/33", "10.0.0.0/-1",
+         "256.0.0.0/8", "a.b.c.d/8", "10.0.0.0/8/8"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix(addr(10, 0, 0, 1), 24)
+
+    def test_from_host_masks(self):
+        p = Prefix.from_host(addr(10, 1, 2, 3), 16)
+        assert p == Prefix.parse("10.1.0.0/16")
+
+
+class TestPrefixSetOps:
+    def test_covers_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.covers(p)
+
+    def test_covers_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").covers(Prefix.parse("10.1.0.0/16"))
+        assert not Prefix.parse("10.1.0.0/16").covers(Prefix.parse("10.0.0.0/8"))
+
+    def test_disjoint_do_not_cover(self):
+        assert not Prefix.parse("10.0.0.0/8").covers(Prefix.parse("11.0.0.0/8"))
+
+    def test_overlaps_symmetry(self):
+        a, b = Prefix.parse("10.0.0.0/8"), Prefix.parse("10.2.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_contains_address_bounds(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.contains_address(p.base)
+        assert p.contains_address(p.last)
+        assert not p.contains_address(p.last + 1)
+        assert not p.contains_address(p.base - 1)
+
+    def test_split_halves(self):
+        left, right = Prefix.parse("10.0.0.0/8").split()
+        assert left == Prefix.parse("10.0.0.0/9")
+        assert right == Prefix.parse("10.128.0.0/9")
+
+    def test_split_host_route_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.1/32").split()
+
+    def test_subprefixes_count(self):
+        subs = list(Prefix.parse("10.0.0.0/22").subprefixes(24))
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/24")
+        assert subs[-1] == Prefix.parse("10.0.3.0/24")
+
+    def test_subprefixes_shorter_fails(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/24").subprefixes(16))
+
+
+class TestPrefixTrie:
+    def test_insert_and_get(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "a")
+        assert trie.get(Prefix.parse("10.0.0.0/8")) == "a"
+        assert trie.get(Prefix.parse("10.0.0.0/16")) is None
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "a")
+        trie.insert(p, "b")
+        assert trie.get(p) == "b"
+        assert len(trie) == 1
+
+    def test_longest_match_prefers_specific(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "wide")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "narrow")
+        match = trie.longest_match(addr(10, 1, 2, 3))
+        assert match is not None
+        assert match[1] == "narrow"
+        match = trie.longest_match(addr(10, 2, 0, 1))
+        assert match[1] == "wide"
+
+    def test_longest_match_miss(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "x")
+        assert trie.longest_match(addr(11, 0, 0, 0)) is None
+
+    def test_items_ordered(self):
+        trie = PrefixTrie()
+        prefixes = [
+            Prefix.parse("11.0.0.0/8"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.5.0.0/16"),
+        ]
+        for p in prefixes:
+            trie.insert(p, str(p))
+        listed = [p for p, _ in trie.items()]
+        assert listed == sorted(prefixes, key=lambda p: (p.base, p.length))
+
+    def test_covering_chain(self):
+        trie = PrefixTrie()
+        for text in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"):
+            trie.insert(Prefix.parse(text), text)
+        covering = trie.covering(Prefix.parse("10.1.2.0/24"))
+        assert [v for _, v in covering] == [
+            "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"
+        ]
+
+    def test_covered_by(self):
+        trie = PrefixTrie()
+        for text in ("10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"):
+            trie.insert(Prefix.parse(text), text)
+        covered = {v for _, v in trie.covered_by(Prefix.parse("10.0.0.0/8"))}
+        assert covered == {"10.0.0.0/8", "10.1.0.0/16"}
+
+    def test_uncovered_addresses_no_specifics(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/16")
+        trie.insert(p, "x")
+        assert trie.uncovered_addresses(p) == p.num_addresses
+
+    def test_uncovered_addresses_subtracts_specifics(self):
+        trie = PrefixTrie()
+        wide = Prefix.parse("10.0.0.0/16")
+        trie.insert(wide, "x")
+        trie.insert(Prefix.parse("10.0.1.0/24"), "y")
+        assert trie.uncovered_addresses(wide) == wide.num_addresses - 256
+
+    def test_uncovered_addresses_nested_specifics_not_double_counted(self):
+        trie = PrefixTrie()
+        wide = Prefix.parse("10.0.0.0/16")
+        trie.insert(wide, "x")
+        trie.insert(Prefix.parse("10.0.0.0/20"), "y")
+        trie.insert(Prefix.parse("10.0.1.0/24"), "z")  # inside the /20
+        assert trie.uncovered_addresses(wide) == wide.num_addresses - 4096
+
+
+class TestSummarizeAddressCounts:
+    def test_disjoint(self):
+        counts = summarize_address_counts(
+            [
+                (Prefix.parse("10.0.0.0/24"), 1),
+                (Prefix.parse("10.0.1.0/24"), 2),
+            ]
+        )
+        assert counts == {1: 256, 2: 256}
+
+    def test_more_specific_attribution(self):
+        counts = summarize_address_counts(
+            [
+                (Prefix.parse("10.0.0.0/16"), 1),
+                (Prefix.parse("10.0.1.0/24"), 2),
+            ]
+        )
+        assert counts[2] == 256
+        assert counts[1] == 65536 - 256
+
+    def test_same_origin_specific(self):
+        counts = summarize_address_counts(
+            [
+                (Prefix.parse("10.0.0.0/16"), 1),
+                (Prefix.parse("10.0.1.0/24"), 1),
+            ]
+        )
+        assert counts == {1: 65536}
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+prefix_strategy = st.builds(
+    Prefix.from_host,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestPrefixProperties:
+    @given(prefix_strategy)
+    def test_round_trip(self, p):
+        assert Prefix.parse(str(p)) == p
+
+    @given(prefix_strategy)
+    def test_last_in_range(self, p):
+        assert p.contains_address(p.base)
+        assert p.contains_address(p.last)
+
+    @given(prefix_strategy, prefix_strategy)
+    def test_covers_implies_overlap(self, a, b):
+        if a.covers(b):
+            assert a.overlaps(b)
+            assert a.num_addresses >= b.num_addresses
+
+    @given(prefix_strategy, prefix_strategy, prefix_strategy)
+    def test_covers_transitive(self, a, b, c):
+        if a.covers(b) and b.covers(c):
+            assert a.covers(c)
+
+    @given(st.lists(st.tuples(prefix_strategy, st.integers(1, 5)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_uncovered_bounded(self, items):
+        trie = PrefixTrie(items)
+        for p, _ in items:
+            uncovered = trie.uncovered_addresses(p)
+            assert 0 <= uncovered <= p.num_addresses
+
+    @given(st.lists(st.tuples(prefix_strategy, st.integers(1, 3)),
+                    min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_summary_conserves_union(self, items):
+        # Total attributed addresses equals the size of the union of all
+        # announced prefixes (each address counted exactly once).
+        trie = PrefixTrie()
+        for p, v in items:
+            trie.insert(p, v)
+        union_total = sum(
+            trie.uncovered_addresses(p) for p, _ in trie.items()
+        )
+        counts = summarize_address_counts(items)
+        assert sum(counts.values()) == union_total

@@ -1,0 +1,102 @@
+"""Tests for country profiles and dataset diffing."""
+
+import pytest
+
+from repro.analysis.country_profile import build_country_profile, profile_text
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.core.diffing import diff_datasets
+
+
+def make_org(org_id, name, cc="NO", target_cc=None):
+    return OrganizationRecord(
+        conglomerate_name=name,
+        org_id=org_id,
+        org_name=name,
+        ownership_cc=cc,
+        ownership_country_name=cc,
+        rir="RIPE",
+        source="Company's website",
+        quote="q",
+        quote_lang="English",
+        url="https://x.example",
+        target_cc=target_cc,
+        target_country_name=target_cc,
+    )
+
+
+class TestCountryProfile:
+    def test_profile_for_state_owned_country(
+        self, pipeline_result, small_inputs
+    ):
+        owner_ccs = sorted(pipeline_result.dataset.owner_countries())
+        cc = owner_ccs[0]
+        profile = build_country_profile(cc, pipeline_result, small_inputs)
+        assert profile.cc == cc
+        assert profile.domestic_orgs or profile.foreign_orgs
+
+    def test_profile_text_renders(self, pipeline_result, small_inputs):
+        cc = sorted(pipeline_result.dataset.owner_countries())[0]
+        profile = build_country_profile(cc, pipeline_result, small_inputs)
+        text = profile_text(profile)
+        assert profile.name in text
+        assert "state" in text
+
+    def test_us_profile_is_clean_domestically(
+        self, pipeline_result, small_inputs
+    ):
+        profile = build_country_profile("US", pipeline_result, small_inputs)
+        assert not profile.domestic_orgs
+
+    def test_expander_owns_abroad(self, pipeline_result, small_inputs):
+        subs = pipeline_result.dataset.foreign_subsidiaries()
+        if not subs:
+            pytest.skip("no foreign subsidiaries in this run")
+        owner = subs[0].ownership_cc
+        profile = build_country_profile(owner, pipeline_result, small_inputs)
+        assert profile.owns_abroad
+
+
+class TestDatasetDiff:
+    def test_identical_datasets_empty_diff(self):
+        ds = StateOwnedDataset([make_org("O1", "Telenor")], {"O1": [1, 2]})
+        diff = diff_datasets(ds, ds)
+        assert diff.is_empty()
+
+    def test_additions_and_removals(self):
+        old = StateOwnedDataset([make_org("O1", "Telenor")], {"O1": [1]})
+        new = StateOwnedDataset(
+            [make_org("O1", "Telenor"), make_org("O2", "ArSat", cc="AR")],
+            {"O1": [1, 5], "O2": [9]},
+        )
+        diff = diff_datasets(old, new)
+        assert diff.added_orgs == ("ArSat",)
+        assert diff.removed_orgs == ()
+        assert diff.added_asns == frozenset({5, 9})
+        assert diff.removed_asns == frozenset()
+        assert "+1 orgs" in diff.summary()
+
+    def test_ownership_change_detected(self):
+        old = StateOwnedDataset([make_org("O1", "Ucell", cc="SE")], {"O1": [1]})
+        new = StateOwnedDataset([make_org("O1", "Ucell", cc="UZ")], {"O1": [1]})
+        diff = diff_datasets(old, new)
+        assert diff.owner_changes == {"Ucell": ("SE", "UZ")}
+
+    def test_name_matching_is_normalized(self):
+        old = StateOwnedDataset(
+            [make_org("O1", "Telenor Norge AS")], {"O1": [1]}
+        )
+        new = StateOwnedDataset([make_org("OX", "Telenor Norge")], {"OX": [1]})
+        diff = diff_datasets(old, new)
+        assert diff.added_orgs == ()
+        assert diff.removed_orgs == ()
+
+    def test_churned_pipeline_snapshot(self, pipeline_result):
+        """A dataset diffed against a truncated copy reports the gap."""
+        ds = pipeline_result.dataset
+        orgs = ds.organizations()[:-5]
+        truncated = StateOwnedDataset(
+            orgs, {o.org_id: ds.asns_of(o.org_id) for o in orgs}
+        )
+        diff = diff_datasets(truncated, ds)
+        assert len(diff.added_orgs) >= 1
+        assert not diff.removed_orgs

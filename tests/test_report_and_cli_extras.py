@@ -1,0 +1,105 @@
+"""Extra coverage: the report's headline math, CLI parser surface for the
+extension commands, and alias-aware expansion."""
+
+import pytest
+
+from repro.analysis.report import headline_stats
+from repro.cli import build_parser
+from repro.core.expansion import expand_to_asns
+from repro.core.mapping import CompanyMapper
+
+
+class TestHeadlineMath:
+    def test_space_shares_definition(self, pipeline_result, small_inputs):
+        stats = headline_stats(pipeline_result, small_inputs)
+        counts = small_inputs.prefix2as.announced_address_counts()
+        total = sum(counts.values())
+        state = sum(
+            counts.get(a, 0) for a in pipeline_result.dataset.all_asns()
+        )
+        assert stats["announced_space_share"] == pytest.approx(
+            state / total, abs=1e-4
+        )
+
+    def test_ex_us_denominator_smaller(self, pipeline_result, small_inputs):
+        stats = headline_stats(pipeline_result, small_inputs)
+        # Excluding the US removes denominator mass but no state ASes.
+        ratio = (
+            stats["announced_space_share_ex_us"]
+            / stats["announced_space_share"]
+        )
+        assert 1.1 < ratio < 2.5
+
+
+class TestCliParserExtras:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["churn", "--years", "3"],
+            ["plan", "--top", "5"],
+            ["profile", "NO"],
+            ["run", "--json", "x.json"],
+            ["report"],
+            ["validate"],
+        ],
+    )
+    def test_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+    def test_profile_requires_cc(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestAliasExpansion:
+    @pytest.fixture(scope="class")
+    def mapper(self, small_inputs):
+        return CompanyMapper(
+            small_inputs.whois, small_inputs.peeringdb, small_inputs.corpus
+        )
+
+    def test_aliases_add_asns(self, small_world, small_inputs, mapper):
+        """A brand alias can only widen the expansion, never shrink it."""
+        for gto in small_world.ground_truth()[:30]:
+            operator = gto.operator
+            if not operator.brand or operator.brand == operator.name:
+                continue
+            base = expand_to_asns(
+                operator.name, mapper, small_inputs.as2org, cc=operator.cc
+            )
+            with_alias = expand_to_asns(
+                operator.name,
+                mapper,
+                small_inputs.as2org,
+                cc=operator.cc,
+                aliases=(operator.brand,),
+            )
+            assert base <= with_alias
+
+    def test_duplicate_aliases_ignored(self, small_world, small_inputs, mapper):
+        gto = next(g for g in small_world.ground_truth() if g.asns)
+        operator = gto.operator
+        once = expand_to_asns(
+            operator.name, mapper, small_inputs.as2org, cc=operator.cc,
+            aliases=(operator.name,),
+        )
+        plain = expand_to_asns(
+            operator.name, mapper, small_inputs.as2org, cc=operator.cc
+        )
+        assert once == plain
+
+    def test_seed_asns_survive_expansion(self, small_world, small_inputs, mapper):
+        gto = next(g for g in small_world.ground_truth() if g.asns)
+        seed = {gto.asns[0]}
+        expanded = expand_to_asns(
+            "Completely Unmatchable Name Xyzzy",
+            mapper,
+            small_inputs.as2org,
+            seed_asns=seed,
+        )
+        assert seed <= expanded

@@ -1,0 +1,80 @@
+"""Tests for the side products: minority report, excluded summary, expert
+review simulation."""
+
+import pytest
+
+from repro.analysis.excluded import excluded_companies, excluded_summary
+from repro.analysis.minority import minority_report
+from repro.core.expertreview import expert_review
+from repro.core.mapping import CompanyMapper
+from repro.text.normalize import normalize_name
+
+
+class TestMinorityReport:
+    def test_sorted_by_stake(self, pipeline_result):
+        report = minority_report(pipeline_result)
+        stakes = [h.fraction or 0.0 for h in report]
+        assert stakes == sorted(stakes, reverse=True)
+
+    def test_all_stakes_sub_majority(self, pipeline_result):
+        for holding in minority_report(pipeline_result):
+            if holding.fraction is not None:
+                assert 0.0 < holding.fraction < 0.5
+
+    def test_minority_not_in_dataset(self, pipeline_result):
+        dataset_names = {
+            normalize_name(org.org_name)
+            for org in pipeline_result.dataset.organizations()
+        }
+        for holding in minority_report(pipeline_result):
+            assert normalize_name(holding.company_name) not in dataset_names
+
+    def test_asn_counting_with_mapper(self, pipeline_result, small_inputs):
+        mapper = CompanyMapper(
+            small_inputs.whois, small_inputs.peeringdb, small_inputs.corpus
+        )
+        report = minority_report(pipeline_result, mapper)
+        assert any(h.asn_count > 0 for h in report)
+
+
+class TestExcludedSummary:
+    def test_summary_counts_match(self, pipeline_result):
+        summary = excluded_summary(pipeline_result)
+        assert sum(summary.values()) == len(pipeline_result.excluded)
+
+    def test_rows_sorted(self, pipeline_result):
+        rows = excluded_companies(pipeline_result)
+        assert rows == sorted(rows, key=lambda r: (r[1], r[0]))
+
+    def test_expected_categories_present(self, pipeline_result):
+        summary = excluded_summary(pipeline_result)
+        labels = " ".join(summary)
+        assert "academic" in labels or "subnational" in labels or summary
+
+
+class TestExpertReview:
+    def test_lacnic_expert(self, pipeline_result, small_world):
+        review = expert_review(pipeline_result, small_world, "LACNIC")
+        assert review.asns_reviewed > 0
+        assert review.countries  # the reviewer knows a real region
+        for finding in review.findings:
+            assert finding.kind in ("false positive", "false negative")
+            assert finding.cc in review.countries
+
+    def test_single_country_scope(self, pipeline_result, small_world):
+        review = expert_review(pipeline_result, small_world, "NO")
+        assert review.countries == frozenset({"NO"})
+
+    def test_precision_matches_validation(self, pipeline_result, small_world):
+        """Experts across all five RIRs jointly see every disagreement."""
+        total_findings = 0
+        for rir in ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE"):
+            review = expert_review(pipeline_result, small_world, rir)
+            total_findings += len(review.findings)
+        from repro.core import validate_against_world
+
+        report = validate_against_world(pipeline_result, small_world)
+        expected = len(report.asn_false_positives) + len(
+            report.asn_false_negatives
+        )
+        assert total_findings == expected

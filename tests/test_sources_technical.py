@@ -1,0 +1,300 @@
+"""Tests for the technical data sources: prefix2as, geolocation, eyeballs,
+WHOIS, PeeringDB, AS2Org, ASRank."""
+
+import pytest
+
+from repro.config import SourceNoiseConfig
+from repro.errors import SourceError
+from repro.net.prefix import Prefix
+from repro.sources.as2org import As2OrgDataset
+from repro.sources.asrank import AsRankDataset, linear_trend
+from repro.sources.eyeballs import EyeballDataset
+from repro.sources.geolocation import GeolocationService
+from repro.sources.peeringdb import PeeringDBDataset
+from repro.sources.prefix2as import Prefix2ASTable
+from repro.sources.whois import WhoisDatabase
+from repro.text.normalize import normalize_name
+
+
+@pytest.fixture(scope="module")
+def p2a(tiny_world):
+    return Prefix2ASTable.from_world(tiny_world)
+
+
+@pytest.fixture(scope="module")
+def whois(tiny_world):
+    return WhoisDatabase.from_world(tiny_world)
+
+
+class TestPrefix2AS:
+    def test_covers_all_records(self, tiny_world, p2a):
+        assert p2a.origins == set(tiny_world.asn_records)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SourceError):
+            Prefix2ASTable([])
+
+    def test_origin_lookup(self, tiny_world, p2a):
+        prefix, origin = next(iter(p2a))
+        assert p2a.origin_of(prefix.base) is not None
+        assert p2a.origin_of_prefix(prefix) == origin
+
+    def test_address_counts_match_world(self, tiny_world, p2a):
+        assert p2a.announced_address_counts() == tiny_world.true_address_counts()
+
+    def test_total_positive(self, p2a):
+        assert p2a.total_announced_addresses() > 0
+
+
+class TestGeolocation:
+    def test_locate_prefix_conserves_addresses(self, tiny_world, p2a):
+        geo = GeolocationService.from_world(tiny_world)
+        for prefix, origin in list(p2a)[:50]:
+            split = geo.locate_prefix(prefix, origin)
+            assert sum(split.values()) == prefix.num_addresses
+
+    def test_determinism(self, tiny_world, p2a):
+        geo = GeolocationService.from_world(tiny_world)
+        prefix, origin = next(iter(p2a))
+        assert geo.locate_prefix(prefix, origin) == geo.locate_prefix(
+            prefix, origin
+        )
+
+    def test_mostly_correct(self, tiny_world, p2a):
+        geo = GeolocationService.from_world(tiny_world)
+        correct = total = 0
+        for prefix, origin in list(p2a)[:200]:
+            true_cc = tiny_world.asn_records[origin].cc
+            split = geo.locate_prefix(prefix, origin)
+            correct += split.get(true_cc, 0)
+            total += prefix.num_addresses
+        assert correct / total > 0.85
+
+    def test_perfect_accuracy_no_leak(self, tiny_world, p2a):
+        noise = SourceNoiseConfig(geolocation_accuracy=1.0)
+        geo = GeolocationService.from_world(tiny_world, noise)
+        for prefix, origin in list(p2a)[:50]:
+            split = geo.locate_prefix(prefix, origin)
+            assert len(split) == 1
+
+    def test_unknown_origin_raises(self, tiny_world):
+        geo = GeolocationService.from_world(tiny_world)
+        with pytest.raises(SourceError):
+            geo.locate_prefix(Prefix.parse("10.0.0.0/24"), 999999999)
+
+    def test_triplets_shape(self, tiny_world, p2a):
+        geo = GeolocationService.from_world(tiny_world)
+        triplets = geo.country_asn_addresses(p2a)
+        assert triplets
+        for (asn, cc), count in triplets.items():
+            assert count > 0
+            assert asn in tiny_world.asn_records
+            assert len(cc) == 2
+
+
+class TestEyeballs:
+    def test_only_eyeball_ases_covered(self, tiny_world):
+        eyeballs = EyeballDataset.from_world(tiny_world)
+        for asn in eyeballs.covered_asns():
+            assert tiny_world.asn_records[asn].eyeballs > 0
+
+    def test_estimates_near_truth(self, tiny_world):
+        eyeballs = EyeballDataset.from_world(tiny_world)
+        ratio_ok = 0
+        asns = eyeballs.covered_asns()
+        for asn in asns:
+            true = tiny_world.asn_records[asn].eyeballs
+            est = eyeballs.estimate(asn)
+            if 0.4 <= est / true <= 2.5:
+                ratio_ok += 1
+        assert ratio_ok / len(asns) > 0.9
+
+    def test_country_shares_sum_to_one(self, tiny_world):
+        eyeballs = EyeballDataset.from_world(tiny_world)
+        for cc in ("CN", "NO", "BR"):
+            shares = eyeballs.country_shares(cc)
+            if shares:
+                assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_coverage_below_one(self, tiny_world):
+        noise = SourceNoiseConfig(eyeball_coverage=0.5)
+        eyeballs = EyeballDataset.from_world(tiny_world, noise)
+        candidates = sum(
+            1 for r in tiny_world.asn_records.values() if r.eyeballs > 0
+        )
+        assert len(eyeballs) < candidates
+
+
+class TestWhois:
+    def test_every_asn_has_record(self, tiny_world, whois):
+        assert len(whois) == len(tiny_world.asn_records)
+        for asn in tiny_world.asn_records:
+            assert whois.lookup(asn) is not None
+
+    def test_record_fields(self, tiny_world, whois):
+        record = whois.lookup(next(iter(tiny_world.asn_records)))
+        assert record.org_id.startswith("ORG-")
+        assert record.rir in ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+        assert record.as_name
+
+    def test_same_registrant_same_name_same_org_id(self, tiny_world, whois):
+        # Handles are per registrant: one operator re-using one legal name
+        # across its ASNs shares an org handle...
+        by_key = {}
+        for record in whois:
+            operator_id = tiny_world.asn_records[record.asn].operator_id
+            key = (normalize_name(record.org_name), record.rir, operator_id)
+            if key in by_key:
+                assert by_key[key] == record.org_id
+            by_key[key] = record.org_id
+
+    def test_org_id_never_spans_operators(self, tiny_world, whois):
+        # ...and no handle ever covers ASNs of two different operators,
+        # even when their registered names collide.
+        for org_id in whois.org_ids():
+            operators = {
+                tiny_world.asn_records[asn].operator_id
+                for asn in whois.asns_of_org(org_id)
+            }
+            assert len(operators) == 1
+
+    def test_search_name(self, whois):
+        record = next(iter(whois))
+        token = normalize_name(record.org_name).split()[0]
+        results = whois.search_name(token)
+        assert record.asn in {r.asn for r in results}
+
+    def test_search_empty(self, whois):
+        assert whois.search_name("") == []
+
+    def test_most_names_match_operator(self, tiny_world, whois):
+        matches = 0
+        total = 0
+        for record in whois:
+            operator = tiny_world.operator(
+                tiny_world.asn_records[record.asn].operator_id
+            )
+            total += 1
+            if normalize_name(record.org_name) == normalize_name(operator.name):
+                matches += 1
+        # Stale names, acquisitions and aliases make this < 1, but the
+        # majority of records still carry the operator's legal name.
+        assert matches / total > 0.5
+
+
+class TestPeeringDB:
+    def test_partial_coverage(self, tiny_world):
+        pdb = PeeringDBDataset.from_world(tiny_world)
+        coverage = pdb.coverage(len(tiny_world.asn_records))
+        assert 0.1 < coverage < 0.5
+
+    def test_names_are_brands(self, tiny_world):
+        pdb = PeeringDBDataset.from_world(tiny_world)
+        for record in list(pdb)[:50]:
+            operator = tiny_world.operator(
+                tiny_world.asn_records[record.asn].operator_id
+            )
+            assert record.name == operator.display_name
+
+    def test_transit_bias(self, tiny_world):
+        pdb = PeeringDBDataset.from_world(tiny_world)
+        covered = {r.asn for r in pdb}
+        transit_total = transit_covered = 0
+        other_total = other_covered = 0
+        for asn, record in tiny_world.asn_records.items():
+            if record.role.value in ("transit", "cable"):
+                transit_total += 1
+                transit_covered += asn in covered
+            else:
+                other_total += 1
+                other_covered += asn in covered
+        assert (
+            transit_covered / max(transit_total, 1)
+            > other_covered / max(other_total, 1)
+        )
+
+
+class TestAs2Org:
+    def test_same_name_siblings_clustered(self, tiny_world, whois):
+        a2o = As2OrgDataset.from_world(tiny_world, whois)
+        for operator_id, asns in tiny_world.operator_asns.items():
+            if len(asns) < 2:
+                continue
+            primary_name = normalize_name(whois.lookup(asns[0]).org_name)
+            for sibling in asns[1:]:
+                if normalize_name(whois.lookup(sibling).org_name) == primary_name:
+                    assert a2o.org_of(sibling) == a2o.org_of(asns[0])
+
+    def test_clusters_never_span_operators(self, tiny_world, whois):
+        a2o = As2OrgDataset.from_world(tiny_world, whois)
+        for org_id in a2o.org_ids():
+            operators = {
+                tiny_world.asn_records[asn].operator_id
+                for asn in a2o.members_of(org_id)
+            }
+            assert len(operators) == 1
+
+    def test_misses_exist(self, tiny_world, whois):
+        noise = SourceNoiseConfig(as2org_miss_prob=1.0)
+        a2o = As2OrgDataset.from_world(tiny_world, whois, noise)
+        missed = 0
+        for operator_id, asns in tiny_world.operator_asns.items():
+            if len(asns) < 2:
+                continue
+            orgs = {a2o.org_of(a) for a in asns}
+            if len(orgs) > 1:
+                missed += 1
+        assert missed > 0
+
+    def test_siblings_of_unknown(self, tiny_world, whois):
+        a2o = As2OrgDataset.from_world(tiny_world, whois)
+        assert a2o.siblings_of(987654321) == frozenset({987654321})
+
+
+class TestAsRank:
+    def test_cone_matches_graph(self, tiny_world):
+        asrank = AsRankDataset.from_world(tiny_world)
+        for asn in list(tiny_world.graph)[:50]:
+            assert asrank.cone_size(asn) == tiny_world.graph.customer_cone_size(asn)
+
+    def test_unknown_asn_raises(self, tiny_world):
+        asrank = AsRankDataset.from_world(tiny_world)
+        with pytest.raises(SourceError):
+            asrank.cone_size(987654321)
+
+    def test_history_ends_at_current(self, tiny_world):
+        asrank = AsRankDataset.from_world(tiny_world)
+        asn = next(iter(tiny_world.graph))
+        history = asrank.cone_history(asn)
+        assert history[-1][0] == (2020, 4)
+        assert history[-1][1] == asrank.cone_size(asn)
+
+    def test_cable_profile_starts_at_zero(self, tiny_world):
+        asrank = AsRankDataset.from_world(tiny_world)
+        cable_asns = [
+            asn
+            for asn, record in tiny_world.asn_records.items()
+            if record.role.value == "cable"
+        ]
+        assert cable_asns
+        for asn in cable_asns:
+            history = asrank.cone_history(asn)
+            assert history[0][1] <= history[-1][1]
+
+    def test_top_cones_sorted(self, tiny_world):
+        asrank = AsRankDataset.from_world(tiny_world)
+        top = asrank.top_cones(tiny_world.graph.asns, k=5)
+        sizes = [size for _, size in top]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_linear_trend(self):
+        series = [((2010 + i, 1), 10 * i) for i in range(5)]
+        assert linear_trend(series) == pytest.approx(10.0)
+        assert linear_trend(series[:1]) == 0.0
+
+    def test_fastest_growing_includes_cables(self, tiny_world):
+        asrank = AsRankDataset.from_world(tiny_world)
+        so = tiny_world.ground_truth_asns()
+        fastest = [a for a, _ in asrank.fastest_growing(so, k=2)]
+        roles = {tiny_world.asn_records[a].role.value for a in fastest}
+        assert roles & {"cable", "transit", "incumbent"}

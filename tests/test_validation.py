@@ -1,0 +1,49 @@
+"""Tests for the ground-truth validation scorer."""
+
+import pytest
+
+from repro.core import validate_against_world
+
+
+class TestValidationReport:
+    def test_partition(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        predicted = set(pipeline_result.dataset.all_asns())
+        truth = set(small_world.ground_truth_asns())
+        assert report.asn_true_positives == frozenset(predicted & truth)
+        assert report.asn_false_positives == frozenset(predicted - truth)
+        assert report.asn_false_negatives == frozenset(truth - predicted)
+
+    def test_metrics_bounded(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        for value in (
+            report.asn_precision, report.asn_recall, report.asn_f1,
+            report.company_precision, report.company_recall,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_f1_between_precision_and_recall(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        low = min(report.asn_precision, report.asn_recall)
+        high = max(report.asn_precision, report.asn_recall)
+        assert low <= report.asn_f1 <= high
+
+    def test_per_region_populated(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        assert "Africa" in report.per_region
+        assert "Asia" in report.per_region
+        for precision, recall in report.per_region.values():
+            assert 0.0 <= precision <= 1.0
+            assert 0.0 <= recall <= 1.0
+
+    def test_per_rir_populated(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        assert set(report.per_rir) <= {
+            "AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE", "?"
+        }
+
+    def test_as_text(self, pipeline_result, small_world):
+        report = validate_against_world(pipeline_result, small_world)
+        text = report.as_text()
+        assert "precision" in text
+        assert "Africa" in text
