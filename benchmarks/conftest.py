@@ -22,10 +22,35 @@ from repro.core import (
     StateOwnershipPipeline,
     validate_against_world,
 )
+from repro.obs import get_metrics, reset_metrics
 from repro.world.generator import WorldGenerator
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210701"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_metrics():
+    """Start every benchmark session from a clean stage-metric registry."""
+    reset_metrics()
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _attach_stage_metrics(request):
+    """Attach the per-stage metric snapshot to each benchmark record.
+
+    After a benchmarked test finishes, the cumulative counter/gauge/timing
+    snapshot (stage wall times with p50/p95, per-source candidate counts,
+    CTI pruning counters...) lands in the record's ``extra_info``, so the
+    exported ``BENCH_*.json`` carries a per-stage breakdown rather than
+    end-to-end times alone.
+    """
+    yield
+    benchmark = getattr(request.node, "funcargs", {}).get("benchmark")
+    extra_info = getattr(benchmark, "extra_info", None)
+    if extra_info is not None:
+        extra_info["stage_metrics"] = get_metrics().snapshot()
 
 
 @pytest.fixture(scope="session")

@@ -18,10 +18,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sqlite3
 import sys
 from typing import List, Optional
 
 from repro.config import WorldConfig
+from repro.errors import DatasetError
 from repro.core import (
     PipelineInputs,
     StateOwnershipPipeline,
@@ -46,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.3,
                        help="world size multiplier (default: 0.3)")
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", action="store_true",
+                       help="print per-stage wall time and counters to stderr")
+        p.add_argument("--log-json", metavar="PATH",
+                       help="append structured trace events as JSON-lines")
+
     p_generate = sub.add_parser(
         "generate", help="synthesize a world and summarize its ground truth"
     )
@@ -55,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run the pipeline and export the dataset"
     )
     add_world_args(p_run)
+    add_obs_args(p_run)
     p_run.add_argument("--json", metavar="PATH", help="write dataset JSON")
     p_run.add_argument("--sqlite", metavar="PATH", help="write dataset SQLite")
 
@@ -62,11 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run the pipeline and print the evaluation report"
     )
     add_world_args(p_report)
+    add_obs_args(p_report)
 
     p_validate = sub.add_parser(
         "validate", help="run the pipeline and score against ground truth"
     )
     add_world_args(p_validate)
+    add_obs_args(p_validate)
 
     p_show = sub.add_parser("show", help="print organizations from a dataset")
     p_show.add_argument("path", help="dataset .json or .db/.sqlite file")
@@ -109,6 +120,29 @@ def _run_pipeline(world):
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    configured = bool(
+        getattr(args, "trace", False) or getattr(args, "log_json", None)
+    )
+    if configured:
+        from repro.obs import configure
+        try:
+            configure(trace=bool(args.trace), log_json=args.log_json)
+        except OSError as exc:
+            print(
+                f"error: cannot open trace log {args.log_json}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        return _dispatch(args)
+    finally:
+        if configured:
+            from repro.obs import set_sink
+            # Restore the no-op sink and flush/close any JSON-lines file.
+            set_sink(None).close()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "generate":
         world = _make_world(args)
         truth = world.ground_truth()
@@ -197,12 +231,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "show":
-        if args.path.endswith(".json"):
-            from repro.io.jsonio import load_json
-            dataset = load_json(args.path)
-        else:
-            from repro.io.sqliteio import dataset_from_sqlite
-            dataset = dataset_from_sqlite(args.path)
+        try:
+            if args.path.endswith(".json"):
+                from repro.io.jsonio import load_json
+                dataset = load_json(args.path)
+            else:
+                from repro.io.sqliteio import dataset_from_sqlite
+                dataset = dataset_from_sqlite(args.path)
+        except (DatasetError, OSError, sqlite3.Error) as exc:
+            print(
+                f"error: cannot read dataset {args.path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
         for org in dataset.organizations():
             if args.country and org.operating_cc != args.country.upper():
                 continue

@@ -30,6 +30,7 @@ from repro.core.subsidiaries import DiscoveredCompany, SubsidiaryExplorer
 from repro.cti.metric import CTIComputer
 from repro.cti.selection import CTISelection, select_cti_candidates
 from repro.errors import PipelineError
+from repro.obs import get_metrics, span
 from repro.sources.as2org import As2OrgDataset
 from repro.sources.asrank import AsRankDataset
 from repro.sources.base import InputSource
@@ -158,49 +159,72 @@ class StateOwnershipPipeline:
 
         # ---- stage 1: candidates ------------------------------------------------
         cti_selection: Optional[CTISelection] = None
-        if InputSource.CTI not in skip:
-            cti = CTIComputer(inputs.prefix2as, inputs.geolocation, inputs.collector)
-            cti_selection = select_cti_candidates(
-                cti,
-                inputs.cti_eligible_ccs,
-                top_k=config.cti_top_k,
-                min_score=config.cti_min_score,
+        with span("pipeline.candidates") as sp_candidates:
+            if InputSource.CTI not in skip:
+                with span("cti") as sp_cti:
+                    metrics = get_metrics()
+                    computed_before = metrics.counter("cti.countries_computed")
+                    pruned_before = metrics.counter("cti.origins_pruned")
+                    cti = CTIComputer(
+                        inputs.prefix2as, inputs.geolocation, inputs.collector
+                    )
+                    cti_selection = select_cti_candidates(
+                        cti,
+                        inputs.cti_eligible_ccs,
+                        top_k=config.cti_top_k,
+                        min_score=config.cti_min_score,
+                    )
+                    sp_cti.incr(
+                        "countries_computed",
+                        metrics.counter("cti.countries_computed")
+                        - computed_before,
+                    )
+                    sp_cti.incr(
+                        "origins_pruned",
+                        metrics.counter("cti.origins_pruned") - pruned_before,
+                    )
+                    sp_cti.incr("asns_selected", len(cti_selection.asns))
+            orbis_companies = (
+                [(r.company_name, r.cc) for r in inputs.orbis.state_owned_telcos()]
+                if InputSource.ORBIS not in skip
+                else []
             )
-        orbis_companies = (
-            [(r.company_name, r.cc) for r in inputs.orbis.state_owned_telcos()]
-            if InputSource.ORBIS not in skip
-            else []
-        )
-        wiki_fh: List[Tuple[str, str]] = []
-        if InputSource.WIKIPEDIA_FH not in skip:
-            wiki_fh.extend(inputs.wikipedia.state_owned_company_names())
-            wiki_fh.extend(inputs.freedomhouse.state_owned_company_names())
-        candidates = harvest_candidates(
-            table=inputs.prefix2as,
-            geolocation=inputs.geolocation,
-            eyeballs=inputs.eyeballs,
-            cti_selection=cti_selection,
-            orbis_companies=orbis_companies,
-            wiki_fh_companies=wiki_fh,
-            config=config,
-        )
-        if InputSource.GEOLOCATION in skip:
-            self._drop_source(candidates, InputSource.GEOLOCATION)
-        if InputSource.EYEBALLS in skip:
-            self._drop_source(candidates, InputSource.EYEBALLS)
-        if skip & {InputSource.GEOLOCATION, InputSource.EYEBALLS}:
-            # Recompute the funnel statistics after ablation drops.
-            geo_asns = candidates.asns_from(InputSource.GEOLOCATION)
-            eyeball_asns = candidates.asns_from(InputSource.EYEBALLS)
-            candidates.stats.update(
-                {
-                    "geolocation_asns": len(geo_asns),
-                    "eyeball_asns": len(eyeball_asns),
-                    "geo_eyeball_intersection": len(geo_asns & eyeball_asns),
-                    "geo_eyeball_union": len(geo_asns | eyeball_asns),
-                    "total_asns": len(candidates.asn_sources),
-                }
+            wiki_fh: List[Tuple[str, str]] = []
+            if InputSource.WIKIPEDIA_FH not in skip:
+                wiki_fh.extend(inputs.wikipedia.state_owned_company_names())
+                wiki_fh.extend(inputs.freedomhouse.state_owned_company_names())
+            candidates = harvest_candidates(
+                table=inputs.prefix2as,
+                geolocation=inputs.geolocation,
+                eyeballs=inputs.eyeballs,
+                cti_selection=cti_selection,
+                orbis_companies=orbis_companies,
+                wiki_fh_companies=wiki_fh,
+                config=config,
             )
+            if InputSource.GEOLOCATION in skip:
+                self._drop_source(candidates, InputSource.GEOLOCATION)
+            if InputSource.EYEBALLS in skip:
+                self._drop_source(candidates, InputSource.EYEBALLS)
+            if skip & {InputSource.GEOLOCATION, InputSource.EYEBALLS}:
+                # Recompute the funnel statistics after ablation drops.
+                geo_asns = candidates.asns_from(InputSource.GEOLOCATION)
+                eyeball_asns = candidates.asns_from(InputSource.EYEBALLS)
+                candidates.stats.update(
+                    {
+                        "geolocation_asns": len(geo_asns),
+                        "eyeball_asns": len(eyeball_asns),
+                        "geo_eyeball_intersection": len(geo_asns & eyeball_asns),
+                        "geo_eyeball_union": len(geo_asns | eyeball_asns),
+                        "total_asns": len(candidates.asn_sources),
+                    }
+                )
+            for source in InputSource:
+                harvested = len(candidates.asns_from(source))
+                if harvested:
+                    sp_candidates.incr(f"asns.{source.name.lower()}", harvested)
+            sp_candidates.incr("asns_total", len(candidates.asn_sources))
+            sp_candidates.incr("companies", len(candidates.companies))
 
         # ---- mapping: candidates -> company worklist ------------------------------
         mapper = CompanyMapper(
@@ -208,31 +232,34 @@ class StateOwnershipPipeline:
         )
         work: Dict[str, CompanyWork] = {}
         unmapped_asns = 0
-        for asn in sorted(candidates.asn_sources):
-            mapped = mapper.map_asn(asn)
-            if mapped is None:
-                unmapped_asns += 1
-                continue
-            key = normalize_name(mapped.company_name)
-            item = work.setdefault(
-                key, CompanyWork(canonical_name=mapped.company_name)
+        with span("pipeline.mapping") as sp_mapping:
+            for asn in sorted(candidates.asn_sources):
+                mapped = mapper.map_asn(asn)
+                if mapped is None:
+                    unmapped_asns += 1
+                    continue
+                key = normalize_name(mapped.company_name)
+                item = work.setdefault(
+                    key, CompanyWork(canonical_name=mapped.company_name)
+                )
+                item.sources |= candidates.asn_sources[asn]
+                item.seed_asns.add(asn)
+                if mapped.cc:
+                    item.cc_votes[mapped.cc] += 1
+            for company in candidates.companies:
+                canonical = self._canonicalize(company.name, mapper)
+                key = normalize_name(canonical)
+                item = work.setdefault(key, CompanyWork(canonical_name=canonical))
+                item.sources.add(company.source)
+                if company.cc:
+                    item.cc_votes[company.cc] += 1
+            candidates.stats["candidate_organizations"] = (
+                inputs.as2org.distinct_org_count(candidates.asn_sources)
             )
-            item.sources |= candidates.asn_sources[asn]
-            item.seed_asns.add(asn)
-            if mapped.cc:
-                item.cc_votes[mapped.cc] += 1
-        for company in candidates.companies:
-            canonical = self._canonicalize(company.name, mapper)
-            key = normalize_name(canonical)
-            item = work.setdefault(key, CompanyWork(canonical_name=canonical))
-            item.sources.add(company.source)
-            if company.cc:
-                item.cc_votes[company.cc] += 1
-        candidates.stats["candidate_organizations"] = (
-            inputs.as2org.distinct_org_count(candidates.asn_sources)
-        )
-        candidates.stats["unmapped_asns"] = unmapped_asns
-        candidates.stats["companies_to_verify"] = len(work)
+            candidates.stats["unmapped_asns"] = unmapped_asns
+            candidates.stats["companies_to_verify"] = len(work)
+            sp_mapping.incr("unmapped_asns", unmapped_asns)
+            sp_mapping.incr("companies_to_verify", len(work))
 
         # ---- stage 2: confirmation -------------------------------------------------
         analyst = OwnershipAnalyst(inputs.corpus, config)
@@ -241,51 +268,62 @@ class StateOwnershipPipeline:
         minority: Set[str] = set()
         excluded: Dict[str, str] = {}
         unconfirmed: Set[str] = set()
-        for key in sorted(work):
-            item = work[key]
-            reason = self._pre_exclusion(item, inputs.peeringdb)
-            if reason is not None:
-                excluded[key] = reason.value
-                continue
-            verdict = analyst.investigate(item.canonical_name)
-            verdicts[key] = verdict
-            if verdict.status is ConfirmationStatus.CONFIRMED:
-                confirmed[key] = verdict
-            elif verdict.status is ConfirmationStatus.MINORITY:
-                minority.add(key)
-            elif verdict.status is ConfirmationStatus.EXCLUDED_SUBNATIONAL:
-                excluded[key] = ExclusionReason.SUBNATIONAL.value
-            else:
-                unconfirmed.add(key)
+        with span("pipeline.confirmation") as sp_confirm:
+            for key in sorted(work):
+                item = work[key]
+                reason = self._pre_exclusion(item, inputs.peeringdb)
+                if reason is not None:
+                    excluded[key] = reason.value
+                    sp_confirm.incr(f"excluded.{reason.name.lower()}")
+                    continue
+                verdict = analyst.investigate(item.canonical_name)
+                verdicts[key] = verdict
+                sp_confirm.incr(f"verdict.{verdict.status.name.lower()}")
+                if verdict.status is ConfirmationStatus.CONFIRMED:
+                    confirmed[key] = verdict
+                elif verdict.status is ConfirmationStatus.MINORITY:
+                    minority.add(key)
+                elif verdict.status is ConfirmationStatus.EXCLUDED_SUBNATIONAL:
+                    excluded[key] = ExclusionReason.SUBNATIONAL.value
+                else:
+                    unconfirmed.add(key)
 
         # ---- stage 2b: parent / subsidiary discovery ----------------------------------
-        explorer = SubsidiaryExplorer(analyst)
-        discoveries = explorer.explore(
-            (verdict.company_name, verdict) for verdict in confirmed.values()
-        )
-        parent_discovered: Set[str] = set()
-        for discovery in discoveries:
-            key = normalize_name(discovery.company_name)
-            if key in confirmed:
-                continue
-            verdicts[key] = discovery.verdict
-            confirmed[key] = discovery.verdict
-            if discovery.relationship == "parent":
-                parent_discovered.add(key)
-            parent_key = normalize_name(discovery.discovered_via)
-            item = work.setdefault(
-                key, CompanyWork(canonical_name=discovery.company_name)
+        with span("pipeline.discovery") as sp_discovery:
+            explorer = SubsidiaryExplorer(analyst)
+            discoveries = explorer.explore(
+                (verdict.company_name, verdict) for verdict in confirmed.values()
             )
-            if parent_key in work:
-                item.sources |= work[parent_key].sources
-        minority |= {
-            key for key in analyst.minority_log if key not in confirmed
-        }
+            parent_discovered: Set[str] = set()
+            for discovery in discoveries:
+                key = normalize_name(discovery.company_name)
+                if key in confirmed:
+                    continue
+                verdicts[key] = discovery.verdict
+                confirmed[key] = discovery.verdict
+                sp_discovery.incr(f"discovered.{discovery.relationship}")
+                if discovery.relationship == "parent":
+                    parent_discovered.add(key)
+                parent_key = normalize_name(discovery.discovered_via)
+                item = work.setdefault(
+                    key, CompanyWork(canonical_name=discovery.company_name)
+                )
+                if parent_key in work:
+                    item.sources |= work[parent_key].sources
+            minority |= {
+                key for key in analyst.minority_log if key not in confirmed
+            }
 
         # ---- stage 3: expansion + dataset assembly ----------------------------------
-        dataset, asn_inputs, org_inputs = self._assemble(
-            confirmed, work, mapper, candidates, parent_discovered
-        )
+        with span("pipeline.expansion") as sp_expand:
+            dataset, asn_inputs, org_inputs = self._assemble(
+                confirmed, work, mapper, candidates, parent_discovered
+            )
+            sp_expand.incr("organizations", len(dataset))
+            sp_expand.incr("asns_expanded", len(dataset.all_asns()))
+            sp_expand.incr(
+                "foreign_subsidiary_asns", len(dataset.foreign_subsidiary_asns())
+            )
 
         stats = dict(candidates.stats)
         stats.update(

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.net.monitors import RouteCollector
+from repro.obs import get_metrics
 from repro.sources.geolocation import GeolocationService
 from repro.sources.prefix2as import Prefix2ASTable
 
@@ -80,10 +81,13 @@ class CTIComputer:
 
     def country_cti(self, cc: str) -> Dict[int, float]:
         """CTI(AS, cc) for every transit AS with non-zero influence."""
+        metrics = get_metrics()
         if cc in self._cti_cache:
+            metrics.incr("cti.cache_hits")
             return self._cti_cache[cc]
         origin_weights = self._per_country.get(cc)
         total = self._country_totals.get(cc, 0)
+        metrics.incr("cti.countries_computed")
         if not origin_weights or total == 0:
             self._cti_cache[cc] = {}
             return {}
@@ -91,16 +95,26 @@ class CTIComputer:
         monitor_count = len(monitors)
         if monitor_count == 0:
             raise AnalysisError("CTI requires at least one monitor")
+        # w(m)/|M| depends only on the monitor, not on the origin being
+        # walked: compute it once per call instead of once per
+        # origin x monitor iteration of the hot loop below.
+        monitor_weights = [
+            (monitor, monitors.weight(monitor) / monitor_count)
+            for monitor in monitors
+        ]
         scores: Dict[int, float] = {}
+        origins_scored = 0
+        origins_pruned = 0
         for origin, weight in origin_weights.items():
             address_fraction = weight / total
             if address_fraction < self._min_address_fraction:
+                origins_pruned += 1
                 continue
-            for monitor in monitors:
+            origins_scored += 1
+            for monitor, w in monitor_weights:
                 path = self._collector.path(monitor, origin)
                 if path is None or len(path) < 2:
                     continue
-                w = self._collector.monitors.weight(monitor) / monitor_count
                 # path[0] is the monitor's host AS, path[-1] the origin.
                 length = len(path)
                 for index, asn in enumerate(path):
@@ -112,6 +126,8 @@ class CTIComputer:
                     scores[asn] = scores.get(asn, 0.0) + (
                         w * address_fraction / distance
                     )
+        metrics.incr("cti.origins_scored", origins_scored)
+        metrics.incr("cti.origins_pruned", origins_pruned)
         self._cti_cache[cc] = scores
         return scores
 

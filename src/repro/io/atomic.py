@@ -1,0 +1,43 @@
+"""Crash-safe file replacement for the dataset exporters.
+
+Both exporters used to write straight into the destination path, so a
+crash mid-export destroyed the previous dataset.  :func:`atomic_replace`
+yields a temporary path in the *same directory* as the destination (so the
+final rename never crosses a filesystem) and promotes it with
+:func:`os.replace` only after the writer finished without raising; on any
+failure the temporary file is removed and the destination is untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["atomic_replace"]
+
+
+@contextlib.contextmanager
+def atomic_replace(path: Union[str, Path]) -> Iterator[Path]:
+    """Yield a temp path next to ``path``; atomically promote it on success."""
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=path.name + ".", suffix=".tmp"
+    )
+    os.close(fd)
+    tmp_path = Path(tmp_name)
+    try:
+        yield tmp_path
+        # Preserve the permissions of the file being replaced; mkstemp
+        # creates 0600 files, which would otherwise leak onto the export.
+        if path.exists():
+            os.chmod(tmp_path, path.stat().st_mode & 0o7777)
+        else:
+            os.chmod(tmp_path, 0o644)
+        os.replace(tmp_path, path)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            tmp_path.unlink()

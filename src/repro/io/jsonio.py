@@ -13,6 +13,8 @@ from typing import Dict, List, Union
 
 from repro.core.dataset import OrganizationRecord, StateOwnedDataset
 from repro.errors import DatasetError
+from repro.io.atomic import atomic_replace
+from repro.obs import span
 
 __all__ = ["dataset_to_json", "dataset_from_json", "dump_json", "load_json"]
 
@@ -76,8 +78,13 @@ def dataset_from_json(text: str) -> StateOwnedDataset:
 
 
 def dump_json(dataset: StateOwnedDataset, path: Union[str, Path]) -> None:
-    """Write a dataset to a JSON file."""
-    Path(path).write_text(dataset_to_json(dataset), encoding="utf-8")
+    """Write a dataset to a JSON file (atomically replaces existing)."""
+    path = Path(path)
+    with span("export.json") as sp, atomic_replace(path) as tmp_path:
+        text = dataset_to_json(dataset)
+        tmp_path.write_text(text, encoding="utf-8")
+        sp.incr("organizations", len(dataset))
+        sp.incr("bytes", len(text))
 
 
 def load_json(path: Union[str, Path]) -> StateOwnedDataset:

@@ -14,6 +14,8 @@ from typing import Dict, List, Union
 
 from repro.core.dataset import OrganizationRecord, StateOwnedDataset
 from repro.errors import DatasetError
+from repro.io.atomic import atomic_replace
+from repro.obs import span
 
 __all__ = ["dataset_to_sqlite", "dataset_from_sqlite"]
 
@@ -47,42 +49,50 @@ CREATE INDEX idx_asns_asn ON asns(asn);
 def dataset_to_sqlite(
     dataset: StateOwnedDataset, path: Union[str, Path]
 ) -> None:
-    """Write the dataset to an SQLite file (overwrites existing)."""
+    """Write the dataset to an SQLite file (atomically replaces existing).
+
+    The database is built in a temporary file next to ``path`` and renamed
+    into place only after a successful commit, so a crash mid-export can
+    never destroy a previously exported dataset.  All rows go in one
+    transaction.
+    """
     path = Path(path)
-    if path.exists():
-        path.unlink()
-    connection = sqlite3.connect(str(path))
-    try:
-        connection.executescript(_SCHEMA)
-        for org in dataset.organizations():
-            connection.execute(
-                "INSERT INTO organizations VALUES "
-                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    org.org_id,
-                    org.conglomerate_name,
-                    org.org_name,
-                    org.ownership_cc,
-                    org.ownership_country_name,
-                    org.rir,
-                    org.source,
-                    org.quote,
-                    org.quote_lang,
-                    org.url,
-                    org.additional_info,
-                    ",".join(org.inputs),
-                    org.parent_org,
-                    org.target_cc,
-                    org.target_country_name,
-                ),
-            )
-            for asn in dataset.asns_of(org.org_id):
-                connection.execute(
-                    "INSERT INTO asns VALUES (?, ?)", (org.org_id, asn)
-                )
-        connection.commit()
-    finally:
-        connection.close()
+    with span("export.sqlite") as sp, atomic_replace(path) as tmp_path:
+        connection = sqlite3.connect(str(tmp_path))
+        try:
+            connection.executescript(_SCHEMA)
+            with connection:  # one transaction for the whole insert loop
+                for org in dataset.organizations():
+                    connection.execute(
+                        "INSERT INTO organizations VALUES "
+                        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            org.org_id,
+                            org.conglomerate_name,
+                            org.org_name,
+                            org.ownership_cc,
+                            org.ownership_country_name,
+                            org.rir,
+                            org.source,
+                            org.quote,
+                            org.quote_lang,
+                            org.url,
+                            org.additional_info,
+                            ",".join(org.inputs),
+                            org.parent_org,
+                            org.target_cc,
+                            org.target_country_name,
+                        ),
+                    )
+                    sp.incr("organizations")
+                    asns = dataset.asns_of(org.org_id)
+                    connection.executemany(
+                        "INSERT INTO asns VALUES (?, ?)",
+                        ((org.org_id, asn) for asn in asns),
+                    )
+                    sp.incr("asn_rows", len(asns))
+        finally:
+            connection.close()
 
 
 def dataset_from_sqlite(path: Union[str, Path]) -> StateOwnedDataset:

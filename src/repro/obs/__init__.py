@@ -1,0 +1,52 @@
+"""Lightweight pipeline observability: spans, metrics, event sinks.
+
+Three pieces, each usable alone:
+
+* :class:`~repro.obs.span.Span` / :class:`~repro.obs.span.StageTimer` —
+  nesting context managers that time a stage and carry a counter dict;
+* :class:`~repro.obs.metrics.Metrics` — a process-global registry of
+  counters, gauges and timing histograms (p50/p95 summaries);
+* the event sinks (:mod:`repro.obs.sink`) — no-op by default, switchable
+  to human-readable trace lines or JSON-lines via :func:`configure`, the
+  CLI flags ``--trace`` / ``--log-json``, or the environment variables
+  ``REPRO_TRACE`` / ``REPRO_LOG_JSON``.
+
+The default configuration is a null sink plus dict-update-cheap metrics,
+so instrumented code paths stay within noise of the uninstrumented ones.
+"""
+
+from repro.obs.metrics import Metrics, get_metrics, reset_metrics
+from repro.obs.sink import (
+    CompositeSink,
+    EventSink,
+    JsonLinesSink,
+    NullSink,
+    TextSink,
+    configure,
+    configure_from_env,
+    get_sink,
+    set_sink,
+)
+from repro.obs.span import Span, StageTimer, current_span, span
+
+__all__ = [
+    "Metrics",
+    "get_metrics",
+    "reset_metrics",
+    "EventSink",
+    "NullSink",
+    "TextSink",
+    "JsonLinesSink",
+    "CompositeSink",
+    "configure",
+    "configure_from_env",
+    "get_sink",
+    "set_sink",
+    "Span",
+    "StageTimer",
+    "current_span",
+    "span",
+]
+
+# Library embedders get tracing without touching the CLI.
+configure_from_env()

@@ -1,0 +1,117 @@
+"""Process-global metrics registry.
+
+Three primitive families, mirroring what the pipeline needs to report:
+
+* **counters** — monotonically accumulated floats/ints (candidates per
+  source, origins pruned, cache hits...);
+* **gauges** — last-value-wins measurements (world size, scale...);
+* **timings** — observed durations per stage, summarized as count / total /
+  mean / p50 / p95 / max.
+
+The registry is deliberately tiny: plain dicts behind one lock, so that
+instrumenting a hot loop costs a dictionary update and nothing else.  One
+process-global instance (:func:`get_metrics`) is shared by every span and
+every instrumented subsystem; :func:`reset_metrics` restores a clean slate
+(used by tests and the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Metrics", "get_metrics", "reset_metrics"]
+
+Number = Union[int, float]
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class Metrics:
+    """A thread-safe counter / gauge / timing registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+        self._timings: Dict[str, List[float]] = {}
+
+    # -- writers -----------------------------------------------------------
+    def incr(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample for the timing ``name``."""
+        with self._lock:
+            self._timings.setdefault(name, []).append(seconds)
+
+    # -- readers -----------------------------------------------------------
+    def counter(self, name: str) -> Number:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[Number]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def timing_summary(self, name: str) -> Optional[Dict[str, float]]:
+        """count/total/mean/p50/p95/max for one timing, or None if unseen."""
+        with self._lock:
+            samples = list(self._timings.get(name, ()))
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        total = sum(ordered)
+        return {
+            "count": len(ordered),
+            "total_s": total,
+            "mean_s": total / len(ordered),
+            "p50_s": _percentile(ordered, 0.50),
+            "p95_s": _percentile(ordered, 0.95),
+            "max_s": ordered[-1],
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of everything recorded so far."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timing_names = list(self._timings)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "timings": {
+                name: self.timing_summary(name) for name in timing_names
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timings.clear()
+
+
+_GLOBAL = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The process-global registry every instrumented subsystem shares."""
+    return _GLOBAL
+
+
+def reset_metrics() -> None:
+    """Clear the process-global registry (tests, benchmark harness)."""
+    _GLOBAL.reset()

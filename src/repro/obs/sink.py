@@ -1,0 +1,187 @@
+"""Structured event sinks: where span/trace events go.
+
+The default sink is a :class:`NullSink` that drops everything — the
+instrumented code paths stay within a few dictionary operations of the
+uninstrumented ones.  Two real sinks exist:
+
+* :class:`TextSink` — human-readable ``[trace]`` lines (``--trace``);
+* :class:`JsonLinesSink` — one JSON object per line (``--log-json PATH``),
+  machine-parseable for offline analysis.
+
+:func:`configure` installs sinks process-wide (both can be active at once);
+:func:`configure_from_env` honours ``REPRO_TRACE`` / ``REPRO_LOG_JSON`` so
+library embedders get tracing without touching the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, IO, List, Optional, Union
+
+__all__ = [
+    "EventSink",
+    "NullSink",
+    "TextSink",
+    "JsonLinesSink",
+    "CompositeSink",
+    "configure",
+    "configure_from_env",
+    "get_sink",
+    "set_sink",
+]
+
+
+class EventSink:
+    """Receives structured event dicts.  The base class drops them."""
+
+    #: Fast-path flag: instrumentation skips event assembly when False.
+    enabled = False
+
+    def emit(self, event: Dict[str, object]) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(EventSink):
+    """Discards every event (the default)."""
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class TextSink(EventSink):
+    """Human-readable trace lines, indented by span depth."""
+
+    enabled = True
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: Dict[str, object]) -> None:
+        name = event.get("name", "?")
+        pad = "  " * int(event.get("depth", 0) or 0)
+        parts: List[str] = []
+        if "wall_s" in event:
+            parts.append(f"{float(event['wall_s']) * 1000.0:.1f} ms")
+        counters = event.get("counters") or {}
+        if isinstance(counters, dict):
+            parts.extend(
+                f"{key}={_fmt(val)}" for key, val in sorted(counters.items())
+            )
+        fields = event.get("fields") or {}
+        if isinstance(fields, dict):
+            parts.extend(
+                f"{key}={_fmt(val)}" for key, val in sorted(fields.items())
+            )
+        detail = "  ".join(parts)
+        print(
+            f"[trace] {pad}{name}" + (f": {detail}" if detail else ""),
+            file=self._stream,
+        )
+        try:
+            self._stream.flush()
+        except (AttributeError, ValueError):
+            pass
+
+
+class JsonLinesSink(EventSink):
+    """One compact JSON object per event, appended to a file or stream."""
+
+    enabled = True
+
+    def __init__(self, target: Union[str, os.PathLike, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._stream = open(os.fspath(target), "a", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self._stream.write(
+            json.dumps(event, sort_keys=True, default=str) + "\n"
+        )
+        try:
+            self._stream.flush()
+        except (AttributeError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._owned:
+            self._stream.close()
+
+
+class CompositeSink(EventSink):
+    """Fans each event out to several sinks (e.g. text + JSON-lines)."""
+
+    enabled = True
+
+    def __init__(self, sinks: List[EventSink]) -> None:
+        self._sinks = list(sinks)
+
+    def emit(self, event: Dict[str, object]) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+_SINK: EventSink = NullSink()
+
+
+def get_sink() -> EventSink:
+    """The process-global event sink (NullSink unless configured)."""
+    return _SINK
+
+
+def set_sink(sink: Optional[EventSink]) -> EventSink:
+    """Install ``sink`` globally (None restores the no-op); returns the old."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink if sink is not None else NullSink()
+    return previous
+
+
+def configure(
+    trace: bool = False,
+    log_json: Optional[Union[str, os.PathLike, IO[str]]] = None,
+    stream: Optional[IO[str]] = None,
+) -> EventSink:
+    """Install sinks for the requested outputs and return the active sink.
+
+    ``trace`` turns on human-readable lines (to ``stream`` or stderr);
+    ``log_json`` appends JSON-lines to a path or writable stream.  With
+    neither, the no-op sink is (re)installed.
+    """
+    previous = set_sink(None)
+    previous.close()
+    sinks: List[EventSink] = []
+    if trace:
+        sinks.append(TextSink(stream))
+    if log_json is not None:
+        sinks.append(JsonLinesSink(log_json))
+    if not sinks:
+        return get_sink()
+    set_sink(sinks[0] if len(sinks) == 1 else CompositeSink(sinks))
+    return get_sink()
+
+
+def configure_from_env(environ: Optional[Dict[str, str]] = None) -> EventSink:
+    """Honour ``REPRO_TRACE`` (truthy) and ``REPRO_LOG_JSON`` (a path)."""
+    env = os.environ if environ is None else environ
+    trace = env.get("REPRO_TRACE", "").strip().lower() not in (
+        "", "0", "false", "no", "off",
+    )
+    log_json = env.get("REPRO_LOG_JSON") or None
+    if trace or log_json:
+        return configure(trace=trace, log_json=log_json)
+    return get_sink()

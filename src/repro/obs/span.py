@@ -1,0 +1,138 @@
+"""Stage spans: nested wall-clock timers with attached counters.
+
+A :class:`Span` brackets one pipeline stage::
+
+    with span("candidates") as sp:
+        ...
+        sp.incr("asns.geolocation", len(geo_asns))
+
+On exit it records its wall time into the global :class:`~.metrics.Metrics`
+registry (timing ``<dotted.path>``), folds its counters into the registry
+(counter ``<dotted.path>.<key>``), and — only when a real sink is
+configured — emits one structured event.  Nesting is tracked per thread:
+a span opened inside another gets a dotted path (``pipeline.candidates``)
+and a depth, which the text sink renders as indentation.
+
+:class:`StageTimer` is an alias kept for call sites that read better with
+the explicit name.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import Metrics, get_metrics
+from repro.obs.sink import EventSink, get_sink
+
+__all__ = ["Span", "StageTimer", "current_span", "span"]
+
+Number = Union[int, float]
+
+_STACKS = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_STACKS, "spans", None)
+    if stack is None:
+        stack = []
+        _STACKS.spans = stack
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span on this thread (None outside any span)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """A nesting-aware stage timer with a local counter dict."""
+
+    __slots__ = (
+        "name",
+        "path",
+        "depth",
+        "counters",
+        "fields",
+        "wall_s",
+        "_metrics",
+        "_sink",
+        "_start",
+        "_open",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        metrics: Optional[Metrics] = None,
+        sink: Optional[EventSink] = None,
+        **fields: object,
+    ) -> None:
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self.counters: Dict[str, Number] = {}
+        self.fields: Dict[str, object] = dict(fields)
+        self.wall_s: Optional[float] = None
+        self._metrics = metrics
+        self._sink = sink
+        self._start = 0.0
+        self._open = False
+
+    # -- counter / field helpers ------------------------------------------
+    def incr(self, key: str, value: Number = 1) -> None:
+        """Add ``value`` to this span's counter ``key``."""
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an informational field (not aggregated into metrics)."""
+        self.fields[key] = value
+
+    # -- context-manager protocol -----------------------------------------
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.path = f"{parent.path}.{self.name}"
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self._open = True
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._start
+        stack = _stack()
+        if self._open and stack and stack[-1] is self:
+            stack.pop()
+        self._open = False
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        metrics.observe(self.path, self.wall_s)
+        for key, value in self.counters.items():
+            metrics.incr(f"{self.path}.{key}", value)
+        sink = self._sink if self._sink is not None else get_sink()
+        if sink.enabled:
+            event: Dict[str, object] = {
+                "event": "span",
+                "name": self.path,
+                "depth": self.depth,
+                "wall_s": round(self.wall_s, 6),
+            }
+            if self.counters:
+                event["counters"] = dict(self.counters)
+            if self.fields:
+                event["fields"] = dict(self.fields)
+            if exc_type is not None:
+                event["error"] = exc_type.__name__
+            sink.emit(event)
+
+
+#: Alias for call sites where "timer" reads better than "span".
+StageTimer = Span
+
+
+def span(name: str, **fields: object) -> Span:
+    """A :class:`Span` bound to the global metrics registry and sink."""
+    return Span(name, **fields)

@@ -28,6 +28,7 @@ from repro.net.asn import ASNAllocator
 from repro.net.monitors import MonitorSet, RouteCollector
 from repro.net.prefix import Prefix, summarize_address_counts
 from repro.net.topology import ASGraph
+from repro.obs import span
 from repro.rng import SeedSequenceFactory
 from repro.text.names import NameForge
 from repro.world.countries import COUNTRIES, Country
@@ -224,22 +225,31 @@ class WorldGenerator:
     # -- public entry point ----------------------------------------------------
     def generate(self) -> World:
         """Materialize the full world (deterministic for a given config)."""
-        self._create_governments()
-        self._create_private_groups()
-        self._plan_markets()
-        self._materialize_operators()
-        self._materialize_subsidiaries()
-        self._materialize_excluded_and_subnational()
-        self._materialize_tail()
-        self._build_tier1()
-        self._build_topology()
-        self._graph.validate()
-        self._ownership.validate()
-        monitors = MonitorSet.place(
-            self._graph,
-            self.config.monitor_count,
-            self._factory.stream("monitors"),
-        )
+        with span("world.generate") as sp:
+            with span("entities"):
+                self._create_governments()
+                self._create_private_groups()
+                self._plan_markets()
+                self._materialize_operators()
+                self._materialize_subsidiaries()
+                self._materialize_excluded_and_subnational()
+                self._materialize_tail()
+            with span("topology"):
+                self._build_tier1()
+                self._build_topology()
+                self._graph.validate()
+                self._ownership.validate()
+            with span("monitors"):
+                monitors = MonitorSet.place(
+                    self._graph,
+                    self.config.monitor_count,
+                    self._factory.stream("monitors"),
+                )
+            sp.incr("asns", len(self._records))
+            sp.incr("operators", len(self._ownership.operators()))
+            sp.incr("countries", len(COUNTRIES))
+            sp.incr("monitors", len(monitors))
+            sp.incr("transit_dominant_ccs", len(self._transit_dominant))
         return World(
             config=self.config,
             countries=COUNTRIES,

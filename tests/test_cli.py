@@ -1,5 +1,7 @@
 """Tests for the command-line interface (on a tiny world for speed)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -26,16 +28,65 @@ class TestGenerate:
         assert "state-owned ASNs" in out
 
 
+class TestShowErrors:
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["show", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "nope.json" in err
+        assert err.count("\n") == 1  # one-line message, not a traceback
+
+    def test_corrupt_sqlite_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.db"
+        bad.write_text("this is not a database")
+        assert main(["show", str(bad)]) == 2
+        assert "bad.db" in capsys.readouterr().err
+
+    def test_truncated_json_exits_2(self, tmp_path, capsys):
+        truncated = tmp_path / "cut.json"
+        truncated.write_text('{"format_version": 1, "organizations": [{"or')
+        assert main(["show", str(truncated)]) == 2
+        assert "cut.json" in capsys.readouterr().err
+
+    def test_wrong_format_version_exits_2(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"format_version": 99}')
+        assert main(["show", str(wrong)]) == 2
+        assert "wrong.json" in capsys.readouterr().err
+
+    def test_unwritable_log_json_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "events.jsonl"
+        assert main(["run", *ARGS, "--log-json", str(target)]) == 2
+        assert "events.jsonl" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestRunAndShow:
     def test_run_exports_and_show_reads(self, tmp_path, capsys):
         json_path = tmp_path / "out.json"
         db_path = tmp_path / "out.db"
+        events_path = tmp_path / "events.jsonl"
         assert main(
-            ["run", *ARGS, "--json", str(json_path), "--sqlite", str(db_path)]
+            ["run", *ARGS, "--trace", "--log-json", str(events_path),
+             "--json", str(json_path), "--sqlite", str(db_path)]
         ) == 0
         assert json_path.exists() and db_path.exists()
-        capsys.readouterr()
+        err = capsys.readouterr().err
+        # --trace prints per-stage wall time and counters.
+        assert "pipeline.candidates" in err
+        assert "pipeline.confirmation" in err
+        assert "ms" in err
+        assert "origins_pruned=" in err
+        # --log-json emits one valid JSON object per line.
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        assert events
+        names = {event["name"] for event in events}
+        assert "pipeline.expansion" in names
+        assert "export.sqlite" in names
+        assert all(event["event"] == "span" for event in events)
 
         assert main(["show", str(json_path)]) == 0
         out = capsys.readouterr().out

@@ -95,6 +95,64 @@ class TestMonitorWeighting:
         assert monitors.weight(Monitor("c", 2)) == pytest.approx(1.0)
 
 
+def _reference_country_cti(cti, cc):
+    """The pre-optimization formula: w(m)/|M| recomputed for every
+    origin x monitor iteration.  Kept as the oracle for the hot-loop
+    regression test — the hoisted implementation must match bit for bit."""
+    origin_weights = cti._per_country.get(cc)
+    total = cti._country_totals.get(cc, 0)
+    if not origin_weights or total == 0:
+        return {}
+    monitors = cti._collector.monitors
+    monitor_count = len(monitors)
+    scores = {}
+    for origin, weight in origin_weights.items():
+        address_fraction = weight / total
+        if address_fraction < cti._min_address_fraction:
+            continue
+        for monitor in monitors:
+            path = cti._collector.path(monitor, origin)
+            if path is None or len(path) < 2:
+                continue
+            w = cti._collector.monitors.weight(monitor) / monitor_count
+            length = len(path)
+            for index, asn in enumerate(path):
+                distance = length - 1 - index
+                if distance == 0:
+                    continue
+                if asn == monitor.host_asn:
+                    continue
+                scores[asn] = scores.get(asn, 0.0) + (
+                    w * address_fraction / distance
+                )
+    return scores
+
+
+class TestScoreDeterminism:
+    def test_toy_scenario_bit_identical(self):
+        cti = gateway_scenario()
+        assert cti.country_cti("XX") == _reference_country_cti(cti, "XX")
+
+    def test_fixed_seed_world_bit_identical(self, small_world, small_inputs):
+        """Scores on a full fixed-seed world match the unhoisted formula
+        exactly (==, not approx): the weight hoist must not perturb a
+        single bit of any score."""
+        cti = CTIComputer(
+            small_inputs.prefix2as,
+            small_inputs.geolocation,
+            small_world.collector,
+        )
+        ccs = sorted(small_world.transit_dominant_ccs)
+        assert ccs, "fixture world must have transit-dominant countries"
+        for cc in ccs:
+            assert cti.country_cti(cc) == _reference_country_cti(cti, cc)
+
+    def test_cached_recall_identical(self):
+        cti = gateway_scenario()
+        first = dict(cti.country_cti("XX"))
+        assert cti.country_cti("XX") == first
+
+
 class TestSelection:
     def test_top_k_selected(self):
         cti = gateway_scenario()

@@ -150,6 +150,62 @@ class TestSqliteRoundTrip:
         assert dataset_from_sqlite(path).all_asns() == ds.all_asns()
 
 
+class _ExplodingDataset(StateOwnedDataset):
+    """Simulates a crash partway through an export."""
+
+    def asns_of(self, org_id):
+        raise RuntimeError("simulated crash mid-export")
+
+
+class TestAtomicExport:
+    def _good(self, asns):
+        return StateOwnedDataset([org()], {"ORG-1": asns})
+
+    def test_sqlite_crash_leaves_previous_file_byte_identical(self, tmp_path):
+        path = tmp_path / "dataset.db"
+        dataset_to_sqlite(self._good([2119]), path)
+        before = path.read_bytes()
+        with pytest.raises(RuntimeError):
+            dataset_to_sqlite(_ExplodingDataset([org()], {}), path)
+        assert path.read_bytes() == before
+        assert dataset_from_sqlite(path).all_asns() == frozenset({2119})
+
+    def test_json_crash_leaves_previous_file_byte_identical(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        dump_json(self._good([2119]), path)
+        before = path.read_bytes()
+        with pytest.raises(RuntimeError):
+            dump_json(_ExplodingDataset([org()], {}), path)
+        assert path.read_bytes() == before
+        assert load_json(path).all_asns() == frozenset({2119})
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        db_path = tmp_path / "dataset.db"
+        json_path = tmp_path / "dataset.json"
+        dataset_to_sqlite(self._good([1]), db_path)
+        dump_json(self._good([1]), json_path)
+        for target in (db_path, json_path):
+            with pytest.raises(RuntimeError):
+                if target.suffix == ".db":
+                    dataset_to_sqlite(_ExplodingDataset([org()], {}), target)
+                else:
+                    dump_json(_ExplodingDataset([org()], {}), target)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "dataset.db", "dataset.json",
+        ]
+
+    def test_atomic_replace_overwrites_on_success(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        dump_json(self._good([1]), path)
+        dump_json(self._good([2]), path)
+        assert load_json(path).all_asns() == frozenset({2})
+
+    def test_export_to_new_file_still_works(self, tmp_path):
+        path = tmp_path / "fresh.db"
+        dataset_to_sqlite(self._good([7]), path)
+        assert dataset_from_sqlite(path).all_asns() == frozenset({7})
+
+
 class TestRenderTable:
     def test_basic(self):
         text = render_table(("a", "b"), [(1, 22)])

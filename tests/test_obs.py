@@ -1,0 +1,220 @@
+"""Tests for the observability layer (spans, metrics, event sinks)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonLinesSink,
+    Metrics,
+    NullSink,
+    Span,
+    StageTimer,
+    TextSink,
+    configure,
+    configure_from_env,
+    current_span,
+    get_metrics,
+    get_sink,
+    reset_metrics,
+    set_sink,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with a no-op sink and empty metrics."""
+    set_sink(None)
+    reset_metrics()
+    yield
+    set_sink(None)
+    reset_metrics()
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        metrics = Metrics()
+        metrics.incr("cands")
+        metrics.incr("cands", 4)
+        assert metrics.counter("cands") == 5
+        assert metrics.counter("never") == 0
+
+    def test_gauge_last_write_wins(self):
+        metrics = Metrics()
+        metrics.gauge("scale", 0.3)
+        metrics.gauge("scale", 1.0)
+        assert metrics.gauge_value("scale") == 1.0
+
+    def test_timing_summary_percentiles(self):
+        metrics = Metrics()
+        for value in range(1, 101):  # 0.01 .. 1.00
+            metrics.observe("stage", value / 100.0)
+        summary = metrics.timing_summary("stage")
+        assert summary["count"] == 100
+        assert summary["p50_s"] == pytest.approx(0.50)
+        assert summary["p95_s"] == pytest.approx(0.95)
+        assert summary["max_s"] == pytest.approx(1.00)
+        assert summary["total_s"] == pytest.approx(50.5)
+        assert metrics.timing_summary("unseen") is None
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.incr("a", 2)
+        metrics.gauge("b", 3.5)
+        metrics.observe("c", 0.1)
+        snap = json.loads(json.dumps(metrics.snapshot()))
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"b": 3.5}
+        assert snap["timings"]["c"]["count"] == 1
+
+    def test_reset(self):
+        metrics = Metrics()
+        metrics.incr("a")
+        metrics.observe("b", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "timings": {},
+        }
+
+    def test_global_registry_identity(self):
+        get_metrics().incr("x")
+        assert get_metrics().counter("x") == 1
+        reset_metrics()
+        assert get_metrics().counter("x") == 0
+
+
+class TestSpan:
+    def test_records_wall_time_into_metrics(self):
+        with span("stage_a"):
+            pass
+        summary = get_metrics().timing_summary("stage_a")
+        assert summary is not None and summary["count"] == 1
+        assert summary["total_s"] >= 0.0
+
+    def test_nesting_paths_and_depth(self):
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert inner.path == "outer.inner"
+                assert inner.depth == 1
+                with span("leaf") as leaf:
+                    assert leaf.path == "outer.inner.leaf"
+                    assert leaf.depth == 2
+            assert current_span() is outer
+        assert current_span() is None
+        assert get_metrics().timing_summary("outer.inner.leaf") is not None
+
+    def test_counter_aggregation_into_registry(self):
+        with span("harvest") as sp:
+            sp.incr("asns", 3)
+            sp.incr("asns", 2)
+            sp.incr("companies")
+        assert sp.counters == {"asns": 5, "companies": 1}
+        assert get_metrics().counter("harvest.asns") == 5
+        assert get_metrics().counter("harvest.companies") == 1
+
+    def test_sibling_spans_share_counter_names(self):
+        for _ in range(2):
+            with span("batch") as sp:
+                sp.incr("items", 10)
+        assert get_metrics().counter("batch.items") == 20
+        assert get_metrics().timing_summary("batch")["count"] == 2
+
+    def test_stagetimer_alias(self):
+        assert StageTimer is Span
+
+    def test_exception_still_pops_and_records(self):
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("x")
+        assert current_span() is None
+        assert get_metrics().timing_summary("boom")["count"] == 1
+
+
+class TestSinks:
+    def test_noop_by_default(self):
+        sink = get_sink()
+        assert isinstance(sink, NullSink)
+        assert not sink.enabled
+        # Spans run without emitting anywhere; only metrics are touched.
+        with span("silent") as sp:
+            sp.incr("n")
+        assert get_metrics().counter("silent.n") == 1
+
+    def test_text_sink_renders_span_line(self):
+        stream = io.StringIO()
+        set_sink(TextSink(stream))
+        with span("stage") as sp:
+            sp.incr("asns", 7)
+        line = stream.getvalue()
+        assert "[trace] stage:" in line
+        assert "ms" in line
+        assert "asns=7" in line
+
+    def test_text_sink_indents_nested_spans(self):
+        stream = io.StringIO()
+        set_sink(TextSink(stream))
+        with span("outer"):
+            with span("inner"):
+                pass
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[trace]   outer.inner")
+        assert lines[1].startswith("[trace] outer")
+
+    def test_jsonlines_sink_emits_valid_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        configure(log_json=str(path))
+        with span("stage") as sp:
+            sp.incr("k", 2)
+            sp.set("cc", "NO")
+        with span("other"):
+            pass
+        configure()  # close the file sink
+        lines = path.read_text(encoding="utf-8").splitlines()
+        events = [json.loads(line) for line in lines]
+        assert len(events) == 2
+        assert events[0]["event"] == "span"
+        assert events[0]["name"] == "stage"
+        assert events[0]["counters"] == {"k": 2}
+        assert events[0]["fields"] == {"cc": "NO"}
+        assert events[0]["wall_s"] >= 0.0
+        assert events[1]["name"] == "other"
+
+    def test_configure_both_sinks(self, tmp_path):
+        stream = io.StringIO()
+        path = tmp_path / "events.jsonl"
+        configure(trace=True, log_json=str(path), stream=stream)
+        with span("stage"):
+            pass
+        configure()
+        assert "[trace] stage" in stream.getvalue()
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "stage"
+
+    def test_configure_from_env(self, tmp_path):
+        path = tmp_path / "env.jsonl"
+        sink = configure_from_env(
+            {"REPRO_TRACE": "0", "REPRO_LOG_JSON": str(path)}
+        )
+        assert sink.enabled
+        with span("via_env"):
+            pass
+        configure()
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "via_env"
+        # Nothing requested -> sink untouched (still the no-op default).
+        assert not configure_from_env({}).enabled
+
+    def test_span_error_flag(self):
+        stream = io.StringIO()
+        set_sink(TextSink(stream))
+        events = []
+        class Capture(NullSink):
+            enabled = True
+            def emit(self, event):
+                events.append(event)
+        set_sink(Capture())
+        with pytest.raises(RuntimeError):
+            with span("fails"):
+                raise RuntimeError("nope")
+        assert events[0]["error"] == "RuntimeError"
