@@ -1,0 +1,100 @@
+"""Parallel-execution benchmarks: serial vs multi-core vs warm cache.
+
+Three single-round measurements of the same reduced-world pipeline run:
+
+* the serial baseline,
+* the multi-core run (process backend), and
+* the warm-cache run (CTI served entirely from the persistent cache).
+
+Every run gets a **fresh** route collector: routing trees are cached per
+collector, so reusing the session collector would hand later runs a warm
+tree cache and fake the speedup.  ``extra_info`` records the worker count
+and backend so exported ``BENCH_*.json`` files are self-describing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.config import ParallelConfig
+from repro.core.pipeline import StateOwnershipPipeline
+from repro.io.tables import render_table
+from repro.net.monitors import RouteCollector
+from repro.obs import get_metrics
+
+_PARALLEL_JOBS = min(4, os.cpu_count() or 1)
+
+
+def _cold_inputs(inputs):
+    """The same derived sources with an unwarmed route collector."""
+    collector = inputs.collector
+    return dataclasses.replace(
+        inputs,
+        collector=RouteCollector(collector._graph, collector.monitors),
+    )
+
+
+def _report(title, result):
+    print()
+    print(render_table(
+        ("metric", "value"),
+        [
+            ("companies confirmed", len(result.dataset)),
+            ("state-owned ASNs", len(result.dataset.all_asns())),
+            ("runtime (s)", f"{result.stats['runtime_seconds']:.2f}"),
+        ],
+        title=title,
+    ))
+
+
+def test_bench_pipeline_serial(benchmark, small_bench_inputs):
+    inputs = _cold_inputs(small_bench_inputs)
+    pipeline = StateOwnershipPipeline(inputs)
+    result = benchmark.pedantic(pipeline.run, rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = 1
+    benchmark.extra_info["backend"] = "serial"
+    _report("Serial baseline (cold routing trees)", result)
+    assert len(result.dataset)
+
+
+def test_bench_pipeline_parallel(benchmark, small_bench_inputs):
+    inputs = _cold_inputs(small_bench_inputs)
+    pipeline = StateOwnershipPipeline(
+        inputs,
+        parallel=ParallelConfig(jobs=_PARALLEL_JOBS, backend="process"),
+    )
+    result = benchmark.pedantic(pipeline.run, rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = _PARALLEL_JOBS
+    benchmark.extra_info["backend"] = "process"
+    _report(
+        f"Process backend, {_PARALLEL_JOBS} workers (cold routing trees)",
+        result,
+    )
+    assert len(result.dataset)
+
+
+def test_bench_pipeline_warm_cache(
+    benchmark, small_bench_inputs, tmp_path_factory
+):
+    cache_dir = str(tmp_path_factory.mktemp("repro-cache"))
+    parallel = ParallelConfig(cache_dir=cache_dir)
+    # Prime the persistent cache (not part of the measurement).
+    StateOwnershipPipeline(
+        _cold_inputs(small_bench_inputs), parallel=parallel
+    ).run()
+
+    metrics = get_metrics()
+    hits_before = metrics.counter("cache.hits")
+    pipeline = StateOwnershipPipeline(
+        _cold_inputs(small_bench_inputs), parallel=parallel
+    )
+    result = benchmark.pedantic(pipeline.run, rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = 1
+    benchmark.extra_info["backend"] = "serial"
+    benchmark.extra_info["cache"] = "warm"
+    _report("Warm persistent cache (CTI served from disk)", result)
+    assert metrics.counter("cache.hits") - hits_before >= 1
+    assert len(result.dataset)

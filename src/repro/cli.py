@@ -22,13 +22,14 @@ import sqlite3
 import sys
 from typing import List, Optional
 
-from repro.config import WorldConfig
+from repro.config import ParallelConfig, WorldConfig
 from repro.errors import DatasetError
 from repro.core import (
     PipelineInputs,
     StateOwnershipPipeline,
     validate_against_world,
 )
+from repro.parallel import BACKENDS, ExecutionContext, resolve_cache_dir
 from repro.world.generator import WorldGenerator
 
 __all__ = ["main", "build_parser"]
@@ -54,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--log-json", metavar="PATH",
                        help="append structured trace events as JSON-lines")
 
+    def add_parallel_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker count (0 = all cores; default: "
+                            "$REPRO_JOBS or 1)")
+        p.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="execution backend (default: $REPRO_BACKEND, or "
+                            "'process' when --jobs > 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache "
+                            "($REPRO_CACHE_DIR, default ~/.cache/repro)")
+
     p_generate = sub.add_parser(
         "generate", help="synthesize a world and summarize its ground truth"
     )
@@ -64,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_world_args(p_run)
     add_obs_args(p_run)
+    add_parallel_args(p_run)
     p_run.add_argument("--json", metavar="PATH", help="write dataset JSON")
     p_run.add_argument("--sqlite", metavar="PATH", help="write dataset SQLite")
 
@@ -72,12 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_world_args(p_report)
     add_obs_args(p_report)
+    add_parallel_args(p_report)
 
     p_validate = sub.add_parser(
         "validate", help="run the pipeline and score against ground truth"
     )
     add_world_args(p_validate)
     add_obs_args(p_validate)
+    add_parallel_args(p_validate)
 
     p_show = sub.add_parser("show", help="print organizations from a dataset")
     p_show.add_argument("path", help="dataset .json or .db/.sqlite file")
@@ -111,10 +126,24 @@ def _make_world(args: argparse.Namespace):
     return WorldGenerator(config).generate()
 
 
-def _run_pipeline(world):
+def _run_pipeline(world, parallel: Optional[ParallelConfig] = None):
     inputs = PipelineInputs.from_world(world)
-    result = StateOwnershipPipeline(inputs).run()
+    result = StateOwnershipPipeline(inputs, parallel=parallel).run()
     return inputs, result
+
+
+def _make_parallel_config(args: argparse.Namespace) -> ParallelConfig:
+    """Resolve --jobs/--backend/--no-cache plus REPRO_* env fallbacks."""
+    context = ExecutionContext.resolve(
+        jobs=getattr(args, "jobs", None),
+        backend=getattr(args, "backend", None),
+    )
+    cache_dir = None if getattr(args, "no_cache", False) else resolve_cache_dir()
+    return ParallelConfig(
+        jobs=context.jobs,
+        backend=context.backend,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -156,7 +185,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command in ("run", "report", "validate"):
         world = _make_world(args)
-        inputs, result = _run_pipeline(world)
+        inputs, result = _run_pipeline(world, _make_parallel_config(args))
         if args.command == "run":
             print(
                 f"confirmed {result.stats['confirmed_companies']:.0f} "

@@ -10,7 +10,7 @@ scales for speed; benchmarks use the default.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -19,7 +19,12 @@ __all__ = [
     "WorldConfig",
     "SourceNoiseConfig",
     "PipelineConfig",
+    "ParallelConfig",
 ]
+
+#: Execution backends understood by :class:`ParallelConfig` (and by
+#: :class:`repro.parallel.ExecutionContext`, which enforces the same set).
+PARALLEL_BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
 
 #: Foreign-expansion profiles: owner country -> target countries where its
 #: state-owned conglomerate operates subsidiaries.  Taken from the paper's
@@ -255,3 +260,32 @@ class PipelineConfig:
             raise ConfigError("cti_top_k must be >= 1")
         if not 0.0 < self.mapping_similarity_threshold <= 1.0:
             raise ConfigError("mapping_similarity_threshold out of (0, 1]")
+
+
+@dataclass
+class ParallelConfig:
+    """Execution knobs of one pipeline run (parallelism + persistent cache).
+
+    The defaults are fully serial with no on-disk cache, so library users
+    and tests get the unsurprising behaviour; the CLI resolves ``--jobs`` /
+    ``--backend`` (with ``REPRO_JOBS`` / ``REPRO_BACKEND`` fallbacks) and
+    the cache directory (``REPRO_CACHE_DIR``, default ``~/.cache/repro``)
+    into an explicit instance.  Every backend produces bit-identical
+    pipeline output; only wall time changes.
+    """
+
+    #: Worker count; 1 means serial regardless of backend.
+    jobs: int = 1
+    #: One of ``serial`` / ``thread`` / ``process``.
+    backend: str = "serial"
+    #: Root of the persistent result cache; None disables on-disk caching.
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.backend not in PARALLEL_BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.backend!r}"
+            )

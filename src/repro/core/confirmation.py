@@ -22,6 +22,7 @@ corporate parents) exactly the way the authors did by hand:
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -136,30 +137,72 @@ class OwnershipAnalyst:
         self._corpus = corpus
         self._config = config or PipelineConfig()
         self._memo: Dict[str, ConfirmationVerdict] = {}
-        self._in_progress: Set[str] = set()
+        self._local = threading.local()
         #: Companies encountered with minority state stakes (§7 logging).
         self.minority_log: Dict[str, ConfirmationVerdict] = {}
+
+    def __getstate__(self) -> dict:
+        # ``threading.local`` cannot be pickled; process-pool workers get a
+        # fresh (empty) recursion stack, which is exactly right — the
+        # in-progress set tracks one investigation's chain, never state
+        # that should survive a process boundary.
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    def _in_progress(self) -> Set[str]:
+        """This thread's set of keys currently being investigated.
+
+        Per-thread, so concurrent investigations on the thread backend do
+        not mistake each other's open chains for cycles (which would turn a
+        resolvable holder into NO_EVIDENCE nondeterministically).
+        """
+        stack = getattr(self._local, "in_progress", None)
+        if stack is None:
+            stack = set()
+            self._local.in_progress = stack
+        return stack
 
     def investigate(self, company_name: str, depth: int = 0) -> ConfirmationVerdict:
         """Investigate one company, chasing ownership chains recursively."""
         key = normalize_name(company_name)
         if key in self._memo:
             return self._memo[key]
-        if key in self._in_progress or depth > _MAX_DEPTH:
+        in_progress = self._in_progress()
+        if key in in_progress or depth > _MAX_DEPTH:
             # Cycle or runaway chain: treat as unresolvable evidence.
             return ConfirmationVerdict(
                 company_name=company_name,
                 status=ConfirmationStatus.NO_EVIDENCE,
             )
-        self._in_progress.add(key)
+        in_progress.add(key)
         try:
             verdict = self._investigate_uncached(company_name, depth)
         finally:
-            self._in_progress.discard(key)
+            in_progress.discard(key)
         self._memo[key] = verdict
         if verdict.status is ConfirmationStatus.MINORITY:
             self.minority_log[key] = verdict
         return verdict
+
+    def absorb(
+        self,
+        verdict: ConfirmationVerdict,
+        minority_log: Optional[Dict[str, ConfirmationVerdict]] = None,
+    ) -> None:
+        """Merge a verdict computed by a worker into this analyst.
+
+        Investigation is a pure function of the (immutable) corpus, so a
+        colliding key always carries an equal verdict and ``setdefault``
+        merging is order-independent.
+        """
+        self._memo.setdefault(normalize_name(verdict.company_name), verdict)
+        for key in sorted(minority_log or ()):
+            self.minority_log.setdefault(key, minority_log[key])
 
     # -- the actual analysis ------------------------------------------------------
     def _investigate_uncached(
@@ -171,6 +214,13 @@ class OwnershipAnalyst:
                 company_name=company_name,
                 status=ConfirmationStatus.NO_EVIDENCE,
             )
+        # Report the company under the matched document's legal name, not
+        # the query string.  Chained investigations query by *normalized*
+        # holder key, so without this the verdict's name would depend on
+        # which query string reached the company first — an ordering
+        # artifact that would also make parallel runs diverge from serial.
+        if docs[0].subject_names:
+            company_name = docs[0].subject_names[0]
 
         # Gather de-duplicated claims: one entry per holder name.
         holder_claims: Dict[str, Tuple[Optional[float], bool, Optional[str], bool, Document]] = {}

@@ -55,6 +55,11 @@ class CompanyMapper:
         self._config = config or PipelineConfig()
         self._registry_index: Optional[Dict[str, Set[int]]] = None
 
+    @property
+    def corpus(self) -> ConfirmationCorpus:
+        """The confirmation-document corpus this mapper resolves against."""
+        return self._corpus
+
     def _ensure_registry_index(self) -> Dict[str, Set[int]]:
         """Token index over WHOIS + PeeringDB names for reverse mapping.
 

@@ -14,7 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.config import PipelineConfig, SourceNoiseConfig
+from repro.config import ParallelConfig, PipelineConfig, SourceNoiseConfig
 from repro.core.candidates import CandidateSet, harvest_candidates
 from repro.core.confirmation import (
     ConfirmationStatus,
@@ -31,6 +31,12 @@ from repro.cti.metric import CTIComputer
 from repro.cti.selection import CTISelection, select_cti_candidates
 from repro.errors import PipelineError
 from repro.obs import get_metrics, span
+from repro.parallel import (
+    ExecutionContext,
+    ResultCache,
+    stable_digest,
+    world_fingerprint,
+)
 from repro.sources.as2org import As2OrgDataset
 from repro.sources.asrank import AsRankDataset
 from repro.sources.base import InputSource
@@ -69,6 +75,10 @@ class PipelineInputs:
     collector: object                  # RouteCollector (for CTI)
     cti_eligible_ccs: Tuple[str, ...]  # transit-dominant countries
     asrank: Optional[object] = None    # AsRankDataset (evaluation only)
+    #: Content digest of the configuration that produced these inputs; keys
+    #: the persistent result cache.  None disables on-disk caching for runs
+    #: over hand-assembled inputs, whose provenance we cannot fingerprint.
+    fingerprint: Optional[str] = None
 
     @classmethod
     def from_world(
@@ -93,6 +103,7 @@ class PipelineInputs:
             collector=world.collector,
             cti_eligible_ccs=tuple(sorted(world.transit_dominant_ccs)),
             asrank=AsRankDataset.from_world(world),
+            fingerprint=world_fingerprint(world.config, noise),
         )
 
 
@@ -134,6 +145,30 @@ class PipelineResult:
         return self.dataset.all_asns()
 
 
+def _investigate_task(
+    state: Dict[str, object], company_name: str
+) -> Tuple[ConfirmationVerdict, Dict[str, ConfirmationVerdict]]:
+    """Stage-2 work unit: investigate one company.
+
+    ``state`` carries the analyst: shared by reference on the serial and
+    thread backends (so memoized ownership chains are reused exactly as in
+    the serial loop), shipped once per worker on the process backend.  The
+    returned minority-log snapshot lets the coordinator merge §7 minority
+    findings from worker-local analysts deterministically.
+    """
+    analyst: OwnershipAnalyst = state["analyst"]  # type: ignore[assignment]
+    verdict = analyst.investigate(company_name)
+    return verdict, dict(analyst.minority_log)
+
+
+def _decode_scores(payload: Dict[str, Dict[str, float]]) -> Dict[str, Dict[int, float]]:
+    """Cached CTI score maps back to int-keyed form (JSON stringifies keys)."""
+    return {
+        cc: {int(asn): score for asn, score in scores.items()}
+        for cc, scores in payload.items()
+    }
+
+
 class StateOwnershipPipeline:
     """Orchestrates stages 1-3 over a fixed set of inputs."""
 
@@ -141,9 +176,12 @@ class StateOwnershipPipeline:
         self,
         inputs: PipelineInputs,
         config: Optional[PipelineConfig] = None,
+        parallel: Optional[ParallelConfig] = None,
     ) -> None:
         self._inputs = inputs
         self._config = config or PipelineConfig()
+        self._parallel = parallel or ParallelConfig()
+        self._whois_memo: Dict[int, object] = {}
 
     # -- public API --------------------------------------------------------------
     def run(self, skip_sources: Iterable[InputSource] = ()) -> PipelineResult:
@@ -156,6 +194,16 @@ class StateOwnershipPipeline:
         skip = set(skip_sources)
         inputs = self._inputs
         config = self._config
+        self._whois_memo = {}
+        context = ExecutionContext(
+            jobs=self._parallel.jobs, backend=self._parallel.backend
+        )
+        cache = (
+            ResultCache(self._parallel.cache_dir)
+            if self._parallel.cache_dir
+            else None
+        )
+        get_metrics().gauge("parallel.jobs", context.jobs)
 
         # ---- stage 1: candidates ------------------------------------------------
         cti_selection: Optional[CTISelection] = None
@@ -168,12 +216,34 @@ class StateOwnershipPipeline:
                     cti = CTIComputer(
                         inputs.prefix2as, inputs.geolocation, inputs.collector
                     )
+                    cache_key = self._cti_cache_key(cti)
+                    cached = (
+                        cache.get("cti", cache_key)
+                        if cache is not None and cache_key is not None
+                        else None
+                    )
+                    if cached is not None:
+                        cti.preload_scores(
+                            _decode_scores(cached.get("scores", {}))
+                        )
+                        sp_cti.set("cache", "hit")
                     cti_selection = select_cti_candidates(
                         cti,
                         inputs.cti_eligible_ccs,
                         top_k=config.cti_top_k,
                         min_score=config.cti_min_score,
+                        context=context,
                     )
+                    if cache is not None and cache_key is not None and cached is None:
+                        cache.put(
+                            "cti",
+                            cache_key,
+                            {
+                                "scores": cti.computed_scores(),
+                                "tree_stats": cti.transit_term_stats(),
+                            },
+                        )
+                        sp_cti.set("cache", "miss")
                     sp_cti.incr(
                         "countries_computed",
                         metrics.counter("cti.countries_computed")
@@ -269,6 +339,13 @@ class StateOwnershipPipeline:
         excluded: Dict[str, str] = {}
         unconfirmed: Set[str] = set()
         with span("pipeline.confirmation") as sp_confirm:
+            # Pre-exclusion is a cheap registry lookup; the investigations
+            # behind the surviving worklist are independent per company, so
+            # they fan out across the execution context.  Results come back
+            # in worklist (sorted-key) order and are folded in serially, so
+            # verdict classification and minority merging are deterministic
+            # for every backend.
+            queue: List[Tuple[str, CompanyWork]] = []
             for key in sorted(work):
                 item = work[key]
                 reason = self._pre_exclusion(item, inputs.peeringdb)
@@ -276,7 +353,15 @@ class StateOwnershipPipeline:
                     excluded[key] = reason.value
                     sp_confirm.incr(f"excluded.{reason.name.lower()}")
                     continue
-                verdict = analyst.investigate(item.canonical_name)
+                queue.append((key, item))
+            results = context.map_ordered(
+                _investigate_task,
+                [item.canonical_name for _, item in queue],
+                state={"analyst": analyst},
+                label="confirmation",
+            )
+            for (key, item), (verdict, worker_minority) in zip(queue, results):
+                analyst.absorb(verdict, worker_minority)
                 verdicts[key] = verdict
                 sp_confirm.incr(f"verdict.{verdict.status.name.lower()}")
                 if verdict.status is ConfirmationStatus.CONFIRMED:
@@ -365,10 +450,37 @@ class StateOwnershipPipeline:
     @staticmethod
     def _canonicalize(name: str, mapper: CompanyMapper) -> str:
         """Resolve a raw company-candidate name to its corpus identity."""
-        docs = mapper._corpus.find_documents(name)
+        docs = mapper.corpus.find_documents(name)
         if docs:
             return docs[0].subject_names[0]
         return name
+
+    def _cti_cache_key(self, cti: CTIComputer) -> Optional[str]:
+        """Persistent-cache key for the CTI score maps of this run.
+
+        Keys only what the score maps depend on: the input fingerprint and
+        the scoring knobs.  Selection knobs (``top_k``, ``min_score``) are
+        excluded — selection is a cheap recomputation over cached scores.
+        Returns None (caching disabled) for un-fingerprinted inputs.
+        """
+        if self._inputs.fingerprint is None:
+            return None
+        return stable_digest(
+            {
+                "fingerprint": self._inputs.fingerprint,
+                "eligible": sorted(self._inputs.cti_eligible_ccs),
+                "min_address_fraction": cti.min_address_fraction,
+            }
+        )
+
+    def _whois_lookup(self, asn: int):
+        """Memoized WHOIS lookup: the assembly stage queries the same ASNs
+        from several helpers; the registry view is immutable within a run."""
+        if asn in self._whois_memo:
+            return self._whois_memo[asn]
+        record = self._inputs.whois.lookup(asn)
+        self._whois_memo[asn] = record
+        return record
 
     def _pre_exclusion(
         self, item: CompanyWork, peeringdb: PeeringDBDataset
@@ -389,7 +501,7 @@ class StateOwnershipPipeline:
     ) -> Optional[str]:
         votes: Counter = Counter()
         for asn in asns:
-            record = self._inputs.whois.lookup(asn)
+            record = self._whois_lookup(asn)
             if record is not None:
                 votes[record.cc] += 1
         if votes:
@@ -471,7 +583,7 @@ class StateOwnershipPipeline:
             # pollution: keep only ASNs registered in the org's country.
             cc_of = {}
             for asn in asns:
-                record = self._inputs.whois.lookup(asn)
+                record = self._whois_lookup(asn)
                 if record is not None:
                     cc_of[asn] = record.cc
             if cc_of:
@@ -606,7 +718,7 @@ class StateOwnershipPipeline:
 
     def _rir_of(self, asns: Set[int], fallback_cc: Optional[str]) -> str:
         for asn in sorted(asns):
-            record = self._inputs.whois.lookup(asn)
+            record = self._whois_lookup(asn)
             if record is not None:
                 return record.rir
         if fallback_cc is not None:

@@ -17,11 +17,24 @@ AS's influence.
 CTI captures how much of a country's inbound connectivity funnels through a
 given transit provider — exactly the lens that surfaces the small,
 state-owned gateways no popularity-based source can see (§4.1, Appendix D).
+
+Execution shape
+---------------
+The monitor-observed path walk for one origin is independent of the country
+being scored, so the expensive part — computing the routing tree toward the
+origin and collecting its per-hop ``(asn, w(m)/|M|, d)`` *transit terms* —
+is done **once per origin** and shared by every country that scores that
+origin.  :meth:`CTIComputer.precompute` fans that per-origin work out over
+an :class:`~repro.parallel.ExecutionContext`; :meth:`country_cti` then
+replays the terms in exactly the order the serial loop visits them, so
+scores are bit-identical regardless of worker count.  The per-country
+address-weight index is built lazily on first use: constructing a
+``CTIComputer`` costs nothing if (for example) cached scores are preloaded.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
 from repro.net.monitors import RouteCollector
@@ -30,6 +43,42 @@ from repro.sources.geolocation import GeolocationService
 from repro.sources.prefix2as import Prefix2ASTable
 
 __all__ = ["CTIComputer"]
+
+#: One transit contribution: (transit ASN, w(m)/|M|, AS-hop distance).
+TransitTerm = Tuple[int, float, int]
+
+
+def _walk_origin(collector: RouteCollector, origin: int) -> Tuple[TransitTerm, ...]:
+    """Transit terms of one origin over every monitor, in monitor order.
+
+    This is the country-independent inner loop of the metric: it computes
+    (or reuses) the routing tree toward ``origin`` and emits one
+    ``(asn, w, d)`` term per transit hop per monitor, preserving the
+    (monitor, hop) iteration order of the original serial formula so that
+    replaying the terms reproduces its floating-point sums bit for bit.
+    """
+    terms: List[TransitTerm] = []
+    for monitor, w in collector.monitors.normalized_weights():
+        path = collector.path(monitor, origin)
+        if path is None or len(path) < 2:
+            continue
+        # path[0] is the monitor's host AS, path[-1] the origin.
+        length = len(path)
+        for index, asn in enumerate(path):
+            distance = length - 1 - index
+            if distance == 0:
+                continue  # the origin is not a transit hop
+            if asn == monitor.host_asn:
+                continue  # m is contained within AS itself
+            terms.append((asn, w, distance))
+    return tuple(terms)
+
+
+def _walk_origin_task(
+    collector: RouteCollector, origin: int
+) -> Tuple[int, Tuple[TransitTerm, ...]]:
+    """Worker task: ``(origin, terms)`` so results self-identify."""
+    return origin, _walk_origin(collector, origin)
 
 
 class CTIComputer:
@@ -50,26 +99,53 @@ class CTIComputer:
         #: itself, and pruning them avoids computing routing trees for the
         #: long tail of geolocation-leak artifacts.
         self._min_address_fraction = min_address_fraction
-        # Precompute, per country: origin AS -> geolocated address weight,
-        # de-duplicated with the more-specific rule.
-        self._per_country: Dict[str, Dict[int, int]] = {}
-        self._country_totals: Dict[str, int] = {}
-        for prefix, origin in table:
-            usable = table.uncovered_addresses(prefix)
+        # Per country: origin AS -> geolocated address weight, de-duplicated
+        # with the more-specific rule.  Built lazily on first use — a
+        # computer whose scores come preloaded from the persistent cache
+        # never pays for the table scan.
+        self._weights: Optional[Dict[str, Dict[int, int]]] = None
+        self._totals: Optional[Dict[str, int]] = None
+        #: Per-origin transit terms, shared across all countries that score
+        #: the origin (and across serial/parallel execution paths).
+        self._terms: Dict[int, Tuple[TransitTerm, ...]] = {}
+        self._cti_cache: Dict[str, Dict[int, float]] = {}
+
+    @property
+    def min_address_fraction(self) -> float:
+        """The address-fraction prune threshold (part of the cache key)."""
+        return self._min_address_fraction
+
+    # -- lazy per-country address index ------------------------------------
+    def _ensure_index(self) -> None:
+        if self._weights is not None:
+            return
+        weights_by_cc: Dict[str, Dict[int, int]] = {}
+        totals: Dict[str, int] = {}
+        for prefix, origin in self._table:
+            usable = self._table.uncovered_addresses(prefix)
             if usable == 0:
                 continue
-            split = geolocation.locate_prefix(prefix, origin)
+            split = self._geolocation.locate_prefix(prefix, origin)
             scale = usable / prefix.num_addresses
             for cc, count in split.items():
                 scaled = round(count * scale)
                 if scaled <= 0:
                     continue
-                weights = self._per_country.setdefault(cc, {})
+                weights = weights_by_cc.setdefault(cc, {})
                 weights[origin] = weights.get(origin, 0) + scaled
-                self._country_totals[cc] = (
-                    self._country_totals.get(cc, 0) + scaled
-                )
-        self._cti_cache: Dict[str, Dict[int, float]] = {}
+                totals[cc] = totals.get(cc, 0) + scaled
+        self._weights = weights_by_cc
+        self._totals = totals
+
+    @property
+    def _per_country(self) -> Dict[str, Dict[int, int]]:
+        self._ensure_index()
+        return self._weights
+
+    @property
+    def _country_totals(self) -> Dict[str, int]:
+        self._ensure_index()
+        return self._totals
 
     def countries(self) -> List[str]:
         """Countries with any geolocated address space."""
@@ -79,6 +155,95 @@ class CTIComputer:
         """A(C): total geolocated addresses of the country."""
         return self._country_totals.get(cc, 0)
 
+    # -- shared per-origin transit terms -----------------------------------
+    def _scored_origins(self, cc: str) -> List[int]:
+        """Origins of ``cc`` passing the address-fraction prune, in the
+        index iteration order the scoring loop uses."""
+        origin_weights = self._per_country.get(cc)
+        total = self._country_totals.get(cc, 0)
+        if not origin_weights or total == 0:
+            return []
+        return [
+            origin
+            for origin, weight in origin_weights.items()
+            if weight / total >= self._min_address_fraction
+        ]
+
+    def _origin_terms(self, origin: int) -> Tuple[TransitTerm, ...]:
+        terms = self._terms.get(origin)
+        if terms is None:
+            terms = _walk_origin(self._collector, origin)
+            self._terms[origin] = terms
+            get_metrics().incr("cti.origins_walked")
+        return terms
+
+    def precompute(
+        self,
+        ccs: Iterable[str],
+        context=None,
+    ) -> int:
+        """Compute transit terms for every origin the given countries score.
+
+        Origins are deduplicated across countries first, then fanned out
+        over ``context`` (an :class:`~repro.parallel.ExecutionContext`;
+        None or a serial context computes inline).  Countries whose scores
+        are already cached — in memory or preloaded from the persistent
+        cache — contribute no work.  Returns the number of origins walked.
+        """
+        pending = [cc for cc in ccs if cc not in self._cti_cache]
+        if not pending:
+            return 0
+        if len(self._collector.monitors) == 0:
+            raise AnalysisError("CTI requires at least one monitor")
+        needed = sorted(
+            {
+                origin
+                for cc in pending
+                for origin in self._scored_origins(cc)
+                if origin not in self._terms
+            }
+        )
+        if not needed:
+            return 0
+        metrics = get_metrics()
+        if context is None or context.is_serial:
+            for origin in needed:
+                self._origin_terms(origin)
+        else:
+            results = context.map_ordered(
+                _walk_origin_task,
+                needed,
+                state=self._collector,
+                label="cti.terms",
+            )
+            for origin, terms in results:
+                self._terms[origin] = terms
+            metrics.incr("cti.origins_walked", len(needed))
+        return len(needed)
+
+    # -- persistent-cache interchange --------------------------------------
+    def preload_scores(self, scores: Mapping[str, Mapping[int, float]]) -> None:
+        """Install externally computed score maps (warm persistent cache).
+
+        Preloaded countries are served from memory: no address index, no
+        routing trees, no ``cti.countries_computed`` increments.
+        """
+        for cc, country_scores in scores.items():
+            self._cti_cache[cc] = dict(country_scores)
+
+    def computed_scores(self) -> Dict[str, Dict[int, float]]:
+        """Copy of every per-country score map computed (or preloaded) so far."""
+        return {cc: dict(scores) for cc, scores in self._cti_cache.items()}
+
+    def transit_term_stats(self) -> Dict[str, int]:
+        """Routing-tree statistics for diagnostics and cache metadata."""
+        return {
+            "origins_walked": len(self._terms),
+            "transit_terms": sum(len(t) for t in self._terms.values()),
+            "trees_computed": self._collector.trees_computed(),
+        }
+
+    # -- the metric --------------------------------------------------------
     def country_cti(self, cc: str) -> Dict[int, float]:
         """CTI(AS, cc) for every transit AS with non-zero influence."""
         metrics = get_metrics()
@@ -91,17 +256,8 @@ class CTIComputer:
         if not origin_weights or total == 0:
             self._cti_cache[cc] = {}
             return {}
-        monitors = self._collector.monitors
-        monitor_count = len(monitors)
-        if monitor_count == 0:
+        if len(self._collector.monitors) == 0:
             raise AnalysisError("CTI requires at least one monitor")
-        # w(m)/|M| depends only on the monitor, not on the origin being
-        # walked: compute it once per call instead of once per
-        # origin x monitor iteration of the hot loop below.
-        monitor_weights = [
-            (monitor, monitors.weight(monitor) / monitor_count)
-            for monitor in monitors
-        ]
         scores: Dict[int, float] = {}
         origins_scored = 0
         origins_pruned = 0
@@ -111,21 +267,13 @@ class CTIComputer:
                 origins_pruned += 1
                 continue
             origins_scored += 1
-            for monitor, w in monitor_weights:
-                path = self._collector.path(monitor, origin)
-                if path is None or len(path) < 2:
-                    continue
-                # path[0] is the monitor's host AS, path[-1] the origin.
-                length = len(path)
-                for index, asn in enumerate(path):
-                    distance = length - 1 - index
-                    if distance == 0:
-                        continue  # the origin is not a transit hop
-                    if asn == monitor.host_asn:
-                        continue  # m is contained within AS itself
-                    scores[asn] = scores.get(asn, 0.0) + (
-                        w * address_fraction / distance
-                    )
+            # Replay the shared per-origin terms in the exact (monitor, hop)
+            # order of the original nested loop: same additions, same
+            # float associativity, bit-identical scores.
+            for asn, w, distance in self._origin_terms(origin):
+                scores[asn] = scores.get(asn, 0.0) + (
+                    w * address_fraction / distance
+                )
         metrics.incr("cti.origins_scored", origins_scored)
         metrics.incr("cti.origins_pruned", origins_pruned)
         self._cti_cache[cc] = scores

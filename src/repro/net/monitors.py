@@ -43,6 +43,7 @@ class MonitorSet:
             monitor.monitor_id: 1.0 / counts[monitor.host_asn]
             for monitor in self._monitors
         }
+        self._normalized: Optional[Tuple[Tuple[Monitor, float], ...]] = None
 
     def __len__(self) -> int:
         return len(self._monitors)
@@ -53,6 +54,21 @@ class MonitorSet:
     def weight(self, monitor: Monitor) -> float:
         """Appendix-G weight w(m) = 1 / (#monitors in m's AS)."""
         return self._weights[monitor.monitor_id]
+
+    def normalized_weights(self) -> Tuple[Tuple[Monitor, float], ...]:
+        """``(monitor, w(m)/|M|)`` pairs in monitor order.
+
+        This is the per-monitor factor of the CTI formula; computing it here
+        (once per monitor set) keeps the serial scoring loop and the
+        parallel per-origin workers on the exact same float values.
+        """
+        if self._normalized is None:
+            count = len(self._monitors)
+            self._normalized = tuple(
+                (monitor, self.weight(monitor) / count)
+                for monitor in self._monitors
+            )
+        return self._normalized
 
     @property
     def host_asns(self) -> List[int]:
@@ -101,6 +117,20 @@ class RouteCollector:
         self._graph = graph
         self.monitors = monitors
         self._cache = RoutingTreeCache(graph)
+
+    def __getstate__(self) -> dict:
+        """Pickle only the graph and monitors, never the materialized trees.
+
+        Process-pool workers receive a collector once per worker; shipping
+        an already-warm tree cache would bloat that transfer with data the
+        worker is about to recompute for *its* origins anyway.
+        """
+        return {"graph": self._graph, "monitors": self.monitors}
+
+    def __setstate__(self, state: dict) -> None:
+        self._graph = state["graph"]
+        self.monitors = state["monitors"]
+        self._cache = RoutingTreeCache(self._graph)
 
     def path(self, monitor: Monitor, origin: int) -> Optional[Tuple[int, ...]]:
         """AS path from the monitor's host AS to ``origin`` (inclusive).

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk result cache.
+
+Pipeline stages whose output is a pure function of the world configuration
+(CTI score maps, routing-tree statistics) are cached under
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``) keyed by a SHA-256 digest
+of the inputs that produced them.  A warm cache lets a repeated ``run`` /
+``report`` / benchmark invocation skip CTI recomputation entirely.
+
+Entries are JSON files written through :func:`repro.io.atomic.atomic_replace`
+so a crash mid-write never leaves a truncated entry; unreadable or corrupt
+entries are treated as misses.  Floats survive the round-trip exactly:
+``json`` serializes them with ``repr`` (shortest round-trip form), so cached
+CTI scores are bit-identical to freshly computed ones.
+
+Hits and misses are counted in the process-global metrics registry as
+``cache.hits`` / ``cache.misses`` / ``cache.writes``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.io.atomic import atomic_replace
+from repro.obs import get_metrics
+
+__all__ = [
+    "ResultCache",
+    "resolve_cache_dir",
+    "stable_digest",
+    "world_fingerprint",
+]
+
+_SECTION_SAFE = set("abcdefghijklmnopqrstuvwxyz0123456789_-")
+
+
+def _canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonable)
+
+
+def _jsonable(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, Mapping):
+        return dict(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    raise TypeError(f"not cache-keyable: {type(obj).__name__}")
+
+
+def stable_digest(obj: Any) -> str:
+    """SHA-256 digest of an object's canonical JSON form."""
+    return hashlib.sha256(_canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def world_fingerprint(world_config, noise_config=None) -> str:
+    """Digest identifying a synthetic world and its derived sources.
+
+    Everything the pipeline consumes is a deterministic function of the
+    world config (seed, scale, probabilities...) and the source-noise
+    config, so their digest addresses any world-derived cached artifact.
+    """
+    payload: Dict[str, Any] = {"world": dataclasses.asdict(world_config)}
+    if noise_config is not None:
+        payload["noise"] = dataclasses.asdict(noise_config)
+    return stable_digest(payload)
+
+
+def resolve_cache_dir(
+    env: Optional[Mapping[str, str]] = None
+) -> Optional[Path]:
+    """The cache directory the CLI should use.
+
+    ``REPRO_CACHE_DIR`` wins when set; setting it to an empty string
+    disables caching; unset falls back to ``~/.cache/repro``.
+    """
+    env = os.environ if env is None else env
+    if "REPRO_CACHE_DIR" in env:
+        raw = env["REPRO_CACHE_DIR"].strip()
+        return Path(raw).expanduser() if raw else None
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """A tiny content-addressed JSON store: ``<root>/<section>/<key>.json``."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root).expanduser()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path(self, section: str, key: str) -> Path:
+        if not section or not set(section) <= _SECTION_SAFE:
+            raise ValueError(f"invalid cache section {section!r}")
+        return self._root / section / f"{key}.json"
+
+    def get(self, section: str, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or None (counted as a miss) if absent/corrupt."""
+        metrics = get_metrics()
+        path = self._path(section, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            metrics.incr("cache.misses")
+            return None
+        if not isinstance(payload, dict):
+            metrics.incr("cache.misses")
+            return None
+        metrics.incr("cache.hits")
+        return payload
+
+    def put(self, section: str, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` atomically; never corrupts an existing entry."""
+        path = self._path(section, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with atomic_replace(path) as tmp_path:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+        get_metrics().incr("cache.writes")

@@ -1,0 +1,144 @@
+"""Pluggable serial / thread / process execution.
+
+:class:`ExecutionContext` is the one abstraction the pipeline fans work out
+through.  Its contract is deliberately narrow so that every backend can
+honor it exactly:
+
+* ``map_ordered(fn, items, state=...)`` applies ``fn(state, item)`` to every
+  item and returns the results **in input order** — the caller performs the
+  reduction itself, in a deterministic order, so parallel runs are
+  bit-identical to serial ones;
+* ``state`` is shared by reference on the serial and thread backends and
+  shipped to each worker process exactly once (via the pool initializer) on
+  the process backend, so a heavy read-only object (a route collector, an
+  ownership analyst) is not re-pickled per task.
+
+Worker counts and task counts flow into the process-global metrics registry
+as ``parallel.jobs`` (gauge) and ``parallel.tasks`` (counter); each
+``map_ordered`` call is wrapped in a ``parallel.<label>`` span.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Mapping, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigError
+from repro.obs import get_metrics, span
+
+__all__ = ["BACKENDS", "ExecutionContext"]
+
+BACKENDS = ("serial", "thread", "process")
+
+S = TypeVar("S")
+T = TypeVar("T")
+R = TypeVar("R")
+
+# Worker-process globals, installed once per worker by the pool initializer
+# so that ``state`` (and the task function) cross the process boundary one
+# single time instead of once per task.
+_WORKER_FN: Optional[Callable] = None
+_WORKER_STATE = None
+
+
+def _init_worker(fn: Callable, state) -> None:
+    global _WORKER_FN, _WORKER_STATE
+    _WORKER_FN = fn
+    _WORKER_STATE = state
+
+
+def _call_worker(item):
+    return _WORKER_FN(_WORKER_STATE, item)
+
+
+class ExecutionContext:
+    """Executes homogeneous task batches on a selectable backend."""
+
+    def __init__(self, jobs: int = 1, backend: str = "serial") -> None:
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown parallel backend {backend!r}; pick one of {BACKENDS}"
+            )
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if backend == "serial":
+            jobs = 1
+        self.jobs = jobs
+        self.backend = backend
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionContext(jobs={self.jobs}, backend={self.backend!r})"
+
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == "serial" or self.jobs == 1
+
+    @classmethod
+    def resolve(
+        cls,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        env: Optional[Mapping[str, str]] = None,
+    ) -> "ExecutionContext":
+        """Build a context from explicit values with environment fallbacks.
+
+        ``jobs`` falls back to ``REPRO_JOBS`` and then 1; ``jobs=0`` (or
+        ``REPRO_JOBS=0``) means "all cores".  ``backend`` falls back to
+        ``REPRO_BACKEND`` and then to ``process`` when more than one job is
+        requested, ``serial`` otherwise.
+        """
+        env = os.environ if env is None else env
+        if jobs is None:
+            raw = env.get("REPRO_JOBS", "").strip()
+            if raw:
+                try:
+                    jobs = int(raw)
+                except ValueError:
+                    raise ConfigError(f"REPRO_JOBS must be an integer, got {raw!r}")
+            else:
+                jobs = 1
+        if jobs < 0:
+            raise ConfigError(f"jobs must be >= 0, got {jobs}")
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        if backend is None:
+            backend = env.get("REPRO_BACKEND", "").strip() or (
+                "process" if jobs > 1 else "serial"
+            )
+        return cls(jobs=jobs, backend=backend)
+
+    # -- execution ---------------------------------------------------------
+    def map_ordered(
+        self,
+        fn: Callable[[S, T], R],
+        items: Sequence[T],
+        *,
+        state: S = None,
+        chunksize: Optional[int] = None,
+        label: str = "map",
+    ) -> List[R]:
+        """Apply ``fn(state, item)`` to every item; results in input order."""
+        items = list(items)
+        metrics = get_metrics()
+        metrics.gauge("parallel.jobs", self.jobs)
+        metrics.incr("parallel.tasks", len(items))
+        with span(f"parallel.{label}", backend=self.backend) as sp:
+            sp.incr("tasks", len(items))
+            if not items:
+                return []
+            if self.is_serial:
+                return [fn(state, item) for item in items]
+            if self.backend == "thread":
+                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                    return list(pool.map(lambda item: fn(state, item), items))
+            # Process backend: ship (fn, state) once per worker, then stream
+            # items in chunks big enough to amortize the IPC round-trips.
+            if chunksize is None:
+                chunksize = max(1, len(items) // (self.jobs * 4) or 1)
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(fn, state),
+            ) as pool:
+                return list(pool.map(_call_worker, items, chunksize=chunksize))

@@ -131,3 +131,38 @@ class TestNameSimilarity:
     def test_identity_property(self, name):
         if normalize_name(name):
             assert name_similarity(name, name) == 1.0
+
+
+class TestMemoization:
+    """The hot name functions are lru_cache-wrapped; the cache must be an
+    invisible optimization — cached answers equal the raw computation."""
+
+    CASES = [
+        "Telekom Malaysia Berhad",
+        "Tele-Com, S.A.",
+        "AS Telecom",
+        "  ",
+        "Ḡlobal Ñet",
+        "BSCCL",
+    ]
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_normalize_name_cache_transparent(self, name):
+        assert normalize_name(name) == normalize_name.__wrapped__(name)
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_name_tokens_cache_transparent(self, name):
+        assert name_tokens(name) == name_tokens.__wrapped__(name)
+
+    def test_name_similarity_cache_transparent(self):
+        pairs = [
+            ("ZamTel", "ZamTel Communications Ltd"),
+            ("Internexa", "Transamerican Telecomunication"),
+            ("BSCCL", "Bangladesh Submarine Cable Company Limited"),
+        ]
+        for a, b in pairs:
+            assert name_similarity(a, b) == name_similarity.__wrapped__(a, b)
+
+    def test_caches_are_actually_enabled(self):
+        for fn in (normalize_name, name_tokens, name_similarity):
+            assert hasattr(fn, "cache_info"), fn
