@@ -1,0 +1,145 @@
+"""Single-pass analytic kernel benchmarks: cone sizing and address accounting.
+
+Each benchmark times the batch kernel (bitset customer-cone sweep, bottom-up
+trie address accounting) against the retained naive reference on the same
+world, at three world scales.  The measured speedup and both raw timings
+land in ``extra_info`` so exported ``BENCH_*.json`` files carry the
+old-vs-new comparison, and every round re-checks that the kernel output is
+byte-identical to the reference.
+
+The cone benchmark resets the graph's memoized sweep inside the measured
+callable, so rounds time the cold kernel rather than the version-counter
+cache hit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.config import WorldConfig
+from repro.net.prefix import (
+    PrefixTrie,
+    _reference_summarize_address_counts,
+    summarize_address_counts,
+)
+from repro.world.generator import WorldGenerator
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210701"))
+
+#: (fixture name, nominal scale label) — three worlds per kernel.
+_WORLDS = [
+    ("small_bench_world", 0.3),
+    ("mid_bench_world", 0.6),
+    ("bench_world", BENCH_SCALE),
+]
+
+
+@pytest.fixture(scope="session")
+def mid_bench_world():
+    """A mid-size world between the smoke scale and the full bench scale."""
+    return WorldGenerator(WorldConfig(seed=BENCH_SEED, scale=0.6)).generate()
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("world_fixture,scale", _WORLDS)
+def test_bench_batch_cone_sizes(benchmark, request, world_fixture, scale):
+    world = request.getfixturevalue(world_fixture)
+    graph = world.graph
+    asns = graph.asns
+
+    def cold_sweep():
+        graph._cone_sizes = None  # defeat memoization: time the kernel itself
+        return graph.all_cone_sizes()
+
+    fast = dict(benchmark.pedantic(cold_sweep, rounds=7, iterations=1))
+    reference = graph._reference_cone_sizes(asns)
+    assert fast == reference
+    assert repr(fast) == repr(reference)  # byte-identical, ordering included
+
+    fast_s = _best_of(cold_sweep, 7)
+    reference_s = _best_of(lambda: graph._reference_cone_sizes(asns), 3)
+    speedup = reference_s / fast_s
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["ases"] = len(asns)
+    benchmark.extra_info["kernel_ms"] = round(fast_s * 1e3, 3)
+    benchmark.extra_info["reference_ms"] = round(reference_s * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\ncone sweep @ scale {scale}: {len(asns)} ASes, "
+        f"kernel {fast_s * 1e3:.2f}ms vs naive {reference_s * 1e3:.2f}ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup > 1.0
+    if scale >= 1.0:
+        # Acceptance floor at the default world scale.
+        assert speedup >= 5.0
+
+
+@pytest.mark.parametrize("world_fixture,scale", _WORLDS)
+def test_bench_address_summarization(benchmark, request, world_fixture, scale):
+    world = request.getfixturevalue(world_fixture)
+    pairs = list(world.prefix_table())
+
+    fast = benchmark.pedantic(
+        lambda: summarize_address_counts(pairs), rounds=7, iterations=1
+    )
+    reference = _reference_summarize_address_counts(pairs)
+    assert fast == reference
+    assert repr(fast) == repr(reference)
+
+    # End-to-end summarization: both paths pay the same trie build, so this
+    # ratio understates the kernel.  The accounting-only comparison below
+    # pits the one-pass post-order walk against per-prefix queries on one
+    # prebuilt trie.
+    fast_s = _best_of(lambda: summarize_address_counts(pairs), 7)
+    reference_s = _best_of(
+        lambda: _reference_summarize_address_counts(pairs), 3
+    )
+    speedup = reference_s / fast_s
+
+    trie = PrefixTrie()
+    for prefix, value in pairs:
+        trie.insert(prefix, value)
+    stored = [prefix for prefix, _ in trie.items()]
+
+    def batch_walk():
+        trie._uncovered = None  # defeat memoization: time the walk itself
+        return trie.uncovered_address_counts()
+
+    def per_prefix():
+        return {p: trie._reference_uncovered_addresses(p) for p in stored}
+
+    assert dict(batch_walk()) == per_prefix()
+    walk_s = _best_of(batch_walk, 7)
+    queries_s = _best_of(per_prefix, 3)
+    accounting_speedup = queries_s / walk_s
+
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["prefixes"] = len(pairs)
+    benchmark.extra_info["kernel_ms"] = round(fast_s * 1e3, 3)
+    benchmark.extra_info["reference_ms"] = round(reference_s * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["accounting_walk_ms"] = round(walk_s * 1e3, 3)
+    benchmark.extra_info["accounting_queries_ms"] = round(queries_s * 1e3, 3)
+    benchmark.extra_info["accounting_speedup"] = round(accounting_speedup, 2)
+    print(
+        f"\naddress summarization @ scale {scale}: {len(pairs)} prefixes, "
+        f"end-to-end {fast_s * 1e3:.2f}ms vs naive {reference_s * 1e3:.2f}ms "
+        f"({speedup:.1f}x); accounting walk {walk_s * 1e3:.2f}ms vs "
+        f"per-prefix queries {queries_s * 1e3:.2f}ms "
+        f"({accounting_speedup:.1f}x)"
+    )
+    assert speedup > 1.0
+    assert accounting_speedup > 1.0

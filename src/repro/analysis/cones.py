@@ -3,6 +3,11 @@
 Table 5 ranks state-owned ASes by customer-cone size; Figure 5 plots the
 decade of cone growth for the fastest-growing state-owned transit ASes
 (the submarine-cable archetypes in the paper: Angola Cables and BSCCL).
+
+Cone sizes reach these analyses through :class:`AsRankDataset`, which sizes
+every cone in one bottom-up bitset sweep of the c2p DAG
+(:meth:`repro.net.topology.ASGraph.all_cone_sizes`) instead of one BFS per
+AS, so ranking the full AS population stays linear in the topology size.
 """
 
 from __future__ import annotations

@@ -121,8 +121,12 @@ class CTIComputer:
             return
         weights_by_cc: Dict[str, Dict[int, int]] = {}
         totals: Dict[str, int] = {}
+        # One post-order trie pass sizes a(p, C) for every announced prefix;
+        # the per-prefix loop below then only pays for geolocation.
+        uncovered = self._table.uncovered_address_counts()
+        get_metrics().incr("cti.index_prefixes", len(self._table))
         for prefix, origin in self._table:
-            usable = self._table.uncovered_addresses(prefix)
+            usable = uncovered[prefix]
             if usable == 0:
                 continue
             split = self._geolocation.locate_prefix(prefix, origin)

@@ -7,6 +7,15 @@ queries the paper's machinery needs:
 * longest-prefix match (geolocation, origin lookup), and
 * "addresses of p not covered by a more specific prefix" — the ``a(p, C)``
   term of the CTI formula (Appendix G).
+
+The ``a(p, C)`` accounting is served by a single-pass batch kernel: one
+post-order trie walk computes every stored prefix's covered-address count
+bottom-up (a child subtree's covered union is disjoint from its sibling's,
+so unions reduce to sums), making :func:`summarize_address_counts` and the
+CTI address index O(nodes) instead of O(prefixes × subtree).  The walk is
+memoized against a trie version counter and the pre-kernel per-prefix
+implementation is retained as ``_reference_uncovered_addresses`` /
+``_reference_summarize_address_counts`` oracles for equivalence tests.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.errors import PrefixError
+from repro.obs import get_metrics
 
 __all__ = ["Prefix", "PrefixTrie", "summarize_address_counts"]
 
@@ -146,6 +156,11 @@ class PrefixTrie(Generic[V]):
     def __init__(self, items: Optional[Iterable[Tuple[Prefix, V]]] = None) -> None:
         self._root: _TrieNode[V] = _TrieNode()
         self._size = 0
+        #: Bumped on every insert; the batch uncovered-address map is
+        #: memoized against it and lazily recomputed after mutation.
+        self._version = 0
+        self._uncovered: Optional[Dict[Prefix, int]] = None
+        self._uncovered_version = -1
         if items is not None:
             for prefix, value in items:
                 self.insert(prefix, value)
@@ -154,7 +169,7 @@ class PrefixTrie(Generic[V]):
         return self._size
 
     def __contains__(self, prefix: Prefix) -> bool:
-        return self.get(prefix) is not None or self._has_exact(prefix)
+        return self._has_exact(prefix)
 
     def _walk_bits(self, prefix: Prefix) -> Iterator[int]:
         for i in range(prefix.length):
@@ -171,6 +186,7 @@ class PrefixTrie(Generic[V]):
             self._size += 1
         node.value = value
         node.has_value = True
+        self._version += 1
 
     def _find_exact(self, prefix: Prefix) -> Optional[_TrieNode[V]]:
         node = self._root
@@ -269,7 +285,62 @@ class PrefixTrie(Generic[V]):
         This is the ``a(p, C)`` accounting rule from the paper's Appendix G:
         when both 10.0.0.0/16 and 10.0.0.0/24 are announced, the /24's
         addresses are attributed to the /24 only.
+
+        Stored prefixes are answered in O(1) from the memoized batch map of
+        :meth:`uncovered_address_counts`; unstored prefixes fall back to the
+        per-query subtree walk.
         """
+        if self._has_exact(prefix):
+            return self.uncovered_address_counts()[prefix]
+        return self._reference_uncovered_addresses(prefix)
+
+    def uncovered_address_counts(self) -> Dict[Prefix, int]:
+        """``a(p, C)`` for *every* stored prefix, from one post-order walk.
+
+        A stored prefix covers its whole span, so a subtree's covered union
+        is its span when the root is stored and the sum of its two disjoint
+        child-subtree unions otherwise; each stored prefix's uncovered count
+        is then its span minus its children's covered unions.  One O(nodes)
+        pass replaces the O(subtree + sort) walk per stored prefix.
+
+        The map is memoized until the next :meth:`insert`; treat it as
+        read-only.
+        """
+        if self._uncovered is not None and self._uncovered_version == self._version:
+            get_metrics().incr("prefix.summary.cache_hits")
+            return self._uncovered
+        counts: Dict[Prefix, int] = {}
+        nodes_walked = 0
+
+        def _walk(node: _TrieNode[V], base: int, depth: int) -> int:
+            """Return the subtree's covered-address union; record uncovered
+            counts for stored prefixes along the way."""
+            nonlocal nodes_walked
+            nodes_walked += 1
+            child_covered = 0
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    child_base = base | (bit << (31 - depth)) if depth < 32 else base
+                    child_covered += _walk(child, child_base, depth + 1)
+            if node.has_value:
+                span = 1 << (32 - depth)
+                counts[Prefix(base, depth)] = span - child_covered
+                return span
+            return child_covered
+
+        _walk(self._root, 0, 0)
+        self._uncovered = counts
+        self._uncovered_version = self._version
+        metrics = get_metrics()
+        metrics.incr("prefix.summary.batches")
+        metrics.incr("prefix.summary.nodes", nodes_walked)
+        metrics.incr("prefix.summary.prefixes", len(counts))
+        return counts
+
+    def _reference_uncovered_addresses(self, prefix: Prefix) -> int:
+        """Naive per-prefix subtree walk: the pre-kernel implementation,
+        retained as the equivalence oracle for the batch map."""
         more_specifics = [
             p for p, _ in self.covered_by(prefix) if p.length > prefix.length
         ]
@@ -296,13 +367,32 @@ def summarize_address_counts(
     """Aggregate announced address counts per value (e.g. per origin AS).
 
     Overlapping announcements are de-duplicated with the more-specific rule:
-    each address is attributed to the longest prefix covering it.
+    each address is attributed to the longest prefix covering it.  One
+    post-order pass sizes every prefix's uncovered span; a second in-order
+    pass accumulates per value, preserving the historical (address-order)
+    aggregation so results stay byte-identical to the per-prefix original.
     """
     trie: PrefixTrie[V] = PrefixTrie()
-    pairs = list(prefixes)
-    for prefix, value in pairs:
+    for prefix, value in prefixes:
+        trie.insert(prefix, value)
+    uncovered = trie.uncovered_address_counts()
+    totals: Dict[V, int] = {}
+    for prefix, value in trie.items():
+        totals[value] = totals.get(value, 0) + uncovered[prefix]
+    return totals
+
+
+def _reference_summarize_address_counts(
+    prefixes: Iterable[Tuple[Prefix, V]]
+) -> Dict[V, int]:
+    """Pre-kernel :func:`summarize_address_counts`: one subtree walk per
+    stored prefix.  Retained as the equivalence oracle."""
+    trie: PrefixTrie[V] = PrefixTrie()
+    for prefix, value in prefixes:
         trie.insert(prefix, value)
     totals: Dict[V, int] = {}
     for prefix, value in trie.items():
-        totals[value] = totals.get(value, 0) + trie.uncovered_addresses(prefix)
+        totals[value] = totals.get(value, 0) + trie._reference_uncovered_addresses(
+            prefix
+        )
     return totals

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SourceError
 from repro.rng import derive_seed
@@ -50,7 +50,7 @@ class AsRankDataset:
 
     def __init__(
         self,
-        cone_sizes: Dict[int, int],
+        cone_sizes: Mapping[int, int],
         growth_profiles: Dict[int, Tuple[str, int]],
         seed: int,
     ) -> None:
@@ -63,14 +63,12 @@ class AsRankDataset:
     @classmethod
     def from_world(cls, world) -> "AsRankDataset":
         graph = world.graph
-        # Cones are only needed for ASes with customers; stubs have cone 1.
-        cone_sizes: Dict[int, int] = {}
+        # One bottom-up bitset sweep sizes every cone at once; stubs come out
+        # as 1 by construction, matching the old explicit special case.  The
+        # read-only mapping keeps ASN-table order and is copied by __init__.
+        cone_sizes = graph.all_cone_sizes()
         profiles: Dict[int, Tuple[str, int]] = {}
         for asn in graph.asns:
-            if graph.is_stub(asn):
-                cone_sizes[asn] = 1
-            else:
-                cone_sizes[asn] = graph.customer_cone_size(asn)
             record = world.asn_records.get(asn)
             if record is None:
                 profiles[asn] = ("flat", 2005)
@@ -96,11 +94,11 @@ class AsRankDataset:
 
     def top_cones(self, asns: Iterable[int], k: int = 10) -> List[Tuple[int, int]]:
         """The ``k`` largest cones among ``asns`` as (asn, size) pairs."""
-        sized = [
-            (asn, self._cone_sizes[asn])
-            for asn in asns
-            if asn in self._cone_sizes
-        ]
+        sized = []
+        for asn in asns:
+            size = self._cone_sizes.get(asn)
+            if size is not None:
+                sized.append((asn, size))
         sized.sort(key=lambda pair: (-pair[1], pair[0]))
         return sized[:k]
 
@@ -157,3 +155,16 @@ class AsRankDataset:
         ]
         slopes.sort(key=lambda pair: (-pair[1], pair[0]))
         return slopes[:k]
+
+
+def _reference_cone_sizes_from_world(world) -> Dict[int, int]:
+    """Cone sizes as the pre-kernel ``from_world`` computed them (per-AS
+    BFS, stubs special-cased to 1).  Equivalence oracle for tests."""
+    graph = world.graph
+    cone_sizes: Dict[int, int] = {}
+    for asn in graph.asns:
+        if graph.is_stub(asn):
+            cone_sizes[asn] = 1
+        else:
+            cone_sizes[asn] = len(graph.customer_cone(asn))
+    return cone_sizes

@@ -97,11 +97,14 @@ class GeolocationService:
         """The paper's §4.1 triplets: (origin ASN, country) -> #addresses.
 
         Address counts are de-duplicated with the more-specific rule before
-        geolocation, matching how CAIDA's prefix2as list is consumed.
+        geolocation, matching how CAIDA's prefix2as list is consumed.  The
+        de-duplication reads the table's batch ``a(p, C)`` map — one trie
+        pass for the whole table instead of one subtree walk per prefix.
         """
+        uncovered = table.uncovered_address_counts()
         result: Dict[Tuple[int, str], int] = {}
         for prefix, origin in table:
-            usable = table.uncovered_addresses(prefix)
+            usable = uncovered[prefix]
             if usable == 0:
                 continue
             split = self.locate_prefix(prefix, origin)

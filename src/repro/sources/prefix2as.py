@@ -62,11 +62,17 @@ class Prefix2ASTable:
         (the Appendix-G ``a(p, C)`` accounting rule)."""
         return self._trie.uncovered_addresses(prefix)
 
+    def uncovered_address_counts(self) -> Dict[Prefix, int]:
+        """``a(p, C)`` for every announced prefix in one post-order trie pass
+        (memoized; the table is immutable).  Treat as read-only."""
+        return self._trie.uncovered_address_counts()
+
     def announced_address_counts(self) -> Dict[int, int]:
         """De-duplicated announced address count per origin AS."""
+        uncovered = self.uncovered_address_counts()
         totals: Dict[int, int] = {}
         for prefix, origin in self._entries:
-            totals[origin] = totals.get(origin, 0) + self.uncovered_addresses(prefix)
+            totals[origin] = totals.get(origin, 0) + uncovered[prefix]
         return totals
 
     def total_announced_addresses(self) -> int:

@@ -125,7 +125,8 @@ class World:
         return table
 
     def true_address_counts(self) -> Dict[int, int]:
-        """De-duplicated announced address count per origin ASN."""
+        """De-duplicated announced address count per origin ASN (one
+        post-order trie pass over the full announcement table)."""
         return summarize_address_counts(self.prefix_table())
 
     def country_of_asn(self, asn: int) -> str:
@@ -815,10 +816,6 @@ class WorldGenerator:
                     graph.add_p2p(carrier_asn, other_asn)
 
         carrier_asns = set(self._intl_carriers.values())
-        by_cc: Dict[str, List[int]] = {}
-        for asn, record in self._records.items():
-            by_cc.setdefault(record.cc, []).append(asn)
-
         for country in COUNTRIES:
             self._wire_country(country, rng, carrier_asns, assessments)
 
