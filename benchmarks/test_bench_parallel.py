@@ -17,7 +17,6 @@ from __future__ import annotations
 import dataclasses
 import os
 
-import pytest
 
 from repro.config import ParallelConfig
 from repro.core.pipeline import StateOwnershipPipeline

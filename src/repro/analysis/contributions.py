@@ -9,7 +9,7 @@ functions compute exactly the artifacts backing that claim.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.pipeline import PipelineResult
 from repro.sources.base import InputSource

@@ -11,7 +11,7 @@ turns it into the reportable artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.mapping import CompanyMapper
 from repro.core.pipeline import PipelineResult

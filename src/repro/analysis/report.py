@@ -7,10 +7,10 @@ published ones so the "shape" comparison is immediate.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.analysis import paper
-from repro.analysis.cones import figure5_growth_series, table5_top_cones
+from repro.analysis.cones import table5_top_cones
 from repro.analysis.contributions import (
     cti_only_ases,
     source_contributions,
@@ -18,7 +18,6 @@ from repro.analysis.contributions import (
 )
 from repro.analysis.footprint import (
     compute_footprints,
-    figure4_histograms,
     table8_dominant_countries,
 )
 from repro.analysis.tables import (
@@ -29,6 +28,7 @@ from repro.analysis.tables import (
 )
 from repro.core.pipeline import PipelineInputs, PipelineResult
 from repro.io.tables import render_table
+from repro.sources.base import InputSource
 
 __all__ = ["headline_stats", "full_report"]
 
@@ -75,6 +75,14 @@ def full_report(
 ) -> str:
     """Render the complete evaluation as text."""
     sections = []
+
+    if result.degraded_sources:
+        names = ", ".join(sorted(s.name for s in result.degraded_sources))
+        sections.append(
+            f"DEGRADED RUN: the {names} source(s) were quarantined after "
+            "exhausting retries; their candidates are absent and every "
+            "paper comparison below understates the corresponding rows."
+        )
 
     sections.append(
         render_table(
@@ -190,19 +198,28 @@ def full_report(
                   f"{paper.TABLE7_CTI_ONLY_COUNT})",
         )
     )
-    footprints = compute_footprints(
-        result.dataset, inputs.prefix2as, inputs.geolocation, inputs.eyeballs
-    )
-    dominant = table8_dominant_countries(footprints)
-    sections.append(
-        render_table(
-            ("cc", "footprint"),
-            dominant,
-            title=f"Table 8 — countries with >= 0.9 state footprint "
-                  f"(measured {len(dominant)}, paper "
-                  f"{len(paper.TABLE8_DOMINANT_COUNTRIES)})",
+    # Footprints need the raw geolocation/eyeball sources; skip the table
+    # (with a note) when either was quarantined in a degraded run.
+    footprint_feeds = {InputSource.GEOLOCATION, InputSource.EYEBALLS}
+    if footprint_feeds & set(result.degraded_sources):
+        sections.append(
+            "Table 8 — skipped: the geolocation/eyeball sources were "
+            "quarantined, so state footprints cannot be computed."
         )
-    )
+    else:
+        footprints = compute_footprints(
+            result.dataset, inputs.prefix2as, inputs.geolocation, inputs.eyeballs
+        )
+        dominant = table8_dominant_countries(footprints)
+        sections.append(
+            render_table(
+                ("cc", "footprint"),
+                dominant,
+                title=f"Table 8 — countries with >= 0.9 state footprint "
+                      f"(measured {len(dominant)}, paper "
+                      f"{len(paper.TABLE8_DOMINANT_COUNTRIES)})",
+            )
+        )
     venn3 = venn_three_categories(result)
     sections.append(
         render_table(

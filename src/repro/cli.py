@@ -18,18 +18,20 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sqlite3
 import sys
 from typing import List, Optional
 
-from repro.config import ParallelConfig, WorldConfig
-from repro.errors import DatasetError
+from repro.config import ParallelConfig, ResilienceConfig, WorldConfig
+from repro.errors import ConfigError, DatasetError, ReproError
 from repro.core import (
     PipelineInputs,
     StateOwnershipPipeline,
     validate_against_world,
 )
 from repro.parallel import BACKENDS, ExecutionContext, resolve_cache_dir
+from repro.resilience import FaultPlan, install_fault_plan
 from repro.world.generator import WorldGenerator
 
 __all__ = ["main", "build_parser"]
@@ -55,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--log-json", metavar="PATH",
                        help="append structured trace events as JSON-lines")
 
+    def add_resilience_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--inject-faults", metavar="SPEC", default=None,
+                       help="deterministic fault plan, e.g. "
+                            "'seed=42;source.orbis=fatal;cache.get=corrupt' "
+                            "(default: $REPRO_FAULTS)")
+        p.add_argument("--fail-fast", action="store_true",
+                       help="abort on the first source failure instead of "
+                            "degrading the run")
+
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                        help="worker count (0 = all cores; default: "
@@ -77,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_run)
     add_obs_args(p_run)
     add_parallel_args(p_run)
+    add_resilience_args(p_run)
     p_run.add_argument("--json", metavar="PATH", help="write dataset JSON")
     p_run.add_argument("--sqlite", metavar="PATH", help="write dataset SQLite")
 
@@ -86,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_report)
     add_obs_args(p_report)
     add_parallel_args(p_report)
+    add_resilience_args(p_report)
 
     p_validate = sub.add_parser(
         "validate", help="run the pipeline and score against ground truth"
@@ -93,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_world_args(p_validate)
     add_obs_args(p_validate)
     add_parallel_args(p_validate)
+    add_resilience_args(p_validate)
 
     p_show = sub.add_parser("show", help="print organizations from a dataset")
     p_show.add_argument("path", help="dataset .json or .db/.sqlite file")
@@ -126,10 +140,31 @@ def _make_world(args: argparse.Namespace):
     return WorldGenerator(config).generate()
 
 
-def _run_pipeline(world, parallel: Optional[ParallelConfig] = None):
-    inputs = PipelineInputs.from_world(world)
-    result = StateOwnershipPipeline(inputs, parallel=parallel).run()
+def _run_pipeline(
+    world,
+    parallel: Optional[ParallelConfig] = None,
+    resilience: Optional[ResilienceConfig] = None,
+):
+    inputs = PipelineInputs.from_world(world, resilience=resilience)
+    result = StateOwnershipPipeline(
+        inputs, parallel=parallel, resilience=resilience
+    ).run()
     return inputs, result
+
+
+def _make_resilience_config(args: argparse.Namespace) -> ResilienceConfig:
+    """Resolve --inject-faults/--fail-fast and activate the fault plan.
+
+    A plan given on the command line is exported through ``REPRO_FAULTS``
+    so process-pool workers (which inherit the environment) replay the
+    same seeded faults as the coordinator.
+    """
+    spec = getattr(args, "inject_faults", None)
+    if spec:
+        plan = FaultPlan.parse(spec)
+        os.environ["REPRO_FAULTS"] = plan.as_text()
+        install_fault_plan(plan)
+    return ResilienceConfig(fail_fast=bool(getattr(args, "fail_fast", False)))
 
 
 def _make_parallel_config(args: argparse.Namespace) -> ParallelConfig:
@@ -184,8 +219,29 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command in ("run", "report", "validate"):
+        try:
+            resilience = _make_resilience_config(args)
+        except ConfigError as exc:
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return 2
         world = _make_world(args)
-        inputs, result = _run_pipeline(world, _make_parallel_config(args))
+        try:
+            inputs, result = _run_pipeline(
+                world, _make_parallel_config(args), resilience
+            )
+        except ReproError as exc:
+            # fail-fast aborts (and genuinely unrecoverable source
+            # failures) land here; degraded runs never do.
+            print(f"error: pipeline aborted: {exc}", file=sys.stderr)
+            return 3
+        if result.degraded_sources:
+            names = ", ".join(
+                sorted(s.name for s in result.degraded_sources)
+            )
+            print(
+                f"warning: degraded run — quarantined sources: {names}",
+                file=sys.stderr,
+            )
         if args.command == "run":
             print(
                 f"confirmed {result.stats['confirmed_companies']:.0f} "

@@ -21,10 +21,20 @@ funnel statistics the paper reports in §4 (793 / 716 / 466 / 1043 / 93 /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.config import PipelineConfig
 from repro.cti.selection import CTISelection
+from repro.errors import ResilienceError, SourceError
 from repro.sources.base import InputSource
 from repro.sources.eyeballs import EyeballDataset
 from repro.sources.geolocation import GeolocationService
@@ -56,6 +66,10 @@ class CandidateSet:
     detail: Dict[Tuple[int, InputSource], Tuple[str, float]] = field(
         default_factory=dict
     )
+    #: Technical sources that failed during harvest and were quarantined
+    #: (contributed nothing); the pipeline folds these into the run's
+    #: degraded-source provenance.
+    degraded: Set[InputSource] = field(default_factory=set)
 
     def asns(self) -> FrozenSet[int]:
         return frozenset(self.asn_sources)
@@ -122,6 +136,32 @@ def _cti_candidates(
             candidates.add_asn(asn, InputSource.CTI, cc, score)
 
 
+def _harvest_guarded(
+    candidates: CandidateSet,
+    source: InputSource,
+    site: str,
+    harvester: Callable[[CandidateSet], None],
+    guard,
+) -> None:
+    """Run one technical-source harvest, quarantining it on failure.
+
+    The harvester fills a scratch set that is merged only on success, so a
+    source that fails mid-harvest contributes *nothing* — the surviving
+    candidate set is byte-identical to a run that skipped the source.
+    """
+    if guard is None:
+        harvester(candidates)
+        return
+    scratch = CandidateSet()
+    try:
+        guard.call(site, lambda: harvester(scratch))
+    except (SourceError, ResilienceError):
+        candidates.degraded.add(source)
+        return
+    for (asn, src), (cc, share) in scratch.detail.items():
+        candidates.add_asn(asn, src, cc, share)
+
+
 def harvest_candidates(
     table: Prefix2ASTable,
     geolocation: GeolocationService,
@@ -130,24 +170,46 @@ def harvest_candidates(
     orbis_companies: Iterable[Tuple[str, str]],
     wiki_fh_companies: Iterable[Tuple[str, str]],
     config: Optional[PipelineConfig] = None,
+    skip: FrozenSet[InputSource] = frozenset(),
+    guard=None,
 ) -> CandidateSet:
     """Run all five input sources and assemble the candidate set.
 
     ``orbis_companies`` and ``wiki_fh_companies`` are (name, cc) iterables —
     the callers extract them from :class:`~repro.sources.orbis.OrbisDatabase`
     and the Wikipedia/Freedom House sources.
+
+    Sources in ``skip`` (ablation studies, pre-degraded inputs) are not
+    harvested at all.  When a :class:`~repro.resilience.SourceGuard` is
+    passed, each technical source is harvested under retry/circuit-breaker
+    protection and quarantined into ``CandidateSet.degraded`` on failure
+    instead of sinking the run.
     """
     config = config or PipelineConfig()
     candidates = CandidateSet()
     threshold = config.candidate_share_threshold
 
-    _geolocation_candidates(candidates, table, geolocation, threshold)
+    if InputSource.GEOLOCATION not in skip:
+        _harvest_guarded(
+            candidates,
+            InputSource.GEOLOCATION,
+            "source.geolocation",
+            lambda cs: _geolocation_candidates(cs, table, geolocation, threshold),
+            guard,
+        )
     geo_asns = candidates.asns_from(InputSource.GEOLOCATION)
 
-    _eyeball_candidates(candidates, eyeballs, threshold)
+    if InputSource.EYEBALLS not in skip:
+        _harvest_guarded(
+            candidates,
+            InputSource.EYEBALLS,
+            "source.eyeballs",
+            lambda cs: _eyeball_candidates(cs, eyeballs, threshold),
+            guard,
+        )
     eyeball_asns = candidates.asns_from(InputSource.EYEBALLS)
 
-    if cti_selection is not None:
+    if cti_selection is not None and InputSource.CTI not in skip:
         _cti_candidates(candidates, cti_selection)
     cti_asns = candidates.asns_from(InputSource.CTI)
 

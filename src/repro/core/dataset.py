@@ -12,7 +12,7 @@ live in :mod:`repro.io.jsonio` / :mod:`repro.io.sqliteio`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DatasetError
@@ -57,13 +57,30 @@ class OrganizationRecord:
 
 
 class StateOwnedDataset:
-    """The paper's two data products with convenience queries."""
+    """The paper's two data products with convenience queries.
+
+    ``degraded_sources`` is the resilience provenance of the producing run:
+    the candidate-source codes (``G``/``E``/``C``/``W``/``O``) that were
+    quarantined after exhausting their retries.  An empty tuple means a
+    clean run.  The flags survive both the JSON and SQLite round-trips, so
+    a consumer can always tell a complete dataset from a degraded one.
+    """
 
     def __init__(
         self,
         organizations: Sequence[OrganizationRecord],
         asns_of_org: Dict[str, Sequence[int]],
+        degraded_sources: Sequence[str] = (),
     ) -> None:
+        for code in degraded_sources:
+            if not isinstance(code, str) or not code:
+                raise DatasetError(
+                    f"degraded source codes must be non-empty strings, "
+                    f"got {code!r}"
+                )
+        self._degraded_sources: Tuple[str, ...] = tuple(
+            sorted(set(degraded_sources))
+        )
         self._organizations: List[OrganizationRecord] = list(organizations)
         seen: Set[str] = set()
         for org in self._organizations:
@@ -86,6 +103,16 @@ class StateOwnedDataset:
         return iter(self._organizations)
 
     # -- queries ------------------------------------------------------------------
+    @property
+    def degraded_sources(self) -> Tuple[str, ...]:
+        """Candidate-source codes quarantined in the producing run."""
+        return self._degraded_sources
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when at least one candidate source was quarantined."""
+        return bool(self._degraded_sources)
+
     def organizations(self) -> List[OrganizationRecord]:
         return list(self._organizations)
 
@@ -156,4 +183,9 @@ class StateOwnedDataset:
         asns: Dict[str, Sequence[int]] = dict(self._asns_of_org)
         for org in other.organizations():
             asns[org.org_id] = other.asns_of(org.org_id)
-        return StateOwnedDataset(orgs, asns)
+        return StateOwnedDataset(
+            orgs,
+            asns,
+            degraded_sources=self._degraded_sources
+            + other.degraded_sources,
+        )

@@ -10,7 +10,7 @@ disappeared, or changed owner between two dataset snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 from repro.core.dataset import StateOwnedDataset
 from repro.text.normalize import normalize_name

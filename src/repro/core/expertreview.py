@@ -11,7 +11,7 @@ the dataset's claims inside it, and grade them like an expert would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, List, Tuple
 
 from repro.core.pipeline import PipelineResult
 from repro.world.countries import COUNTRIES

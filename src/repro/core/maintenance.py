@@ -22,9 +22,8 @@ Fragility signals, in decreasing weight:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.dataset import StateOwnedDataset
 from repro.core.pipeline import PipelineResult
 from repro.sources.documents import SourceType
 from repro.text.normalize import normalize_name

@@ -14,7 +14,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.config import ParallelConfig, PipelineConfig, SourceNoiseConfig
+from repro.config import (
+    ParallelConfig,
+    PipelineConfig,
+    ResilienceConfig,
+    SourceNoiseConfig,
+)
 from repro.core.candidates import CandidateSet, harvest_candidates
 from repro.core.confirmation import (
     ConfirmationStatus,
@@ -29,7 +34,7 @@ from repro.core.mapping import CompanyMapper
 from repro.core.subsidiaries import DiscoveredCompany, SubsidiaryExplorer
 from repro.cti.metric import CTIComputer
 from repro.cti.selection import CTISelection, select_cti_candidates
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ResilienceError, SourceError
 from repro.obs import get_metrics, span
 from repro.parallel import (
     ExecutionContext,
@@ -37,6 +42,7 @@ from repro.parallel import (
     stable_digest,
     world_fingerprint,
 )
+from repro.resilience import QuarantinedSource, SourceGuard
 from repro.sources.as2org import As2OrgDataset
 from repro.sources.asrank import AsRankDataset
 from repro.sources.base import InputSource
@@ -79,31 +85,129 @@ class PipelineInputs:
     #: the persistent result cache.  None disables on-disk caching for runs
     #: over hand-assembled inputs, whose provenance we cannot fingerprint.
     fingerprint: Optional[str] = None
+    #: Candidate sources quarantined while *building* the inputs: each
+    #: exhausted its retry budget and was replaced by an inert
+    #: :class:`~repro.resilience.QuarantinedSource`.  The pipeline folds
+    #: these into the run's degraded-source provenance.
+    degraded: FrozenSet[InputSource] = frozenset()
+    #: The call sites that failed, for diagnostics ("source.orbis", ...).
+    degraded_sites: Tuple[str, ...] = ()
 
     @classmethod
     def from_world(
-        cls, world, noise: Optional[SourceNoiseConfig] = None
+        cls,
+        world,
+        noise: Optional[SourceNoiseConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> "PipelineInputs":
-        """Materialize all derived sources from a synthetic world."""
+        """Materialize all derived sources from a synthetic world.
+
+        Every source loader runs under retry/circuit-breaker protection
+        (and the fault-injection sites ``source.<name>``).  Loaders the
+        pipeline can run without — the five candidate feeds — degrade into
+        :class:`~repro.resilience.QuarantinedSource` stand-ins when they
+        exhaust their retries; infrastructure loaders (prefix2as, WHOIS,
+        PeeringDB, AS2Org, the confirmation corpus) stay fatal.  With
+        ``resilience.fail_fast`` every exhausted loader is fatal.
+        """
         noise = noise or SourceNoiseConfig()
-        prefix2as = Prefix2ASTable.from_world(world)
-        whois = WhoisDatabase.from_world(world, noise)
-        freedomhouse = FreedomHouseReports.from_world(world, noise)
+        config = resilience or ResilienceConfig()
+        guard = SourceGuard.from_config(config)
+        degraded: Set[InputSource] = set()
+        failed_sites: List[str] = []
+
+        def build(site: str, builder):
+            """A required loader: retried, then fatal."""
+            return guard.call(site, builder)
+
+        def build_optional(site: str, builder, flags: Tuple[InputSource, ...]):
+            """A candidate-feed loader: retried, then quarantined."""
+            try:
+                return guard.call(site, builder)
+            except (SourceError, ResilienceError):
+                if config.fail_fast:
+                    raise
+                metrics = get_metrics()
+                metrics.incr("resilience.quarantined")
+                for flag in flags:
+                    degraded.add(flag)
+                    metrics.incr(
+                        f"resilience.quarantined.{flag.name.lower()}"
+                    )
+                failed_sites.append(site)
+                return QuarantinedSource(site)
+
+        prefix2as = build(
+            "source.prefix2as", lambda: Prefix2ASTable.from_world(world)
+        )
+        whois = build(
+            "source.whois", lambda: WhoisDatabase.from_world(world, noise)
+        )
+        freedomhouse = build_optional(
+            "source.freedomhouse",
+            lambda: FreedomHouseReports.from_world(world, noise),
+            (InputSource.WIKIPEDIA_FH,),
+        )
+        # CTI cascades with geolocation: the transit-influence metric
+        # cannot attribute addresses to countries without it.
+        geolocation = build_optional(
+            "source.geolocation",
+            lambda: GeolocationService.from_world(world, noise),
+            (InputSource.GEOLOCATION, InputSource.CTI),
+        )
+        eyeballs = build_optional(
+            "source.eyeballs",
+            lambda: EyeballDataset.from_world(world, noise),
+            (InputSource.EYEBALLS,),
+        )
+        peeringdb = build(
+            "source.peeringdb",
+            lambda: PeeringDBDataset.from_world(world, noise),
+        )
+        as2org = build(
+            "source.as2org",
+            lambda: As2OrgDataset.from_world(world, whois, noise),
+        )
+        orbis = build_optional(
+            "source.orbis",
+            lambda: OrbisDatabase.from_world(world, noise),
+            (InputSource.ORBIS,),
+        )
+        wikipedia = build_optional(
+            "source.wikipedia",
+            lambda: WikipediaArticles.from_world(world, noise),
+            (InputSource.WIKIPEDIA_FH,),
+        )
+        # The confirmation corpus folds Freedom House reports in when they
+        # are available; a degraded FH source thins the corpus (documents
+        # are lost) but must not take confirmation down with it.
+        fh_for_corpus = (
+            None if isinstance(freedomhouse, QuarantinedSource) else freedomhouse
+        )
+        corpus = build(
+            "source.corpus",
+            lambda: ConfirmationCorpus.from_world(world, fh_for_corpus, noise),
+        )
+        asrank = build(
+            "source.asrank", lambda: AsRankDataset.from_world(world)
+        )
         return cls(
             prefix2as=prefix2as,
-            geolocation=GeolocationService.from_world(world, noise),
-            eyeballs=EyeballDataset.from_world(world, noise),
+            geolocation=geolocation,
+            eyeballs=eyeballs,
             whois=whois,
-            peeringdb=PeeringDBDataset.from_world(world, noise),
-            as2org=As2OrgDataset.from_world(world, whois, noise),
-            orbis=OrbisDatabase.from_world(world, noise),
+            peeringdb=peeringdb,
+            as2org=as2org,
+            orbis=orbis,
             freedomhouse=freedomhouse,
-            wikipedia=WikipediaArticles.from_world(world, noise),
-            corpus=ConfirmationCorpus.from_world(world, freedomhouse, noise),
+            wikipedia=wikipedia,
+            corpus=corpus,
             collector=world.collector,
             cti_eligible_ccs=tuple(sorted(world.transit_dominant_ccs)),
-            asrank=AsRankDataset.from_world(world),
+            asrank=asrank,
             fingerprint=world_fingerprint(world.config, noise),
+            degraded=frozenset(degraded),
+            degraded_sites=tuple(failed_sites),
         )
 
 
@@ -140,6 +244,9 @@ class PipelineResult:
     asn_inputs: Dict[int, FrozenSet[InputSource]]
     org_inputs: Dict[str, FrozenSet[InputSource]]   # org_id -> sources
     stats: Dict[str, float]
+    #: Candidate sources quarantined anywhere along the run (input build,
+    #: run-time query, or harvest); empty for a clean run.
+    degraded_sources: FrozenSet[InputSource] = frozenset()
 
     def state_owned_asns(self) -> FrozenSet[int]:
         return self.dataset.all_asns()
@@ -177,10 +284,12 @@ class StateOwnershipPipeline:
         inputs: PipelineInputs,
         config: Optional[PipelineConfig] = None,
         parallel: Optional[ParallelConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self._inputs = inputs
         self._config = config or PipelineConfig()
         self._parallel = parallel or ParallelConfig()
+        self._resilience = resilience or ResilienceConfig()
         self._whois_memo: Dict[int, object] = {}
 
     # -- public API --------------------------------------------------------------
@@ -189,11 +298,28 @@ class StateOwnershipPipeline:
 
         ``skip_sources`` disables candidate sources for ablation studies
         (the A1 benchmark); stage 2/3 behaviour is unchanged.
+
+        Candidate sources that fail at run time (or arrived quarantined
+        from :meth:`PipelineInputs.from_world`) are degraded: they
+        contribute nothing, the run completes, and the output dataset
+        carries their codes in ``degraded_sources``.  A degraded run is
+        byte-identical to one that listed the same sources in
+        ``skip_sources``.  With ``resilience.fail_fast`` any source
+        failure aborts the run with :class:`PipelineError` instead.
         """
         started = time.time()
-        skip = set(skip_sources)
         inputs = self._inputs
         config = self._config
+        resilience = self._resilience
+        guard = SourceGuard.from_config(resilience)
+        degraded: Set[InputSource] = set(inputs.degraded)
+        if degraded and resilience.fail_fast:
+            raise PipelineError(
+                "inputs arrived degraded ("
+                + ", ".join(sorted(s.name for s in degraded))
+                + ") and fail_fast is set"
+            )
+        skip = set(skip_sources) | degraded
         self._whois_memo = {}
         context = ExecutionContext(
             jobs=self._parallel.jobs, backend=self._parallel.backend
@@ -205,64 +331,60 @@ class StateOwnershipPipeline:
         )
         get_metrics().gauge("parallel.jobs", context.jobs)
 
+        def quarantine(source: InputSource) -> None:
+            """Fold a run-time source failure into the degradation state."""
+            if resilience.fail_fast:
+                raise PipelineError(
+                    f"source {source.name} failed and fail_fast is set"
+                )
+            metrics = get_metrics()
+            metrics.incr("resilience.quarantined")
+            metrics.incr(f"resilience.quarantined.{source.name.lower()}")
+            degraded.add(source)
+            skip.add(source)
+
         # ---- stage 1: candidates ------------------------------------------------
         cti_selection: Optional[CTISelection] = None
         with span("pipeline.candidates") as sp_candidates:
             if InputSource.CTI not in skip:
-                with span("cti") as sp_cti:
-                    metrics = get_metrics()
-                    computed_before = metrics.counter("cti.countries_computed")
-                    pruned_before = metrics.counter("cti.origins_pruned")
-                    cti = CTIComputer(
-                        inputs.prefix2as, inputs.geolocation, inputs.collector
+                try:
+                    cti_selection = guard.call(
+                        "source.cti",
+                        lambda: self._compute_cti(inputs, config, context, cache),
                     )
-                    cache_key = self._cti_cache_key(cti)
-                    cached = (
-                        cache.get("cti", cache_key)
-                        if cache is not None and cache_key is not None
-                        else None
+                except (SourceError, ResilienceError):
+                    quarantine(InputSource.CTI)
+            orbis_companies: List[Tuple[str, str]] = []
+            if InputSource.ORBIS not in skip:
+                try:
+                    orbis_companies = guard.call(
+                        "source.orbis",
+                        lambda: [
+                            (r.company_name, r.cc)
+                            for r in inputs.orbis.state_owned_telcos()
+                        ],
                     )
-                    if cached is not None:
-                        cti.preload_scores(
-                            _decode_scores(cached.get("scores", {}))
-                        )
-                        sp_cti.set("cache", "hit")
-                    cti_selection = select_cti_candidates(
-                        cti,
-                        inputs.cti_eligible_ccs,
-                        top_k=config.cti_top_k,
-                        min_score=config.cti_min_score,
-                        context=context,
-                    )
-                    if cache is not None and cache_key is not None and cached is None:
-                        cache.put(
-                            "cti",
-                            cache_key,
-                            {
-                                "scores": cti.computed_scores(),
-                                "tree_stats": cti.transit_term_stats(),
-                            },
-                        )
-                        sp_cti.set("cache", "miss")
-                    sp_cti.incr(
-                        "countries_computed",
-                        metrics.counter("cti.countries_computed")
-                        - computed_before,
-                    )
-                    sp_cti.incr(
-                        "origins_pruned",
-                        metrics.counter("cti.origins_pruned") - pruned_before,
-                    )
-                    sp_cti.incr("asns_selected", len(cti_selection.asns))
-            orbis_companies = (
-                [(r.company_name, r.cc) for r in inputs.orbis.state_owned_telcos()]
-                if InputSource.ORBIS not in skip
-                else []
-            )
+                except (SourceError, ResilienceError):
+                    quarantine(InputSource.ORBIS)
             wiki_fh: List[Tuple[str, str]] = []
             if InputSource.WIKIPEDIA_FH not in skip:
-                wiki_fh.extend(inputs.wikipedia.state_owned_company_names())
-                wiki_fh.extend(inputs.freedomhouse.state_owned_company_names())
+                # Wikipedia and Freedom House feed one joint candidate
+                # source (code W): if either query fails, the whole feed is
+                # quarantined so the provenance flag is unambiguous.
+                try:
+                    wiki_fh = guard.call(
+                        "source.wikipedia",
+                        lambda: list(inputs.wikipedia.state_owned_company_names()),
+                    )
+                    wiki_fh = wiki_fh + guard.call(
+                        "source.freedomhouse",
+                        lambda: list(
+                            inputs.freedomhouse.state_owned_company_names()
+                        ),
+                    )
+                except (SourceError, ResilienceError):
+                    wiki_fh = []
+                    quarantine(InputSource.WIKIPEDIA_FH)
             candidates = harvest_candidates(
                 table=inputs.prefix2as,
                 geolocation=inputs.geolocation,
@@ -271,24 +393,11 @@ class StateOwnershipPipeline:
                 orbis_companies=orbis_companies,
                 wiki_fh_companies=wiki_fh,
                 config=config,
+                skip=frozenset(skip),
+                guard=guard,
             )
-            if InputSource.GEOLOCATION in skip:
-                self._drop_source(candidates, InputSource.GEOLOCATION)
-            if InputSource.EYEBALLS in skip:
-                self._drop_source(candidates, InputSource.EYEBALLS)
-            if skip & {InputSource.GEOLOCATION, InputSource.EYEBALLS}:
-                # Recompute the funnel statistics after ablation drops.
-                geo_asns = candidates.asns_from(InputSource.GEOLOCATION)
-                eyeball_asns = candidates.asns_from(InputSource.EYEBALLS)
-                candidates.stats.update(
-                    {
-                        "geolocation_asns": len(geo_asns),
-                        "eyeball_asns": len(eyeball_asns),
-                        "geo_eyeball_intersection": len(geo_asns & eyeball_asns),
-                        "geo_eyeball_union": len(geo_asns | eyeball_asns),
-                        "total_asns": len(candidates.asn_sources),
-                    }
-                )
+            for source in candidates.degraded:
+                quarantine(source)
             for source in InputSource:
                 harvested = len(candidates.asns_from(source))
                 if harvested:
@@ -402,7 +511,12 @@ class StateOwnershipPipeline:
         # ---- stage 3: expansion + dataset assembly ----------------------------------
         with span("pipeline.expansion") as sp_expand:
             dataset, asn_inputs, org_inputs = self._assemble(
-                confirmed, work, mapper, candidates, parent_discovered
+                confirmed,
+                work,
+                mapper,
+                candidates,
+                parent_discovered,
+                degraded=frozenset(degraded),
             )
             sp_expand.incr("organizations", len(dataset))
             sp_expand.incr("asns_expanded", len(dataset.all_asns()))
@@ -420,6 +534,7 @@ class StateOwnershipPipeline:
                 "discovered_companies": len(discoveries),
                 "state_owned_asns": len(dataset.all_asns()),
                 "foreign_subsidiary_asns": len(dataset.foreign_subsidiary_asns()),
+                "degraded_sources": len(degraded),
                 "runtime_seconds": round(time.time() - started, 3),
             }
         )
@@ -437,15 +552,66 @@ class StateOwnershipPipeline:
             asn_inputs=asn_inputs,
             org_inputs=org_inputs,
             stats=stats,
+            degraded_sources=frozenset(degraded),
         )
 
     # -- helpers -----------------------------------------------------------------
-    @staticmethod
-    def _drop_source(candidates: CandidateSet, source: InputSource) -> None:
-        for asn in list(candidates.asn_sources):
-            candidates.asn_sources[asn].discard(source)
-            if not candidates.asn_sources[asn]:
-                del candidates.asn_sources[asn]
+    def _compute_cti(
+        self,
+        inputs: PipelineInputs,
+        config: PipelineConfig,
+        context: ExecutionContext,
+        cache: Optional[ResultCache],
+    ) -> CTISelection:
+        """The CTI stage: score transit influence and select candidates.
+
+        Runs under the ``source.cti`` guard site so a mid-computation
+        failure (including a quarantined geolocation dependency) degrades
+        the CTI feed instead of sinking the run.
+        """
+        with span("cti") as sp_cti:
+            metrics = get_metrics()
+            computed_before = metrics.counter("cti.countries_computed")
+            pruned_before = metrics.counter("cti.origins_pruned")
+            cti = CTIComputer(
+                inputs.prefix2as, inputs.geolocation, inputs.collector
+            )
+            cache_key = self._cti_cache_key(cti)
+            cached = (
+                cache.get("cti", cache_key)
+                if cache is not None and cache_key is not None
+                else None
+            )
+            if cached is not None:
+                cti.preload_scores(_decode_scores(cached.get("scores", {})))
+                sp_cti.set("cache", "hit")
+            cti_selection = select_cti_candidates(
+                cti,
+                inputs.cti_eligible_ccs,
+                top_k=config.cti_top_k,
+                min_score=config.cti_min_score,
+                context=context,
+            )
+            if cache is not None and cache_key is not None and cached is None:
+                cache.put(
+                    "cti",
+                    cache_key,
+                    {
+                        "scores": cti.computed_scores(),
+                        "tree_stats": cti.transit_term_stats(),
+                    },
+                )
+                sp_cti.set("cache", "miss")
+            sp_cti.incr(
+                "countries_computed",
+                metrics.counter("cti.countries_computed") - computed_before,
+            )
+            sp_cti.incr(
+                "origins_pruned",
+                metrics.counter("cti.origins_pruned") - pruned_before,
+            )
+            sp_cti.incr("asns_selected", len(cti_selection.asns))
+        return cti_selection
 
     @staticmethod
     def _canonicalize(name: str, mapper: CompanyMapper) -> str:
@@ -544,6 +710,7 @@ class StateOwnershipPipeline:
         mapper: CompanyMapper,
         candidates: CandidateSet,
         parent_discovered: Optional[Set[str]] = None,
+        degraded: FrozenSet[InputSource] = frozenset(),
     ) -> Tuple[StateOwnedDataset, Dict[int, FrozenSet[InputSource]], Dict[str, FrozenSet[InputSource]]]:
         parent_discovered = parent_discovered or set()
         inputs = self._inputs
@@ -694,7 +861,11 @@ class StateOwnershipPipeline:
                 contribution |= company_level
                 asn_inputs.setdefault(asn, set()).update(contribution)
 
-        dataset = StateOwnedDataset(organizations, asns_of_org)
+        dataset = StateOwnedDataset(
+            organizations,
+            asns_of_org,
+            degraded_sources=tuple(sorted(s.value for s in degraded)),
+        )
         return (
             dataset,
             {asn: frozenset(srcs) for asn, srcs in asn_inputs.items()},

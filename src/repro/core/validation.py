@@ -10,7 +10,7 @@ debugging the process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.world.countries import COUNTRIES
 

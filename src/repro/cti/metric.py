@@ -34,7 +34,7 @@ address-weight index is built lazily on first use: constructing a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.net.monitors import RouteCollector

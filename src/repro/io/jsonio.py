@@ -25,6 +25,7 @@ def dataset_to_json(dataset: StateOwnedDataset) -> str:
     """Serialize a dataset to a JSON string."""
     payload = {
         "format_version": _FORMAT_VERSION,
+        "degraded_sources": list(dataset.degraded_sources),
         "organizations": [org.to_dict() for org in dataset.organizations()],
         "asns": [
             {"org_id": org.org_id, "asn": list(dataset.asns_of(org.org_id))}
@@ -74,7 +75,14 @@ def dataset_from_json(text: str) -> StateOwnedDataset:
             asns[entry["org_id"]] = [int(a) for a in entry["asn"]]
         except (KeyError, TypeError, ValueError) as exc:
             raise DatasetError(f"malformed ASN entry: {entry!r}") from exc
-    return StateOwnedDataset(organizations, asns)
+    degraded = payload.get("degraded_sources", [])
+    if not isinstance(degraded, list):
+        raise DatasetError(
+            f"degraded_sources must be a list, got {type(degraded).__name__}"
+        )
+    return StateOwnedDataset(
+        organizations, asns, degraded_sources=tuple(degraded)
+    )
 
 
 def dump_json(dataset: StateOwnedDataset, path: Union[str, Path]) -> None:

@@ -43,6 +43,10 @@ CREATE TABLE asns (
     PRIMARY KEY (org_id, asn)
 );
 CREATE INDEX idx_asns_asn ON asns(asn);
+CREATE TABLE meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
 
@@ -62,6 +66,10 @@ def dataset_to_sqlite(
         try:
             connection.executescript(_SCHEMA)
             with connection:  # one transaction for the whole insert loop
+                connection.execute(
+                    "INSERT INTO meta VALUES ('degraded_sources', ?)",
+                    (",".join(dataset.degraded_sources),),
+                )
                 for org in dataset.organizations():
                     connection.execute(
                         "INSERT INTO organizations VALUES "
@@ -133,8 +141,18 @@ def dataset_from_sqlite(path: Union[str, Path]) -> StateOwnedDataset:
             "SELECT org_id, asn FROM asns ORDER BY org_id, asn"
         ):
             asns.setdefault(org_id, []).append(int(asn))
+        # Databases exported before the resilience layer have no meta table.
+        degraded: List[str] = []
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'degraded_sources'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            row = None
+        if row is not None and row[0]:
+            degraded = row[0].split(",")
     except sqlite3.DatabaseError as exc:
         raise DatasetError(f"corrupt dataset database: {exc}") from exc
     finally:
         connection.close()
-    return StateOwnedDataset(organizations, asns)
+    return StateOwnedDataset(organizations, asns, degraded_sources=degraded)

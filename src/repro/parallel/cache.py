@@ -7,10 +7,21 @@ of the inputs that produced them.  A warm cache lets a repeated ``run`` /
 ``report`` / benchmark invocation skip CTI recomputation entirely.
 
 Entries are JSON files written through :func:`repro.io.atomic.atomic_replace`
-so a crash mid-write never leaves a truncated entry; unreadable or corrupt
-entries are treated as misses.  Floats survive the round-trip exactly:
-``json`` serializes them with ``repr`` (shortest round-trip form), so cached
-CTI scores are bit-identical to freshly computed ones.
+so a crash mid-write never leaves a truncated entry.  A corrupt or
+truncated entry that appears anyway (external tampering, filesystem
+damage, injected faults) is treated as a miss, **evicted**, and counted as
+``cache.corrupt`` — a bad entry can poison at most one lookup.  Floats
+survive the round-trip exactly: ``json`` serializes them with ``repr``
+(shortest round-trip form), so cached CTI scores are bit-identical to
+freshly computed ones.
+
+Reads and writes run through a :class:`~repro.resilience.retry.RetryPolicy`
+and a shared :class:`~repro.resilience.breaker.CircuitBreaker`: transient
+filesystem errors are retried with deterministic backoff, a persistently
+failing cache stops being consulted (``cache.bypass``) instead of slowing
+every lookup, and a failed write never sinks the run
+(``cache.write_errors``).  The fault-injection sites are ``cache.get``
+(transient/slow/corrupt/truncate) and ``cache.put`` (transient/slow).
 
 Hits and misses are counted in the process-global metrics registry as
 ``cache.hits`` / ``cache.misses`` / ``cache.writes``.
@@ -25,8 +36,12 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from repro.errors import ResilienceError
 from repro.io.atomic import atomic_replace
 from repro.obs import get_metrics
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import fault_point, mangle_text
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "ResultCache",
@@ -88,11 +103,29 @@ def resolve_cache_dir(
     return Path.home() / ".cache" / "repro"
 
 
+#: Retry posture for cache I/O: one quick retry, tiny backoff.  The cache
+#: is an optimization — it must never dominate the latency of a miss.
+_CACHE_POLICY = RetryPolicy(
+    max_attempts=2,
+    base_delay=0.01,
+    max_delay=0.05,
+)
+
+
 class ResultCache:
     """A tiny content-addressed JSON store: ``<root>/<section>/<key>.json``."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self._root = Path(root).expanduser()
+        self._policy = policy or _CACHE_POLICY
+        self._breaker = breaker or CircuitBreaker(
+            name="cache", failure_threshold=8, reset_timeout=60.0
+        )
 
     @property
     def root(self) -> Path:
@@ -103,27 +136,80 @@ class ResultCache:
             raise ValueError(f"invalid cache section {section!r}")
         return self._root / section / f"{key}.json"
 
+    @staticmethod
+    def _read_text(path: Path) -> Optional[str]:
+        """File contents, or None when the entry simply does not exist."""
+        fault_point("cache.get")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def _evict_corrupt(self, path: Path) -> None:
+        """Remove an unreadable entry so it cannot poison later lookups."""
+        get_metrics().incr("cache.corrupt")
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - best-effort eviction
+            pass
+
     def get(self, section: str, key: str) -> Optional[Dict[str, Any]]:
-        """The cached payload, or None (counted as a miss) if absent/corrupt."""
+        """The cached payload, or None (counted as a miss) if absent/corrupt.
+
+        An entry that exists but cannot be read or parsed is evicted and
+        counted as ``cache.corrupt`` on top of the miss; a cache whose
+        breaker is open is bypassed entirely (``cache.bypass``).
+        """
         metrics = get_metrics()
         path = self._path(section, key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
+            text = self._policy.call(
+                lambda: self._read_text(path),
+                site="cache.get",
+                breaker=self._breaker,
+            )
+        except ResilienceError:
+            # Breaker open, or the read kept failing: an unreadable entry
+            # is a miss, and one that exists on disk is evicted.
+            metrics.incr("cache.bypass")
+            metrics.incr("cache.misses")
+            if path.exists():
+                self._evict_corrupt(path)
+            return None
+        if text is None:
             metrics.incr("cache.misses")
             return None
+        text = mangle_text("cache.get", text)
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
         if not isinstance(payload, dict):
+            self._evict_corrupt(path)
             metrics.incr("cache.misses")
             return None
         metrics.incr("cache.hits")
         return payload
 
     def put(self, section: str, key: str, payload: Dict[str, Any]) -> None:
-        """Store ``payload`` atomically; never corrupts an existing entry."""
-        path = self._path(section, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with atomic_replace(path) as tmp_path:
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
+        """Store ``payload`` atomically; never corrupts an existing entry.
+
+        A cache write is an optimization, not an obligation: persistent
+        failures are counted (``cache.write_errors``) and swallowed.
+        """
+
+        def write() -> None:
+            fault_point("cache.put")
+            path = self._path(section, key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with atomic_replace(path) as tmp_path:
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+
+        try:
+            self._policy.call(write, site="cache.put", breaker=self._breaker)
+        except ResilienceError:
+            get_metrics().incr("cache.write_errors")
+            return
         get_metrics().incr("cache.writes")

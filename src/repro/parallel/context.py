@@ -16,20 +16,33 @@ honor it exactly:
 Worker counts and task counts flow into the process-global metrics registry
 as ``parallel.jobs`` (gauge) and ``parallel.tasks`` (counter); each
 ``map_ordered`` call is wrapped in a ``parallel.<label>`` span.
+
+The process backend is crash-tolerant: work is partitioned into indexed
+chunks, and when a worker dies (OOM kill, segfault, injected ``crash``
+fault) the broken pool is discarded, already-completed chunks keep their
+results, and the unfinished chunks are **requeued** on a fresh pool with an
+incremented delivery attempt.  Results are reassembled by chunk index, so
+the ordered-merge guarantee — bit-identical output to the serial backend —
+survives any number of restarts (bounded by ``_MAX_POOL_RESTARTS``).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Mapping, Optional, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerCrashError
 from repro.obs import get_metrics, span
+from repro.resilience.faults import worker_fault_point
 
 __all__ = ["BACKENDS", "ExecutionContext"]
 
 BACKENDS = ("serial", "thread", "process")
+
+#: Fresh-pool respawns allowed per map_ordered call before giving up.
+_MAX_POOL_RESTARTS = 3
 
 S = TypeVar("S")
 T = TypeVar("T")
@@ -40,16 +53,28 @@ R = TypeVar("R")
 # single time instead of once per task.
 _WORKER_FN: Optional[Callable] = None
 _WORKER_STATE = None
+_WORKER_SITE = "worker.map"
 
 
-def _init_worker(fn: Callable, state) -> None:
-    global _WORKER_FN, _WORKER_STATE
+def _init_worker(fn: Callable, state, site: str = "worker.map") -> None:
+    global _WORKER_FN, _WORKER_STATE, _WORKER_SITE
     _WORKER_FN = fn
     _WORKER_STATE = state
+    _WORKER_SITE = site
 
 
-def _call_worker(item):
-    return _WORKER_FN(_WORKER_STATE, item)
+def _call_worker_chunk(payload: Tuple[int, int, list]):
+    """Run one indexed chunk inside a worker; returns (index, results).
+
+    ``attempt`` is the chunk's delivery attempt: injected crash faults only
+    fire on first delivery, so requeued chunks always make progress.
+    """
+    index, attempt, items = payload
+    results = []
+    for item in items:
+        worker_fault_point(_WORKER_SITE, attempt)
+        results.append(_WORKER_FN(_WORKER_STATE, item))
+    return index, results
 
 
 class ExecutionContext:
@@ -123,22 +148,93 @@ class ExecutionContext:
         metrics = get_metrics()
         metrics.gauge("parallel.jobs", self.jobs)
         metrics.incr("parallel.tasks", len(items))
+        site = f"worker.{label}"
         with span(f"parallel.{label}", backend=self.backend) as sp:
             sp.incr("tasks", len(items))
             if not items:
                 return []
             if self.is_serial:
-                return [fn(state, item) for item in items]
+                results = []
+                for item in items:
+                    worker_fault_point(site, 0)
+                    results.append(fn(state, item))
+                return results
             if self.backend == "thread":
+
+                def run_one(item):
+                    worker_fault_point(site, 0)
+                    return fn(state, item)
+
                 with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    return list(pool.map(lambda item: fn(state, item), items))
+                    return list(pool.map(run_one, items))
             # Process backend: ship (fn, state) once per worker, then stream
             # items in chunks big enough to amortize the IPC round-trips.
             if chunksize is None:
                 chunksize = max(1, len(items) // (self.jobs * 4) or 1)
+            return self._map_process(fn, items, state, site, chunksize, sp)
+
+    def _map_process(
+        self,
+        fn: Callable[[S, T], R],
+        items: List[T],
+        state: S,
+        site: str,
+        chunksize: int,
+        sp,
+    ) -> List[R]:
+        """Crash-tolerant ordered map on the process backend.
+
+        Chunks carry their index and delivery attempt; a broken pool is
+        replaced and only the chunks without results are requeued, so every
+        completed result is kept and the merge order never changes.
+        """
+        metrics = get_metrics()
+        chunks = [
+            items[start : start + chunksize]
+            for start in range(0, len(items), chunksize)
+        ]
+        results_by_chunk: dict = {}
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(chunks))]
+        restarts = 0
+        while pending:
             with ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(fn, state),
+                initargs=(fn, state, site),
             ) as pool:
-                return list(pool.map(_call_worker, items, chunksize=chunksize))
+                futures = {
+                    pool.submit(
+                        _call_worker_chunk, (index, attempt, chunks[index])
+                    ): (index, attempt)
+                    for index, attempt in pending
+                }
+                wait(futures)
+                requeue: List[Tuple[int, int]] = []
+                broken = False
+                for future, (index, attempt) in futures.items():
+                    try:
+                        chunk_index, chunk_results = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        requeue.append((index, attempt + 1))
+                        metrics.incr(
+                            "parallel.requeued_tasks", len(chunks[index])
+                        )
+                    else:
+                        results_by_chunk[chunk_index] = chunk_results
+            if broken:
+                restarts += 1
+                metrics.incr("parallel.pool_restarts")
+                sp.incr("pool_restarts")
+                if restarts > _MAX_POOL_RESTARTS:
+                    raise WorkerCrashError(
+                        f"process pool for {site!r} broke {restarts} times; "
+                        f"{len(requeue)} chunk(s) still unfinished"
+                    )
+            requeue.sort()
+            pending = requeue
+        return [
+            result
+            for index in range(len(chunks))
+            for result in results_by_chunk[index]
+        ]

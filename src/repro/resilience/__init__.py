@@ -1,0 +1,51 @@
+"""Resilience layer: retry/backoff, circuit breaking, fault injection.
+
+Four pieces, each usable alone:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — bounded attempts with
+  exponential backoff and **deterministic seeded jitter**;
+* :class:`~repro.resilience.breaker.CircuitBreaker` — classic
+  closed/open/half-open short-circuiting per call site;
+* :class:`~repro.resilience.guard.SourceGuard` — the composed wrapper
+  applied to every source loader, source query and cache access;
+* the fault harness (:mod:`repro.resilience.faults`) — a seeded
+  :class:`~repro.resilience.faults.FaultPlan` (``REPRO_FAULTS`` /
+  ``--inject-faults``) that injects transient errors, fatal errors, slow
+  reads, corrupt/truncated payloads and worker crashes, reproducibly.
+
+Degradation semantics live in :mod:`repro.core.pipeline`: a candidate
+source that exhausts its retries is quarantined, the run continues on the
+remaining sources, and the exported dataset carries per-source
+``degraded`` provenance flags.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    clear_fault_plan,
+    fault_point,
+    get_fault_plan,
+    install_fault_plan,
+    mangle_text,
+    worker_fault_point,
+)
+from repro.resilience.guard import QuarantinedSource, SourceGuard
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "QuarantinedSource",
+    "RetryPolicy",
+    "SourceGuard",
+    "clear_fault_plan",
+    "fault_point",
+    "get_fault_plan",
+    "install_fault_plan",
+    "mangle_text",
+    "worker_fault_point",
+]

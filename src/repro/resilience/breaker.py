@@ -1,0 +1,109 @@
+"""Circuit breaker: stop hammering a failing dependency.
+
+Classic three-state machine.  **closed** — calls flow, consecutive failures
+are counted; **open** — calls are short-circuited with
+:class:`~repro.errors.CircuitOpenError` until the reset timeout elapses;
+**half-open** — one probe call is allowed through, success closes the
+circuit, failure reopens it.
+
+The clock is injectable so tests (and deterministic chaos replays) can
+drive the open->half-open transition without real waiting.  Transitions
+are counted in the global metrics registry under ``resilience.breaker.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import CircuitOpenError, ConfigError
+from repro.obs import get_metrics
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """A thread-safe circuit breaker guarding one call site (or a few)."""
+
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ConfigError("reset_timeout must be >= 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the open->half-open cooldown transition."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            get_metrics().incr("resilience.breaker.half_open")
+
+    # -- protocol used by RetryPolicy.call ---------------------------------
+    def allow(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == OPEN:
+                get_metrics().incr("resilience.breaker.short_circuits")
+                raise CircuitOpenError(
+                    f"circuit {self.name!r} is open "
+                    f"(retry in <= {self.reset_timeout}s)"
+                )
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                get_metrics().incr("resilience.breaker.closed")
+            self._state = CLOSED
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                get_metrics().incr("resilience.breaker.reopened")
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                get_metrics().incr("resilience.breaker.opened")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+            f"failures={self._consecutive_failures})"
+        )

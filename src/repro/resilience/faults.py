@@ -1,0 +1,302 @@
+"""Deterministic fault injection: seeded chaos that replays bit-identically.
+
+A :class:`FaultPlan` maps *call sites* (dotted names such as
+``source.orbis``, ``cache.get``, ``worker.confirmation``) to fault kinds:
+
+``transient[:n]``
+    the first *n* calls (default 1) raise
+    :class:`~repro.errors.InjectedFaultError`, later calls succeed —
+    exercises retry/backoff;
+``fatal``
+    every call raises — exercises quarantine / graceful degradation;
+``slow[:seconds]``
+    every call sleeps (default 0.05 s) — exercises per-attempt timeouts;
+``corrupt[:p]`` / ``truncate[:p]``
+    payload text passing through :func:`mangle_text` is garbled/truncated
+    with probability *p* (default 1.0), drawn from a per-call seeded RNG —
+    exercises corrupt-record and truncated-file handling;
+``crash[:n]``
+    the first *n* eligible calls inside a **worker process** terminate it
+    with ``os._exit`` — exercises pool requeue.  A no-op in the parent
+    process and on first-retry replays (``attempt > 0``), so one plan
+    cannot crash-loop a run.
+
+Plans are parsed from a compact spec (``REPRO_FAULTS`` /
+``--inject-faults``)::
+
+    seed=42;source.orbis=fatal;cache.get=corrupt:0.5;worker.confirmation=crash
+
+Sites accept ``fnmatch`` globs (``source.*=transient:2``).  All randomness
+derives from the plan seed plus the per-site call counter, so the same plan
+over the same run produces the same faults, logs and metrics every time.
+
+The active plan is process-global.  :func:`get_fault_plan` lazily parses
+``REPRO_FAULTS`` from the environment, which is how worker processes of a
+process pool inherit the plan without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import multiprocessing
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigError, InjectedFaultError
+from repro.obs import get_metrics
+from repro.rng import derive_seed
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "get_fault_plan",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "fault_point",
+    "mangle_text",
+    "worker_fault_point",
+]
+
+FAULT_KINDS = ("transient", "fatal", "slow", "corrupt", "truncate", "crash")
+
+#: Default parameter per kind (see the kind table in the module docstring).
+_DEFAULT_PARAM = {
+    "transient": 1.0,
+    "fatal": 0.0,
+    "slow": 0.05,
+    "corrupt": 1.0,
+    "truncate": 1.0,
+    "crash": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One ``site=kind[:param]`` entry of a fault plan."""
+
+    site: str
+    kind: str
+    param: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}"
+            )
+        if self.param < 0:
+            raise ConfigError(f"fault parameter must be >= 0: {self}")
+
+    def matches(self, site: str) -> bool:
+        return fnmatch.fnmatchcase(site, self.site)
+
+    def as_text(self) -> str:
+        return f"{self.site}={self.kind}:{self.param:g}"
+
+
+class FaultPlan:
+    """A seeded set of per-site faults with deterministic call counters."""
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``seed=N;site=kind[:param];...`` spec format."""
+        seed = 0
+        specs = []
+        for raw in text.replace(",", ";").split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise ConfigError(
+                    f"malformed fault entry {entry!r} (expected site=kind)"
+                )
+            left, right = (part.strip() for part in entry.split("=", 1))
+            if left == "seed":
+                try:
+                    seed = int(right)
+                except ValueError:
+                    raise ConfigError(f"fault seed must be an integer: {right!r}")
+                continue
+            kind, _, param_text = right.partition(":")
+            kind = kind.strip()
+            if kind not in FAULT_KINDS:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r} in {entry!r}; "
+                    f"pick one of {FAULT_KINDS}"
+                )
+            if param_text:
+                try:
+                    param = float(param_text)
+                except ValueError:
+                    raise ConfigError(
+                        f"fault parameter must be numeric: {entry!r}"
+                    )
+            else:
+                param = _DEFAULT_PARAM[kind]
+            specs.append(FaultSpec(site=left, kind=kind, param=param))
+        return cls(specs, seed=seed)
+
+    def as_text(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(spec.as_text() for spec in self.specs)
+        return ";".join(parts)
+
+    # -- internals ---------------------------------------------------------
+    def _next_call(self, site: str) -> int:
+        """0-based index of this call at ``site`` (deterministic counter)."""
+        with self._lock:
+            count = self._calls.get(site, 0)
+            self._calls[site] = count + 1
+            return count
+
+    def _rng(self, site: str, count: int) -> random.Random:
+        return random.Random(derive_seed(self.seed, f"{site}:{count}"))
+
+    def _matching(self, site: str) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.matches(site))
+
+    def call_count(self, site: str) -> int:
+        with self._lock:
+            return self._calls.get(site, 0)
+
+    # -- fault application -------------------------------------------------
+    def before(
+        self, site: str, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        """Apply transient/fatal/slow faults for one call at ``site``."""
+        specs = self._matching(site)
+        if not specs:
+            return
+        count = self._next_call(site)
+        for spec in specs:
+            if spec.kind == "slow":
+                get_metrics().incr("resilience.faults.slow")
+                sleep(spec.param)
+            elif spec.kind == "fatal":
+                get_metrics().incr("resilience.faults.injected")
+                raise InjectedFaultError(
+                    f"injected fatal fault at {site} (call #{count})"
+                )
+            elif spec.kind == "transient" and count < spec.param:
+                get_metrics().incr("resilience.faults.injected")
+                raise InjectedFaultError(
+                    f"injected transient fault at {site} "
+                    f"(call #{count} of {spec.param:g})"
+                )
+
+    def mangle(self, site: str, text: str) -> str:
+        """Apply corrupt/truncate faults to payload text read at ``site``."""
+        specs = [
+            spec
+            for spec in self._matching(site)
+            if spec.kind in ("corrupt", "truncate")
+        ]
+        if not specs or not text:
+            return text
+        count = self._next_call(f"{site}#payload")
+        for spec in specs:
+            rng = self._rng(site, count)
+            if rng.random() >= spec.param:
+                continue
+            get_metrics().incr("resilience.faults.mangled")
+            if spec.kind == "truncate":
+                text = text[: rng.randrange(len(text))]
+            else:
+                cut = rng.randrange(len(text))
+                text = text[:cut] + "\x00garbage\x00" + text[cut + 1 :]
+        return text
+
+    def crash_due(self, site: str, attempt: int) -> bool:
+        """True when an eligible worker call at ``site`` must crash."""
+        specs = [s for s in self._matching(site) if s.kind == "crash"]
+        if not specs or attempt > 0:
+            return False
+        count = self._next_call(f"{site}#crash")
+        return any(count < spec.param for spec in specs)
+
+
+# -- the process-global active plan ---------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+_RESOLVED = False
+_RESOLVE_LOCK = threading.Lock()
+
+
+def get_fault_plan() -> Optional[FaultPlan]:
+    """The active plan: installed explicitly or parsed from ``REPRO_FAULTS``.
+
+    The environment is consulted once per process (worker processes of a
+    pool therefore pick the plan up automatically); use
+    :func:`clear_fault_plan` to force re-resolution.
+    """
+    global _ACTIVE, _RESOLVED
+    if _RESOLVED:
+        return _ACTIVE
+    with _RESOLVE_LOCK:
+        if not _RESOLVED:
+            spec = os.environ.get("REPRO_FAULTS", "").strip()
+            _ACTIVE = FaultPlan.parse(spec) if spec else None
+            _RESOLVED = True
+    return _ACTIVE
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` for this process (None deactivates injection)."""
+    global _ACTIVE, _RESOLVED
+    with _RESOLVE_LOCK:
+        _ACTIVE = plan
+        _RESOLVED = True
+
+
+def clear_fault_plan() -> None:
+    """Drop the active plan; the next lookup re-reads ``REPRO_FAULTS``."""
+    global _ACTIVE, _RESOLVED
+    with _RESOLVE_LOCK:
+        _ACTIVE = None
+        _RESOLVED = False
+
+
+def fault_point(site: str) -> None:
+    """Hook placed at an I/O boundary; no-op unless a plan is active."""
+    plan = get_fault_plan()
+    if plan is not None:
+        plan.before(site)
+
+
+def mangle_text(site: str, text: str) -> str:
+    """Payload hook for read paths; returns ``text`` unless a plan mangles it."""
+    plan = get_fault_plan()
+    if plan is None:
+        return text
+    return plan.mangle(site, text)
+
+
+def worker_fault_point(site: str, attempt: int) -> None:
+    """Hook run before each work item inside an execution backend.
+
+    Applies slow faults everywhere; crash faults only inside a real worker
+    process (never the coordinator) and only on first delivery
+    (``attempt == 0``), so requeued work is guaranteed to make progress.
+    """
+    plan = get_fault_plan()
+    if plan is None:
+        return
+    for spec in plan._matching(site):
+        if spec.kind == "slow":
+            time.sleep(spec.param)
+    if (
+        multiprocessing.parent_process() is not None
+        and plan.crash_due(site, attempt)
+    ):
+        os._exit(3)

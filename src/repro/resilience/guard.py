@@ -1,0 +1,113 @@
+"""The composed boundary wrapper: fault point -> breaker -> retry.
+
+:class:`SourceGuard` is what production code actually uses.  It owns one
+:class:`~repro.resilience.breaker.CircuitBreaker` per call site (created
+lazily) and runs every guarded call through the configured
+:class:`~repro.resilience.retry.RetryPolicy`, with the fault-injection
+hook inside the attempt so injected faults exercise the same retry path a
+real failure would.
+
+:class:`QuarantinedSource` is the inert stand-in installed in place of a
+source that exhausted its retries at build time: any query raises
+:class:`~repro.errors.QuarantinedSourceError`, so accidental use of a
+degraded source fails loudly instead of silently returning fabricated
+data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.config import ResilienceConfig
+from repro.errors import QuarantinedSourceError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["SourceGuard", "QuarantinedSource"]
+
+R = TypeVar("R")
+
+
+class SourceGuard:
+    """Applies fault injection, retry and per-site circuit breaking."""
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset = breaker_reset
+        self._sleep = sleep
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    @classmethod
+    def from_config(cls, config: Optional[ResilienceConfig]) -> "SourceGuard":
+        config = config or ResilienceConfig()
+        return cls(
+            policy=RetryPolicy(
+                max_attempts=config.max_attempts,
+                base_delay=config.base_delay,
+                multiplier=config.multiplier,
+                max_delay=config.max_delay,
+                jitter=config.jitter,
+                seed=config.seed,
+                attempt_timeout=config.attempt_timeout,
+            ),
+            breaker_threshold=config.breaker_threshold,
+            breaker_reset=config.breaker_reset,
+        )
+
+    def breaker(self, site: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``site``."""
+        with self._lock:
+            breaker = self._breakers.get(site)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name=site,
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout=self._breaker_reset,
+                    clock=self._clock,
+                )
+                self._breakers[site] = breaker
+            return breaker
+
+    def call(self, site: str, fn: Callable[[], R]) -> R:
+        """Run ``fn`` guarded as call site ``site``."""
+
+        def attempt() -> R:
+            fault_point(site)
+            return fn()
+
+        return self.policy.call(
+            attempt, site=site, breaker=self.breaker(site), sleep=self._sleep
+        )
+
+
+class QuarantinedSource:
+    """Stand-in for a degraded source: every query fails loudly."""
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+
+    def __getattr__(self, name: str):
+        # Dunder lookups (pickling, copying, introspection) must keep the
+        # normal missing-attribute protocol.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        raise QuarantinedSourceError(
+            f"source {self._site!r} is quarantined (degraded run); "
+            f"refusing query {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        return f"QuarantinedSource({self._site!r})"

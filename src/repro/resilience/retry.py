@@ -1,0 +1,142 @@
+"""Composable retry with deterministic exponential backoff.
+
+:class:`RetryPolicy` is a frozen value object: max attempts, exponential
+backoff with **seeded** jitter, and an optional per-attempt timeout.  The
+jitter for attempt *n* at call site *s* is drawn from
+``Random(derive_seed(seed, f"{s}:{n}"))``, so two runs of the same plan
+sleep for exactly the same durations — chaos runs replay bit-identically,
+which is what lets CI assert on their logs and metrics.
+
+Attempts are counted in the process-global metrics registry
+(``resilience.retries`` / ``resilience.exhausted``); callers that need a
+circuit breaker pass one in and the policy feeds it success/failure.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import (
+    AttemptTimeoutError,
+    ConfigError,
+    RetryExhaustedError,
+    SourceError,
+)
+from repro.obs import get_metrics
+from repro.rng import derive_seed
+
+__all__ = ["RetryPolicy"]
+
+R = TypeVar("R")
+
+#: Exception types retried by default: source failures (including injected
+#: faults), filesystem errors, and attempt timeouts.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (
+    SourceError,
+    OSError,
+    TimeoutError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, how long, and on what to retry one call site."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    #: Jitter amplitude as a fraction of the backoff delay (0 disables).
+    jitter: float = 0.25
+    #: Seed of the deterministic jitter stream.
+    seed: int = 0
+    #: Per-attempt wall-clock budget in seconds (None = unbounded).
+    attempt_timeout: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter = {self.jitter} out of [0, 1]")
+
+    # -- backoff -----------------------------------------------------------
+    def backoff_delay(self, site: str, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based).
+
+        Deterministic: the jitter stream is seeded per (policy seed, site,
+        attempt), so replaying a run reproduces the exact delays.
+        """
+        base = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if not self.jitter or not base:
+            return base
+        rng = random.Random(derive_seed(self.seed, f"{site}:{attempt}"))
+        spread = self.jitter * base
+        return base - spread + 2.0 * spread * rng.random()
+
+    # -- execution ---------------------------------------------------------
+    def call(
+        self,
+        fn: Callable[[], R],
+        *,
+        site: str = "call",
+        breaker=None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> R:
+        """Run ``fn`` under this policy; return its result.
+
+        Raises :class:`~repro.errors.RetryExhaustedError` once every attempt
+        failed with a retryable exception; non-retryable exceptions (and
+        :class:`~repro.errors.CircuitOpenError` from the breaker) propagate
+        immediately.
+        """
+        metrics = get_metrics()
+        for attempt in range(1, self.max_attempts + 1):
+            if breaker is not None:
+                breaker.allow()
+            try:
+                result = self._run_attempt(fn)
+            except self.retry_on as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                if attempt >= self.max_attempts:
+                    metrics.incr("resilience.exhausted")
+                    raise RetryExhaustedError(site, attempt, exc) from exc
+                metrics.incr("resilience.retries")
+                sleep(self.backoff_delay(site, attempt))
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _run_attempt(self, fn: Callable[[], R]) -> R:
+        if self.attempt_timeout is None:
+            return fn()
+        # A worker thread enforces the budget; a timed-out attempt keeps
+        # running in the background (Python cannot preempt it) but its
+        # result is discarded.  Only used for call sites that opt in.
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            future = pool.submit(fn)
+            try:
+                return future.result(timeout=self.attempt_timeout)
+            except FutureTimeoutError:
+                raise AttemptTimeoutError(
+                    f"attempt exceeded {self.attempt_timeout}s budget"
+                ) from None
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

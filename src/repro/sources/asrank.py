@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.errors import SourceError
 from repro.rng import derive_seed

@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import SourceNoiseConfig
 from repro.rng import derive_seed
 from repro.text.normalize import name_similarity, name_tokens
-from repro.world.entities import EntityKind, Operator, OperatorRole, OperatorScope
+from repro.world.entities import EntityKind, Operator, OperatorRole
 
 __all__ = ["SourceType", "OwnershipClaim", "Document", "ConfirmationCorpus"]
 

@@ -12,7 +12,7 @@ filter out.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import SourceNoiseConfig

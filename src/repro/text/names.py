@@ -11,7 +11,7 @@ names left behind by nationalizations (the Vodafone Fiji case).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 __all__ = ["NameForge"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import re
 import unicodedata
 from functools import lru_cache
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, Sequence, Tuple
 
 __all__ = [
     "LEGAL_SUFFIXES",

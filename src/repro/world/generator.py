@@ -20,7 +20,7 @@ noisy projections of this world; the world itself is the scoring oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import WorldConfig
 from repro.errors import WorldError

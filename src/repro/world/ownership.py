@@ -16,8 +16,8 @@ shareholder's full voting weight, not a multiplicative slice).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
 
 from repro.errors import OwnershipError
 from repro.world.entities import Entity, EntityKind, Operator, OwnershipStake

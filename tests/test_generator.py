@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 
 from repro.config import WorldConfig
 from repro.net.prefix import Prefix, PrefixTrie

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.mapping import CompanyMapper
-from repro.text.normalize import name_similarity, normalize_name
+from repro.text.normalize import normalize_name
 
 
 @pytest.fixture(scope="module")

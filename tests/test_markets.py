@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.config import WorldConfig
 from repro.world.countries import country_by_cc

@@ -6,7 +6,6 @@ import json
 import pytest
 
 from repro.obs import (
-    JsonLinesSink,
     Metrics,
     NullSink,
     Span,

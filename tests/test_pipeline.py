@@ -1,9 +1,7 @@
 """Integration tests: the full pipeline against a generated world."""
 
-import pytest
 
 from repro.core import validate_against_world
-from repro.core.confirmation import ConfirmationStatus
 from repro.core.pipeline import StateOwnershipPipeline
 from repro.sources.base import InputSource
 from repro.text.normalize import normalize_name

@@ -1,6 +1,5 @@
 """Tests for AS-relationship inference from observed paths."""
 
-import pytest
 
 from repro.net.bgp import propagate_routes
 from repro.net.relationships import infer_relationships

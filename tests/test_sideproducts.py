@@ -1,7 +1,6 @@
 """Tests for the side products: minority report, excluded summary, expert
 review simulation."""
 
-import pytest
 
 from repro.analysis.excluded import excluded_companies, excluded_summary
 from repro.analysis.minority import minority_report

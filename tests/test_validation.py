@@ -1,6 +1,5 @@
 """Tests for the ground-truth validation scorer."""
 
-import pytest
 
 from repro.core import validate_against_world
 
