@@ -24,7 +24,9 @@ from repro.io.tables import render_table
 from repro.net.monitors import RouteCollector
 from repro.obs import get_metrics
 
-_PARALLEL_JOBS = min(4, os.cpu_count() or 1)
+# Floor of 2 so the single-pool/pickle-once machinery is exercised even on
+# single-core CI runners (where the fan-out yields no wall-time win).
+_PARALLEL_JOBS = max(2, min(4, os.cpu_count() or 1))
 
 
 def _cold_inputs(inputs):
@@ -65,9 +67,23 @@ def test_bench_pipeline_parallel(benchmark, small_bench_inputs):
         inputs,
         parallel=ParallelConfig(jobs=_PARALLEL_JOBS, backend="process"),
     )
+    metrics = get_metrics()
+    spawns = metrics.counter("parallel.pool_spawns")
+    reuses = metrics.counter("parallel.pool_reuse")
+    ships = metrics.counter("parallel.state_ships")
     result = benchmark.pedantic(pipeline.run, rounds=1, iterations=1)
     benchmark.extra_info["jobs"] = _PARALLEL_JOBS
     benchmark.extra_info["backend"] = "process"
+    benchmark.extra_info["pool_spawns"] = (
+        metrics.counter("parallel.pool_spawns") - spawns
+    )
+    benchmark.extra_info["pool_reuse"] = (
+        metrics.counter("parallel.pool_reuse") - reuses
+    )
+    benchmark.extra_info["state_ships"] = (
+        metrics.counter("parallel.state_ships") - ships
+    )
+    assert benchmark.extra_info["pool_spawns"] == 1
     _report(
         f"Process backend, {_PARALLEL_JOBS} workers (cold routing trees)",
         result,

@@ -30,9 +30,16 @@ from repro.core import (
     StateOwnershipPipeline,
     validate_against_world,
 )
-from repro.parallel import BACKENDS, ExecutionContext, resolve_cache_dir
+from repro.parallel import (
+    BACKENDS,
+    ExecutionContext,
+    ResultCache,
+    resolve_cache_dir,
+    stable_digest,
+    world_fingerprint,
+)
 from repro.resilience import FaultPlan, install_fault_plan
-from repro.world.generator import WorldGenerator
+from repro.world.generator import GENERATOR_VERSION, World, WorldGenerator
 
 __all__ = ["main", "build_parser"]
 
@@ -135,21 +142,102 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_world(args: argparse.Namespace):
+def _world_cache_key(config: WorldConfig) -> str:
+    """Blob-cache key for a generated world: config plus generator revision,
+    so a blob written by an older generator is never served stale."""
+    return stable_digest(
+        {
+            "config": world_fingerprint(config),
+            "generator": GENERATOR_VERSION,
+        }
+    )
+
+
+def _make_world(
+    args: argparse.Namespace,
+    cache: Optional[ResultCache] = None,
+    context: Optional[ExecutionContext] = None,
+):
+    """Generate (or load from the blob cache) the configured world.
+
+    The world is a pure function of its config, so a pickled copy keyed by
+    the config fingerprint lets warm ``run``/``report``/``validate``
+    invocations skip generation entirely.  An unpicklable cached entry
+    (e.g. written by an older code revision) is evicted and regenerated.
+    """
+    import pickle
+
     config = WorldConfig(seed=args.seed, scale=args.scale)
-    return WorldGenerator(config).generate()
+    key = _world_cache_key(config)
+    if cache is not None:
+        blob = cache.get_blob("world", key)
+        if blob is not None:
+            try:
+                world = pickle.loads(blob)
+            except Exception:
+                world = None
+            if isinstance(world, World):
+                return world
+            cache.evict("world", key)
+    world = WorldGenerator(config, context=context).generate()
+    if cache is not None:
+        cache.put_blob(
+            "world", key, pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    return world
 
 
 def _run_pipeline(
     world,
     parallel: Optional[ParallelConfig] = None,
     resilience: Optional[ResilienceConfig] = None,
+    context: Optional[ExecutionContext] = None,
 ):
     inputs = PipelineInputs.from_world(world, resilience=resilience)
     result = StateOwnershipPipeline(
-        inputs, parallel=parallel, resilience=resilience
+        inputs, parallel=parallel, resilience=resilience, context=context
     ).run()
     return inputs, result
+
+
+#: Counters surfaced in the ``--trace`` end-of-run summary.
+_SUMMARY_COUNTERS = (
+    "cache.hits",
+    "cache.misses",
+    "cache.writes",
+    "cache.corrupt",
+    "cache.bytes_read",
+    "cache.bytes_written",
+    "parallel.pool_spawns",
+    "parallel.pool_reuse",
+    "parallel.state_ships",
+    "parallel.pool_restarts",
+    "parallel.requeued_tasks",
+    "world.gen.renames",
+)
+
+
+def _emit_run_summary() -> None:
+    """Emit cache and worker-pool counters to the active trace sink."""
+    from repro.obs import get_metrics, get_sink
+
+    sink = get_sink()
+    if not getattr(sink, "enabled", False):
+        return
+    metrics = get_metrics()
+    counters = {
+        name: metrics.counter(name)
+        for name in _SUMMARY_COUNTERS
+        if metrics.counter(name)
+    }
+    sink.emit(
+        {
+            "event": "summary",
+            "name": "run.summary",
+            "depth": 0,
+            "counters": counters,
+        }
+    )
 
 
 def _make_resilience_config(args: argparse.Namespace) -> ResilienceConfig:
@@ -224,16 +312,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         except ConfigError as exc:
             print(f"error: bad fault plan: {exc}", file=sys.stderr)
             return 2
-        world = _make_world(args)
         try:
-            inputs, result = _run_pipeline(
-                world, _make_parallel_config(args), resilience
-            )
-        except ReproError as exc:
-            # fail-fast aborts (and genuinely unrecoverable source
-            # failures) land here; degraded runs never do.
-            print(f"error: pipeline aborted: {exc}", file=sys.stderr)
-            return 3
+            parallel = _make_parallel_config(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cache = ResultCache(parallel.cache_dir) if parallel.cache_dir else None
+        # One execution context (and therefore one worker pool) serves the
+        # whole invocation: world generation and all pipeline stages.
+        with ExecutionContext(
+            jobs=parallel.jobs, backend=parallel.backend
+        ) as context:
+            world = _make_world(args, cache=cache, context=context)
+            try:
+                inputs, result = _run_pipeline(
+                    world, parallel, resilience, context
+                )
+            except ReproError as exc:
+                # fail-fast aborts (and genuinely unrecoverable source
+                # failures) land here; degraded runs never do.
+                print(f"error: pipeline aborted: {exc}", file=sys.stderr)
+                return 3
         if result.degraded_sources:
             names = ", ".join(
                 sorted(s.name for s in result.degraded_sources)
@@ -263,6 +362,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(full_report(result, inputs, validation))
         else:
             print(validate_against_world(result, world).as_text())
+        # Last, so the counters include export byte counts.
+        _emit_run_summary()
         return 0
 
     if args.command == "churn":

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, invalid_jobs
 
 __all__ = [
     "EXPANSION_PROFILES",
@@ -335,7 +335,7 @@ class ParallelConfig:
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
-            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+            raise invalid_jobs(self.jobs)
         if self.backend not in PARALLEL_BACKENDS:
             raise ConfigError(
                 f"backend must be one of {PARALLEL_BACKENDS}, "

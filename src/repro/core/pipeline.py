@@ -205,7 +205,15 @@ class PipelineInputs:
             collector=world.collector,
             cti_eligible_ccs=tuple(sorted(world.transit_dominant_ccs)),
             asrank=asrank,
-            fingerprint=world_fingerprint(world.config, noise),
+            # Both what should be built (config + noise) and what was
+            # built: a cache entry written by a different code revision —
+            # same config, different generated world — can never collide.
+            fingerprint=stable_digest(
+                {
+                    "config": world_fingerprint(world.config, noise),
+                    "world": world.content_digest(),
+                }
+            ),
             degraded=frozenset(degraded),
             degraded_sites=tuple(failed_sites),
         )
@@ -285,11 +293,13 @@ class StateOwnershipPipeline:
         config: Optional[PipelineConfig] = None,
         parallel: Optional[ParallelConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> None:
         self._inputs = inputs
         self._config = config or PipelineConfig()
         self._parallel = parallel or ParallelConfig()
         self._resilience = resilience or ResilienceConfig()
+        self._context = context
         self._whois_memo: Dict[int, object] = {}
 
     # -- public API --------------------------------------------------------------
@@ -306,7 +316,24 @@ class StateOwnershipPipeline:
         byte-identical to one that listed the same sources in
         ``skip_sources``.  With ``resilience.fail_fast`` any source
         failure aborts the run with :class:`PipelineError` instead.
+
+        An injected execution context (shared with world generation by the
+        CLI so one worker pool serves the whole run) is left open for the
+        owner to close; a context created here is closed when the run ends.
         """
+        context = self._context
+        if context is not None:
+            return self._run(context, skip_sources)
+        with ExecutionContext(
+            jobs=self._parallel.jobs, backend=self._parallel.backend
+        ) as context:
+            return self._run(context, skip_sources)
+
+    def _run(
+        self,
+        context: ExecutionContext,
+        skip_sources: Iterable[InputSource] = (),
+    ) -> PipelineResult:
         started = time.time()
         inputs = self._inputs
         config = self._config
@@ -321,9 +348,6 @@ class StateOwnershipPipeline:
             )
         skip = set(skip_sources) | degraded
         self._whois_memo = {}
-        context = ExecutionContext(
-            jobs=self._parallel.jobs, backend=self._parallel.backend
-        )
         cache = (
             ResultCache(self._parallel.cache_dir)
             if self._parallel.cache_dir

@@ -16,6 +16,21 @@ class ConfigError(ReproError):
     """A configuration value is invalid or inconsistent."""
 
 
+def invalid_jobs(jobs: object) -> ConfigError:
+    """The one canonical error for a bad worker count.
+
+    The rule is uniform everywhere: ``jobs`` must be a positive integer.
+    The special value ``0`` ("all cores") is an input convention accepted
+    only by ``ExecutionContext.resolve`` / ``--jobs 0`` / ``REPRO_JOBS=0``,
+    which expands it before construction — no constructed object ever
+    carries ``jobs=0``.
+    """
+    return ConfigError(
+        f"jobs must be >= 1 (0 = all cores, accepted only by "
+        f"ExecutionContext.resolve / --jobs 0), got {jobs}"
+    )
+
+
 class PrefixError(ReproError):
     """An IPv4 prefix is malformed or an operation on it is invalid."""
 

@@ -23,11 +23,14 @@ from repro.parallel.cache import (
     world_fingerprint,
 )
 from repro.parallel.context import BACKENDS, ExecutionContext
+from repro.parallel.runtime import StateHandle, WorkerRuntime
 
 __all__ = [
     "BACKENDS",
     "ExecutionContext",
     "ResultCache",
+    "StateHandle",
+    "WorkerRuntime",
     "resolve_cache_dir",
     "stable_digest",
     "world_fingerprint",

@@ -24,7 +24,17 @@ every lookup, and a failed write never sinks the run
 (transient/slow/corrupt/truncate) and ``cache.put`` (transient/slow).
 
 Hits and misses are counted in the process-global metrics registry as
-``cache.hits`` / ``cache.misses`` / ``cache.writes``.
+``cache.hits`` / ``cache.misses`` / ``cache.writes``, and traffic volume
+as ``cache.bytes_read`` / ``cache.bytes_written``.
+
+Besides JSON entries the cache stores opaque **blobs**
+(``get_blob``/``put_blob``, ``<root>/<section>/<key>.bin``) for payloads
+that are not JSON-friendly — notably the pickled generated world, keyed by
+its :func:`world_fingerprint`, which lets a warm ``run``/``report``/
+``validate`` skip world generation entirely.  Blobs carry a magic header
+plus a SHA-256 digest of the payload; any mismatch (truncation, bit rot,
+injected ``corrupt``/``truncate`` faults) is treated as a miss and the
+entry evicted, exactly like a corrupt JSON entry.
 """
 
 from __future__ import annotations
@@ -51,6 +61,10 @@ __all__ = [
 ]
 
 _SECTION_SAFE = set("abcdefghijklmnopqrstuvwxyz0123456789_-")
+
+#: Blob entry layout: magic + SHA-256(payload) + payload.
+_BLOB_MAGIC = b"RPB1"
+_BLOB_HEADER = len(_BLOB_MAGIC) + hashlib.sha256().digest_size
 
 
 def _canonical_json(obj: Any) -> str:
@@ -136,6 +150,11 @@ class ResultCache:
             raise ValueError(f"invalid cache section {section!r}")
         return self._root / section / f"{key}.json"
 
+    def _blob_path(self, section: str, key: str) -> Path:
+        if not section or not set(section) <= _SECTION_SAFE:
+            raise ValueError(f"invalid cache section {section!r}")
+        return self._root / section / f"{key}.bin"
+
     @staticmethod
     def _read_text(path: Path) -> Optional[str]:
         """File contents, or None when the entry simply does not exist."""
@@ -190,6 +209,7 @@ class ResultCache:
             metrics.incr("cache.misses")
             return None
         metrics.incr("cache.hits")
+        metrics.incr("cache.bytes_read", len(text.encode("utf-8")))
         return payload
 
     def put(self, section: str, key: str, payload: Dict[str, Any]) -> None:
@@ -199,17 +219,97 @@ class ResultCache:
         failures are counted (``cache.write_errors``) and swallowed.
         """
 
+        text = json.dumps(payload, sort_keys=True)
+
         def write() -> None:
             fault_point("cache.put")
             path = self._path(section, key)
             path.parent.mkdir(parents=True, exist_ok=True)
             with atomic_replace(path) as tmp_path:
                 with open(tmp_path, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, sort_keys=True)
+                    handle.write(text)
 
         try:
             self._policy.call(write, site="cache.put", breaker=self._breaker)
         except ResilienceError:
             get_metrics().incr("cache.write_errors")
             return
-        get_metrics().incr("cache.writes")
+        metrics = get_metrics()
+        metrics.incr("cache.writes")
+        metrics.incr("cache.bytes_written", len(text.encode("utf-8")))
+
+    # -- opaque blobs ------------------------------------------------------
+    @staticmethod
+    def _read_bytes(path: Path) -> Optional[bytes]:
+        """Raw blob contents, or None when the entry does not exist."""
+        fault_point("cache.get")
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def get_blob(self, section: str, key: str) -> Optional[bytes]:
+        """The cached blob payload, or None (a miss) if absent or corrupt.
+
+        The stored SHA-256 digest is verified before anything is returned;
+        a mismatched, truncated or otherwise unreadable entry is evicted
+        and counted as ``cache.corrupt`` on top of the miss.
+        """
+        metrics = get_metrics()
+        path = self._blob_path(section, key)
+        try:
+            raw = self._policy.call(
+                lambda: self._read_bytes(path),
+                site="cache.get",
+                breaker=self._breaker,
+            )
+        except ResilienceError:
+            metrics.incr("cache.bypass")
+            metrics.incr("cache.misses")
+            if path.exists():
+                self._evict_corrupt(path)
+            return None
+        if raw is None:
+            metrics.incr("cache.misses")
+            return None
+        payload = raw[_BLOB_HEADER:]
+        if (
+            len(raw) < _BLOB_HEADER
+            or raw[: len(_BLOB_MAGIC)] != _BLOB_MAGIC
+            or raw[len(_BLOB_MAGIC) : _BLOB_HEADER]
+            != hashlib.sha256(payload).digest()
+        ):
+            self._evict_corrupt(path)
+            metrics.incr("cache.misses")
+            return None
+        metrics.incr("cache.hits")
+        metrics.incr("cache.bytes_read", len(raw))
+        return payload
+
+    def put_blob(self, section: str, key: str, payload: bytes) -> None:
+        """Store an opaque blob atomically with an integrity digest."""
+        data = _BLOB_MAGIC + hashlib.sha256(payload).digest() + payload
+
+        def write() -> None:
+            fault_point("cache.put")
+            path = self._blob_path(section, key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with atomic_replace(path) as tmp_path:
+                with open(tmp_path, "wb") as handle:
+                    handle.write(data)
+
+        try:
+            self._policy.call(write, site="cache.put", breaker=self._breaker)
+        except ResilienceError:
+            get_metrics().incr("cache.write_errors")
+            return
+        metrics = get_metrics()
+        metrics.incr("cache.writes")
+        metrics.incr("cache.bytes_written", len(data))
+
+    def evict(self, section: str, key: str) -> None:
+        """Drop an entry (JSON and blob forms) that proved unusable."""
+        for path in (self._path(section, key), self._blob_path(section, key)):
+            if path.exists():
+                self._evict_corrupt(path)

@@ -9,72 +9,52 @@ honor it exactly:
   reduction itself, in a deterministic order, so parallel runs are
   bit-identical to serial ones;
 * ``state`` is shared by reference on the serial and thread backends and
-  shipped to each worker process exactly once (via the pool initializer) on
-  the process backend, so a heavy read-only object (a route collector, an
-  ownership analyst) is not re-pickled per task.
+  shipped to each worker process exactly once **per run** on the process
+  backend: the context lazily creates one run-scoped
+  :class:`~repro.parallel.runtime.WorkerRuntime` that owns a persistent
+  pool and a handle-based state registry, so a heavy read-only object (a
+  route collector, an ownership analyst) is pickled once and referenced by
+  handle in every later ``map_ordered`` call.  Call sites may register
+  explicitly (``context.register(obj) -> StateHandle``) or keep passing the
+  raw object — unregistered states are auto-registered by identity.
+
+Contexts are context managers; ``close()`` shuts the runtime's pool down.
+The pipeline closes the contexts it creates itself and leaves injected
+ones (CLI-owned, shared across world generation and the pipeline) alone.
 
 Worker counts and task counts flow into the process-global metrics registry
-as ``parallel.jobs`` (gauge) and ``parallel.tasks`` (counter); each
-``map_ordered`` call is wrapped in a ``parallel.<label>`` span.
+as ``parallel.jobs`` (gauge) and ``parallel.tasks`` (counter); pool
+lifecycle shows up as ``parallel.pool_spawns`` / ``pool_reuse`` /
+``state_ships``.  Each ``map_ordered`` call is wrapped in a
+``parallel.<label>`` span.
 
 The process backend is crash-tolerant: work is partitioned into indexed
-chunks, and when a worker dies (OOM kill, segfault, injected ``crash``
-fault) the broken pool is discarded, already-completed chunks keep their
-results, and the unfinished chunks are **requeued** on a fresh pool with an
-incremented delivery attempt.  Results are reassembled by chunk index, so
-the ordered-merge guarantee — bit-identical output to the serial backend —
-survives any number of restarts (bounded by ``_MAX_POOL_RESTARTS``).
+chunks, completions stream back (``as_completed``), and when a worker dies
+(OOM kill, segfault, injected ``crash`` fault) the broken pool is
+discarded, already-completed chunks keep their results, and the unfinished
+chunks are **requeued** on a fresh pool with an incremented delivery
+attempt.  Results are reassembled by chunk index, so the ordered-merge
+guarantee — bit-identical output to the serial backend — survives any
+number of restarts (bounded by ``_MAX_POOL_RESTARTS``).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, List, Mapping, Optional, Sequence, TypeVar
 
-from repro.errors import ConfigError, WorkerCrashError
+from repro.errors import ConfigError, invalid_jobs
 from repro.obs import get_metrics, span
+from repro.parallel.runtime import StateHandle, WorkerRuntime
 from repro.resilience.faults import worker_fault_point
 
 __all__ = ["BACKENDS", "ExecutionContext"]
 
 BACKENDS = ("serial", "thread", "process")
 
-#: Fresh-pool respawns allowed per map_ordered call before giving up.
-_MAX_POOL_RESTARTS = 3
-
 S = TypeVar("S")
 T = TypeVar("T")
 R = TypeVar("R")
-
-# Worker-process globals, installed once per worker by the pool initializer
-# so that ``state`` (and the task function) cross the process boundary one
-# single time instead of once per task.
-_WORKER_FN: Optional[Callable] = None
-_WORKER_STATE = None
-_WORKER_SITE = "worker.map"
-
-
-def _init_worker(fn: Callable, state, site: str = "worker.map") -> None:
-    global _WORKER_FN, _WORKER_STATE, _WORKER_SITE
-    _WORKER_FN = fn
-    _WORKER_STATE = state
-    _WORKER_SITE = site
-
-
-def _call_worker_chunk(payload: Tuple[int, int, list]):
-    """Run one indexed chunk inside a worker; returns (index, results).
-
-    ``attempt`` is the chunk's delivery attempt: injected crash faults only
-    fire on first delivery, so requeued chunks always make progress.
-    """
-    index, attempt, items = payload
-    results = []
-    for item in items:
-        worker_fault_point(_WORKER_SITE, attempt)
-        results.append(_WORKER_FN(_WORKER_STATE, item))
-    return index, results
 
 
 class ExecutionContext:
@@ -86,11 +66,12 @@ class ExecutionContext:
                 f"unknown parallel backend {backend!r}; pick one of {BACKENDS}"
             )
         if jobs < 1:
-            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+            raise invalid_jobs(jobs)
         if backend == "serial":
             jobs = 1
         self.jobs = jobs
         self.backend = backend
+        self._runtime: Optional[WorkerRuntime] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ExecutionContext(jobs={self.jobs}, backend={self.backend!r})"
@@ -98,6 +79,30 @@ class ExecutionContext:
     @property
     def is_serial(self) -> bool:
         return self.backend == "serial" or self.jobs == 1
+
+    @property
+    def runtime(self) -> WorkerRuntime:
+        """The run-scoped worker runtime, created on first use."""
+        if self._runtime is None:
+            self._runtime = WorkerRuntime(self.jobs, self.backend)
+        return self._runtime
+
+    def register(self, state, name: str = "state") -> StateHandle:
+        """Register a heavy read-only object; shipped to workers once."""
+        return self.runtime.register(state, name)
+
+    def close(self) -> None:
+        """Shut down the runtime's pool (idempotent)."""
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     @classmethod
     def resolve(
@@ -109,9 +114,10 @@ class ExecutionContext:
         """Build a context from explicit values with environment fallbacks.
 
         ``jobs`` falls back to ``REPRO_JOBS`` and then 1; ``jobs=0`` (or
-        ``REPRO_JOBS=0``) means "all cores".  ``backend`` falls back to
-        ``REPRO_BACKEND`` and then to ``process`` when more than one job is
-        requested, ``serial`` otherwise.
+        ``REPRO_JOBS=0``) means "all cores" and is expanded here — only
+        ``resolve`` accepts it.  ``backend`` falls back to ``REPRO_BACKEND``
+        and then to ``process`` when more than one job is requested,
+        ``serial`` otherwise.
         """
         env = os.environ if env is None else env
         if jobs is None:
@@ -124,7 +130,7 @@ class ExecutionContext:
             else:
                 jobs = 1
         if jobs < 0:
-            raise ConfigError(f"jobs must be >= 0, got {jobs}")
+            raise invalid_jobs(jobs)
         if jobs == 0:
             jobs = os.cpu_count() or 1
         if backend is None:
@@ -143,7 +149,12 @@ class ExecutionContext:
         chunksize: Optional[int] = None,
         label: str = "map",
     ) -> List[R]:
-        """Apply ``fn(state, item)`` to every item; results in input order."""
+        """Apply ``fn(state, item)`` to every item; results in input order.
+
+        ``state`` may be a raw object or a :class:`StateHandle` from
+        :meth:`register`.  On the process backend either way ships the
+        object to each worker at most once per run.
+        """
         items = list(items)
         metrics = get_metrics()
         metrics.gauge("parallel.jobs", self.jobs)
@@ -154,87 +165,47 @@ class ExecutionContext:
             if not items:
                 return []
             if self.is_serial:
+                local_state = (
+                    self.runtime.resolve(state)
+                    if isinstance(state, StateHandle)
+                    else state
+                )
                 results = []
                 for item in items:
                     worker_fault_point(site, 0)
-                    results.append(fn(state, item))
+                    results.append(fn(local_state, item))
                 return results
             if self.backend == "thread":
-
-                def run_one(item):
-                    worker_fault_point(site, 0)
-                    return fn(state, item)
-
-                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    return list(pool.map(run_one, items))
-            # Process backend: ship (fn, state) once per worker, then stream
-            # items in chunks big enough to amortize the IPC round-trips.
+                local_state = (
+                    self.runtime.resolve(state)
+                    if isinstance(state, StateHandle)
+                    else state
+                )
+                return self.runtime.thread_map(fn, items, local_state, site)
+            # Process backend: reference state by handle (shipped once per
+            # run), then stream items in chunks big enough to amortize the
+            # IPC round-trips.
             if chunksize is None:
                 chunksize = max(1, len(items) // (self.jobs * 4) or 1)
-            return self._map_process(fn, items, state, site, chunksize, sp)
+            chunks = [
+                items[start : start + chunksize]
+                for start in range(0, len(items), chunksize)
+            ]
+            return self.runtime.process_map(
+                fn, chunks, self._state_ref(state), site, sp
+            )
 
-    def _map_process(
-        self,
-        fn: Callable[[S, T], R],
-        items: List[T],
-        state: S,
-        site: str,
-        chunksize: int,
-        sp,
-    ) -> List[R]:
-        """Crash-tolerant ordered map on the process backend.
+    def _state_ref(self, state):
+        """The cross-process reference for ``state``: a handle token.
 
-        Chunks carry their index and delivery attempt; a broken pool is
-        replaced and only the chunks without results are requeued, so every
-        completed result is kept and the merge order never changes.
+        Raw objects are auto-registered (memoized by identity), so repeated
+        maps over the same object re-ship nothing.
         """
-        metrics = get_metrics()
-        chunks = [
-            items[start : start + chunksize]
-            for start in range(0, len(items), chunksize)
-        ]
-        results_by_chunk: dict = {}
-        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(chunks))]
-        restarts = 0
-        while pending:
-            with ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_init_worker,
-                initargs=(fn, state, site),
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _call_worker_chunk, (index, attempt, chunks[index])
-                    ): (index, attempt)
-                    for index, attempt in pending
-                }
-                wait(futures)
-                requeue: List[Tuple[int, int]] = []
-                broken = False
-                for future, (index, attempt) in futures.items():
-                    try:
-                        chunk_index, chunk_results = future.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        requeue.append((index, attempt + 1))
-                        metrics.incr(
-                            "parallel.requeued_tasks", len(chunks[index])
-                        )
-                    else:
-                        results_by_chunk[chunk_index] = chunk_results
-            if broken:
-                restarts += 1
-                metrics.incr("parallel.pool_restarts")
-                sp.incr("pool_restarts")
-                if restarts > _MAX_POOL_RESTARTS:
-                    raise WorkerCrashError(
-                        f"process pool for {site!r} broke {restarts} times; "
-                        f"{len(requeue)} chunk(s) still unfinished"
-                    )
-            requeue.sort()
-            pending = requeue
-        return [
-            result
-            for index in range(len(chunks))
-            for result in results_by_chunk[index]
-        ]
+        if state is None:
+            return None
+        handle = (
+            state
+            if isinstance(state, StateHandle)
+            else self.runtime.handle_for(state)
+        )
+        return ("handle", handle.token)

@@ -59,6 +59,12 @@ class TestShowErrors:
         assert main(["run", *ARGS, "--log-json", str(target)]) == 2
         assert "events.jsonl" in capsys.readouterr().err
 
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(["run", *ARGS, "--jobs", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert "jobs must be >= 1" in err
+        assert "Traceback" not in err
+
 
 @pytest.mark.slow
 class TestRunAndShow:
@@ -77,6 +83,8 @@ class TestRunAndShow:
         assert "pipeline.confirmation" in err
         assert "ms" in err
         assert "origins_pruned=" in err
+        # ...and ends with the cache / pool-reuse counter summary.
+        assert "run.summary" in err
         # --log-json emits one valid JSON object per line.
         events = [
             json.loads(line)
@@ -86,7 +94,9 @@ class TestRunAndShow:
         names = {event["name"] for event in events}
         assert "pipeline.expansion" in names
         assert "export.sqlite" in names
-        assert all(event["event"] == "span" for event in events)
+        # Spans plus the final run.summary counter event.
+        assert all(event["event"] in {"span", "summary"} for event in events)
+        assert events[-1]["name"] == "run.summary"
 
         assert main(["show", str(json_path)]) == 0
         out = capsys.readouterr().out

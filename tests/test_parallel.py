@@ -38,16 +38,16 @@ def _ident(state, item):
 class TestExecutionContext:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_map_ordered_preserves_input_order(self, backend):
-        context = ExecutionContext(jobs=2, backend=backend)
-        items = list(range(23))
-        assert context.map_ordered(_double, items, state=5) == [
-            5 + i * 2 for i in items
-        ]
+        with ExecutionContext(jobs=2, backend=backend) as context:
+            items = list(range(23))
+            assert context.map_ordered(_double, items, state=5) == [
+                5 + i * 2 for i in items
+            ]
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_empty_batch(self, backend):
-        context = ExecutionContext(jobs=2, backend=backend)
-        assert context.map_ordered(_ident, []) == []
+        with ExecutionContext(jobs=2, backend=backend) as context:
+            assert context.map_ordered(_ident, []) == []
 
     def test_serial_forces_single_job(self):
         assert ExecutionContext(jobs=8, backend="serial").jobs == 1
@@ -96,9 +96,8 @@ class TestExecutionContext:
     def test_task_metrics_flow(self):
         metrics = get_metrics()
         before = metrics.counter("parallel.tasks")
-        ExecutionContext(jobs=2, backend="thread").map_ordered(
-            _ident, [1, 2, 3]
-        )
+        with ExecutionContext(jobs=2, backend="thread") as context:
+            context.map_ordered(_ident, [1, 2, 3])
         assert metrics.counter("parallel.tasks") - before == 3
 
 

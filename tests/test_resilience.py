@@ -388,12 +388,12 @@ class TestWorkerCrashRequeue:
     def test_crashed_chunks_are_requeued(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "worker.square=crash:1")
         clear_fault_plan()  # workers (and we) re-read the environment
-        context = ExecutionContext(jobs=2, backend="process")
         items = list(range(12))
         before = get_metrics().counter("parallel.pool_restarts")
-        results = context.map_ordered(
-            _square, items, label="square", chunksize=3
-        )
+        with ExecutionContext(jobs=2, backend="process") as context:
+            results = context.map_ordered(
+                _square, items, label="square", chunksize=3
+            )
         assert results == [i * i for i in items]
         assert get_metrics().counter("parallel.pool_restarts") > before
 
