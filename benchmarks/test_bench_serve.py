@@ -1,0 +1,216 @@
+"""Query-server benchmarks: throughput and tail latency under load.
+
+Concurrent clients hammer a :class:`~repro.serve.ServerThread` over real
+localhost sockets with persistent connections, while the driver performs
+an atomic snapshot swap mid-benchmark.  The benchmark asserts the swap
+invariant the serve layer promises — **zero failed requests during a hot
+swap** — and records queries/sec plus p50/p95/p99 latency in
+``extra_info``.
+
+With ``REPRO_BENCH_RECORD=1`` the headline numbers are appended to the
+repo-root ``BENCH_serve.json`` (JSON lines, append-only), committing the
+perf trajectory alongside the code.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.io.jsonio import dump_json
+from repro.serve import ServerThread, SnapshotStore
+
+_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "4"))
+_REQUESTS_PER_CLIENT = int(
+    os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "300")
+)
+_ORGS = 200
+_ASNS_PER_ORG = 4
+_RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+_CCS = ("NO", "SE", "UZ", "AR", "ZA", "GR", "IN", "SA", "RU", "CN")
+
+
+def _synthetic_dataset(orgs: int, generation: int) -> StateOwnedDataset:
+    """A dataset shaped like a full-scale export (~200 orgs, parents,
+    foreign subsidiaries), varied by ``generation`` so swaps change bytes.
+    """
+    records = []
+    asns = {}
+    for i in range(orgs):
+        cc = _CCS[i % len(_CCS)]
+        parent = f"ORG-{i - 1}" if i % 7 == 3 else None
+        target = _CCS[(i + 3) % len(_CCS)] if i % 5 == 4 else None
+        org_id = f"ORG-{i}"
+        records.append(
+            OrganizationRecord(
+                conglomerate_name=f"Conglomerate {i // 10}",
+                org_id=org_id,
+                org_name=f"Operator {i} gen{generation}",
+                ownership_cc=cc,
+                ownership_country_name=cc,
+                rir="RIPE",
+                source="Company's website",
+                quote="q",
+                quote_lang="English",
+                url="https://example.net",
+                parent_org=parent,
+                target_cc=target,
+                target_country_name=target,
+            )
+        )
+        base = 10_000 + i * _ASNS_PER_ORG + generation
+        asns[org_id] = [base + k for k in range(_ASNS_PER_ORG)]
+    return StateOwnedDataset(records, asns)
+
+
+def _endpoints(dataset: StateOwnedDataset):
+    """The request mix: every endpoint family, weighted toward lookups."""
+    sample_asns = sorted(dataset.all_asns())[:: len(dataset)]
+    mix = [f"/asn/{asn}" for asn in sample_asns[:4]]
+    mix += [f"/country/{cc}" for cc in _CCS[:3]]
+    mix += ["/snapshot", "/health", "/cti/top?n=5"]
+    return mix
+
+
+class _LoadResult:
+    def __init__(self):
+        self.latencies = []
+        self.failures = []
+        self.lock = threading.Lock()
+
+
+def _client_worker(port, endpoints, n_requests, result):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    latencies, failures = [], []
+    try:
+        for i in range(n_requests):
+            target = endpoints[i % len(endpoints)]
+            started = time.perf_counter()
+            try:
+                conn.request("GET", target)
+                resp = conn.getresponse()
+                body = resp.read()
+                if resp.status != 200:
+                    failures.append(f"{target} -> {resp.status}")
+                else:
+                    json.loads(body)
+            except Exception as exc:  # noqa: BLE001 - failure is the metric
+                failures.append(f"{target} -> {exc!r}")
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    "127.0.0.1", port, timeout=30
+                )
+            latencies.append(time.perf_counter() - started)
+    finally:
+        conn.close()
+    with result.lock:
+        result.latencies.extend(latencies)
+        result.failures.extend(failures)
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+@pytest.fixture()
+def serve_stack(tmp_path):
+    path = tmp_path / "dataset.json"
+    dataset = _synthetic_dataset(_ORGS, generation=0)
+    dump_json(dataset, path)
+    store = SnapshotStore(path)
+    store.load_initial()
+    with ServerThread(store, poll_interval=30.0) as server:
+        yield server, store, dataset, path
+
+
+def test_bench_serve_concurrent_hot_swap(benchmark, serve_stack):
+    server, store, dataset, path = serve_stack
+    endpoints = _endpoints(dataset)
+
+    def run_load():
+        result = _LoadResult()
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(server.port, endpoints, _REQUESTS_PER_CLIENT, result),
+            )
+            for _ in range(_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        # Mid-benchmark atomic swap: export a new generation and flip it
+        # under live traffic.  The zero-failures assert below is the
+        # swap-invariant check.
+        swaps_before = store.swaps
+        time.sleep(0.05)
+        dump_json(_synthetic_dataset(_ORGS, generation=1), path)
+        store.poll()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        result.elapsed = elapsed
+        result.swaps = store.swaps - swaps_before
+        return result
+
+    result = benchmark.pedantic(run_load, rounds=1, iterations=1)
+
+    total = _CLIENTS * _REQUESTS_PER_CLIENT
+    assert not result.failures, result.failures[:5]
+    assert len(result.latencies) == total
+    assert result.swaps == 1, "the hot swap must complete mid-benchmark"
+
+    ordered = sorted(result.latencies)
+    qps = total / result.elapsed
+    stats = {
+        "clients": _CLIENTS,
+        "requests": total,
+        "qps": round(qps, 1),
+        "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1000, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1000, 3),
+        "max_ms": round(ordered[-1] * 1000, 3),
+        "swaps_mid_benchmark": result.swaps,
+        "failed_requests": len(result.failures),
+        "organizations": len(dataset),
+        "asns": len(dataset.all_asns()),
+    }
+    benchmark.extra_info.update(stats)
+
+    print()
+    print(
+        f"serve: {qps:,.0f} req/s over {_CLIENTS} clients "
+        f"(p50 {stats['p50_ms']}ms, p95 {stats['p95_ms']}ms, "
+        f"1 hot swap, 0 failures)"
+    )
+
+    if os.environ.get("REPRO_BENCH_RECORD") == "1":
+        record = {"benchmark": "serve_concurrent_hot_swap", **stats,
+                  "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                               time.gmtime())}
+        with _RECORD_PATH.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+
+def test_bench_serve_index_build(benchmark, serve_stack):
+    """Cost of the off-thread rebuild a hot swap performs."""
+    from repro.serve import build_index
+
+    _, _, dataset, path = serve_stack
+    index = benchmark(build_index, path)
+    assert len(index.dataset) == len(dataset)
+    benchmark.extra_info["organizations"] = len(dataset)
+    benchmark.extra_info["asns"] = len(dataset.all_asns())

@@ -98,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience_args(p_run)
     p_run.add_argument("--json", metavar="PATH", help="write dataset JSON")
     p_run.add_argument("--sqlite", metavar="PATH", help="write dataset SQLite")
+    p_run.add_argument("--cti-json", metavar="PATH",
+                       help="write the CTI rankings sidecar (default with "
+                            "--json: <PATH>.cti.json)")
 
     p_report = sub.add_parser(
         "report", help="run the pipeline and print the evaluation report"
@@ -139,6 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_world_args(p_profile)
     p_profile.add_argument("cc", help="ISO-3166 country code, e.g. NO")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a dataset over HTTP/JSON with hot-swap snapshot reload",
+    )
+    p_serve.add_argument("path", help="dataset .json file (a --json export)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8645,
+                         help="TCP port (default: 8645; 0 = ephemeral)")
+    p_serve.add_argument("--cti", metavar="PATH", default=None,
+                         help="CTI rankings sidecar (default: "
+                              "<dataset>.cti.json when present)")
+    p_serve.add_argument("--poll-interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="snapshot change-poll interval (default: 2.0)")
     return parser
 
 
@@ -352,6 +371,14 @@ def _dispatch(args: argparse.Namespace) -> int:
                 from repro.io.jsonio import dump_json
                 dump_json(result.dataset, args.json)
                 print(f"wrote {args.json}")
+            cti_json = args.cti_json
+            if cti_json is None and args.json:
+                # The serve reloader looks for this sidecar by convention.
+                cti_json = f"{args.json}.cti.json"
+            if cti_json and result.cti_selection is not None:
+                from repro.io.jsonio import dump_cti_json
+                dump_cti_json(result.cti_selection, cti_json)
+                print(f"wrote {cti_json}")
             if args.sqlite:
                 from repro.io.sqliteio import dataset_to_sqlite
                 dataset_to_sqlite(result.dataset, args.sqlite)
@@ -384,6 +411,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             ],
             title="Frozen-snapshot decay under ownership churn",
         ))
+        from repro.core.diffing import asn_churn_fraction
+        evolved = world.ground_truth_asns()
+        print(
+            f"ASN churn after {args.years} years: "
+            f"{asn_churn_fraction(frozen, evolved):.1%} of the frozen "
+            f"snapshot's {len(frozen)} ASNs"
+        )
         return 0
 
     if args.command == "plan":
@@ -414,6 +448,36 @@ def _dispatch(args: argparse.Namespace) -> int:
         inputs, result = _run_pipeline(world)
         profile = build_country_profile(args.cc.upper(), result, inputs)
         print(profile_text(profile))
+        return 0
+
+    if args.command == "serve":
+        from repro.serve import SnapshotStore, run_server
+
+        store = SnapshotStore(args.path, cti_path=args.cti)
+        try:
+            store.load_initial()
+        except ReproError as exc:
+            print(
+                f"error: cannot load dataset {args.path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            run_server(
+                store,
+                host=args.host,
+                port=args.port,
+                poll_interval=args.poll_interval,
+                announce=print,
+            )
+        except KeyboardInterrupt:
+            pass
+        except OSError as exc:
+            print(
+                f"error: cannot bind {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
         return 0
 
     if args.command == "show":

@@ -31,7 +31,7 @@ from repro.core.pipeline import PipelineInputs, PipelineResult, StateOwnershipPi
 from repro.core.validation import ValidationReport, validate_against_world
 from repro.core.maintenance import ReverificationItem, plan_reverification
 from repro.core.expertreview import ExpertReview, expert_review
-from repro.core.diffing import DatasetDiff, diff_datasets
+from repro.core.diffing import DatasetDiff, asn_churn_fraction, diff_datasets
 
 __all__ = [
     "CandidateSet",
@@ -57,5 +57,6 @@ __all__ = [
     "ExpertReview",
     "expert_review",
     "DatasetDiff",
+    "asn_churn_fraction",
     "diff_datasets",
 ]

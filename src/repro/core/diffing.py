@@ -15,7 +15,24 @@ from typing import Dict, FrozenSet, Tuple
 from repro.core.dataset import StateOwnedDataset
 from repro.text.normalize import normalize_name
 
-__all__ = ["DatasetDiff", "diff_datasets"]
+__all__ = ["DatasetDiff", "asn_churn_fraction", "diff_datasets"]
+
+
+def asn_churn_fraction(old_asns, new_asns) -> float:
+    """Fraction of the old ASN set that churned (appeared or disappeared).
+
+    The denominator is the *old* snapshot's size, per the paper's §9
+    framing ("fractional in size compared with the preceding year's
+    aggregate list").  An empty old snapshot has no meaningful base, so
+    any change at all counts as total (1.0) churn.
+    """
+    old = frozenset(old_asns)
+    changed = len(old.symmetric_difference(new_asns))
+    if not changed:
+        return 0.0
+    if not old:
+        return 1.0
+    return changed / len(old)
 
 
 @dataclass(frozen=True)
@@ -28,14 +45,18 @@ class DatasetDiff:
     removed_asns: FrozenSet[int]
     #: org name -> (old owner cc, new owner cc) where ownership moved.
     owner_changes: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: ASN count of the old snapshot — the churn_fraction denominator.
+    old_asn_count: int = 0
 
     @property
     def churn_fraction(self) -> float:
         """Changed ASNs relative to the old snapshot's size."""
-        base = len(self.added_asns | self.removed_asns)
-        return 0.0 if not base else base / max(
-            1, len(self.removed_asns) + len(self.added_asns)
-        )
+        changed = len(self.added_asns | self.removed_asns)
+        if not changed:
+            return 0.0
+        if not self.old_asn_count:
+            return 1.0
+        return changed / self.old_asn_count
 
     def is_empty(self) -> bool:
         return not (
@@ -49,6 +70,21 @@ class DatasetDiff:
             f"+{len(self.added_asns)} ASNs / -{len(self.removed_asns)} ASNs; "
             f"{len(self.owner_changes)} ownership changes"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (the serve diff endpoint's payload)."""
+        return {
+            "added_orgs": list(self.added_orgs),
+            "removed_orgs": list(self.removed_orgs),
+            "added_asns": sorted(self.added_asns),
+            "removed_asns": sorted(self.removed_asns),
+            "owner_changes": {
+                name: list(pair) for name, pair in self.owner_changes.items()
+            },
+            "old_asn_count": self.old_asn_count,
+            "churn_fraction": self.churn_fraction,
+            "summary": self.summary(),
+        }
 
 
 def diff_datasets(
@@ -86,4 +122,5 @@ def diff_datasets(
         added_asns=frozenset(new.all_asns() - old.all_asns()),
         removed_asns=frozenset(old.all_asns() - new.all_asns()),
         owner_changes=owner_changes,
+        old_asn_count=len(old.all_asns()),
     )

@@ -6,6 +6,13 @@ yields a temporary path in the *same directory* as the destination (so the
 final rename never crosses a filesystem) and promotes it with
 :func:`os.replace` only after the writer finished without raising; on any
 failure the temporary file is removed and the destination is untouched.
+
+Durability matters as much as atomicity here: the rename is the hot-swap
+point the ``repro serve`` reloader trusts, and a rename alone only updates
+the directory entry in the page cache.  A power loss shortly after
+``os.replace`` could therefore lose *both* the old and the new dataset.
+So the temporary file is flushed to stable storage (``fsync``) before the
+rename, and the parent directory entry after it.
 """
 
 from __future__ import annotations
@@ -17,6 +24,29 @@ from pathlib import Path
 from typing import Iterator, Union
 
 __all__ = ["atomic_replace"]
+
+
+def _fsync_file(path: Path) -> None:
+    """Flush a finished file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Persist a directory entry (the rename itself) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # some platforms refuse to open directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # fsync on a directory fd is not supported everywhere
+    finally:
+        os.close(fd)
 
 
 @contextlib.contextmanager
@@ -37,7 +67,11 @@ def atomic_replace(path: Union[str, Path]) -> Iterator[Path]:
             os.chmod(tmp_path, path.stat().st_mode & 0o7777)
         else:
             os.chmod(tmp_path, 0o644)
+        # Contents must be on disk *before* the rename points at them, and
+        # the rename itself must be on disk before we report success.
+        _fsync_file(tmp_path)
         os.replace(tmp_path, path)
+        _fsync_dir(directory)
     finally:
         with contextlib.suppress(FileNotFoundError):
             tmp_path.unlink()

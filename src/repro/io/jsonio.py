@@ -16,9 +16,17 @@ from repro.errors import DatasetError
 from repro.io.atomic import atomic_replace
 from repro.obs import span
 
-__all__ = ["dataset_to_json", "dataset_from_json", "dump_json", "load_json"]
+__all__ = [
+    "dataset_to_json",
+    "dataset_from_json",
+    "dump_json",
+    "load_json",
+    "dump_cti_json",
+    "load_cti_json",
+]
 
 _FORMAT_VERSION = 1
+_CTI_FORMAT_VERSION = 1
 
 
 def dataset_to_json(dataset: StateOwnedDataset) -> str:
@@ -96,5 +104,93 @@ def dump_json(dataset: StateOwnedDataset, path: Union[str, Path]) -> None:
 
 
 def load_json(path: Union[str, Path]) -> StateOwnedDataset:
-    """Read a dataset from a JSON file."""
-    return dataset_from_json(Path(path).read_text(encoding="utf-8"))
+    """Read a dataset from a JSON file.
+
+    Every failure mode — an unreadable file, undecodable bytes, a
+    truncated or otherwise malformed document — surfaces as
+    :class:`~repro.errors.DatasetError`, the one error shape the CLI's
+    clean exit-2 path and the serve reloader handle.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DatasetError(f"cannot read dataset {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise DatasetError(
+            f"dataset {path} is not valid UTF-8: {exc}"
+        ) from exc
+    return dataset_from_json(text)
+
+
+def dump_cti_json(selection, path: Union[str, Path]) -> None:
+    """Write a CTI selection sidecar (rankings + provenance) next to a
+    dataset export.
+
+    ``selection`` is anything shaped like
+    :class:`~repro.cti.selection.CTISelection`: a ``provenance`` mapping of
+    ``asn -> ((cc, rank, score), ...)`` plus a ``countries_applied`` tuple.
+    The sidecar is what the serve CTI endpoints are indexed from.
+    """
+    path = Path(path)
+    payload = {
+        "format_version": _CTI_FORMAT_VERSION,
+        "countries_applied": list(selection.countries_applied),
+        "rankings": [
+            {
+                "asn": asn,
+                "entries": [
+                    [cc, rank, score]
+                    for cc, rank, score in selection.provenance[asn]
+                ],
+            }
+            for asn in sorted(selection.provenance)
+        ],
+    }
+    with span("export.cti") as sp, atomic_replace(path) as tmp_path:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        tmp_path.write_text(text, encoding="utf-8")
+        sp.incr("asns", len(payload["rankings"]))
+        sp.incr("bytes", len(text))
+
+
+def load_cti_json(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a CTI sidecar back as plain data.
+
+    Returns ``{"countries_applied": [cc, ...],
+    "provenance": {asn: [(cc, rank, score), ...]}}`` — the shape the serve
+    index consumes.  All failures raise
+    :class:`~repro.errors.DatasetError`, like :func:`load_json`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DatasetError(f"cannot read CTI sidecar {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise DatasetError(
+            f"CTI sidecar {path} is not valid UTF-8: {exc}"
+        ) from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"malformed CTI sidecar JSON: {exc}") from exc
+    if payload.get("format_version") != _CTI_FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported CTI format_version "
+            f"{payload.get('format_version')!r}"
+        )
+    provenance: Dict[int, List[tuple]] = {}
+    for entry in payload.get("rankings", []):
+        try:
+            provenance[int(entry["asn"])] = [
+                (str(cc), int(rank), float(score))
+                for cc, rank, score in entry["entries"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed CTI entry: {entry!r}") from exc
+    applied = payload.get("countries_applied", [])
+    if not isinstance(applied, list):
+        raise DatasetError(
+            f"countries_applied must be a list, "
+            f"got {type(applied).__name__}"
+        )
+    return {"countries_applied": applied, "provenance": provenance}

@@ -1,0 +1,110 @@
+"""Embedding helpers: run a :class:`QueryServer` from sync code.
+
+The CLI runs the server on the main thread via :func:`run_server`; tests
+and benchmarks embed it with :class:`ServerThread`, which spins the event
+loop on a daemon thread and exposes the bound port once the socket is
+listening.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Optional
+
+from repro.serve.http import QueryServer
+from repro.serve.store import SnapshotStore
+
+__all__ = ["ServerThread", "run_server"]
+
+
+def run_server(
+    store: SnapshotStore,
+    host: str = "127.0.0.1",
+    port: int = 8645,
+    poll_interval: float = 2.0,
+    announce: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Serve until interrupted (the ``repro serve`` entry point)."""
+
+    async def main() -> None:
+        server = QueryServer(
+            store, host=host, port=port, poll_interval=poll_interval
+        )
+        await server.start()
+        if announce is not None:
+            announce(
+                f"serving {store.path} on http://{host}:{server.port} "
+                f"(poll every {poll_interval:g}s; Ctrl-C to stop)"
+            )
+        await server.serve_forever()
+
+    asyncio.run(main())
+
+
+class ServerThread:
+    """A :class:`QueryServer` on a daemon thread (tests, benchmarks).
+
+    Usage::
+
+        with ServerThread(store, poll_interval=0.05) as server:
+            http.client.HTTPConnection("127.0.0.1", server.port)...
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 2.0,
+    ) -> None:
+        self._server = QueryServer(
+            store, host=host, port=port, poll_interval=poll_interval
+        )
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        port = self._server.port
+        assert port is not None, "server not started"
+        return port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._server.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._server.close())
+            self._loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._server.port is None:
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

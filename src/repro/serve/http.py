@@ -1,0 +1,261 @@
+"""The asyncio HTTP/JSON query server (stdlib only, no new runtime deps).
+
+A deliberately small HTTP/1.1 implementation: GET-only, JSON-only
+responses, keep-alive connections.  Five endpoint families:
+
+====================================  =========================================
+``GET /health``, ``GET /snapshot``    liveness + snapshot identity/metadata
+``GET /asn/<asn>``                    AS -> owning organization + parent chain
+``GET /country/<cc>``                 country -> state-owned footprint
+``GET /cti/top?n=N[&country=CC]``     top-N CTI rankings (global or per-cc)
+``GET /diff``                         previous vs current snapshot (diffing)
+``GET /metrics``                      per-endpoint counters + p50/p95 latency
+====================================  =========================================
+
+Every request handler grabs ``store.current`` exactly once, so responses
+are internally consistent across hot swaps (each payload carries the
+``snapshot`` digest it was answered from).  The reload poller runs as a
+background task and builds new indices in the default executor, keeping
+the event loop free to answer queries during a swap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.parse
+from typing import Dict, Optional, Tuple
+
+from repro.core.diffing import diff_datasets
+from repro.obs import get_metrics
+from repro.serve.store import SnapshotStore
+
+__all__ = ["QueryServer"]
+
+#: Route label used for paths that match no endpoint (metrics bucket).
+_UNKNOWN = "unknown"
+
+#: Routes whose latency/counters the /metrics endpoint reports.
+_ROUTES = ("health", "snapshot", "asn", "country", "cti", "diff", "metrics")
+
+
+class QueryServer:
+    """Serve a :class:`~repro.serve.store.SnapshotStore` over HTTP/JSON."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 2.0,
+    ) -> None:
+        self._store = store
+        self._host = host
+        self._requested_port = port
+        self._poll_interval = poll_interval
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._reload_task: Optional[asyncio.Task] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the reload poller."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reload_task = asyncio.get_running_loop().create_task(
+            self._reload_loop()
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        if self._reload_task is not None:
+            self._reload_task.cancel()
+            try:
+                await self._reload_task
+            except asyncio.CancelledError:
+                pass
+            self._reload_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _reload_loop(self) -> None:
+        """Poll the snapshot file; build replacement indices off-loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self._poll_interval)
+            await loop.run_in_executor(None, self._store.poll)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"},
+                        keep_alive=False,
+                    )
+                    break
+                method, target, version = parts
+                keep_alive = not version.endswith("1.0")
+                while True:  # drain headers
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    if name.strip().lower() == "connection":
+                        keep_alive = value.strip().lower() != "close"
+                status, payload = self._route(method, target)
+                await self._respond(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+    def _route(
+        self, method: str, target: str
+    ) -> Tuple[int, Dict[str, object]]:
+        started = time.perf_counter()
+        route, status, payload = self._dispatch(method, target)
+        metrics = get_metrics()
+        metrics.incr(f"serve.requests.{route}")
+        if status >= 400:
+            metrics.incr(f"serve.errors.{route}")
+        metrics.observe(
+            f"serve.latency.{route}", time.perf_counter() - started
+        )
+        return status, payload
+
+    def _dispatch(
+        self, method: str, target: str
+    ) -> Tuple[str, int, Dict[str, object]]:
+        if method != "GET":
+            return _UNKNOWN, 405, {"error": f"method {method} not allowed"}
+        path, _, query = target.partition("?")
+        params = urllib.parse.parse_qs(query)
+        segments = [s for s in path.split("/") if s]
+        # One reference grab: the whole request answers from this index.
+        index = self._store.current
+        if index is None:
+            return "health", 404, {"error": "no snapshot loaded"}
+
+        if path == "/health":
+            payload = index.metadata()
+            payload["reload"] = self._store.status()
+            payload["status"] = (
+                "degraded" if self._store.last_error else "ok"
+            )
+            return "health", 200, payload
+        if path == "/snapshot":
+            return "snapshot", 200, index.metadata()
+        if len(segments) == 2 and segments[0] == "asn":
+            try:
+                asn = int(segments[1])
+            except ValueError:
+                return "asn", 400, {"error": f"bad ASN {segments[1]!r}"}
+            return "asn", 200, index.owner_chain(asn)
+        if len(segments) == 2 and segments[0] == "country":
+            cc = segments[1]
+            if not (2 <= len(cc) <= 3 and cc.isalpha()):
+                return "country", 400, {"error": f"bad country code {cc!r}"}
+            return "country", 200, index.country_footprint(cc)
+        if path == "/cti/top":
+            try:
+                n = int(params.get("n", ["10"])[0])
+            except ValueError:
+                return "cti", 400, {"error": "n must be an integer"}
+            if n < 1:
+                return "cti", 400, {"error": "n must be >= 1"}
+            cc = params.get("country", [None])[0]
+            return "cti", 200, index.top_cti(n, cc=cc)
+        if path == "/diff":
+            previous = self._store.previous
+            if previous is None:
+                return "diff", 404, {
+                    "error": "no previous snapshot to diff against"
+                }
+            diff = diff_datasets(previous.dataset, index.dataset)
+            payload = diff.to_dict()
+            payload["old_snapshot"] = previous.stamp.digest
+            payload["snapshot"] = index.stamp.digest
+            return "diff", 200, payload
+        if path == "/metrics":
+            return "metrics", 200, self._metrics_payload()
+        return _UNKNOWN, 404, {"error": f"no such endpoint {path!r}"}
+
+    def _metrics_payload(self) -> Dict[str, object]:
+        """Per-endpoint counters, latency summaries, and swap events."""
+        metrics = get_metrics()
+        requests = {}
+        errors = {}
+        latency = {}
+        for route in _ROUTES + (_UNKNOWN,):
+            count = metrics.counter(f"serve.requests.{route}")
+            if count:
+                requests[route] = count
+            errs = metrics.counter(f"serve.errors.{route}")
+            if errs:
+                errors[route] = errs
+            summary = metrics.timing_summary(f"serve.latency.{route}")
+            if summary:
+                latency[route] = {
+                    "count": summary["count"],
+                    "mean_ms": round(summary["mean_s"] * 1000, 3),
+                    "p50_ms": round(summary["p50_s"] * 1000, 3),
+                    "p95_ms": round(summary["p95_s"] * 1000, 3),
+                    "max_ms": round(summary["max_s"] * 1000, 3),
+                }
+        return {
+            "requests": requests,
+            "errors": errors,
+            "latency": latency,
+            "swaps": metrics.counter("serve.swaps"),
+            "reload_failures": metrics.counter("serve.reload.failures"),
+        }

@@ -1,0 +1,299 @@
+"""Read-optimized, immutable in-memory indices over one dataset snapshot.
+
+The query server never touches :class:`~repro.core.dataset.StateOwnedDataset`
+directly on the request path: its linear scans (``org_of_asn`` walks every
+organization) would make per-request latency proportional to dataset size.
+:class:`SnapshotIndex` precomputes everything the endpoints answer —
+asn -> organization, operating-country -> organizations, sorted CTI
+rankings, parent chains — once at load time, and is immutable afterwards.
+Immutability is what makes the hot swap safe: a request handler grabs one
+index reference and every answer it produces comes from that single
+snapshot, no matter how many swaps happen mid-request.
+
+:func:`build_index` reads the exported file **once** (the content digest
+and the parsed dataset come from the same bytes, so a swap between stat
+and parse can never produce a mixed stamp) and raises
+:class:`~repro.errors.DatasetError` for every failure mode, matching
+:func:`~repro.io.jsonio.load_json`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+from pathlib import Path
+
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.errors import DatasetError
+from repro.io.jsonio import dataset_from_json, load_cti_json
+
+__all__ = ["SnapshotIndex", "SnapshotStamp", "build_index"]
+
+#: Cap on owner-chain walks; real chains are 2-3 links, a corrupt
+#: parent_org cycle must not hang a request.
+_MAX_CHAIN = 16
+
+
+@dataclass(frozen=True)
+class SnapshotStamp:
+    """Identity of one loaded snapshot file."""
+
+    path: str
+    digest: str          # sha256 of the exact bytes that were parsed
+    mtime_ns: int
+    size: int
+    loaded_at: float     # wall-clock time the index was built
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "digest": self.digest,
+            "mtime_ns": self.mtime_ns,
+            "size": self.size,
+            "loaded_at": self.loaded_at,
+        }
+
+
+def _org_dict(org: OrganizationRecord) -> Dict[str, object]:
+    """The compact organization view the endpoints return."""
+    return {
+        "org_id": org.org_id,
+        "org_name": org.org_name,
+        "conglomerate_name": org.conglomerate_name,
+        "ownership_cc": org.ownership_cc,
+        "ownership_country_name": org.ownership_country_name,
+        "operating_cc": org.operating_cc,
+        "is_foreign_subsidiary": org.is_foreign_subsidiary,
+        "rir": org.rir,
+        "source": org.source,
+        "parent_org": org.parent_org,
+    }
+
+
+class SnapshotIndex:
+    """Immutable query indices over one dataset snapshot (+CTI sidecar)."""
+
+    def __init__(
+        self,
+        dataset: StateOwnedDataset,
+        stamp: SnapshotStamp,
+        cti: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.stamp = stamp
+        self._org_by_id: Dict[str, OrganizationRecord] = {
+            org.org_id: org for org in dataset.organizations()
+        }
+        self._org_id_by_asn: Dict[int, str] = {}
+        self._asns_of: Dict[str, Tuple[int, ...]] = {}
+        for org in dataset.organizations():
+            asns = dataset.asns_of(org.org_id)
+            self._asns_of[org.org_id] = asns
+            for asn in asns:
+                self._org_id_by_asn[asn] = org.org_id
+        self._orgs_by_operating_cc: Dict[str, List[str]] = {}
+        self._owns_abroad_by_cc: Dict[str, List[str]] = {}
+        for org in dataset.organizations():
+            self._orgs_by_operating_cc.setdefault(
+                org.operating_cc, []
+            ).append(org.org_id)
+            if org.is_foreign_subsidiary:
+                self._owns_abroad_by_cc.setdefault(
+                    org.ownership_cc, []
+                ).append(org.org_id)
+        # -- CTI rankings ---------------------------------------------------
+        provenance: Dict[int, List[Tuple[str, int, float]]] = (
+            dict(cti.get("provenance", {})) if cti else {}
+        )
+        self.cti_countries: Tuple[str, ...] = tuple(
+            cti.get("countries_applied", ()) if cti else ()
+        )
+        self._cti_provenance = provenance
+        # Global ranking: each selected AS scored by its best per-country
+        # score, descending (ties broken by ASN for determinism).
+        best: List[Tuple[float, int]] = [
+            (max(score for _, _, score in entries), asn)
+            for asn, entries in provenance.items()
+            if entries
+        ]
+        best.sort(key=lambda item: (-item[0], item[1]))
+        self._cti_global: Tuple[Tuple[int, float], ...] = tuple(
+            (asn, score) for score, asn in best
+        )
+        self._cti_by_cc: Dict[str, List[Tuple[int, int, float]]] = {}
+        for asn, entries in provenance.items():
+            for cc, rank, score in entries:
+                self._cti_by_cc.setdefault(cc, []).append((rank, asn, score))
+        for ranked in self._cti_by_cc.values():
+            ranked.sort()
+
+    # -- endpoint payloads -------------------------------------------------
+    @property
+    def has_cti(self) -> bool:
+        return bool(self._cti_provenance)
+
+    def metadata(self) -> Dict[str, object]:
+        """The /snapshot payload: identity plus coarse shape."""
+        return {
+            "snapshot": self.stamp.digest,
+            "stamp": self.stamp.as_dict(),
+            "organizations": len(self.dataset),
+            "asns": len(self._org_id_by_asn),
+            "countries": len(self._orgs_by_operating_cc),
+            "degraded_sources": list(self.dataset.degraded_sources),
+            "cti": self.has_cti,
+            "cti_countries": len(self.cti_countries),
+        }
+
+    def owner_chain(self, asn: int) -> Dict[str, object]:
+        """The /asn payload: owning organization plus its parent chain."""
+        org_id = self._org_id_by_asn.get(asn)
+        if org_id is None:
+            return {
+                "snapshot": self.stamp.digest,
+                "asn": asn,
+                "state_owned": False,
+            }
+        chain: List[Dict[str, object]] = []
+        seen: set = set()
+        current: Optional[str] = org_id
+        while (
+            current is not None
+            and current not in seen
+            and len(chain) < _MAX_CHAIN
+        ):
+            seen.add(current)
+            org = self._org_by_id.get(current)
+            if org is None:
+                break
+            chain.append(_org_dict(org))
+            current = org.parent_org
+        org = self._org_by_id[org_id]
+        return {
+            "snapshot": self.stamp.digest,
+            "asn": asn,
+            "state_owned": True,
+            "organization": _org_dict(org),
+            "owner_chain": chain,
+            "sibling_asns": list(self._asns_of.get(org_id, ())),
+            "cti": [
+                {"cc": cc, "rank": rank, "score": score}
+                for cc, rank, score in self._cti_provenance.get(asn, ())
+            ],
+        }
+
+    def country_footprint(self, cc: str) -> Dict[str, object]:
+        """The /country payload: one country's state-owned footprint."""
+        cc = cc.upper()
+        domestic: List[Dict[str, object]] = []
+        foreign: List[Dict[str, object]] = []
+        asns: List[int] = []
+        for org_id in self._orgs_by_operating_cc.get(cc, ()):
+            org = self._org_by_id[org_id]
+            entry = _org_dict(org)
+            entry["asns"] = list(self._asns_of.get(org_id, ()))
+            asns.extend(entry["asns"])
+            (foreign if org.is_foreign_subsidiary else domestic).append(entry)
+        owns_abroad = [
+            {
+                "org_id": org_id,
+                "org_name": self._org_by_id[org_id].org_name,
+                "target_cc": self._org_by_id[org_id].target_cc,
+                "asns": list(self._asns_of.get(org_id, ())),
+            }
+            for org_id in self._owns_abroad_by_cc.get(cc, ())
+        ]
+        top_gateway = None
+        for rank, asn, score in self._cti_by_cc.get(cc, ()):
+            if rank == 1:
+                top_gateway = {"asn": asn, "score": score}
+                break
+        return {
+            "snapshot": self.stamp.digest,
+            "cc": cc,
+            "domestic": domestic,
+            "foreign_operators_present": foreign,
+            "owns_abroad": owns_abroad,
+            "state_owned_asns": sorted(asns),
+            "asn_count": len(asns),
+            "cti_applied": cc in self.cti_countries,
+            "top_cti_gateway": top_gateway,
+        }
+
+    def top_cti(
+        self, n: int, cc: Optional[str] = None
+    ) -> Dict[str, object]:
+        """The /cti/top payload: global or per-country CTI rankings."""
+        # CTI selection happens *before* confirmation, so rankings can
+        # include candidates that did not survive into the dataset;
+        # ``state_owned`` tells the two apart.
+        if cc is not None:
+            cc = cc.upper()
+            rankings = [
+                {
+                    "asn": asn,
+                    "rank": rank,
+                    "score": score,
+                    "state_owned": asn in self._org_id_by_asn,
+                }
+                for rank, asn, score in self._cti_by_cc.get(cc, ())[:n]
+            ]
+        else:
+            rankings = [
+                {
+                    "asn": asn,
+                    "score": score,
+                    "state_owned": asn in self._org_id_by_asn,
+                    "countries": [
+                        {"cc": entry_cc, "rank": rank, "score": entry_score}
+                        for entry_cc, rank, entry_score in (
+                            self._cti_provenance.get(asn, ())
+                        )
+                    ],
+                }
+                for asn, score in self._cti_global[:n]
+            ]
+        return {
+            "snapshot": self.stamp.digest,
+            "n": n,
+            "country": cc,
+            "rankings": rankings,
+        }
+
+
+def build_index(
+    path: Union[str, Path],
+    cti_path: Optional[Union[str, Path]] = None,
+) -> SnapshotIndex:
+    """Load + index one exported snapshot (and optional CTI sidecar).
+
+    The file is read once; ``atomic_replace`` on the writer side
+    guarantees those bytes are a complete export, never a torn write.
+    """
+    path = Path(path)
+    try:
+        stat = os.stat(path)
+        data = path.read_bytes()
+    except OSError as exc:
+        raise DatasetError(f"cannot read dataset {path}: {exc}") from exc
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DatasetError(
+            f"dataset {path} is not valid UTF-8: {exc}"
+        ) from exc
+    dataset = dataset_from_json(text)
+    stamp = SnapshotStamp(
+        path=str(path),
+        digest=hashlib.sha256(data).hexdigest(),
+        mtime_ns=stat.st_mtime_ns,
+        size=stat.st_size,
+        loaded_at=time.time(),
+    )
+    cti = None
+    if cti_path is not None and Path(cti_path).exists():
+        cti = load_cti_json(cti_path)
+    return SnapshotIndex(dataset, stamp, cti=cti)

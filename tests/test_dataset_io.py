@@ -6,7 +6,14 @@ from hypothesis import strategies as st
 
 from repro.core.dataset import OrganizationRecord, StateOwnedDataset
 from repro.errors import DatasetError
-from repro.io.jsonio import dataset_from_json, dataset_to_json, dump_json, load_json
+from repro.io.jsonio import (
+    dataset_from_json,
+    dataset_to_json,
+    dump_cti_json,
+    dump_json,
+    load_cti_json,
+    load_json,
+)
 from repro.io.sqliteio import dataset_from_sqlite, dataset_to_sqlite
 from repro.io.tables import render_table
 
@@ -204,6 +211,118 @@ class TestAtomicExport:
         path = tmp_path / "fresh.db"
         dataset_to_sqlite(self._good([7]), path)
         assert dataset_from_sqlite(path).all_asns() == frozenset({7})
+
+    def test_replace_fsyncs_file_then_renames_then_fsyncs_dir(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash durability: data must hit disk *before* the rename makes
+        it visible, and the directory entry must be synced after.
+
+        Fails on the pre-fix code, which renamed without any fsync.
+        """
+        import os as real_os
+        import stat as stat_mod
+
+        from repro.io import atomic
+
+        events = []
+        orig_fsync, orig_replace = real_os.fsync, real_os.replace
+
+        def spy_fsync(fd):
+            is_dir = stat_mod.S_ISDIR(real_os.fstat(fd).st_mode)
+            events.append("fsync-dir" if is_dir else "fsync-file")
+            return orig_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return orig_replace(src, dst)
+
+        monkeypatch.setattr(atomic.os, "fsync", spy_fsync)
+        monkeypatch.setattr(atomic.os, "replace", spy_replace)
+        dump_json(self._good([1]), tmp_path / "dataset.json")
+        assert events == ["fsync-file", "replace", "fsync-dir"]
+
+    def test_replace_survives_unsyncable_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """Directory fsync is best-effort (some filesystems refuse it)."""
+        import os as real_os
+        import stat as stat_mod
+
+        from repro.io import atomic
+
+        orig_fsync = real_os.fsync
+
+        def picky_fsync(fd):
+            if stat_mod.S_ISDIR(real_os.fstat(fd).st_mode):
+                raise OSError("directory fsync unsupported")
+            return orig_fsync(fd)
+
+        monkeypatch.setattr(atomic.os, "fsync", picky_fsync)
+        path = tmp_path / "dataset.json"
+        dump_json(self._good([3]), path)
+        assert load_json(path).all_asns() == frozenset({3})
+
+
+class TestLoadJsonErrorShape:
+    """Every load failure surfaces as DatasetError (one shape for the
+    CLI commands and the serve reloader alike)."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="cannot read dataset"):
+            load_json(tmp_path / "absent.json")
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        path.write_text('{"format_version": 1, "organizations": [{"trunc')
+        with pytest.raises(DatasetError):
+            load_json(path)
+
+    def test_invalid_utf8(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        path.write_bytes(b'{"format_version": 1\xff\xfe}')
+        with pytest.raises(DatasetError, match="not valid UTF-8"):
+            load_json(path)
+
+    def test_directory_path(self, tmp_path):
+        with pytest.raises(DatasetError, match="cannot read dataset"):
+            load_json(tmp_path)
+
+
+class TestCtiSidecar:
+    class _Selection:
+        def __init__(self, provenance, countries):
+            self.provenance = provenance
+            self.countries_applied = countries
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "dataset.json.cti.json"
+        selection = self._Selection(
+            {
+                8193: (("UZ", 1, 0.73), ("KZ", 3, 0.11)),
+                200: (("AR", 2, 0.40),),
+            },
+            ("UZ", "KZ", "AR"),
+        )
+        dump_cti_json(selection, path)
+        loaded = load_cti_json(path)
+        assert loaded["countries_applied"] == ["UZ", "KZ", "AR"]
+        assert loaded["provenance"] == {
+            8193: [("UZ", 1, 0.73), ("KZ", 3, 0.11)],
+            200: [("AR", 2, 0.40)],
+        }
+
+    def test_load_failures_are_dataset_errors(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_cti_json(tmp_path / "absent.cti.json")
+        bad = tmp_path / "bad.cti.json"
+        bad.write_text("[1, 2")
+        with pytest.raises(DatasetError):
+            load_cti_json(bad)
+        wrong_shape = tmp_path / "wrong.cti.json"
+        wrong_shape.write_text('{"format_version": 99}')
+        with pytest.raises(DatasetError):
+            load_cti_json(wrong_shape)
 
 
 class TestRenderTable:

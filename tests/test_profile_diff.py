@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.country_profile import build_country_profile, profile_text
 from repro.core.dataset import OrganizationRecord, StateOwnedDataset
-from repro.core.diffing import diff_datasets
+from repro.core.diffing import asn_churn_fraction, diff_datasets
 
 
 def make_org(org_id, name, cc="NO", target_cc=None):
@@ -100,3 +100,56 @@ class TestDatasetDiff:
         diff = diff_datasets(truncated, ds)
         assert len(diff.added_orgs) >= 1
         assert not diff.removed_orgs
+
+
+class TestChurnFraction:
+    """Regression tests for the churn_fraction denominator bug.
+
+    The old formula divided the number of changed ASNs by itself
+    (``len(added | removed)``), so every non-empty diff reported 100%
+    churn.  The denominator must be the *old* snapshot's ASN count.
+    """
+
+    def _diff(self, old_asns, new_asns):
+        old = StateOwnedDataset([make_org("O1", "Telenor")], {"O1": old_asns})
+        new = StateOwnedDataset([make_org("O1", "Telenor")], {"O1": new_asns})
+        return diff_datasets(old, new)
+
+    def test_partial_churn_is_fractional(self):
+        # {1,2,3,4} -> {1,2,3,5}: 2 changed ASNs over 4 old ones = 50%.
+        # The old formula returned 2/2 = 1.0 here.
+        diff = self._diff([1, 2, 3, 4], [1, 2, 3, 5])
+        assert diff.added_asns == frozenset({5})
+        assert diff.removed_asns == frozenset({4})
+        assert diff.old_asn_count == 4
+        assert diff.churn_fraction == pytest.approx(0.5)
+
+    def test_single_addition_small_fraction(self):
+        diff = self._diff([1, 2, 3, 4], [1, 2, 3, 4, 5])
+        assert diff.churn_fraction == pytest.approx(0.25)
+
+    def test_no_churn_is_zero(self):
+        assert self._diff([1, 2], [1, 2]).churn_fraction == 0.0
+
+    def test_empty_old_snapshot_is_total_churn(self):
+        assert self._diff([], [1]).churn_fraction == 1.0
+
+    def test_both_empty_is_zero(self):
+        assert self._diff([], []).churn_fraction == 0.0
+
+    def test_helper_matches_diff(self):
+        old, new = frozenset({1, 2, 3, 4}), frozenset({1, 2, 3, 5})
+        assert asn_churn_fraction(old, new) == pytest.approx(0.5)
+        assert asn_churn_fraction(old, old) == 0.0
+        assert asn_churn_fraction(frozenset(), new) == 1.0
+        assert asn_churn_fraction(frozenset(), frozenset()) == 0.0
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        diff = self._diff([1, 2, 3, 4], [1, 2, 3, 5])
+        payload = json.loads(json.dumps(diff.to_dict()))
+        assert payload["added_asns"] == [5]
+        assert payload["removed_asns"] == [4]
+        assert payload["old_asn_count"] == 4
+        assert payload["churn_fraction"] == pytest.approx(0.5)

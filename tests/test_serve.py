@@ -1,0 +1,385 @@
+"""Tests for the ``repro serve`` stack: indices, hot swap, HTTP endpoints.
+
+The integration tests run a real :class:`~repro.serve.QueryServer` on an
+ephemeral localhost port and query it with stdlib HTTP clients, including
+concurrent clients hammering the API while snapshots swap underneath.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.dataset import OrganizationRecord, StateOwnedDataset
+from repro.errors import DatasetError
+from repro.io.jsonio import dump_cti_json, dump_json
+from repro.obs import get_metrics
+from repro.serve import ServerThread, SnapshotStore, build_index
+
+
+def make_org(org_id, name, cc="NO", target_cc=None, parent=None):
+    return OrganizationRecord(
+        conglomerate_name=name,
+        org_id=org_id,
+        org_name=name,
+        ownership_cc=cc,
+        ownership_country_name=cc,
+        rir="RIPE",
+        source="Company's website",
+        quote="q",
+        quote_lang="English",
+        url="https://x.example",
+        parent_org=parent,
+        target_cc=target_cc,
+        target_country_name=target_cc,
+    )
+
+
+def dataset_v1():
+    """Two Norwegian orgs (one a parent), one foreign subsidiary in SE."""
+    return StateOwnedDataset(
+        [
+            make_org("O1", "Telenor"),
+            make_org("O2", "Telenor Sweden", target_cc="SE", parent="O1"),
+            make_org("O3", "Uzbektelecom", cc="UZ"),
+        ],
+        {"O1": [100, 101], "O2": [200], "O3": [300]},
+    )
+
+
+def dataset_v2():
+    """v1 with O3 privatized away and a new Argentine org added."""
+    return StateOwnedDataset(
+        [
+            make_org("O1", "Telenor"),
+            make_org("O2", "Telenor Sweden", target_cc="SE", parent="O1"),
+            make_org("O4", "ArSat", cc="AR"),
+        ],
+        {"O1": [100, 101], "O2": [200], "O4": [400, 401]},
+    )
+
+
+class _Selection:
+    """Duck-typed CTISelection stand-in for sidecar exports."""
+
+    def __init__(self, provenance, countries):
+        self.provenance = provenance
+        self.countries_applied = countries
+
+
+def cti_selection():
+    return _Selection(
+        {
+            100: (("NO", 1, 0.41), ("SE", 2, 0.11)),
+            200: (("SE", 1, 0.30),),
+        },
+        ("NO", "SE"),
+    )
+
+
+@pytest.fixture()
+def snapshot(tmp_path):
+    """A v1 snapshot file with its CTI sidecar, plus its store."""
+    path = tmp_path / "dataset.json"
+    dump_json(dataset_v1(), path)
+    dump_cti_json(cti_selection(), tmp_path / "dataset.json.cti.json")
+    store = SnapshotStore(path)
+    store.load_initial()
+    return store
+
+
+@pytest.fixture()
+def server(snapshot):
+    with ServerThread(snapshot, poll_interval=0.05) as thread:
+        yield thread
+
+
+def get_json(port, endpoint):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{endpoint}", timeout=10
+    ) as resp:
+        return json.loads(resp.read())
+
+
+class TestSnapshotIndex:
+    def test_owner_chain_walks_parents(self, snapshot):
+        index = snapshot.current
+        payload = index.owner_chain(200)
+        assert payload["state_owned"] is True
+        assert payload["organization"]["org_id"] == "O2"
+        assert [o["org_id"] for o in payload["owner_chain"]] == ["O2", "O1"]
+
+    def test_unknown_asn_not_state_owned(self, snapshot):
+        payload = snapshot.current.owner_chain(99999)
+        assert payload["state_owned"] is False
+
+    def test_country_footprint(self, snapshot):
+        payload = snapshot.current.country_footprint("se")
+        assert payload["cc"] == "SE"
+        assert not payload["domestic"]
+        assert [o["org_id"] for o in payload["foreign_operators_present"]] == [
+            "O2"
+        ]
+        assert payload["state_owned_asns"] == [200]
+        assert payload["top_cti_gateway"] == {"asn": 200, "score": 0.30}
+        norway = snapshot.current.country_footprint("NO")
+        assert [o["org_id"] for o in norway["owns_abroad"]] == ["O2"]
+
+    def test_cti_rankings_sorted(self, snapshot):
+        top = snapshot.current.top_cti(5)
+        assert [r["asn"] for r in top["rankings"]] == [100, 200]
+        per_cc = snapshot.current.top_cti(5, cc="SE")
+        assert [r["asn"] for r in per_cc["rankings"]] == [200, 100]
+
+    def test_digest_matches_file_bytes(self, snapshot, tmp_path):
+        import hashlib
+
+        expected = hashlib.sha256(
+            (tmp_path / "dataset.json").read_bytes()
+        ).hexdigest()
+        assert snapshot.current.stamp.digest == expected
+
+    def test_parent_cycle_terminates(self, tmp_path):
+        ds = StateOwnedDataset(
+            [
+                make_org("A", "Alpha", parent="B"),
+                make_org("B", "Beta", parent="A"),
+            ],
+            {"A": [1], "B": [2]},
+        )
+        path = tmp_path / "cycle.json"
+        dump_json(ds, path)
+        index = build_index(path)
+        chain = index.owner_chain(1)["owner_chain"]
+        assert [o["org_id"] for o in chain] == ["A", "B"]
+
+    def test_missing_file_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError):
+            build_index(tmp_path / "nope.json")
+
+
+class TestEndpoints:
+    def test_health_and_snapshot(self, server, snapshot):
+        health = get_json(server.port, "/health")
+        assert health["status"] == "ok"
+        assert health["snapshot"] == snapshot.current.stamp.digest
+        assert health["organizations"] == 3
+        assert health["asns"] == 4
+        assert health["reload"]["swaps"] == 0
+        meta = get_json(server.port, "/snapshot")
+        assert meta["snapshot"] == health["snapshot"]
+        assert meta["cti"] is True
+
+    def test_asn_endpoint(self, server):
+        payload = get_json(server.port, "/asn/200")
+        assert payload["state_owned"] is True
+        assert payload["organization"]["org_name"] == "Telenor Sweden"
+        assert [o["org_id"] for o in payload["owner_chain"]] == ["O2", "O1"]
+        assert get_json(server.port, "/asn/4242")["state_owned"] is False
+
+    def test_country_endpoint(self, server):
+        payload = get_json(server.port, "/country/NO")
+        assert [o["org_id"] for o in payload["domestic"]] == ["O1"]
+        assert payload["asn_count"] == 2
+        assert payload["cti_applied"] is True
+
+    def test_cti_endpoint(self, server):
+        payload = get_json(server.port, "/cti/top?n=1")
+        assert [r["asn"] for r in payload["rankings"]] == [100]
+        per_cc = get_json(server.port, "/cti/top?n=5&country=SE")
+        assert [r["asn"] for r in per_cc["rankings"]] == [200, 100]
+
+    def test_metrics_endpoint(self, server):
+        get_json(server.port, "/asn/100")
+        payload = get_json(server.port, "/metrics")
+        assert payload["requests"]["asn"] >= 1
+        assert "p95_ms" in payload["latency"]["asn"]
+
+    def test_bad_requests(self, server):
+        for endpoint, code in [
+            ("/asn/notanumber", 400),
+            ("/country/x1", 400),
+            ("/cti/top?n=zero", 400),
+            ("/cti/top?n=0", 400),
+            ("/nope", 404),
+            ("/diff", 404),  # no previous snapshot yet
+        ]:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get_json(server.port, endpoint)
+            assert err.value.code == code
+            assert "error" in json.loads(err.value.read())
+
+    def test_post_rejected(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request("POST", "/health", body=b"{}")
+        assert conn.getresponse().status == 405
+        conn.close()
+
+    def test_keep_alive_across_requests(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        for _ in range(3):
+            conn.request("GET", "/health")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+        conn.close()
+
+
+class TestHotSwap:
+    def test_swap_serves_new_snapshot_and_diff(self, server, snapshot):
+        old_digest = snapshot.current.stamp.digest
+        dump_json(dataset_v2(), snapshot.path)
+        assert snapshot.poll() is True
+        meta = get_json(server.port, "/snapshot")
+        assert meta["snapshot"] != old_digest
+        assert get_json(server.port, "/asn/400")["state_owned"] is True
+        diff = get_json(server.port, "/diff")
+        assert diff["old_snapshot"] == old_digest
+        assert diff["added_orgs"] == ["ArSat"]
+        assert diff["removed_orgs"] == ["Uzbektelecom"]
+        # +{400, 401} -{300} over an old snapshot of 4 ASNs.
+        assert diff["old_asn_count"] == 4
+        assert diff["churn_fraction"] == pytest.approx(3 / 4)
+
+    def test_unchanged_file_does_not_swap(self, snapshot):
+        assert snapshot.poll() is False
+        assert snapshot.swaps == 0
+
+    def test_rewrite_with_identical_bytes_is_not_a_swap(self, snapshot):
+        dump_json(dataset_v1(), snapshot.path)
+        assert snapshot.poll() is False
+        assert snapshot.swaps == 0
+
+    def test_reloader_picks_up_swap_without_explicit_poll(
+        self, server, snapshot
+    ):
+        import time
+
+        dump_json(dataset_v2(), snapshot.path)
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            if get_json(server.port, "/asn/400")["state_owned"]:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("reload poller never swapped the snapshot")
+
+    def test_concurrent_queries_never_see_mixed_snapshots(
+        self, server, snapshot
+    ):
+        """Hammer the API from several threads while snapshots flip."""
+        digests = {}
+        for build in (dataset_v1, dataset_v2):
+            dump_json(build(), snapshot.path)
+            snapshot.poll()
+            digests[snapshot.current.stamp.digest] = build
+        expected_counts = {
+            digest: len(build().all_asns())
+            for digest, build in digests.items()
+        }
+        errors = []
+
+        def client():
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            try:
+                for _ in range(150):
+                    conn.request("GET", "/country/NO")
+                    resp = conn.getresponse()
+                    body = json.loads(resp.read())
+                    if resp.status != 200:
+                        errors.append(f"status {resp.status}")
+                    elif body["snapshot"] not in expected_counts:
+                        errors.append(f"unknown digest {body['snapshot']}")
+                    conn.request("GET", "/snapshot")
+                    resp = conn.getresponse()
+                    meta = json.loads(resp.read())
+                    if resp.status != 200:
+                        errors.append(f"status {resp.status}")
+                    elif meta["asns"] != expected_counts[meta["snapshot"]]:
+                        # The asn count must match the digest's dataset:
+                        # a mixed response would pair them inconsistently.
+                        errors.append(
+                            f"mixed snapshot: {meta['snapshot']} "
+                            f"-> {meta['asns']}"
+                        )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(repr(exc))
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        flips = 0
+        builders = [dataset_v1, dataset_v2]
+        while any(t.is_alive() for t in threads):
+            dump_json(builders[flips % 2](), snapshot.path)
+            snapshot.poll()
+            flips += 1
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:5]
+        assert flips > 2  # the swap path genuinely ran mid-traffic
+
+
+class TestDegradedReload:
+    def test_corrupt_snapshot_keeps_previous(self, server, snapshot):
+        good_digest = snapshot.current.stamp.digest
+        snapshot.path.write_text('{"format_version": 1, "organiza')
+        assert snapshot.poll() is False
+        assert snapshot.reload_failures == 1
+        assert "DatasetError" in snapshot.last_error
+        # Still serving the old snapshot, now flagged degraded.
+        health = get_json(server.port, "/health")
+        assert health["snapshot"] == good_digest
+        assert health["status"] == "degraded"
+        assert health["reload"]["reload_failures"] == 1
+
+    def test_same_bad_file_state_diagnosed_once(self, snapshot):
+        snapshot.path.write_text("not json")
+        snapshot.poll()
+        snapshot.poll()
+        assert snapshot.reload_failures == 1
+
+    def test_recovery_after_corruption(self, server, snapshot):
+        snapshot.path.write_text("garbage")
+        snapshot.poll()
+        dump_json(dataset_v2(), snapshot.path)
+        assert snapshot.poll() is True
+        health = get_json(server.port, "/health")
+        assert health["status"] == "ok"
+        assert health["reload"]["last_error"] is None
+        assert get_json(server.port, "/asn/400")["state_owned"] is True
+
+    def test_vanished_file_degrades(self, snapshot):
+        snapshot.path.unlink()
+        assert snapshot.poll() is False
+        assert snapshot.reload_failures == 1
+        assert snapshot.current is not None
+        # Diagnosed once, not on every tick.
+        assert snapshot.poll() is False
+        assert snapshot.reload_failures == 1
+
+    def test_reload_failure_counts_in_metrics(self, snapshot):
+        before = get_metrics().counter("serve.reload.failures")
+        snapshot.path.write_text("][")
+        snapshot.poll()
+        assert get_metrics().counter("serve.reload.failures") == before + 1
+
+
+class TestStoreWithoutSidecar:
+    def test_serves_dataset_without_cti(self, tmp_path):
+        path = tmp_path / "plain.json"
+        dump_json(dataset_v1(), path)
+        store = SnapshotStore(path)
+        store.load_initial()
+        assert store.current.has_cti is False
+        assert store.current.top_cti(3)["rankings"] == []
+        assert store.current.metadata()["cti"] is False
