@@ -19,6 +19,8 @@ import time
 
 import pytest
 
+from _record import append_record
+
 from repro.config import WorldConfig
 from repro.net.prefix import (
     PrefixTrie,
@@ -85,6 +87,14 @@ def test_bench_batch_cone_sizes(benchmark, request, world_fixture, scale):
     if scale >= 1.0:
         # Acceptance floor at the default world scale.
         assert speedup >= 5.0
+    append_record(
+        "kernels",
+        "cone_sweep",
+        tracked={"kernel_ms": round(fast_s * 1e3, 3)},
+        context={"scale": scale, "seed": BENCH_SEED},
+        ases=len(asns),
+        speedup=round(speedup, 2),
+    )
 
 
 @pytest.mark.parametrize("world_fixture,scale", _WORLDS)
@@ -143,3 +153,14 @@ def test_bench_address_summarization(benchmark, request, world_fixture, scale):
     )
     assert speedup > 1.0
     assert accounting_speedup > 1.0
+    append_record(
+        "kernels",
+        "address_summarization",
+        tracked={
+            "kernel_ms": round(fast_s * 1e3, 3),
+            "accounting_walk_ms": round(walk_s * 1e3, 3),
+        },
+        context={"scale": scale, "seed": BENCH_SEED},
+        prefixes=len(pairs),
+        speedup=round(speedup, 2),
+    )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import os
 
+from _record import append_record, mean_seconds
 
 from repro.config import ParallelConfig
 from repro.core.pipeline import StateOwnershipPipeline
@@ -59,6 +60,13 @@ def test_bench_pipeline_serial(benchmark, small_bench_inputs):
     benchmark.extra_info["backend"] = "serial"
     _report("Serial baseline (cold routing trees)", result)
     assert len(result.dataset)
+    append_record(
+        "parallel",
+        "pipeline_serial",
+        tracked={"wall_s": mean_seconds(benchmark)},
+        context={"jobs": 1, "backend": "serial"},
+        confirmed=len(result.dataset),
+    )
 
 
 def test_bench_pipeline_parallel(benchmark, small_bench_inputs):
@@ -89,6 +97,14 @@ def test_bench_pipeline_parallel(benchmark, small_bench_inputs):
         result,
     )
     assert len(result.dataset)
+    append_record(
+        "parallel",
+        "pipeline_parallel",
+        tracked={"wall_s": mean_seconds(benchmark)},
+        context={"jobs": _PARALLEL_JOBS, "backend": "process"},
+        confirmed=len(result.dataset),
+        shm_bytes=metrics.counter("runtime.shm_bytes"),
+    )
 
 
 def test_bench_pipeline_warm_cache(
@@ -113,3 +129,10 @@ def test_bench_pipeline_warm_cache(
     _report("Warm persistent cache (CTI served from disk)", result)
     assert metrics.counter("cache.hits") - hits_before >= 1
     assert len(result.dataset)
+    append_record(
+        "parallel",
+        "pipeline_warm_cache",
+        tracked={"wall_s": mean_seconds(benchmark)},
+        context={"jobs": 1, "backend": "serial", "cache": "warm"},
+        confirmed=len(result.dataset),
+    )

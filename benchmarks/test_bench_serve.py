@@ -19,9 +19,10 @@ import json
 import os
 import threading
 import time
-from pathlib import Path
 
 import pytest
+
+from _record import append_record
 
 from repro.core.dataset import OrganizationRecord, StateOwnedDataset
 from repro.io.jsonio import dump_json
@@ -33,7 +34,6 @@ _REQUESTS_PER_CLIENT = int(
 )
 _ORGS = 200
 _ASNS_PER_ORG = 4
-_RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
 
 _CCS = ("NO", "SE", "UZ", "AR", "ZA", "GR", "IN", "SA", "RU", "CN")
 
@@ -197,12 +197,17 @@ def test_bench_serve_concurrent_hot_swap(benchmark, serve_stack):
         f"1 hot swap, 0 failures)"
     )
 
-    if os.environ.get("REPRO_BENCH_RECORD") == "1":
-        record = {"benchmark": "serve_concurrent_hot_swap", **stats,
-                  "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
-                                               time.gmtime())}
-        with _RECORD_PATH.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record) + "\n")
+    append_record(
+        "serve",
+        "serve_concurrent_hot_swap",
+        tracked={
+            "qps": stats["qps"],
+            "p50_ms": stats["p50_ms"],
+            "p95_ms": stats["p95_ms"],
+        },
+        context={"clients": _CLIENTS, "requests": total},
+        **stats,
+    )
 
 
 def test_bench_serve_index_build(benchmark, serve_stack):

@@ -21,6 +21,8 @@ from __future__ import annotations
 import os
 import pickle
 
+from _record import append_record, mean_seconds
+
 from repro.config import WorldConfig
 from repro.obs import get_metrics
 from repro.parallel import ExecutionContext, ResultCache, world_fingerprint
@@ -57,6 +59,13 @@ def test_bench_worldgen_serial(benchmark):
     benchmark.extra_info["backend"] = "serial"
     benchmark.extra_info["asns"] = len(world.asn_records)
     assert world.asn_records
+    append_record(
+        "worldgen",
+        "worldgen_serial",
+        tracked={"wall_s": mean_seconds(benchmark)},
+        context={"scale": BENCH_SCALE, "seed": BENCH_SEED, "jobs": 1},
+        asns=len(world.asn_records),
+    )
 
 
 def test_bench_worldgen_parallel(benchmark):
@@ -86,6 +95,17 @@ def test_bench_worldgen_parallel(benchmark):
     )
     assert benchmark.extra_info["pool_spawns"] == 1
     assert _signature(world) == serial_signature
+    append_record(
+        "worldgen",
+        "worldgen_parallel",
+        tracked={"wall_s": mean_seconds(benchmark)},
+        context={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "jobs": _PARALLEL_JOBS,
+        },
+        asns=len(world.asn_records),
+    )
 
 
 def test_bench_worldgen_cached(benchmark, tmp_path_factory):
@@ -107,3 +127,10 @@ def test_bench_worldgen_cached(benchmark, tmp_path_factory):
     world = benchmark.pedantic(load, rounds=1, iterations=1)
     benchmark.extra_info["cache"] = "warm"
     assert world.asn_records
+    append_record(
+        "worldgen",
+        "worldgen_cached",
+        tracked={"wall_s": mean_seconds(benchmark)},
+        context={"scale": BENCH_SCALE, "seed": BENCH_SEED, "cache": "warm"},
+        asns=len(world.asn_records),
+    )

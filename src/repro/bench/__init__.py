@@ -1,0 +1,23 @@
+"""Benchmark-trajectory tooling.
+
+The repo commits its perf history as append-only ``BENCH_*.json`` files
+(JSON lines; see ``benchmarks/_record.py``).  This package reads those
+trajectories back: :func:`~repro.bench.diff.diff_trajectories` compares
+the last two comparable records of every file and flags regressions in
+the tracked stages, which is what the ``repro bench-diff`` subcommand
+(and the CI bench-smoke gate) runs.
+"""
+
+from repro.bench.diff import (
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    diff_trajectories,
+    format_report,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "diff_trajectories",
+    "format_report",
+]

@@ -1,0 +1,187 @@
+"""Compare the last two records of each committed bench trajectory.
+
+Each ``BENCH_*.json`` file is an append-only sequence of JSON-line
+records.  A record is *comparable* to another when both name the same
+``benchmark`` and carry an identical ``context`` dict (scale, jobs,
+client count, ...) — so a reduced-scale CI record never diffs against a
+full-scale workstation baseline, and the gate only fires on like-for-like
+pairs produced on the same configuration.
+
+Within a comparable pair, the ``tracked`` metrics are gated: a metric
+regresses when it moves against its direction by more than the threshold
+(default 20 %).  Direction is inferred from the key — ``qps`` and
+``*_per_s`` are higher-is-better, everything else (wall times in ``_s`` /
+``_ms``) lower-is-better.  Records predating the ``tracked`` convention
+fall back to gating their flat ``qps``/``p50_ms``/``p95_ms`` keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "diff_trajectories",
+    "format_report",
+]
+
+DEFAULT_THRESHOLD = 0.20
+
+_HIGHER_BETTER = {"qps"}
+#: Keys gated on records that predate the ``tracked`` convention.
+_LEGACY_TRACKED = ("qps", "p50_ms", "p95_ms")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One tracked metric compared across the last comparable pair."""
+
+    trajectory: str
+    benchmark: str
+    metric: str
+    old: float
+    new: float
+    change: float  # signed fraction: (new - old) / old
+    regressed: bool
+
+
+def _higher_is_better(metric: str) -> bool:
+    return metric in _HIGHER_BETTER or metric.endswith("_per_s")
+
+
+def _tracked_metrics(record: dict) -> Dict[str, float]:
+    tracked = record.get("tracked")
+    if isinstance(tracked, dict) and tracked:
+        return {
+            key: float(value)
+            for key, value in tracked.items()
+            if isinstance(value, (int, float))
+        }
+    return {
+        key: float(record[key])
+        for key in _LEGACY_TRACKED
+        if isinstance(record.get(key), (int, float))
+    }
+
+
+def _pair_key(record: dict) -> Tuple[str, str]:
+    context = record.get("context")
+    context_key = (
+        json.dumps(context, sort_keys=True)
+        if isinstance(context, dict)
+        else "{}"
+    )
+    return str(record.get("benchmark", "?")), context_key
+
+
+def _parse_lines(path: Path) -> List[dict]:
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn append must not wedge the gate
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def diff_file(
+    path: Path, threshold: float = DEFAULT_THRESHOLD
+) -> List[MetricDelta]:
+    """Deltas for the last comparable record pair of each benchmark."""
+    groups: Dict[Tuple[str, str], List[dict]] = {}
+    for record in _parse_lines(path):
+        groups.setdefault(_pair_key(record), []).append(record)
+    deltas: List[MetricDelta] = []
+    for (benchmark, _), records in sorted(groups.items()):
+        if len(records) < 2:
+            continue
+        old_record, new_record = records[-2], records[-1]
+        old_metrics = _tracked_metrics(old_record)
+        new_metrics = _tracked_metrics(new_record)
+        for metric in old_metrics:
+            if metric not in new_metrics:
+                continue
+            old, new = old_metrics[metric], new_metrics[metric]
+            if old == 0:
+                continue
+            change = (new - old) / old
+            if _higher_is_better(metric):
+                regressed = change < -threshold
+            else:
+                regressed = change > threshold
+            deltas.append(
+                MetricDelta(
+                    trajectory=path.name,
+                    benchmark=benchmark,
+                    metric=metric,
+                    old=old,
+                    new=new,
+                    change=change,
+                    regressed=regressed,
+                )
+            )
+    return deltas
+
+
+def diff_trajectories(
+    root: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    pattern: str = "BENCH_*.json",
+) -> List[MetricDelta]:
+    """Deltas across every trajectory file under ``root`` (sorted)."""
+    deltas: List[MetricDelta] = []
+    for path in sorted(Path(root).glob(pattern)):
+        deltas.extend(diff_file(path, threshold=threshold))
+    return deltas
+
+
+def format_report(
+    deltas: List[MetricDelta], threshold: float = DEFAULT_THRESHOLD
+) -> str:
+    """Human-readable report; one line per compared metric."""
+    if not deltas:
+        return (
+            "bench-diff: no comparable record pairs found "
+            "(need two records with matching benchmark and context)"
+        )
+    lines = []
+    regressions = 0
+    for delta in deltas:
+        if delta.regressed:
+            regressions += 1
+            verdict = "REGRESSED"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{delta.trajectory}  {delta.benchmark}  {delta.metric}: "
+            f"{delta.old:g} -> {delta.new:g} "
+            f"({delta.change:+.1%})  {verdict}"
+        )
+    lines.append(
+        f"bench-diff: {len(deltas)} metric(s) compared, "
+        f"{regressions} regression(s) beyond {threshold:.0%}"
+    )
+    return "\n".join(lines)
+
+
+def run_diff(
+    root: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    pattern: Optional[str] = None,
+) -> Tuple[int, str]:
+    """The bench-diff gate: ``(exit_code, report)``; nonzero on regression."""
+    deltas = diff_trajectories(
+        root, threshold=threshold, pattern=pattern or "BENCH_*.json"
+    )
+    report = format_report(deltas, threshold=threshold)
+    exit_code = 1 if any(d.regressed for d in deltas) else 0
+    return exit_code, report

@@ -7,6 +7,7 @@ Subcommands::
     report     run the pipeline and print the full evaluation report
     validate   run the pipeline and score it against the ground truth
     show       pretty-print organizations from a dataset file
+    bench-diff compare committed BENCH_*.json trajectories for regressions
 
 Examples::
 
@@ -158,6 +159,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--poll-interval", type=float, default=2.0,
                          metavar="SECONDS",
                          help="snapshot change-poll interval (default: 2.0)")
+
+    p_bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare the last two records of each BENCH_*.json trajectory "
+             "and fail on perf regressions",
+    )
+    p_bench_diff.add_argument(
+        "--dir", default=".", metavar="PATH",
+        help="directory holding BENCH_*.json files (default: .)",
+    )
+    p_bench_diff.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="relative regression gate on tracked metrics (default: 0.20)",
+    )
     return parser
 
 
@@ -233,11 +248,33 @@ _SUMMARY_COUNTERS = (
     "parallel.pool_restarts",
     "parallel.requeued_tasks",
     "world.gen.renames",
+    "runtime.state_bytes",
+    "runtime.shm_bytes",
+    "runtime.shm_segments",
+    "runtime.attach",
+    "cti.country_shards",
+    "cti.terms_released",
 )
 
 
+def _peak_rss_gauges() -> dict:
+    """Coordinator and reaped-children peak RSS, in bytes (Linux/mac)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return {}
+    # ru_maxrss is KB on Linux, bytes on macOS; normalize to bytes.
+    unit = 1 if sys.platform == "darwin" else 1024
+    return {
+        "runtime.peak_rss_bytes":
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit,
+        "runtime.peak_child_rss_bytes":
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit,
+    }
+
+
 def _emit_run_summary() -> None:
-    """Emit cache and worker-pool counters to the active trace sink."""
+    """Emit cache, worker-pool, and state-plane telemetry to the trace sink."""
     from repro.obs import get_metrics, get_sink
 
     sink = get_sink()
@@ -249,12 +286,17 @@ def _emit_run_summary() -> None:
         for name in _SUMMARY_COUNTERS
         if metrics.counter(name)
     }
+    gauges = _peak_rss_gauges()
+    shm_live = metrics.gauge_value("runtime.shm_bytes_live")
+    if shm_live:
+        gauges["runtime.shm_bytes_live"] = shm_live
     sink.emit(
         {
             "event": "summary",
             "name": "run.summary",
             "depth": 0,
             "counters": counters,
+            "gauges": gauges,
         }
     )
 
@@ -479,6 +521,22 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
             return 2
         return 0
+
+    if args.command == "bench-diff":
+        from pathlib import Path
+
+        from repro.bench.diff import DEFAULT_THRESHOLD, run_diff
+
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        root = Path(args.dir)
+        if not root.is_dir():
+            print(f"error: not a directory: {args.dir}", file=sys.stderr)
+            return 2
+        exit_code, report = run_diff(root, threshold=threshold)
+        print(report)
+        return exit_code
 
     if args.command == "show":
         try:

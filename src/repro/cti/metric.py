@@ -34,15 +34,23 @@ address-weight index is built lazily on first use: constructing a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import AnalysisError
+from repro.cti.soa import CountryWeightIndex
 from repro.net.monitors import RouteCollector
+from repro.net.prefix import Prefix
 from repro.obs import get_metrics
 from repro.sources.geolocation import GeolocationService
 from repro.sources.prefix2as import Prefix2ASTable
 
 __all__ = ["CTIComputer"]
+
+#: Countries scored per shard by :meth:`CTIComputer.score_countries`; the
+#: terms of origins no later shard needs are released between shards, so
+#: peak memory is bounded by the widest shard instead of the whole run.
+_DEFAULT_COUNTRY_SHARD = 16
 
 #: One transit contribution: (transit ASN, w(m)/|M|, AS-hop distance).
 TransitTerm = Tuple[int, float, int]
@@ -99,12 +107,16 @@ class CTIComputer:
         #: itself, and pruning them avoids computing routing trees for the
         #: long tail of geolocation-leak artifacts.
         self._min_address_fraction = min_address_fraction
-        # Per country: origin AS -> geolocated address weight, de-duplicated
-        # with the more-specific rule.  Built lazily on first use — a
-        # computer whose scores come preloaded from the persistent cache
-        # never pays for the table scan.
-        self._weights: Optional[Dict[str, Dict[int, int]]] = None
-        self._totals: Optional[Dict[str, int]] = None
+        # Struct-of-arrays per-country address-weight index (origin and
+        # weight columns per country span, see repro.cti.soa).  Built
+        # lazily on first use — a computer whose scores come preloaded
+        # from the persistent cache never pays for the table scan.
+        self._index: Optional[CountryWeightIndex] = None
+        #: Dict-shaped view of the index, materialized only when the
+        #: reference oracle (or a legacy caller) asks for it.
+        self._dict_view: Optional[
+            Tuple[Dict[str, Dict[int, int]], Dict[str, int]]
+        ] = None
         #: Per-origin transit terms, shared across all countries that score
         #: the origin (and across serial/parallel execution paths).
         self._terms: Dict[int, Tuple[TransitTerm, ...]] = {}
@@ -116,19 +128,21 @@ class CTIComputer:
         return self._min_address_fraction
 
     # -- lazy per-country address index ------------------------------------
-    def _ensure_index(self) -> None:
-        if self._weights is not None:
-            return
+    def _ensure_index(self) -> CountryWeightIndex:
+        if self._index is not None:
+            return self._index
         weights_by_cc: Dict[str, Dict[int, int]] = {}
         totals: Dict[str, int] = {}
-        # One post-order trie pass sizes a(p, C) for every announced prefix;
-        # the per-prefix loop below then only pays for geolocation.
-        uncovered = self._table.uncovered_address_counts()
+        # The flat prefix/count view bakes the post-order trie pass into
+        # its uncovered column, so this loop pays only for geolocation —
+        # no per-prefix dict lookups.  Row order is table order, identical
+        # to iterating (prefix, origin) pairs directly.
+        flat = self._table.flat_counts()
         get_metrics().incr("cti.index_prefixes", len(self._table))
-        for prefix, origin in self._table:
-            usable = uncovered[prefix]
+        for base, length, origin, usable in flat.rows():
             if usable == 0:
                 continue
+            prefix = Prefix(base, length)
             split = self._geolocation.locate_prefix(prefix, origin)
             scale = usable / prefix.num_addresses
             for cc, count in split.items():
@@ -138,39 +152,54 @@ class CTIComputer:
                 weights = weights_by_cc.setdefault(cc, {})
                 weights[origin] = weights.get(origin, 0) + scaled
                 totals[cc] = totals.get(cc, 0) + scaled
-        self._weights = weights_by_cc
-        self._totals = totals
+        # The dicts are transient: the index flattens them to SoA columns
+        # in the same insertion order, which is what the scoring loop (and
+        # its float-addition order) replays.
+        self._index = CountryWeightIndex.build(weights_by_cc, totals)
+        return self._index
+
+    @property
+    def weight_index(self) -> CountryWeightIndex:
+        """The flat per-country weight index (shm-shareable)."""
+        return self._ensure_index()
 
     @property
     def _per_country(self) -> Dict[str, Dict[int, int]]:
-        self._ensure_index()
-        return self._weights
+        """Dict-shaped view of the weight index (oracle/compat path)."""
+        if self._dict_view is None:
+            self._dict_view = self._ensure_index().as_dicts()
+        return self._dict_view[0]
 
     @property
     def _country_totals(self) -> Dict[str, int]:
-        self._ensure_index()
-        return self._totals
+        if self._dict_view is None:
+            self._dict_view = self._ensure_index().as_dicts()
+        return self._dict_view[1]
 
     def countries(self) -> List[str]:
         """Countries with any geolocated address space."""
-        return sorted(self._per_country)
+        return sorted(self._ensure_index().ccs)
 
     def country_address_total(self, cc: str) -> int:
         """A(C): total geolocated addresses of the country."""
-        return self._country_totals.get(cc, 0)
+        return self._ensure_index().total(cc)
 
     # -- shared per-origin transit terms -----------------------------------
     def _scored_origins(self, cc: str) -> List[int]:
         """Origins of ``cc`` passing the address-fraction prune, in the
-        index iteration order the scoring loop uses."""
-        origin_weights = self._per_country.get(cc)
-        total = self._country_totals.get(cc, 0)
-        if not origin_weights or total == 0:
+        index column order the scoring loop uses."""
+        index = self._ensure_index()
+        span = index.span(cc)
+        total = index.total(cc)
+        if span is None or total == 0:
             return []
+        start, end = span
+        origins = index.origins
+        weights = index.weights
         return [
-            origin
-            for origin, weight in origin_weights.items()
-            if weight / total >= self._min_address_fraction
+            origins[i]
+            for i in range(start, end)
+            if weights[i] / total >= self._min_address_fraction
         ]
 
     def _origin_terms(self, origin: int) -> Tuple[TransitTerm, ...]:
@@ -225,6 +254,65 @@ class CTIComputer:
             metrics.incr("cti.origins_walked", len(needed))
         return len(needed)
 
+    def release_terms(self, keep: Optional[Set[int]] = None) -> int:
+        """Drop cached transit terms (all, or all not in ``keep``).
+
+        Scores already computed are unaffected; origins scored again later
+        simply re-walk.  Returns the number of term tuples released.
+        """
+        if keep is None:
+            released = len(self._terms)
+            self._terms = {}
+        else:
+            victims = [o for o in self._terms if o not in keep]
+            for origin in victims:
+                del self._terms[origin]
+            released = len(victims)
+        if released:
+            get_metrics().incr("cti.terms_released", released)
+        return released
+
+    def score_countries(
+        self,
+        ccs: Iterable[str],
+        context=None,
+        shard_size: Optional[int] = None,
+    ) -> None:
+        """Score many countries in bounded memory, sharded by country group.
+
+        Splits ``ccs`` into shards of ``shard_size`` (default
+        ``REPRO_CTI_SHARD``, falling back to 16), precomputes each shard's
+        origin terms over ``context``, scores the shard, then releases the
+        terms no remaining shard needs.  Peak term memory is bounded by
+        the widest shard + carryover instead of the whole country list,
+        and — because per-country scores depend only on that country's
+        column span and its origins' terms — the scores are bit-identical
+        to an unsharded pass regardless of shard size or backend.
+        """
+        if shard_size is None:
+            shard_size = int(
+                os.environ.get("REPRO_CTI_SHARD", str(_DEFAULT_COUNTRY_SHARD))
+            )
+        shard_size = max(1, shard_size)
+        pending = [cc for cc in ccs if cc not in self._cti_cache]
+        shards = [
+            pending[i : i + shard_size]
+            for i in range(0, len(pending), shard_size)
+        ]
+        if len(shards) > 1:
+            get_metrics().incr("cti.country_shards", len(shards))
+        for position, shard in enumerate(shards):
+            self.precompute(shard, context=context)
+            for cc in shard:
+                self.country_cti(cc)
+            remaining = shards[position + 1 :]
+            if remaining:
+                keep: Set[int] = set()
+                for later in remaining:
+                    for cc in later:
+                        keep.update(self._scored_origins(cc))
+                self.release_terms(keep=keep)
+
     # -- persistent-cache interchange --------------------------------------
     def preload_scores(self, scores: Mapping[str, Mapping[int, float]]) -> None:
         """Install externally computed score maps (warm persistent cache).
@@ -249,24 +337,34 @@ class CTIComputer:
 
     # -- the metric --------------------------------------------------------
     def country_cti(self, cc: str) -> Dict[int, float]:
-        """CTI(AS, cc) for every transit AS with non-zero influence."""
+        """CTI(AS, cc) for every transit AS with non-zero influence.
+
+        Scores straight off the SoA weight index: one pass over the
+        country's column span, with the same divisions and additions (in
+        the same order) as the dict walk it replaced — see
+        :meth:`_reference_country_cti`, the retained oracle.
+        """
         metrics = get_metrics()
         if cc in self._cti_cache:
             metrics.incr("cti.cache_hits")
             return self._cti_cache[cc]
-        origin_weights = self._per_country.get(cc)
-        total = self._country_totals.get(cc, 0)
+        index = self._ensure_index()
+        span = index.span(cc)
+        total = index.total(cc)
         metrics.incr("cti.countries_computed")
-        if not origin_weights or total == 0:
+        if span is None or span[0] == span[1] or total == 0:
             self._cti_cache[cc] = {}
             return {}
         if len(self._collector.monitors) == 0:
             raise AnalysisError("CTI requires at least one monitor")
+        start, end = span
+        origins = index.origins
+        weights = index.weights
         scores: Dict[int, float] = {}
         origins_scored = 0
         origins_pruned = 0
-        for origin, weight in origin_weights.items():
-            address_fraction = weight / total
+        for i in range(start, end):
+            address_fraction = weights[i] / total
             if address_fraction < self._min_address_fraction:
                 origins_pruned += 1
                 continue
@@ -274,7 +372,7 @@ class CTIComputer:
             # Replay the shared per-origin terms in the exact (monitor, hop)
             # order of the original nested loop: same additions, same
             # float associativity, bit-identical scores.
-            for asn, w, distance in self._origin_terms(origin):
+            for asn, w, distance in self._origin_terms(origins[i]):
                 scores[asn] = scores.get(asn, 0.0) + (
                     w * address_fraction / distance
                 )
@@ -282,6 +380,44 @@ class CTIComputer:
         metrics.incr("cti.origins_pruned", origins_pruned)
         self._cti_cache[cc] = scores
         return scores
+
+    def _reference_country_cti(self, cc: str) -> Dict[int, float]:
+        """Dict-walk oracle: the pre-SoA scoring loop, retained verbatim.
+
+        Bypasses the score cache and walks the dict-shaped index exactly
+        as the original implementation did.  The randomized equivalence
+        suite asserts ``country_cti(cc) == _reference_country_cti(cc)``
+        (bit-identical floats) across seeds; never call this in
+        production paths.
+        """
+        origin_weights = self._per_country.get(cc)
+        total = self._country_totals.get(cc, 0)
+        if not origin_weights or total == 0:
+            return {}
+        if len(self._collector.monitors) == 0:
+            raise AnalysisError("CTI requires at least one monitor")
+        scores: Dict[int, float] = {}
+        for origin, weight in origin_weights.items():
+            address_fraction = weight / total
+            if address_fraction < self._min_address_fraction:
+                continue
+            for asn, w, distance in self._origin_terms(origin):
+                scores[asn] = scores.get(asn, 0.0) + (
+                    w * address_fraction / distance
+                )
+        return scores
+
+    def _reference_scored_origins(self, cc: str) -> List[int]:
+        """Dict-walk oracle for :meth:`_scored_origins`."""
+        origin_weights = self._per_country.get(cc)
+        total = self._country_totals.get(cc, 0)
+        if not origin_weights or total == 0:
+            return []
+        return [
+            origin
+            for origin, weight in origin_weights.items()
+            if weight / total >= self._min_address_fraction
+        ]
 
     def top_influencers(self, cc: str, k: int = 2) -> List[Tuple[int, float]]:
         """The ``k`` highest-CTI transit ASes for a country."""

@@ -46,10 +46,12 @@ def select_cti_candidates(
     ``context`` (an :class:`~repro.parallel.ExecutionContext`) fans the
     per-origin routing-tree work out across workers before the per-country
     scoring replays it — results are bit-identical to the serial path.
+    The fan-out is sharded by country group (``REPRO_CTI_SHARD``): each
+    shard precomputes, scores, and releases the transit terms no later
+    shard needs, so term memory stays bounded at internet scale.
     """
     eligible = sorted(set(eligible_countries))
-    if context is not None:
-        cti.precompute(eligible, context=context)
+    cti.score_countries(eligible, context=context)
     provenance: Dict[int, List[Tuple[str, int, float]]] = {}
     selected: Set[int] = set()
     applied: List[str] = []

@@ -1,0 +1,177 @@
+"""Struct-of-arrays per-country address-weight index for CTI scoring.
+
+PR 3 replaced the quadratic cone and trie passes with flat single-pass
+kernels; this module extends that approach to the last per-object dict in
+the CTI hot path.  The per-country index — ``{cc: {origin: weight}}`` plus
+``{cc: total}`` — becomes four parallel arrays and a country string pool:
+
+* ``cc_blob`` / ``cc_offsets`` — UTF-8 string pool of country codes with a
+  byte-offset table (``n + 1`` entries);
+* ``starts`` — per-country span table into the origin/weight columns
+  (``n + 1`` entries, country ``i`` owns ``[starts[i], starts[i+1])``);
+* ``origins`` / ``weights`` — the columns, concatenated per country in
+  the exact insertion order the dict-based index produced, so replaying a
+  span reproduces the dict iteration (and therefore every floating-point
+  sum) bit for bit;
+* ``totals`` — A(C) per country.
+
+The index is immutable after :meth:`CountryWeightIndex.build` and
+implements the :mod:`repro.parallel.shm` shareable protocol, so a
+scale-10 world's weight table can live in one shared segment instead of
+per-worker dict copies.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CountryWeightIndex"]
+
+#: Buffer order for the shm protocol (must match ``__shm_export__``).
+_FORMATS: Tuple[str, ...] = ("B", "i", "i", "q", "q", "q")
+
+
+class CountryWeightIndex:
+    """Immutable SoA view of per-country origin address weights."""
+
+    __slots__ = (
+        "cc_blob",
+        "cc_offsets",
+        "starts",
+        "origins",
+        "weights",
+        "totals",
+        "_ccs",
+        "_slot",
+    )
+
+    def __init__(
+        self,
+        cc_blob,
+        cc_offsets: Sequence[int],
+        starts: Sequence[int],
+        origins: Sequence[int],
+        weights: Sequence[int],
+        totals: Sequence[int],
+    ) -> None:
+        self.cc_blob = cc_blob
+        self.cc_offsets = cc_offsets
+        self.starts = starts
+        self.origins = origins
+        self.weights = weights
+        self.totals = totals
+        self._ccs: Optional[Tuple[str, ...]] = None
+        self._slot: Optional[Dict[str, int]] = None
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        weights_by_cc: Dict[str, Dict[int, int]],
+        totals: Dict[str, int],
+    ) -> "CountryWeightIndex":
+        """Flatten the transient dict index, preserving insertion order.
+
+        The dicts are the build-time representation only; nothing retains
+        them after flattening.  Column order per country *is* the dict
+        iteration order, which is what keeps SoA scoring byte-identical to
+        the dict walk it replaces.
+        """
+        ccs = list(weights_by_cc)
+        blob_parts: List[bytes] = []
+        cc_offsets = array("i", [0])
+        starts = array("i", [0])
+        origins = array("q")
+        weights = array("q")
+        total_col = array("q")
+        pos = 0
+        count = 0
+        for cc in ccs:
+            encoded = cc.encode("utf-8")
+            blob_parts.append(encoded)
+            pos += len(encoded)
+            cc_offsets.append(pos)
+            per_origin = weights_by_cc[cc]
+            for origin, weight in per_origin.items():
+                origins.append(origin)
+                weights.append(weight)
+            count += len(per_origin)
+            starts.append(count)
+            total_col.append(totals.get(cc, 0))
+        return cls(
+            b"".join(blob_parts), cc_offsets, starts, origins, weights,
+            total_col,
+        )
+
+    # -- zero-copy shipping (repro.parallel.shm protocol) -------------------
+    def __shm_export__(self):
+        buffers = (
+            self.cc_blob,
+            self.cc_offsets,
+            self.starts,
+            self.origins,
+            self.weights,
+            self.totals,
+        )
+        return {}, list(zip(_FORMATS, buffers))
+
+    @classmethod
+    def __shm_rebuild__(cls, meta, views) -> "CountryWeightIndex":
+        return cls(*views)
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def ccs(self) -> Tuple[str, ...]:
+        """Country codes in index order (decoded from the pool once)."""
+        if self._ccs is None:
+            blob = bytes(self.cc_blob)
+            offsets = self.cc_offsets
+            self._ccs = tuple(
+                blob[offsets[i] : offsets[i + 1]].decode("utf-8")
+                for i in range(len(offsets) - 1)
+            )
+        return self._ccs
+
+    def _slot_of(self, cc: str) -> Optional[int]:
+        if self._slot is None:
+            self._slot = {cc: i for i, cc in enumerate(self.ccs)}
+        return self._slot.get(cc)
+
+    def __len__(self) -> int:
+        return len(self.starts) - 1
+
+    def __contains__(self, cc: str) -> bool:
+        return self._slot_of(cc) is not None
+
+    def span(self, cc: str) -> Optional[Tuple[int, int]]:
+        """Column span ``[start, end)`` of ``cc``, or None if unknown."""
+        slot = self._slot_of(cc)
+        if slot is None:
+            return None
+        return self.starts[slot], self.starts[slot + 1]
+
+    def total(self, cc: str) -> int:
+        """A(C): the country's total geolocated address count."""
+        slot = self._slot_of(cc)
+        return self.totals[slot] if slot is not None else 0
+
+    def as_dicts(self) -> Tuple[Dict[str, Dict[int, int]], Dict[str, int]]:
+        """Reconstruct the dict-shaped index (reference/compat path).
+
+        Rebuilds ``({cc: {origin: weight}}, {cc: total})`` with the same
+        insertion order the build-time dicts had.  Used by the retained
+        dict-based oracle and by callers that still want mapping access;
+        the scoring hot path never calls this.
+        """
+        weights_by_cc: Dict[str, Dict[int, int]] = {}
+        totals: Dict[str, int] = {}
+        origins = self.origins
+        weights = self.weights
+        for slot, cc in enumerate(self.ccs):
+            start, end = self.starts[slot], self.starts[slot + 1]
+            weights_by_cc[cc] = {
+                origins[i]: weights[i] for i in range(start, end)
+            }
+            totals[cc] = self.totals[slot]
+        return weights_by_cc, totals

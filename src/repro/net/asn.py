@@ -44,7 +44,10 @@ _RIR_BLOCKS = {
     "RIPE": [(1877, 1901), (8192, 9215), (12288, 13311), (196608, 210331)],
     "APNIC": [(4608, 4865), (9216, 10239), (17408, 18431), (131072, 141625)],
     "LACNIC": [(26592, 27647), (52224, 53247), (262144, 273820)],
-    "AFRINIC": [(36864, 37887), (327680, 328703)],
+    # AFRINIC's real delegations are narrow; the synthetic 32-bit block is
+    # widened so internet-scale worlds (scale 10+) don't exhaust the pool —
+    # Africa has many countries, and this was the smallest pool by 6x.
+    "AFRINIC": [(36864, 37887), (327680, 347679)],
 }
 
 

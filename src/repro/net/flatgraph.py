@@ -1,0 +1,167 @@
+"""Flattened, read-only AS-graph views for the shared-memory plane.
+
+:class:`~repro.net.topology.ASGraph` stores adjacency as per-node Python
+lists — ideal for incremental construction, terrible for shipping to
+process workers (the pickle walks every list and every int).  This module
+flattens a finished graph into CSR (compressed sparse row) arrays:
+
+* ``asns`` — ``array('q')``, the ASN table in dense-index order;
+* per relationship kind (providers / customers / peers) an ``indptr``
+  array (``'i'``, length ``n+1``) and an ``indices`` array (``'i'``)
+  holding each node's neighbor indices back to back, preserving the
+  original per-node insertion order.
+
+:class:`FlatASGraph` wraps those arrays (or zero-copy ``memoryview`` casts
+over a shared segment) behind exactly the read surface the Gao-Rexford
+propagation in :mod:`repro.net.bgp` consumes — ``index_of`` / ``asn_at`` /
+``providers[node]`` / ``customers[node]`` / ``peers[node]`` — so routing
+trees built on a flat view are byte-identical to trees built on the
+original mutable graph.
+
+:class:`GraphArrays` implements the shm shareable protocol
+(:mod:`repro.parallel.shm`), which is what lets a
+:class:`~repro.net.monitors.RouteCollector` travel to workers as a name
+card instead of a multi-megabyte pickle.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["CSRRows", "FlatASGraph", "GraphArrays", "flatten_graph"]
+
+
+class CSRRows:
+    """Row-indexable CSR adjacency: ``rows[node]`` is a zero-copy slice."""
+
+    __slots__ = ("indptr", "indices")
+
+    def __init__(self, indptr: Sequence[int], indices: Sequence[int]) -> None:
+        self.indptr = indptr
+        self.indices = indices
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def __getitem__(self, node: int) -> Sequence[int]:
+        if node < 0:  # keep list-like negative indexing out of hot paths
+            raise IndexError(node)
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+
+class GraphArrays:
+    """The flat buffers of one AS graph; shm-shareable.
+
+    Holds seven C-contiguous buffers (``array.array`` when built locally,
+    ``memoryview`` casts when rebuilt over a shared segment) in a fixed
+    order: the ASN table, then (indptr, indices) per relationship kind.
+    """
+
+    FORMATS: Tuple[str, ...] = ("q", "i", "i", "i", "i", "i", "i")
+
+    __slots__ = ("buffers",)
+
+    def __init__(self, buffers: Sequence) -> None:
+        if len(buffers) != len(self.FORMATS):
+            raise ValueError(
+                f"expected {len(self.FORMATS)} buffers, got {len(buffers)}"
+            )
+        self.buffers = tuple(buffers)
+
+    def __shm_export__(self):
+        return {}, list(zip(self.FORMATS, self.buffers))
+
+    @classmethod
+    def __shm_rebuild__(cls, meta, views) -> "GraphArrays":
+        return cls(views)
+
+    def view(self) -> "FlatASGraph":
+        asns, p_ptr, p_idx, c_ptr, c_idx, e_ptr, e_idx = self.buffers
+        return FlatASGraph(
+            asns,
+            CSRRows(p_ptr, p_idx),
+            CSRRows(c_ptr, c_idx),
+            CSRRows(e_ptr, e_idx),
+        )
+
+
+def _csr(rows: List[List[int]]) -> Tuple[array, array]:
+    indptr = array("i", [0])
+    indices = array("i")
+    total = 0
+    for row in rows:
+        total += len(row)
+        indptr.append(total)
+        indices.extend(row)
+    return indptr, indices
+
+
+def flatten_graph(graph) -> GraphArrays:
+    """Flatten a finished :class:`ASGraph` (or compatible) to CSR arrays."""
+    n = len(graph)
+    asns = array("q", (graph.asn_at(i) for i in range(n)))
+    p_ptr, p_idx = _csr([list(graph.providers[i]) for i in range(n)])
+    c_ptr, c_idx = _csr([list(graph.customers[i]) for i in range(n)])
+    e_ptr, e_idx = _csr([list(graph.peers[i]) for i in range(n)])
+    return GraphArrays((asns, p_ptr, p_idx, c_ptr, c_idx, e_ptr, e_idx))
+
+
+class FlatASGraph:
+    """Read-only AS graph over flat adjacency arrays.
+
+    Implements the query surface route propagation needs; mutation methods
+    intentionally do not exist.  ``index_of`` uses a dict rebuilt once at
+    construction — a per-process O(n) cost, tiny next to copying the
+    adjacency itself, and the only part of the structure that cannot live
+    in a shared segment.
+    """
+
+    __slots__ = ("_asns", "_index", "providers", "customers", "peers")
+
+    def __init__(
+        self,
+        asns: Sequence[int],
+        providers: CSRRows,
+        customers: CSRRows,
+        peers: CSRRows,
+    ) -> None:
+        self._asns = asns
+        self._index: Dict[int, int] = {
+            asn: i for i, asn in enumerate(asns)
+        }
+        self.providers = providers
+        self.customers = customers
+        self.peers = peers
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._index
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._asns)
+
+    @property
+    def asns(self) -> Tuple[int, ...]:
+        return tuple(self._asns)
+
+    def index_of(self, asn: int) -> int:
+        try:
+            return self._index[asn]
+        except KeyError:
+            raise TopologyError(f"unknown AS{asn}") from None
+
+    def asn_at(self, index: int) -> int:
+        return self._asns[index]
+
+    def degree(self, asn: int) -> int:
+        idx = self.index_of(asn)
+        return (
+            len(self.providers[idx])
+            + len(self.customers[idx])
+            + len(self.peers[idx])
+        )

@@ -132,6 +132,35 @@ class RouteCollector:
         self.monitors = state["monitors"]
         self._cache = RoutingTreeCache(self._graph)
 
+    # -- zero-copy shipping (repro.parallel.shm protocol) -------------------
+    def __shm_export__(self):
+        """Flatten to CSR buffers + a tiny monitor meta dict.
+
+        The graph dominates a collector's pickle; exporting it as flat
+        arrays lets every process worker attach to one shared copy.  The
+        monitor list is a few hundred (id, asn) pairs and rides in meta.
+        """
+        from repro.net.flatgraph import flatten_graph
+
+        meta = {
+            "monitors": tuple(
+                (m.monitor_id, m.host_asn) for m in self.monitors
+            )
+        }
+        _, buffers = flatten_graph(self._graph).__shm_export__()
+        return meta, buffers
+
+    @classmethod
+    def __shm_rebuild__(cls, meta, views) -> "RouteCollector":
+        from repro.net.flatgraph import GraphArrays
+
+        graph = GraphArrays(views).view()
+        monitors = MonitorSet(
+            Monitor(monitor_id=mid, host_asn=host)
+            for mid, host in meta["monitors"]
+        )
+        return cls(graph, monitors)
+
     def path(self, monitor: Monitor, origin: int) -> Optional[Tuple[int, ...]]:
         """AS path from the monitor's host AS to ``origin`` (inclusive).
 

@@ -24,13 +24,17 @@ from repro.parallel.cache import (
 )
 from repro.parallel.context import BACKENDS, ExecutionContext
 from repro.parallel.runtime import StateHandle, WorkerRuntime
+from repro.parallel.shm import ShmRef, SharedStatePlane, is_shareable
 
 __all__ = [
     "BACKENDS",
     "ExecutionContext",
     "ResultCache",
+    "SharedStatePlane",
+    "ShmRef",
     "StateHandle",
     "WorkerRuntime",
+    "is_shareable",
     "resolve_cache_dir",
     "stable_digest",
     "world_fingerprint",

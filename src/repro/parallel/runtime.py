@@ -21,6 +21,15 @@ amortizes both:
   on a shared :class:`multiprocessing.Barrier`, which guarantees every
   worker runs exactly one installer before any real task can observe a
   missing handle.
+* **Zero-copy shared-memory plane** — states that implement the
+  ``__shm_export__`` / ``__shm_rebuild__`` protocol (see
+  :mod:`repro.parallel.shm`) are flattened once into a POSIX shared
+  segment and shipped as a tiny :class:`~repro.parallel.shm.ShmRef`
+  instead of a pickle: workers attach by name and rebuild zero-copy
+  views, so per-worker memory stays flat as ``jobs`` grows
+  (``runtime.shm_bytes`` / ``runtime.attach``).  Non-shareable states
+  keep the pickle path.  ``close()`` unlinks every segment
+  deterministically; double-close is a no-op.
 * **Streaming completion** — chunk results merge as they land
   (``as_completed``) instead of blocking on a ``wait()``-all barrier.
   Output stays byte-identical to serial because the final merge orders by
@@ -54,6 +63,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, WorkerCrashError
 from repro.obs import get_metrics
+from repro.parallel.shm import (
+    SharedStatePlane,
+    ShmRef,
+    attach_ref,
+    is_shareable,
+)
 from repro.resilience.faults import worker_fault_point
 
 __all__ = ["StateHandle", "WorkerRuntime"]
@@ -77,6 +92,9 @@ class StateHandle:
 # -- worker-process side ----------------------------------------------------
 # Installed once per worker by the pool initializer; extended in place by
 # barrier-fenced ``_install_states`` broadcasts for late registrations.
+# Each entry is ``("obj", state)`` for pickled states or ``("shm", ref)``
+# for shared-memory refs, which are attached lazily on first resolve and
+# then memoized as ``("obj", view)``.
 _WORKER_STATES: Dict[str, Any] = {}
 _WORKER_BARRIER = None
 
@@ -105,11 +123,15 @@ def _resolve_worker_state(state_ref):
     kind, value = state_ref
     if kind == "handle":
         try:
-            return _WORKER_STATES[value]
+            entry_kind, payload = _WORKER_STATES[value]
         except KeyError:
             raise WorkerCrashError(
                 f"state handle {value!r} was never shipped to this worker"
             ) from None
+        if entry_kind == "shm":
+            payload = attach_ref(payload)
+            _WORKER_STATES[value] = ("obj", payload)
+        return payload
     return value
 
 
@@ -142,6 +164,8 @@ class WorkerRuntime:
         self._barrier = None
         self._shipped: set = set()
         self._closed = False
+        self._plane: Optional[SharedStatePlane] = None
+        self._shm_refs: Dict[str, ShmRef] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -179,15 +203,54 @@ class WorkerRuntime:
                 "not registered with this runtime"
             ) from None
 
+    # -- zero-copy plane ---------------------------------------------------
+    def _shm_ref(self, token: str, state: Any) -> Optional[ShmRef]:
+        """The shared-segment ref for ``token``, flattening on first ship.
+
+        Memoized per token so pool restarts and late broadcasts reuse the
+        already-written segment instead of copying the state again.
+        """
+        ref = self._shm_refs.get(token)
+        if ref is not None:
+            return ref
+        if not is_shareable(state):
+            return None
+        if self._plane is None:
+            self._plane = SharedStatePlane()
+        ref = self._plane.share(state)
+        self._shm_refs[token] = ref
+        return ref
+
+    def _ship_blob(self, tokens) -> Tuple[Optional[bytes], int]:
+        """Pickle the ship entries for ``tokens``: shareable states travel
+        as ``("shm", ref)`` name cards, the rest as ``("obj", state)``
+        pickles.  Returns ``(blob, shm_entries)``."""
+        entries: Dict[str, Any] = {}
+        shm_entries = 0
+        for token in tokens:
+            state = self._registry[token]
+            ref = self._shm_ref(token, state)
+            if ref is not None:
+                entries[token] = ("shm", ref)
+                shm_entries += 1
+            else:
+                entries[token] = ("obj", state)
+        if not entries:
+            return None, 0
+        blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+        metrics = get_metrics()
+        metrics.incr("runtime.state_bytes", len(blob))
+        if shm_entries:
+            # Attachments provisioned: every worker attaches each shipped
+            # segment (lazily, on first resolve) instead of copying it.
+            metrics.incr("runtime.attach", shm_entries * self.jobs)
+        return blob, shm_entries
+
     # -- pool lifecycle ----------------------------------------------------
     def _spawn_pool(self) -> None:
         ctx = multiprocessing.get_context()
         self._barrier = ctx.Barrier(self.jobs)
-        blob = (
-            pickle.dumps(self._registry, protocol=pickle.HIGHEST_PROTOCOL)
-            if self._registry
-            else None
-        )
+        blob, _ = self._ship_blob(self._registry)
         self._pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             mp_context=ctx,
@@ -232,7 +295,7 @@ class WorkerRuntime:
         }
         if not pending:
             return
-        blob = pickle.dumps(pending, protocol=pickle.HIGHEST_PROTOCOL)
+        blob, _ = self._ship_blob(pending)
         futures = [
             self._pool.submit(_install_states, blob) for _ in range(self.jobs)
         ]
@@ -261,13 +324,28 @@ class WorkerRuntime:
         return self._pool
 
     def close(self) -> None:
-        """Shut the pool down; the runtime cannot be used afterwards."""
+        """Shut the pool down and release every shared segment.
+
+        Deterministic and idempotent: the pool drains first (workers exit
+        and drop their attachments), then the plane closes **and unlinks**
+        each segment, so repeated runtimes in one process cannot leak
+        ``/dev/shm`` entries.  Double-close is a no-op.
+        """
+        if self._closed:
+            return
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
         self._barrier = None
         self._shipped = set()
+        self._release_plane()
         self._closed = True
+
+    def _release_plane(self) -> None:
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+        self._shm_refs = {}
 
     def __enter__(self) -> "WorkerRuntime":
         return self
@@ -280,6 +358,11 @@ class WorkerRuntime:
         try:
             if self._pool is not None:
                 self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+        except Exception:
+            pass
+        try:
+            self._release_plane()
         except Exception:
             pass
 

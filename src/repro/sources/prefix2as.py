@@ -8,12 +8,57 @@ candidate source and the CTI metric consume.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from array import array
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SourceError
 from repro.net.prefix import Prefix, PrefixTrie
 
-__all__ = ["Prefix2ASTable"]
+__all__ = ["FlatPrefixCounts", "Prefix2ASTable"]
+
+
+class FlatPrefixCounts:
+    """SoA view of the announced table with Appendix-G usable counts.
+
+    Four parallel columns in table (base, length) sort order: prefix base
+    addresses (``'I'``), prefix lengths (``'B'``), origin ASNs (``'q'``)
+    and the uncovered address count of each prefix (``'q'``, the
+    more-specific accounting already applied).  Iterating :meth:`rows`
+    replays exactly the ``(prefix, origin)`` order of the owning table, so
+    index builds over the flat view are byte-identical to dict walks.
+    Implements the :mod:`repro.parallel.shm` shareable protocol.
+    """
+
+    FORMATS: Tuple[str, ...] = ("I", "B", "q", "q")
+
+    __slots__ = ("bases", "lengths", "origins", "uncovered")
+
+    def __init__(
+        self,
+        bases: Sequence[int],
+        lengths: Sequence[int],
+        origins: Sequence[int],
+        uncovered: Sequence[int],
+    ) -> None:
+        self.bases = bases
+        self.lengths = lengths
+        self.origins = origins
+        self.uncovered = uncovered
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    def rows(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(base, length, origin, uncovered)`` in table order."""
+        return zip(self.bases, self.lengths, self.origins, self.uncovered)
+
+    def __shm_export__(self):
+        buffers = (self.bases, self.lengths, self.origins, self.uncovered)
+        return {}, list(zip(self.FORMATS, buffers))
+
+    @classmethod
+    def __shm_rebuild__(cls, meta, views) -> "FlatPrefixCounts":
+        return cls(*views)
 
 
 class Prefix2ASTable:
@@ -27,6 +72,7 @@ class Prefix2ASTable:
         self._by_origin: Dict[int, List[Prefix]] = {}
         for prefix, origin in self._entries:
             self._by_origin.setdefault(origin, []).append(prefix)
+        self._flat: Optional[FlatPrefixCounts] = None
 
     @classmethod
     def from_world(cls, world) -> "Prefix2ASTable":
@@ -66,6 +112,27 @@ class Prefix2ASTable:
         """``a(p, C)`` for every announced prefix in one post-order trie pass
         (memoized; the table is immutable).  Treat as read-only."""
         return self._trie.uncovered_address_counts()
+
+    def flat_counts(self) -> FlatPrefixCounts:
+        """The SoA prefix/count view (memoized; the table is immutable).
+
+        One trie pass sizes every prefix, then the columns are filled in
+        entry order.  The view is what the CTI index build iterates — and
+        being shm-shareable, what a sharded index build would ship.
+        """
+        if self._flat is None:
+            uncovered = self.uncovered_address_counts()
+            bases = array("I")
+            lengths = array("B")
+            origins = array("q")
+            counts = array("q")
+            for prefix, origin in self._entries:
+                bases.append(prefix.base)
+                lengths.append(prefix.length)
+                origins.append(origin)
+                counts.append(uncovered[prefix])
+            self._flat = FlatPrefixCounts(bases, lengths, origins, counts)
+        return self._flat
 
     def announced_address_counts(self) -> Dict[int, int]:
         """De-duplicated announced address count per origin AS."""

@@ -36,6 +36,7 @@ through an :class:`~repro.parallel.ExecutionContext`:
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -71,7 +72,7 @@ __all__ = ["World", "WorldGenerator", "GroundTruthOperator"]
 #: BSCCL...).
 #: Bumped whenever a change alters the world a given config generates, so
 #: cached world blobs written by older revisions are never served stale.
-GENERATOR_VERSION = 2
+GENERATOR_VERSION = 3
 
 INTERNATIONAL_CARRIER_CCS: Tuple[str, ...] = (
     "SG", "RU", "CN", "AO", "CO", "CH", "PL", "BD", "QA", "AE", "NO", "MY",
@@ -1217,14 +1218,36 @@ class WorldGenerator:
 
     # -- step 2+3+5+6: per-country planning fan-out -----------------------------
     def _build_country_bundles(self) -> List[_CountryBundle]:
+        """Plan every country, fanned out in bounded shards.
+
+        The planning function is pure per country (each country draws from
+        its own seed stream), so mapping shard by shard and concatenating
+        yields exactly the bundle list a single full-width map produces —
+        while per-shard fan-out bounds the number of in-flight plan
+        payloads at internet scale.  Commit order (and therefore every
+        coordinator-side RNG draw) is unchanged: commits happen over the
+        full concatenated list, after all shards return.
+        """
         state = {
             "config": self.config,
             "private_groups": [g.entity_id for g in self._private_groups],
         }
         ccs = [c.cc for c in COUNTRIES]
+        shard_size = max(
+            1, int(os.environ.get("REPRO_SHARD_COUNTRIES", "32"))
+        )
         with span("world.countries") as sp:
-            bundles = self._map(_build_country_task, ccs, state, "world.countries")
+            bundles: List[_CountryBundle] = []
+            for i in range(0, len(ccs), shard_size):
+                shard = ccs[i : i + shard_size]
+                bundles.extend(
+                    self._map(
+                        _build_country_task, shard, state, "world.countries"
+                    )
+                )
             sp.incr("countries", len(bundles))
+            if len(ccs) > shard_size:
+                sp.incr("shards", -(-len(ccs) // shard_size))
         get_metrics().incr("world.gen.countries", len(bundles))
         return bundles
 

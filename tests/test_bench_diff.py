@@ -1,0 +1,202 @@
+"""The bench-diff regression gate over committed BENCH_*.json trajectories."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import DEFAULT_THRESHOLD, diff_trajectories, format_report
+from repro.bench.diff import diff_file, run_diff
+from repro.cli import main
+
+
+def _write(path, records):
+    path.write_text(
+        "\n".join(json.dumps(record) for record in records) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _rec(benchmark, tracked, context=None, **extra):
+    record = {"benchmark": benchmark, "tracked": tracked, **extra}
+    if context is not None:
+        record["context"] = context
+    return record
+
+
+class TestDiffFile:
+    def test_regression_flagged_beyond_threshold(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("build", {"wall_s": 1.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 1.25}, {"scale": 1}),
+        ])
+        (delta,) = diff_file(path)
+        assert delta.regressed
+        assert delta.change == pytest.approx(0.25)
+
+    def test_within_threshold_passes(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("build", {"wall_s": 1.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 1.19}, {"scale": 1}),
+        ])
+        (delta,) = diff_file(path)
+        assert not delta.regressed
+
+    def test_qps_is_higher_is_better(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("serve", {"qps": 100.0}, {"clients": 4}),
+            _rec("serve", {"qps": 70.0}, {"clients": 4}),
+        ])
+        (delta,) = diff_file(path)
+        assert delta.regressed  # throughput fell 30%
+
+    def test_qps_rise_is_not_a_regression(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("serve", {"qps": 100.0}, {"clients": 4}),
+            _rec("serve", {"qps": 160.0}, {"clients": 4}),
+        ])
+        (delta,) = diff_file(path)
+        assert not delta.regressed
+
+    def test_per_s_suffix_is_higher_is_better(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("x", {"rows_per_s": 100.0}),
+            _rec("x", {"rows_per_s": 50.0}),
+        ])
+        (delta,) = diff_file(path)
+        assert delta.regressed
+
+    def test_context_mismatch_never_pairs(self, tmp_path):
+        """A reduced-scale CI record must not diff against a committed
+        full-scale record of the same benchmark."""
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("build", {"wall_s": 60.0}, {"scale": 10}),
+            _rec("build", {"wall_s": 1.0}, {"scale": 0.2}),
+        ])
+        assert diff_file(path) == []
+
+    def test_same_context_pairs_across_interleaving(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("build", {"wall_s": 60.0}, {"scale": 10}),
+            _rec("build", {"wall_s": 1.0}, {"scale": 0.2}),
+            _rec("build", {"wall_s": 1.1}, {"scale": 0.2}),
+        ])
+        (delta,) = diff_file(path)
+        assert delta.old == 1.0 and delta.new == pytest.approx(1.1)
+        assert not delta.regressed
+
+    def test_legacy_records_fall_back_to_flat_keys(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        _write(path, [
+            {"benchmark": "serve", "qps": 100.0, "p50_ms": 2.0, "extra": "x"},
+            {"benchmark": "serve", "qps": 40.0, "p50_ms": 2.1},
+        ])
+        deltas = diff_file(path)
+        by_metric = {d.metric: d for d in deltas}
+        assert by_metric["qps"].regressed
+        assert not by_metric["p50_ms"].regressed
+
+    def test_torn_append_is_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        path.write_text(
+            json.dumps(_rec("b", {"wall_s": 1.0})) + "\n"
+            + '{"benchmark": "b", "tracked": {"wall_s"'  # torn write
+            + "\n"
+            + json.dumps(_rec("b", {"wall_s": 1.1})) + "\n"
+        )
+        (delta,) = diff_file(path)
+        assert delta.new == pytest.approx(1.1)
+
+    def test_zero_baseline_is_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("b", {"wall_s": 0.0}),
+            _rec("b", {"wall_s": 5.0}),
+        ])
+        assert diff_file(path) == []
+
+
+class TestTrajectorySweep:
+    def test_multiple_files_sorted(self, tmp_path):
+        _write(tmp_path / "BENCH_b.json", [
+            _rec("x", {"wall_s": 1.0}), _rec("x", {"wall_s": 1.0}),
+        ])
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("y", {"wall_s": 2.0}), _rec("y", {"wall_s": 2.0}),
+        ])
+        deltas = diff_trajectories(tmp_path)
+        assert [d.trajectory for d in deltas] == [
+            "BENCH_a.json", "BENCH_b.json",
+        ]
+
+    def test_non_bench_files_ignored(self, tmp_path):
+        (tmp_path / "notes.json").write_text("{}")
+        assert diff_trajectories(tmp_path) == []
+
+    def test_report_empty_and_nonempty(self, tmp_path):
+        assert "no comparable record pairs" in format_report([])
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 2.0}),
+        ])
+        report = format_report(diff_trajectories(tmp_path))
+        assert "REGRESSED" in report
+        assert "1 regression(s)" in report
+
+    def test_run_diff_exit_codes(self, tmp_path):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 1.05}),
+        ])
+        code, report = run_diff(tmp_path)
+        assert code == 0 and "0 regression(s)" in report
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 2.0}),
+        ])
+        code, _ = run_diff(tmp_path)
+        assert code == 1
+
+    def test_threshold_parameter(self, tmp_path):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 1.3}),
+        ])
+        assert run_diff(tmp_path, threshold=0.5)[0] == 0
+        assert run_diff(tmp_path, threshold=DEFAULT_THRESHOLD)[0] == 1
+
+
+class TestCLI:
+    def test_bench_diff_subcommand(self, tmp_path, capsys):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}, {"scale": 1}),
+            _rec("b", {"wall_s": 1.01}, {"scale": 1}),
+        ])
+        assert main(["bench-diff", "--dir", str(tmp_path)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_bench_diff_fails_on_regression(self, tmp_path, capsys):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}, {"scale": 1}),
+            _rec("b", {"wall_s": 9.9}, {"scale": 1}),
+        ])
+        assert main(["bench-diff", "--dir", str(tmp_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_diff_threshold_flag(self, tmp_path):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}, {"scale": 1}),
+            _rec("b", {"wall_s": 1.3}, {"scale": 1}),
+        ])
+        assert main(
+            ["bench-diff", "--dir", str(tmp_path), "--threshold", "0.5"]
+        ) == 0
+
+    def test_bench_diff_bad_dir(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["bench-diff", "--dir", str(missing)]) == 2
+        assert "not a directory" in capsys.readouterr().err

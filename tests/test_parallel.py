@@ -217,7 +217,7 @@ class TestCTILaziness:
             small_inputs.geolocation,
             small_inputs.collector,
         )
-        assert cti._weights is None
+        assert cti._index is None
 
     def test_preloaded_scores_skip_computation(self, small_inputs):
         cti = CTIComputer(
@@ -230,7 +230,7 @@ class TestCTILaziness:
         before = metrics.counter("cti.countries_computed")
         assert cti.country_cti("NO") == {64512: 0.5}
         assert metrics.counter("cti.countries_computed") == before
-        assert cti._weights is None  # still no index build
+        assert cti._index is None  # still no index build
 
     def test_precompute_shares_terms_across_countries(self, small_inputs):
         cti = CTIComputer(
