@@ -1,0 +1,110 @@
+"""Longitudinal maintain-loop benchmark: cold vs incremental snapshots.
+
+Walks a monthly snapshot sequence twice over identically-churned worlds —
+once recomputing every snapshot from scratch, once through the
+:class:`~repro.incremental.IncrementalEngine` — and reports per-snapshot
+wall time, the reused fraction and the cold/warm speedup.  The warm runs
+are additionally byte-compared against their cold twins, so the speedup
+number can never come from a drifted shortcut.
+
+With ``REPRO_BENCH_RECORD=1`` the headline lands in ``BENCH_maintain.json``
+(tracked: ``cold_snapshot_s`` / ``warm_snapshot_s`` lower-is-better,
+``speedup_x`` / ``reused_fraction`` higher-is-better, gated by
+``repro bench-diff``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from _record import append_record
+
+from repro.config import WorldConfig
+from repro.core.maintenance import run_maintenance
+from repro.io.tables import render_table
+from repro.world.generator import WorldGenerator
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210701"))
+
+_MONTHS = 3
+
+
+def _world():
+    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    return WorldGenerator(config).generate()
+
+
+def test_bench_maintain_loop(tmp_path):
+    # Two worlds from the same seed churn identically, so snapshot k of
+    # the cold walk is the ground truth for snapshot k of the warm walk.
+    cold = run_maintenance(
+        _world(), out_dir=tmp_path / "cold", months=_MONTHS, cold=True
+    )
+    warm = run_maintenance(
+        _world(), out_dir=tmp_path / "warm", months=_MONTHS
+    )
+
+    for cold_rec, warm_rec in zip(cold.snapshots, warm.snapshots):
+        cold_bytes = open(cold_rec.dataset_path, "rb").read()
+        warm_bytes = open(warm_rec.dataset_path, "rb").read()
+        assert cold_bytes == warm_bytes, (
+            f"incremental snapshot {warm_rec.label} drifted from cold"
+        )
+
+    cold_walls = [r.provenance["wall_s"] for r in cold.snapshots]
+    warm_walls = [r.provenance["wall_s"] for r in warm.snapshots]
+    # Steady-state comparison: skip both walks' first (necessarily cold)
+    # snapshot and compare the mean per-snapshot wall times.
+    cold_s = sum(cold_walls[1:]) / len(cold_walls[1:])
+    warm_s = sum(warm_walls[1:]) / len(warm_walls[1:])
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    reused = warm.reused_fractions()[1:]
+    reused_mean = sum(reused) / len(reused)
+
+    print()
+    rows = [
+        (
+            rec.label,
+            len(rec.events),
+            f"{cold_walls[i]:.2f}s",
+            f"{warm_walls[i]:.2f}s",
+            f"{rec.provenance.get('reused_fraction', 0.0):.1%}",
+        )
+        for i, rec in enumerate(warm.snapshots)
+    ]
+    print(render_table(
+        ("snapshot", "events", "cold", "incremental", "reused"),
+        rows,
+        title=f"Maintain loop (scale {BENCH_SCALE}, {_MONTHS} months)",
+    ))
+    print(f"steady-state speedup: {speedup:.1f}x")
+
+    # The acceptance bar: a warm snapshot that dirtied at most 5% of the
+    # origins the baseline walked must beat the cold recompute of the
+    # same month by at least 5x.
+    baseline_walks = warm.snapshots[0].provenance.get("dirty_origins") or 0
+    quiet = [
+        i
+        for i in range(1, len(warm.snapshots))
+        if (warm.snapshots[i].provenance.get("dirty_origins") or 0)
+        <= 0.05 * baseline_walks
+    ]
+    if quiet:
+        best = max(cold_walls[i] / max(warm_walls[i], 1e-9) for i in quiet)
+        assert best >= 5.0, f"best warm speedup {best:.1f}x < 5x"
+
+    append_record(
+        "maintain",
+        "maintain_loop",
+        tracked={
+            "cold_snapshot_s": cold_s,
+            "warm_snapshot_s": warm_s,
+            "speedup_x": speedup,
+            "reused_fraction": reused_mean,
+        },
+        context={"scale": BENCH_SCALE, "months": _MONTHS},
+        labels=[rec.label for rec in warm.snapshots],
+        warm_walls=warm_walls,
+        cold_walls=cold_walls,
+    )

@@ -9,10 +9,14 @@ pairs produced on the same configuration.
 
 Within a comparable pair, the ``tracked`` metrics are gated: a metric
 regresses when it moves against its direction by more than the threshold
-(default 20 %).  Direction is inferred from the key — ``qps`` and
-``*_per_s`` are higher-is-better, everything else (wall times in ``_s`` /
-``_ms``) lower-is-better.  Records predating the ``tracked`` convention
-fall back to gating their flat ``qps``/``p50_ms``/``p95_ms`` keys.
+(default 20 %).  Direction is inferred from the key — ``qps``,
+``reused_fraction``, ``*_per_s`` and ``*_x`` (speedup ratios) are
+higher-is-better, everything else (wall times in ``_s`` / ``_ms``)
+lower-is-better.  Records predating the ``tracked`` convention fall back
+to gating their flat ``qps``/``p50_ms``/``p95_ms`` keys.
+
+``--trend`` widens the lens from the last pair to the whole trajectory:
+first/last/best per metric plus a sparkline of every recorded point.
 """
 
 from __future__ import annotations
@@ -25,15 +29,21 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "DEFAULT_THRESHOLD",
     "MetricDelta",
+    "MetricTrend",
     "diff_trajectories",
     "format_report",
+    "format_trend_report",
+    "trend_trajectories",
 ]
 
 DEFAULT_THRESHOLD = 0.20
 
-_HIGHER_BETTER = {"qps"}
+_HIGHER_BETTER = {"qps", "reused_fraction"}
 #: Keys gated on records that predate the ``tracked`` convention.
 _LEGACY_TRACKED = ("qps", "p50_ms", "p95_ms")
+
+#: Eight-level sparkline ramp for --trend series.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
 
 @dataclass(frozen=True)
@@ -50,7 +60,11 @@ class MetricDelta:
 
 
 def _higher_is_better(metric: str) -> bool:
-    return metric in _HIGHER_BETTER or metric.endswith("_per_s")
+    return (
+        metric in _HIGHER_BETTER
+        or metric.endswith("_per_s")
+        or metric.endswith("_x")
+    )
 
 
 def _tracked_metrics(record: dict) -> Dict[str, float]:
@@ -185,3 +199,114 @@ def run_diff(
     report = format_report(deltas, threshold=threshold)
     exit_code = 1 if any(d.regressed for d in deltas) else 0
     return exit_code, report
+
+
+# -- full-trajectory trends (--trend) ----------------------------------------
+
+@dataclass(frozen=True)
+class MetricTrend:
+    """One tracked metric's full recorded trajectory."""
+
+    trajectory: str
+    benchmark: str
+    metric: str
+    values: Tuple[float, ...]
+
+    @property
+    def first(self) -> float:
+        return self.values[0]
+
+    @property
+    def last(self) -> float:
+        return self.values[-1]
+
+    @property
+    def best(self) -> float:
+        if _higher_is_better(self.metric):
+            return max(self.values)
+        return min(self.values)
+
+    @property
+    def overall_change(self) -> float:
+        """Signed fraction from the first record to the last (0 when the
+        first value is zero — no base to compare against)."""
+        if self.first == 0:
+            return 0.0
+        return (self.last - self.first) / self.first
+
+    def sparkline(self) -> str:
+        """The series as an eight-level bar string, min-max normalized."""
+        lo, hi = min(self.values), max(self.values)
+        if hi == lo:
+            return _SPARK_CHARS[3] * len(self.values)
+        top = len(_SPARK_CHARS) - 1
+        return "".join(
+            _SPARK_CHARS[round((v - lo) / (hi - lo) * top)]
+            for v in self.values
+        )
+
+
+def trend_file(path: Path) -> List[MetricTrend]:
+    """Every tracked metric's full series per comparable group in a file."""
+    groups: Dict[Tuple[str, str], List[dict]] = {}
+    for record in _parse_lines(path):
+        groups.setdefault(_pair_key(record), []).append(record)
+    trends: List[MetricTrend] = []
+    for (benchmark, _), records in sorted(groups.items()):
+        series: Dict[str, List[float]] = {}
+        for record in records:
+            for metric, value in _tracked_metrics(record).items():
+                series.setdefault(metric, []).append(value)
+        for metric in sorted(series):
+            values = series[metric]
+            if len(values) < 2:
+                continue
+            trends.append(
+                MetricTrend(
+                    trajectory=path.name,
+                    benchmark=benchmark,
+                    metric=metric,
+                    values=tuple(values),
+                )
+            )
+    return trends
+
+
+def trend_trajectories(
+    root: Path, pattern: str = "BENCH_*.json"
+) -> List[MetricTrend]:
+    """Trends across every trajectory file under ``root`` (sorted)."""
+    trends: List[MetricTrend] = []
+    for path in sorted(Path(root).glob(pattern)):
+        trends.extend(trend_file(path))
+    return trends
+
+
+def format_trend_report(trends: List[MetricTrend]) -> str:
+    """Human-readable multi-point report; one line per metric series."""
+    if not trends:
+        return (
+            "bench-diff --trend: no multi-point series found "
+            "(need two or more records with matching benchmark and context)"
+        )
+    lines = []
+    for trend in trends:
+        direction = "↑" if _higher_is_better(trend.metric) else "↓"
+        lines.append(
+            f"{trend.trajectory}  {trend.benchmark}  {trend.metric}"
+            f"[{direction}]: "
+            f"first {trend.first:g}  last {trend.last:g}  "
+            f"best {trend.best:g}  ({trend.overall_change:+.1%})  "
+            f"{trend.sparkline()}"
+        )
+    lines.append(
+        f"bench-diff --trend: {len(trends)} series over "
+        f"{len({t.trajectory for t in trends})} trajectory file(s)"
+    )
+    return "\n".join(lines)
+
+
+def run_trend(root: Path, pattern: Optional[str] = None) -> Tuple[int, str]:
+    """The --trend view: ``(exit_code, report)``; informational, exit 0."""
+    trends = trend_trajectories(root, pattern=pattern or "BENCH_*.json")
+    return 0, format_trend_report(trends)

@@ -7,6 +7,7 @@ Subcommands::
     report     run the pipeline and print the full evaluation report
     validate   run the pipeline and score it against the ground truth
     show       pretty-print organizations from a dataset file
+    maintain   walk a monthly churn/snapshot sequence incrementally
     bench-diff compare committed BENCH_*.json trajectories for regressions
 
 Examples::
@@ -160,6 +161,37 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="snapshot change-poll interval (default: 2.0)")
 
+    p_maintain = sub.add_parser(
+        "maintain",
+        help="walk a monthly churn/snapshot sequence with incremental "
+             "recompute, exporting one dataset per month",
+    )
+    add_world_args(p_maintain)
+    add_obs_args(p_maintain)
+    add_parallel_args(p_maintain)
+    add_resilience_args(p_maintain)
+    p_maintain.add_argument("--out", required=True, metavar="DIR",
+                            help="directory for snapshot exports and the "
+                                 "MAINTAIN.json manifest")
+    p_maintain.add_argument("--months", type=int, default=6,
+                            help="number of monthly snapshots (default: 6)")
+    p_maintain.add_argument("--start-year", type=int, default=2021,
+                            help="calendar year of the first snapshot "
+                                 "(default: 2021)")
+    p_maintain.add_argument("--start-month", type=int, default=7,
+                            help="calendar month of the first snapshot, "
+                                 "1-12 (default: 7)")
+    p_maintain.add_argument("--cold", action="store_true",
+                            help="recompute every snapshot from scratch "
+                                 "(the incremental engine's baseline)")
+    p_maintain.add_argument("--verify", action="store_true",
+                            help="cold-recompute each snapshot and fail "
+                                 "unless the exports are byte-identical")
+    p_maintain.add_argument("--publish", metavar="PATH", default=None,
+                            help="atomically install the newest snapshot "
+                                 "(and sidecar) at PATH for `repro serve` "
+                                 "hot swap")
+
     p_bench_diff = sub.add_parser(
         "bench-diff",
         help="compare the last two records of each BENCH_*.json trajectory "
@@ -172,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_diff.add_argument(
         "--threshold", type=float, default=None, metavar="FRACTION",
         help="relative regression gate on tracked metrics (default: 0.20)",
+    )
+    p_bench_diff.add_argument(
+        "--trend", action="store_true",
+        help="report full multi-point trajectories (first/last/best + "
+             "sparkline) instead of gating the last pair",
     )
     return parser
 
@@ -522,10 +559,53 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 2
         return 0
 
+    if args.command == "maintain":
+        from repro.core.maintenance import run_maintenance
+
+        try:
+            resilience = _make_resilience_config(args)
+        except ConfigError as exc:
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return 2
+        try:
+            parallel = _make_parallel_config(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cache = ResultCache(parallel.cache_dir) if parallel.cache_dir else None
+        with ExecutionContext(
+            jobs=parallel.jobs, backend=parallel.backend
+        ) as context:
+            world = _make_world(args, cache=cache, context=context)
+            try:
+                report = run_maintenance(
+                    world,
+                    out_dir=args.out,
+                    months=args.months,
+                    start_year=args.start_year,
+                    start_month=args.start_month,
+                    parallel=parallel,
+                    resilience=resilience,
+                    context=context,
+                    cache=cache,
+                    cold=args.cold,
+                    verify=args.verify,
+                    publish=args.publish,
+                )
+            except ReproError as exc:
+                print(f"error: maintain aborted: {exc}", file=sys.stderr)
+                return 3
+        print(report.as_text())
+        print(f"wrote {report.manifest_path}")
+        if report.published:
+            print(f"published {report.published}")
+        _emit_run_summary()
+        return 0
+
     if args.command == "bench-diff":
         from pathlib import Path
 
-        from repro.bench.diff import DEFAULT_THRESHOLD, run_diff
+        from repro.bench.diff import DEFAULT_THRESHOLD, run_diff, run_trend
 
         threshold = (
             args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
@@ -534,7 +614,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not root.is_dir():
             print(f"error: not a directory: {args.dir}", file=sys.stderr)
             return 2
-        exit_code, report = run_diff(root, threshold=threshold)
+        if args.trend:
+            exit_code, report = run_trend(root)
+        else:
+            exit_code, report = run_diff(root, threshold=threshold)
         print(report)
         return exit_code
 

@@ -29,7 +29,13 @@ from repro.core.dataset import (
 )
 from repro.core.pipeline import PipelineInputs, PipelineResult, StateOwnershipPipeline
 from repro.core.validation import ValidationReport, validate_against_world
-from repro.core.maintenance import ReverificationItem, plan_reverification
+from repro.core.maintenance import (
+    MaintainReport,
+    ReverificationItem,
+    SnapshotRecord,
+    plan_reverification,
+    run_maintenance,
+)
 from repro.core.expertreview import ExpertReview, expert_review
 from repro.core.diffing import DatasetDiff, asn_churn_fraction, diff_datasets
 
@@ -54,6 +60,9 @@ __all__ = [
     "validate_against_world",
     "ReverificationItem",
     "plan_reverification",
+    "MaintainReport",
+    "SnapshotRecord",
+    "run_maintenance",
     "ExpertReview",
     "expert_review",
     "DatasetDiff",

@@ -140,6 +140,22 @@ class OwnershipAnalyst:
         self._local = threading.local()
         #: Companies encountered with minority state stakes (§7 logging).
         self.minority_log: Dict[str, ConfirmationVerdict] = {}
+        #: key -> every corpus query string issued while computing its
+        #: verdict (own queries plus the whole recursive chain's).  This is
+        #: the verdict's *footprint*: if none of these names shares a token
+        #: with a changed document, the verdict is still exact against the
+        #: new corpus (see repro.incremental).
+        self._footprints: Dict[str, Tuple[str, ...]] = {}
+        #: Keys whose verdict was computed while a cycle/depth guard fired
+        #: somewhere in the open chain: such verdicts depend on the call
+        #: stack, not just the corpus, and are never carried forward.
+        self._volatile: Set[str] = set()
+        #: Append-only log of keys as their footprints are recorded, so a
+        #: worker can ship only the delta of one task back (see
+        #: footprint_mark / footprint_delta).
+        self._footprint_log: List[str] = []
+        #: Verdicts adopted from a previous snapshot (provenance counter).
+        self.seeded_verdicts = 0
 
     def __getstate__(self) -> dict:
         # ``threading.local`` cannot be pickled; process-pool workers get a
@@ -167,24 +183,69 @@ class OwnershipAnalyst:
             self._local.in_progress = stack
         return stack
 
+    def _collectors(self) -> List[Dict[str, object]]:
+        """This thread's stack of open footprint collectors.
+
+        One frame per in-flight investigation: ``names`` accumulates every
+        corpus query issued below that frame, ``volatile`` is set when a
+        cycle/depth guard fires anywhere while the frame is open.
+        """
+        stack = getattr(self._local, "collectors", None)
+        if stack is None:
+            stack = []
+            self._local.collectors = stack
+        return stack
+
+    def _record_query(self, name: str) -> None:
+        for frame in self._collectors():
+            frame["names"].add(name)  # type: ignore[union-attr]
+
+    def _mark_volatile(self) -> None:
+        for frame in self._collectors():
+            frame["volatile"] = True
+
     def investigate(self, company_name: str, depth: int = 0) -> ConfirmationVerdict:
         """Investigate one company, chasing ownership chains recursively."""
         key = normalize_name(company_name)
         if key in self._memo:
+            # A memo hit re-executes no queries, so open collectors inherit
+            # the hit's recorded footprint (and volatility) wholesale.
+            footprint = self._footprints.get(key)
+            if footprint:
+                for frame in self._collectors():
+                    frame["names"].update(footprint)  # type: ignore[union-attr]
+            if key in self._volatile:
+                self._mark_volatile()
             return self._memo[key]
         in_progress = self._in_progress()
         if key in in_progress or depth > _MAX_DEPTH:
-            # Cycle or runaway chain: treat as unresolvable evidence.
+            # Cycle or runaway chain: treat as unresolvable evidence.  The
+            # guard verdict depends on the call stack, so everything above
+            # it in the chain becomes uncarryable.
+            self._mark_volatile()
             return ConfirmationVerdict(
                 company_name=company_name,
                 status=ConfirmationStatus.NO_EVIDENCE,
             )
         in_progress.add(key)
+        collectors = self._collectors()
+        frame: Dict[str, object] = {"names": set(), "volatile": False}
+        collectors.append(frame)
         try:
             verdict = self._investigate_uncached(company_name, depth)
         finally:
             in_progress.discard(key)
+            collectors.pop()
+        names: Set[str] = frame["names"]  # type: ignore[assignment]
+        for parent in collectors:
+            parent["names"].update(names)  # type: ignore[union-attr]
+            if frame["volatile"]:
+                parent["volatile"] = True
         self._memo[key] = verdict
+        self._footprints[key] = tuple(sorted(names))
+        if frame["volatile"]:
+            self._volatile.add(key)
+        self._footprint_log.append(key)
         if verdict.status is ConfirmationStatus.MINORITY:
             self.minority_log[key] = verdict
         return verdict
@@ -193,21 +254,105 @@ class OwnershipAnalyst:
         self,
         verdict: ConfirmationVerdict,
         minority_log: Optional[Dict[str, ConfirmationVerdict]] = None,
+        footprints: Optional[Dict[str, Tuple[str, ...]]] = None,
+        volatile: Optional[Set[str]] = None,
     ) -> None:
         """Merge a verdict computed by a worker into this analyst.
 
         Investigation is a pure function of the (immutable) corpus, so a
         colliding key always carries an equal verdict and ``setdefault``
-        merging is order-independent.
+        merging is order-independent.  ``footprints``/``volatile`` carry
+        the worker's per-key query footprints so the coordinator's analyst
+        stays seedable into the next snapshot.
         """
         self._memo.setdefault(normalize_name(verdict.company_name), verdict)
         for key in sorted(minority_log or ()):
             self.minority_log.setdefault(key, minority_log[key])
+        for key in sorted(footprints or ()):
+            self._footprints.setdefault(key, footprints[key])
+        if volatile:
+            self._volatile.update(volatile)
+
+    # -- cross-snapshot carry (repro.incremental) ---------------------------
+    def footprint_mark(self) -> int:
+        """Position in the footprint log before a task starts."""
+        return len(self._footprint_log)
+
+    def footprint_delta(
+        self, mark: int
+    ) -> Tuple[Dict[str, Tuple[str, ...]], Set[str]]:
+        """Footprints (and volatile keys) recorded since ``mark``.
+
+        What a process-pool worker ships back alongside its verdict so the
+        coordinator's analyst accumulates the full footprint map.
+        """
+        keys = self._footprint_log[mark:]
+        delta = {
+            key: self._footprints[key]
+            for key in keys
+            if key in self._footprints
+        }
+        volatile = {key for key in keys if key in self._volatile}
+        return delta, volatile
+
+    def carry_state(
+        self,
+    ) -> Tuple[
+        Dict[str, ConfirmationVerdict],
+        Dict[str, Tuple[str, ...]],
+        Set[str],
+        Dict[str, ConfirmationVerdict],
+    ]:
+        """Everything a successor analyst needs for :meth:`seed_memo`."""
+        return (
+            dict(self._memo),
+            dict(self._footprints),
+            set(self._volatile),
+            dict(self.minority_log),
+        )
+
+    def seed_memo(
+        self,
+        memo: Dict[str, ConfirmationVerdict],
+        footprints: Dict[str, Tuple[str, ...]],
+        volatile: Set[str],
+        minority_log: Dict[str, ConfirmationVerdict],
+        dirty_tokens: Set[str],
+    ) -> int:
+        """Adopt a previous snapshot's verdicts that the delta left exact.
+
+        An entry survives when it has a footprint, was never volatile, and
+        none of its footprint queries shares a name token with a changed
+        document — under those conditions every corpus answer it was built
+        from is value-identical in the new corpus, so replaying the
+        investigation would reproduce the verdict bit for bit.  Surviving
+        MINORITY entries are replayed into the §7 minority log.  Returns
+        the number of verdicts seeded.
+        """
+        from repro.incremental.fingerprints import tokens_overlap
+
+        seeded = 0
+        for key, verdict in memo.items():
+            if key in volatile:
+                continue
+            footprint = footprints.get(key)
+            if footprint is None:
+                continue
+            if tokens_overlap(footprint, dirty_tokens):
+                continue
+            self._memo[key] = verdict
+            self._footprints[key] = footprint
+            if key in minority_log:
+                self.minority_log[key] = minority_log[key]
+            seeded += 1
+        self.seeded_verdicts = seeded
+        return seeded
 
     # -- the actual analysis ------------------------------------------------------
     def _investigate_uncached(
         self, company_name: str, depth: int
     ) -> ConfirmationVerdict:
+        self._record_query(company_name)
         docs = self._corpus.find_documents(company_name)
         if not docs:
             return ConfirmationVerdict(

@@ -23,15 +23,17 @@ def asn_churn_fraction(old_asns, new_asns) -> float:
 
     The denominator is the *old* snapshot's size, per the paper's §9
     framing ("fractional in size compared with the preceding year's
-    aggregate list").  An empty old snapshot has no meaningful base, so
-    any change at all counts as total (1.0) churn.
+    aggregate list").  An empty (or missing) old snapshot has no base to
+    churn against — there is no previous release whose entries could have
+    appeared or disappeared — so it reports 0.0, not total churn: a
+    bootstrap snapshot must not trip churn-alarm thresholds.
     """
     old = frozenset(old_asns)
+    if not old:
+        return 0.0
     changed = len(old.symmetric_difference(new_asns))
     if not changed:
         return 0.0
-    if not old:
-        return 1.0
     return changed / len(old)
 
 
@@ -50,12 +52,15 @@ class DatasetDiff:
 
     @property
     def churn_fraction(self) -> float:
-        """Changed ASNs relative to the old snapshot's size."""
-        changed = len(self.added_asns | self.removed_asns)
-        if not changed:
-            return 0.0
+        """Changed ASNs relative to the old snapshot's size.
+
+        An empty old snapshot reports 0.0 (see
+        :func:`asn_churn_fraction`): bootstrapping from nothing is not
+        churn.
+        """
         if not self.old_asn_count:
-            return 1.0
+            return 0.0
+        changed = len(self.added_asns | self.removed_asns)
         return changed / self.old_asn_count
 
     def is_empty(self) -> bool:

@@ -21,15 +21,25 @@ Fragility signals, in decreasing weight:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.pipeline import PipelineResult
+from repro.errors import PipelineError
 from repro.sources.documents import SourceType
 from repro.text.normalize import normalize_name
 from repro.world.countries import COUNTRIES
 
-__all__ = ["ReverificationItem", "plan_reverification"]
+__all__ = [
+    "ReverificationItem",
+    "plan_reverification",
+    "SnapshotRecord",
+    "MaintainReport",
+    "run_maintenance",
+]
 
 _TIER = {c.cc: c.dev_tier for c in COUNTRIES}
 
@@ -127,3 +137,284 @@ def plan_reverification(
     if limit is not None:
         return items[:limit]
     return items
+
+
+# -- the longitudinal maintenance loop (repro maintain) ----------------------
+
+_MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One maintained snapshot: where it landed and what it reused."""
+
+    label: str                         # "2021-07"
+    dataset_path: str
+    cti_path: Optional[str]
+    events: Tuple[str, ...]
+    provenance: Dict[str, object]
+    #: True/False when --verify ran a cold recompute; None when it didn't.
+    verified: Optional[bool] = None
+
+
+@dataclass
+class MaintainReport:
+    """Everything one ``repro maintain`` invocation produced."""
+
+    out_dir: str
+    manifest_path: str
+    snapshots: List[SnapshotRecord] = field(default_factory=list)
+    published: Optional[str] = None
+
+    def reused_fractions(self) -> List[float]:
+        return [
+            float(rec.provenance.get("reused_fraction", 0.0))
+            for rec in self.snapshots
+        ]
+
+    def as_text(self) -> str:
+        lines = [
+            f"{'snapshot':<10} {'events':>6} {'dirty':>6} "
+            f"{'reused':>7} {'wall':>8}"
+        ]
+        for rec in self.snapshots:
+            prov = rec.provenance
+            lines.append(
+                f"{rec.label:<10} {len(rec.events):>6} "
+                f"{prov.get('dirty_origins', '-')!s:>6} "
+                f"{prov.get('reused_fraction', 0.0):>7.2%} "
+                f"{prov.get('wall_s', 0.0):>7.2f}s"
+            )
+        return "\n".join(lines)
+
+
+def _event_text(event) -> str:
+    text = f"{event.kind.value}: {event.operator_name} ({event.cc})"
+    if event.detail:
+        text += f" — {event.detail}"
+    return text
+
+
+def _export_snapshot(result: PipelineResult, dataset_path: Path):
+    """Write one snapshot's dataset export plus its CTI sidecar."""
+    from repro.io.jsonio import dump_cti_json, dump_json
+
+    dump_json(result.dataset, dataset_path)
+    cti_path = None
+    if result.cti_selection is not None:
+        cti_path = Path(f"{dataset_path}.cti.json")
+        dump_cti_json(result.cti_selection, cti_path)
+    return cti_path
+
+
+def _verify_snapshot(
+    world,
+    dataset_path: Path,
+    cti_path: Optional[Path],
+    noise,
+    resilience,
+    context,
+    config=None,
+) -> bool:
+    """Cold-recompute the snapshot and byte-compare against the export.
+
+    The verification pipeline shares nothing with the incremental engine:
+    fresh inputs, fresh analyst, fresh CTI computer, no result cache —
+    exactly what a from-scratch run would produce.  Returns True when the
+    exports are byte-identical; raises :class:`PipelineError` on drift.
+    """
+    from repro.core.pipeline import PipelineInputs, StateOwnershipPipeline
+
+    inputs = PipelineInputs.from_world(world, noise=noise, resilience=resilience)
+    result = StateOwnershipPipeline(
+        inputs, config=config, resilience=resilience, context=context
+    ).run()
+    scratch = dataset_path.with_name(dataset_path.name + ".verify")
+    cold_cti = _export_snapshot(result, scratch)
+    try:
+        if scratch.read_bytes() != dataset_path.read_bytes():
+            raise PipelineError(
+                f"incremental export {dataset_path.name} drifted from the "
+                "cold recompute"
+            )
+        if (cold_cti is None) != (cti_path is None):
+            raise PipelineError(
+                f"incremental run and cold recompute disagree on the CTI "
+                f"sidecar for {dataset_path.name}"
+            )
+        if cold_cti is not None and cti_path is not None:
+            if cold_cti.read_bytes() != cti_path.read_bytes():
+                raise PipelineError(
+                    f"incremental CTI sidecar {cti_path.name} drifted from "
+                    "the cold recompute"
+                )
+    finally:
+        scratch.unlink(missing_ok=True)
+        if cold_cti is not None:
+            cold_cti.unlink(missing_ok=True)
+    return True
+
+
+def _publish(dataset_path: Path, cti_path: Optional[Path], target: Path) -> None:
+    """Atomically install the latest snapshot where ``repro serve`` watches.
+
+    The sidecar lands first so a reloader that picks up the new dataset
+    never sees a stale CTI file next to it.
+    """
+    from repro.io.atomic import atomic_replace
+
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if cti_path is not None:
+        with atomic_replace(Path(f"{target}.cti.json")) as tmp:
+            shutil.copyfile(cti_path, tmp)
+    with atomic_replace(target) as tmp:
+        shutil.copyfile(dataset_path, tmp)
+
+
+def run_maintenance(
+    world,
+    out_dir: Union[str, Path],
+    months: int,
+    start_year: int = 2021,
+    start_month: int = 7,
+    rates=None,
+    noise=None,
+    config=None,
+    parallel=None,
+    resilience=None,
+    context=None,
+    cache=None,
+    cold: bool = False,
+    verify: bool = False,
+    publish: Optional[Union[str, Path]] = None,
+) -> MaintainReport:
+    """Walk a monthly snapshot sequence, recomputing only what churn dirties.
+
+    The first snapshot is the baseline (no churn, necessarily a cold
+    compute); each later month applies one month of ownership churn to the
+    world in place, then re-runs the pipeline through the
+    :class:`~repro.incremental.engine.IncrementalEngine` — or from scratch
+    with ``cold=True``, the comparison baseline.  Every snapshot is
+    exported as ``snapshot-YYYY-MM.json`` (+ ``.cti.json`` sidecar, the
+    pair ``repro serve`` hot-swaps), and a ``MAINTAIN.json`` manifest
+    records per-snapshot events, reuse provenance and wall time.
+
+    ``verify=True`` cold-recomputes every snapshot and byte-compares the
+    exports — the equivalence gate CI runs; drift raises
+    :class:`PipelineError`.
+    """
+    from repro.incremental.engine import IncrementalEngine
+    from repro.world.events import ChurnSimulator
+
+    if months < 1:
+        raise PipelineError("maintain needs at least one snapshot month")
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    simulator = ChurnSimulator(world, rates)
+    engine = None
+    if not cold:
+        engine = IncrementalEngine(
+            config=config,
+            noise=noise,
+            resilience=resilience,
+            parallel=parallel,
+            cache=cache,
+        )
+    report = MaintainReport(
+        out_dir=str(out_path),
+        manifest_path=str(out_path / "MAINTAIN.json"),
+    )
+    for offset in range(months):
+        absolute = start_month - 1 + offset
+        year = start_year + absolute // 12
+        month = absolute % 12 + 1
+        label = f"{year:04d}-{month:02d}"
+        events: Tuple[str, ...] = ()
+        if offset > 0:
+            batch = simulator.simulate_months(year, 1, start_month=month)[0]
+            events = tuple(_event_text(e) for e in batch)
+        if engine is not None:
+            run = engine.run_snapshot(world, context=context, events=events)
+            result, provenance = run.result, run.provenance
+        else:
+            import time as _time
+
+            from repro.core.pipeline import (
+                PipelineInputs,
+                StateOwnershipPipeline,
+            )
+
+            t0 = _time.perf_counter()
+            # A fresh process would propagate every routing tree anew;
+            # drop the world-level tree cache so the cold baseline does
+            # not inherit the previous snapshot's warm trees.
+            world.collector.reset_cache()
+            inputs = PipelineInputs.from_world(
+                world, noise=noise, resilience=resilience
+            )
+            result = StateOwnershipPipeline(
+                inputs,
+                config=config,
+                parallel=parallel,
+                resilience=resilience,
+                context=context,
+            ).run()
+            provenance = {
+                "events": list(events),
+                "mode": "cold",
+                "reused_fraction": 0.0,
+                "dirty_origins": None,
+                "wall_s": round(_time.perf_counter() - t0, 3),
+            }
+        dataset_path = out_path / f"snapshot-{label}.json"
+        cti_path = _export_snapshot(result, dataset_path)
+        verified = None
+        if verify:
+            verified = _verify_snapshot(
+                world,
+                dataset_path,
+                cti_path,
+                noise,
+                resilience,
+                context,
+                config=config,
+            )
+        report.snapshots.append(
+            SnapshotRecord(
+                label=label,
+                dataset_path=str(dataset_path),
+                cti_path=str(cti_path) if cti_path is not None else None,
+                events=events,
+                provenance=dict(provenance),
+                verified=verified,
+            )
+        )
+    manifest = {
+        "format_version": _MANIFEST_VERSION,
+        "snapshots": [
+            {
+                "label": rec.label,
+                "dataset": Path(rec.dataset_path).name,
+                "cti": Path(rec.cti_path).name if rec.cti_path else None,
+                "events": list(rec.events),
+                "provenance": rec.provenance,
+                "verified": rec.verified,
+            }
+            for rec in report.snapshots
+        ],
+    }
+    from repro.io.atomic import atomic_replace
+
+    with atomic_replace(Path(report.manifest_path)) as tmp:
+        tmp.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+    if publish and report.snapshots:
+        last = report.snapshots[-1]
+        _publish(
+            Path(last.dataset_path),
+            Path(last.cti_path) if last.cti_path else None,
+            Path(publish),
+        )
+        report.published = str(publish)
+    return report

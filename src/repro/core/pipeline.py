@@ -99,6 +99,7 @@ class PipelineInputs:
         world,
         noise: Optional[SourceNoiseConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
+        prefix2as: Optional[Prefix2ASTable] = None,
     ) -> "PipelineInputs":
         """Materialize all derived sources from a synthetic world.
 
@@ -109,6 +110,11 @@ class PipelineInputs:
         exhaust their retries; infrastructure loaders (prefix2as, WHOIS,
         PeeringDB, AS2Org, the confirmation corpus) stay fatal.  With
         ``resilience.fail_fast`` every exhausted loader is fatal.
+
+        ``prefix2as`` reuses an already-built table (and its trie) when
+        the caller has proven, via the prefix-source fingerprint, that the
+        world's announced table is unchanged — the incremental maintain
+        loop's trie-reuse path.
         """
         noise = noise or SourceNoiseConfig()
         config = resilience or ResilienceConfig()
@@ -137,9 +143,10 @@ class PipelineInputs:
                 failed_sites.append(site)
                 return QuarantinedSource(site)
 
-        prefix2as = build(
-            "source.prefix2as", lambda: Prefix2ASTable.from_world(world)
-        )
+        if prefix2as is None:
+            prefix2as = build(
+                "source.prefix2as", lambda: Prefix2ASTable.from_world(world)
+            )
         whois = build(
             "source.whois", lambda: WhoisDatabase.from_world(world, noise)
         )
@@ -262,18 +269,28 @@ class PipelineResult:
 
 def _investigate_task(
     state: Dict[str, object], company_name: str
-) -> Tuple[ConfirmationVerdict, Dict[str, ConfirmationVerdict]]:
+) -> Tuple[
+    ConfirmationVerdict,
+    Dict[str, ConfirmationVerdict],
+    Dict[str, Tuple[str, ...]],
+    Set[str],
+]:
     """Stage-2 work unit: investigate one company.
 
     ``state`` carries the analyst: shared by reference on the serial and
     thread backends (so memoized ownership chains are reused exactly as in
     the serial loop), shipped once per worker on the process backend.  The
     returned minority-log snapshot lets the coordinator merge §7 minority
-    findings from worker-local analysts deterministically.
+    findings from worker-local analysts deterministically; the footprint
+    delta (per-verdict corpus-query footprints plus volatile keys recorded
+    by this investigation) lets it merge the invalidation metadata the
+    incremental maintain loop seeds the next snapshot from.
     """
     analyst: OwnershipAnalyst = state["analyst"]  # type: ignore[assignment]
+    mark = analyst.footprint_mark()
     verdict = analyst.investigate(company_name)
-    return verdict, dict(analyst.minority_log)
+    footprints, volatile = analyst.footprint_delta(mark)
+    return verdict, dict(analyst.minority_log), footprints, volatile
 
 
 def _decode_scores(payload: Dict[str, Dict[str, float]]) -> Dict[str, Dict[int, float]]:
@@ -294,6 +311,8 @@ class StateOwnershipPipeline:
         parallel: Optional[ParallelConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
         context: Optional[ExecutionContext] = None,
+        cti_computer: Optional[CTIComputer] = None,
+        analyst: Optional[OwnershipAnalyst] = None,
     ) -> None:
         self._inputs = inputs
         self._config = config or PipelineConfig()
@@ -301,6 +320,13 @@ class StateOwnershipPipeline:
         self._resilience = resilience or ResilienceConfig()
         self._context = context
         self._whois_memo: Dict[int, object] = {}
+        # Incremental-maintain injection points: a CTI computer carrying
+        # still-valid transit terms/scores, and an analyst pre-seeded with
+        # verdicts whose corpus-query footprints survived the delta.  When
+        # a computer is injected the whole-run "cti" cache section is
+        # bypassed — the injector owns finer-grained reuse.
+        self._cti_computer = cti_computer
+        self._analyst = analyst
 
     # -- public API --------------------------------------------------------------
     def run(self, skip_sources: Iterable[InputSource] = ()) -> PipelineResult:
@@ -465,7 +491,7 @@ class StateOwnershipPipeline:
             sp_mapping.incr("companies_to_verify", len(work))
 
         # ---- stage 2: confirmation -------------------------------------------------
-        analyst = OwnershipAnalyst(inputs.corpus, config)
+        analyst = self._analyst or OwnershipAnalyst(inputs.corpus, config)
         verdicts: Dict[str, ConfirmationVerdict] = {}
         confirmed: Dict[str, ConfirmationVerdict] = {}
         minority: Set[str] = set()
@@ -493,8 +519,18 @@ class StateOwnershipPipeline:
                 state={"analyst": analyst},
                 label="confirmation",
             )
-            for (key, item), (verdict, worker_minority) in zip(queue, results):
-                analyst.absorb(verdict, worker_minority)
+            for (key, item), (
+                verdict,
+                worker_minority,
+                worker_footprints,
+                worker_volatile,
+            ) in zip(queue, results):
+                analyst.absorb(
+                    verdict,
+                    worker_minority,
+                    footprints=worker_footprints,
+                    volatile=worker_volatile,
+                )
                 verdicts[key] = verdict
                 sp_confirm.incr(f"verdict.{verdict.status.name.lower()}")
                 if verdict.status is ConfirmationStatus.CONFIRMED:
@@ -597,10 +633,11 @@ class StateOwnershipPipeline:
             metrics = get_metrics()
             computed_before = metrics.counter("cti.countries_computed")
             pruned_before = metrics.counter("cti.origins_pruned")
-            cti = CTIComputer(
+            injected = self._cti_computer is not None
+            cti = self._cti_computer or CTIComputer(
                 inputs.prefix2as, inputs.geolocation, inputs.collector
             )
-            cache_key = self._cti_cache_key(cti)
+            cache_key = None if injected else self._cti_cache_key(cti)
             cached = (
                 cache.get("cti", cache_key)
                 if cache is not None and cache_key is not None

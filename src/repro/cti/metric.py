@@ -314,6 +314,29 @@ class CTIComputer:
                 self.release_terms(keep=keep)
 
     # -- persistent-cache interchange --------------------------------------
+    def preload_terms(
+        self, terms: Mapping[int, Tuple[TransitTerm, ...]]
+    ) -> None:
+        """Install externally computed transit terms (incremental reuse).
+
+        Sound only when the terms were walked under the same routing view
+        (graph adjacency + monitors) — the caller keys them on the routing
+        fingerprint.  Preloaded origins are never re-walked.
+        """
+        for origin, origin_terms in terms.items():
+            self._terms[int(origin)] = tuple(
+                (int(asn), float(w), int(d)) for asn, w, d in origin_terms
+            )
+
+    def term_snapshot(self) -> Dict[int, Tuple[TransitTerm, ...]]:
+        """Copy of the per-origin transit terms currently held.
+
+        Sharded scoring releases terms between shards, so this may cover
+        only the origins of the final shard — callers treat it as a
+        partial carry, never as the full walked set.
+        """
+        return dict(self._terms)
+
     def preload_scores(self, scores: Mapping[str, Mapping[int, float]]) -> None:
         """Install externally computed score maps (warm persistent cache).
 

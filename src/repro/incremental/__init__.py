@@ -1,0 +1,45 @@
+"""Delta-driven incremental recompute (the longitudinal maintain engine).
+
+A monthly ownership-churn event (privatization, nationalization, a new
+foreign subsidiary — :mod:`repro.world.events`) dirties a few percent of a
+world, yet a cold pipeline run pays the full CTI sweep, the full mapping
+pass and every confirmation investigation again.  This package computes
+what a snapshot's delta actually invalidates and recomputes only that:
+
+* :mod:`.fingerprints` — content digests of the layers the expensive
+  stages depend on (routing = graph adjacency + monitors, prefix table,
+  geolocation view) plus the dirty-token calculus for corpus deltas;
+* :mod:`.corpus_cache` — a query-memoizing
+  :class:`~repro.sources.documents.ConfirmationCorpus` whose entries carry
+  across snapshots when the documents they were answered from are
+  untouched;
+* :mod:`.engine` — the :class:`IncrementalEngine` that carries CTI terms,
+  score maps, corpus query results and confirmation verdicts from one
+  snapshot to the next, serving everything the delta did not dirty and
+  recording per-snapshot provenance (``dirty_origins``,
+  ``reused_fraction``, wall time).
+
+Correctness bar: an incremental snapshot's exports are **byte-identical**
+to a cold full recompute of the same world state (enforced by the
+randomized event-sequence equivalence tests and ``repro maintain
+--verify``).
+"""
+
+from repro.incremental.corpus_cache import CachingCorpus, CorpusDelta, corpus_delta
+from repro.incremental.engine import IncrementalEngine, SnapshotRun
+from repro.incremental.fingerprints import (
+    geolocation_fingerprint,
+    prefix_fingerprint,
+    routing_fingerprint,
+)
+
+__all__ = [
+    "CachingCorpus",
+    "CorpusDelta",
+    "corpus_delta",
+    "IncrementalEngine",
+    "SnapshotRun",
+    "geolocation_fingerprint",
+    "prefix_fingerprint",
+    "routing_fingerprint",
+]

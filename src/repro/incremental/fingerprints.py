@@ -1,0 +1,175 @@
+"""Layer fingerprints: what each expensive stage actually depends on.
+
+The invalidation lattice (DESIGN.md) keys every reusable artifact on a
+content digest of exactly the world state it was computed from:
+
+* per-origin CTI transit terms depend on the **routing view** — graph
+  adjacency plus monitor placement (:func:`routing_fingerprint`);
+* the per-country address-weight index depends on the **announced prefix
+  table** (:func:`prefix_fingerprint`) and the **geolocation view**
+  (:func:`geolocation_fingerprint`);
+* corpus query results and confirmation verdicts depend on the documents
+  sharing name tokens with the query (:func:`name_token_set`, used by the
+  dirty-token calculus in :mod:`repro.incremental.corpus_cache`).
+
+Digesting the routing view walks every edge, so the result is memoized per
+graph object keyed by :class:`~repro.net.topology.ASGraph`'s mutation
+counter (``_version``) — an unchanged graph re-fingerprints in O(1), which
+is what makes per-snapshot fingerprint checks essentially free in a
+maintain loop that mutates the world in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.parallel.cache import stable_digest
+from repro.text.normalize import name_tokens
+
+__all__ = [
+    "geolocation_fingerprint",
+    "prefix_fingerprint",
+    "routing_fingerprint",
+    "name_token_set",
+    "dirty_tokens_of_names",
+    "tokens_overlap",
+]
+
+#: graph object -> (graph._version, monitors digest component, fingerprint).
+_ROUTING_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def routing_fingerprint(world) -> str:
+    """Digest of the routing view: graph adjacency + monitor placement.
+
+    Everything a per-origin transit-term walk reads — the provider/peer
+    edges the route trees traverse and the monitors (with their host-AS
+    weighting) the walk iterates.  Two worlds with equal routing
+    fingerprints produce bit-identical transit terms for every origin.
+    """
+    graph = world.graph
+    monitors = tuple((m.monitor_id, m.host_asn) for m in world.monitors)
+    version = getattr(graph, "_version", None)
+    memo = _ROUTING_MEMO.get(graph)
+    if memo is not None and memo[0] == version and memo[1] == monitors:
+        return memo[2]
+    edges = {
+        str(asn): [graph.providers_of(asn), graph.peers_of(asn)]
+        for asn in graph.asns
+    }
+    fingerprint = stable_digest(
+        {"edges": edges, "monitors": [list(m) for m in monitors]}
+    )
+    if version is not None:
+        _ROUTING_MEMO[graph] = (version, monitors, fingerprint)
+    return fingerprint
+
+
+def prefix_fingerprint(world) -> str:
+    """Digest of the announced (prefix, origin) table.
+
+    Keys the :class:`~repro.sources.prefix2as.Prefix2ASTable` (and its
+    trie): an unchanged fingerprint means the sorted table, the trie and
+    the flat SoA counts from the previous snapshot are all still exact.
+    """
+    rows = sorted(
+        (prefix.base, prefix.length, origin)
+        for prefix, origin in world.prefix_table()
+    )
+    return stable_digest({"prefixes": [list(row) for row in rows]})
+
+
+def geolocation_fingerprint(world, noise=None) -> str:
+    """Digest of everything the geolocation service answers from.
+
+    The service is a pure function of the per-ASN true country map, the
+    country list, the noise config and the world seed — so this digest
+    keys the per-country address-weight index it feeds.
+    """
+    import dataclasses
+
+    payload = {
+        "true_cc": {
+            str(asn): record.cc for asn, record in world.asn_records.items()
+        },
+        "ccs": [c.cc for c in world.countries],
+        "seed": world.config.seed,
+        "noise": dataclasses.asdict(noise) if noise is not None else None,
+    }
+    return stable_digest(payload)
+
+
+def name_token_set(name: str) -> FrozenSet[str]:
+    """The normalized token set of a company/subject name."""
+    return frozenset(name_tokens(name))
+
+
+def dirty_tokens_of_names(names: Iterable[str]) -> Set[str]:
+    """Union of name tokens over the subject names of changed documents."""
+    dirty: Set[str] = set()
+    for name in names:
+        dirty |= name_token_set(name)
+    return dirty
+
+
+def tokens_overlap(names: Iterable[str], dirty: Set[str]) -> bool:
+    """True when any of ``names`` shares a token with the dirty set.
+
+    A corpus query's candidate documents come exclusively from the token
+    index, so a query string none of whose tokens is dirty can only have
+    matched (and can only ever match) unchanged documents — its cached
+    answer is still exact.
+    """
+    if not dirty:
+        return False
+    for name in names:
+        if name_token_set(name) & dirty:
+            return True
+    return False
+
+
+def origin_term_key(routing_fp: str, origin: int) -> str:
+    """Persistent-cache key of one origin's transit terms (origin-local)."""
+    return stable_digest({"routing": routing_fp, "origin": origin})
+
+
+def country_score_key(
+    routing_fp: str, slice_digest: str, min_address_fraction: float
+) -> str:
+    """Persistent-cache key of one country's CTI score map."""
+    return stable_digest(
+        {
+            "routing": routing_fp,
+            "slice": slice_digest,
+            "min_address_fraction": min_address_fraction,
+        }
+    )
+
+
+def country_slice_digest(index, cc: str) -> str:
+    """Digest of one country's (origin, weight) column span + total.
+
+    The per-country score map depends only on this slice, the origins'
+    transit terms and the prune threshold — so an unchanged slice digest
+    (plus an unchanged routing fingerprint) makes the previous snapshot's
+    score map for ``cc`` exact.
+    """
+    span = index.span(cc)
+    if span is None:
+        rows: Tuple = ()
+    else:
+        start, end = span
+        origins = index.origins
+        weights = index.weights
+        rows = tuple(
+            (int(origins[i]), int(weights[i])) for i in range(start, end)
+        )
+    return stable_digest(
+        {"cc": cc, "total": index.total(cc), "rows": [list(r) for r in rows]}
+    )
+
+
+def index_slice_digests(index, ccs: Iterable[str]) -> Dict[str, str]:
+    """Slice digests for many countries in one pass."""
+    return {cc: country_slice_digest(index, cc) for cc in ccs}

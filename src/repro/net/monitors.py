@@ -184,3 +184,14 @@ class RouteCollector:
     def trees_computed(self) -> int:
         """Number of routing trees materialized so far (for diagnostics)."""
         return len(self._cache)
+
+    def reset_cache(self) -> None:
+        """Drop every materialized routing tree.
+
+        Cold-recompute baselines (``repro maintain --cold``) call this
+        between snapshots so the collector re-propagates from scratch,
+        as a fresh process would — otherwise trees warmed by the previous
+        snapshot would silently grant the cold path the very reuse it is
+        supposed to measure the absence of.
+        """
+        self._cache = RoutingTreeCache(self._graph)

@@ -313,3 +313,39 @@ class ResultCache:
         for path in (self._path(section, key), self._blob_path(section, key)):
             if path.exists():
                 self._evict_corrupt(path)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-section entry counts and byte totals, for cache hygiene.
+
+        The fine-grained incremental tiers (``cti-terms``, ``cti-scores``)
+        write one small file per origin/country, so this is how operators
+        see what a maintain loop actually accumulated on disk.  Sections
+        are reported even when empty-but-present; a missing root yields
+        ``{}``.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        if not self._root.is_dir():
+            return stats
+        for section_dir in sorted(self._root.iterdir()):
+            if not section_dir.is_dir():
+                continue
+            entries = 0
+            blobs = 0
+            total = 0
+            for entry in section_dir.iterdir():
+                if entry.suffix == ".json":
+                    entries += 1
+                elif entry.suffix == ".bin":
+                    blobs += 1
+                else:
+                    continue
+                try:
+                    total += entry.stat().st_size
+                except OSError:  # pragma: no cover - raced unlink
+                    continue
+            stats[section_dir.name] = {
+                "entries": entries,
+                "blobs": blobs,
+                "bytes": total,
+            }
+        return stats

@@ -48,10 +48,11 @@ class SnapshotStore:
         guard: Optional[SourceGuard] = None,
     ) -> None:
         self._path = Path(path)
-        # Default sidecar convention: <dataset>.cti.json next to the export.
-        if cti_path is None:
-            candidate = self._path.with_suffix(self._path.suffix + ".cti.json")
-            cti_path = candidate if candidate.exists() else None
+        # An explicit sidecar path is honored verbatim; otherwise the
+        # default convention (<dataset>.cti.json next to the export) is
+        # re-resolved on every build, so a sidecar that a maintain/publish
+        # cycle drops in *after* startup is picked up by the next swap.
+        self._explicit_cti = cti_path is not None
         self._cti_path = Path(cti_path) if cti_path is not None else None
         self._guard = guard or SourceGuard(
             policy=RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.5)
@@ -99,8 +100,12 @@ class SnapshotStore:
         return index
 
     def _build(self) -> SnapshotIndex:
+        cti_path = self._cti_path
+        if not self._explicit_cti:
+            candidate = self._path.with_suffix(self._path.suffix + ".cti.json")
+            cti_path = candidate if candidate.exists() else None
         return self._guard.call(
-            "serve.reload", lambda: build_index(self._path, self._cti_path)
+            "serve.reload", lambda: build_index(self._path, cti_path)
         )
 
     def poll(self) -> bool:

@@ -98,17 +98,45 @@ class ChurnSimulator:
             emitted.extend(self._simulate_one_year(start_year + offset))
         return emitted
 
-    # -- one year ---------------------------------------------------------------
-    def _simulate_one_year(self, year: int) -> List[OwnershipEvent]:
+    def simulate_months(
+        self, start_year: int, months: int, start_month: int = 1
+    ) -> List[List[OwnershipEvent]]:
+        """Simulate ``months`` months of churn, one event batch per month.
+
+        Monthly stepping is what the incremental ``repro maintain`` loop
+        consumes: each month draws from the annual rates scaled by 1/12,
+        so a 12-month run has the same expected event count as one
+        simulated year (the draws differ — more, smaller Bernoulli
+        trials).  Returns the per-month event lists in order, so callers
+        can attribute each snapshot's delta to its events.
+        """
+        if months < 0:
+            raise WorldError("months must be non-negative")
+        if not 1 <= start_month <= 12:
+            raise WorldError("start_month must be in 1..12")
+        batches: List[List[OwnershipEvent]] = []
+        for offset in range(months):
+            absolute = start_month - 1 + offset
+            year = start_year + absolute // 12
+            batches.append(
+                self._simulate_one_year(year, rate_scale=1.0 / 12.0)
+            )
+        return batches
+
+    # -- one period -------------------------------------------------------------
+    def _simulate_one_year(
+        self, year: int, rate_scale: float = 1.0
+    ) -> List[OwnershipEvent]:
         world = self._world
         rng = self._rng
+        rates = self._rates
         events: List[OwnershipEvent] = []
         truth = {gto.operator.entity_id: gto for gto in world.ground_truth()}
 
         # Privatizations: a state-owned operator's government sells down.
         privatized_this_year = set()
         for operator_id in sorted(truth):
-            if rng.random() < self._rates.privatization:
+            if rng.random() < rates.privatization * rate_scale:
                 event = self._privatize(year, truth[operator_id])
                 if event is not None:
                     events.append(event)
@@ -127,12 +155,12 @@ class ChurnSimulator:
             and op.entity_id not in privatized_this_year
         ]
         for op in sorted(private_ops, key=lambda o: o.entity_id):
-            if rng.random() < self._rates.nationalization:
+            if rng.random() < rates.nationalization * rate_scale:
                 events.append(self._nationalize(year, op))
 
         # New foreign subsidiaries from the configured expanders.
         for owner_cc in sorted(world.config.expansion_profiles):
-            if rng.random() < self._rates.new_subsidiary_per_expander:
+            if rng.random() < rates.new_subsidiary_per_expander * rate_scale:
                 event = self._spawn_subsidiary(year, owner_cc)
                 if event is not None:
                     events.append(event)

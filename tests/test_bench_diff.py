@@ -200,3 +200,105 @@ class TestCLI:
         missing = tmp_path / "nope"
         assert main(["bench-diff", "--dir", str(missing)]) == 2
         assert "not a directory" in capsys.readouterr().err
+
+
+class TestTrends:
+    def test_metric_trend_stats(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("build", {"wall_s": 4.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 2.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 3.0}, {"scale": 1}),
+        ])
+        (trend,) = trend_file(path)
+        assert trend.first == 4.0
+        assert trend.last == 3.0
+        assert trend.best == 2.0  # wall time: lower is better
+        assert trend.overall_change == pytest.approx(-0.25)
+        assert len(trend.sparkline()) == 3
+
+    def test_best_is_direction_aware(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("maintain", {"speedup_x": 4.0, "reused_fraction": 0.5}),
+            _rec("maintain", {"speedup_x": 9.0, "reused_fraction": 0.9}),
+            _rec("maintain", {"speedup_x": 7.0, "reused_fraction": 0.8}),
+        ])
+        by_metric = {t.metric: t for t in trend_file(path)}
+        assert by_metric["speedup_x"].best == 9.0
+        assert by_metric["reused_fraction"].best == 0.9
+
+    def test_sparkline_extremes_and_flat(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 8.0}),
+            _rec("b", {"wall_s": 1.0}),
+        ])
+        (trend,) = trend_file(path)
+        spark = trend.sparkline()
+        assert spark[0] == spark[2] == "▁"
+        assert spark[1] == "█"
+        _write(path, [_rec("b", {"wall_s": 2.0})] * 4)
+        (flat,) = trend_file(path)
+        assert len(set(flat.sparkline())) == 1
+
+    def test_single_point_series_skipped(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [_rec("b", {"wall_s": 1.0})])
+        assert trend_file(path) == []
+
+    def test_context_groups_stay_separate(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("b", {"wall_s": 60.0}, {"scale": 10}),
+            _rec("b", {"wall_s": 1.0}, {"scale": 0.2}),
+            _rec("b", {"wall_s": 65.0}, {"scale": 10}),
+            _rec("b", {"wall_s": 1.1}, {"scale": 0.2}),
+        ])
+        trends = trend_file(path)
+        assert len(trends) == 2
+        assert {t.values for t in trends} == {(60.0, 65.0), (1.0, 1.1)}
+
+    def test_report_marks_direction(self, tmp_path):
+        from repro.bench.diff import format_trend_report, trend_trajectories
+
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("serve", {"qps": 100.0, "p95_ms": 5.0}),
+            _rec("serve", {"qps": 120.0, "p95_ms": 4.0}),
+        ])
+        report = format_trend_report(trend_trajectories(tmp_path))
+        assert "qps[↑]" in report
+        assert "p95_ms[↓]" in report
+        assert "2 series" in report
+        assert format_trend_report([]).startswith("bench-diff --trend: no")
+
+    def test_run_trend_always_exit_zero(self, tmp_path):
+        from repro.bench.diff import run_trend
+
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 99.0}),
+        ])
+        code, report = run_trend(tmp_path)
+        assert code == 0  # trends inform; only diff gates
+        assert "wall_s" in report
+
+    def test_cli_trend_flag(self, tmp_path, capsys):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 1.0}, {"scale": 1}),
+            _rec("b", {"wall_s": 9.9}, {"scale": 1}),
+        ])
+        # --trend is informational: no regression gating, exit 0.
+        assert main(["bench-diff", "--dir", str(tmp_path), "--trend"]) == 0
+        out = capsys.readouterr().out
+        assert "first 1" in out and "last 9.9" in out

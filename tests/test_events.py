@@ -114,3 +114,64 @@ class TestAgeingStudy:
         assert rows[-1]["precision"] < 1.0 or rows[-1]["recall"] < 1.0
         # Decay is monotone-ish: later precision never exceeds year one's.
         assert rows[-1]["precision"] <= rows[0]["precision"] + 1e-9
+
+
+class TestMonthlyStepping:
+    def test_batch_count_and_years(self, churn_world):
+        batches = ChurnSimulator(churn_world, HOT_RATES).simulate_months(
+            2021, 14, start_month=7
+        )
+        assert len(batches) == 14
+        # Months 7..12 of 2021, then 1..8 of 2022.
+        for offset, batch in enumerate(batches):
+            expected_year = 2021 + (6 + offset) // 12
+            for event in batch:
+                assert event.year == expected_year
+
+    def test_zero_months(self, churn_world):
+        assert ChurnSimulator(churn_world).simulate_months(2021, 0) == []
+
+    def test_negative_months_rejected(self, churn_world):
+        with pytest.raises(WorldError):
+            ChurnSimulator(churn_world).simulate_months(2021, -1)
+
+    def test_bad_start_month_rejected(self, churn_world):
+        with pytest.raises(WorldError):
+            ChurnSimulator(churn_world).simulate_months(2021, 1, start_month=0)
+        with pytest.raises(WorldError):
+            ChurnSimulator(churn_world).simulate_months(2021, 1, start_month=13)
+
+    def test_deterministic_across_fresh_worlds(self):
+        """Same seed, same rates ⇒ identical monthly event sequences —
+        what makes a maintain loop reproducible end to end."""
+        w1 = WorldGenerator(WorldConfig.tiny(seed=5)).generate()
+        w2 = WorldGenerator(WorldConfig.tiny(seed=5)).generate()
+        b1 = ChurnSimulator(w1, HOT_RATES).simulate_months(2021, 12)
+        b2 = ChurnSimulator(w2, HOT_RATES).simulate_months(2021, 12)
+        flat1 = [(e.kind, e.operator_id, e.year) for b in b1 for e in b]
+        flat2 = [(e.kind, e.operator_id, e.year) for b in b2 for e in b]
+        assert flat1 == flat2
+        assert flat1, "hot rates over a year produced no events"
+
+    def test_monthly_rates_are_damped(self):
+        """Twelve monthly draws land in the same order of magnitude as one
+        annual draw — the 1/12 scaling is applied, not ignored."""
+        annual_world = WorldGenerator(WorldConfig.tiny(seed=5)).generate()
+        monthly_world = WorldGenerator(WorldConfig.tiny(seed=5)).generate()
+        annual = ChurnSimulator(annual_world, HOT_RATES).simulate_years(2021, 1)
+        monthly_batches = ChurnSimulator(monthly_world, HOT_RATES).simulate_months(
+            2021, 12
+        )
+        monthly = [e for batch in monthly_batches for e in batch]
+        assert monthly
+        # Without damping, 12 monthly draws would multiply event volume by
+        # roughly 12; with it, they stay within ~3x of the annual draw.
+        assert len(monthly) <= max(3 * len(annual), len(annual) + 10)
+
+    def test_ownership_stays_consistent(self, churn_world):
+        batches = ChurnSimulator(churn_world, HOT_RATES).simulate_months(
+            2021, 12
+        )
+        if not any(batches):
+            pytest.skip("no events drawn")
+        churn_world.ownership.validate()

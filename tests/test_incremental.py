@@ -1,0 +1,271 @@
+"""Tests for the delta-driven incremental recompute engine.
+
+The load-bearing property is byte-identity: a maintain loop that reuses
+terms, score maps, corpus answers and verdicts must export exactly the
+bytes a cold full recompute would — the randomized event-sequence test
+drives :func:`run_maintenance` with ``verify=True``, which cold-recomputes
+every snapshot and byte-compares the exports.  The unit tests cover each
+invalidation layer's soundness argument in isolation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import WorldConfig
+from repro.core.confirmation import OwnershipAnalyst
+from repro.core.maintenance import run_maintenance
+from repro.incremental import (
+    CachingCorpus,
+    IncrementalEngine,
+    corpus_delta,
+    geolocation_fingerprint,
+    prefix_fingerprint,
+    routing_fingerprint,
+)
+from repro.incremental.fingerprints import (
+    country_score_key,
+    name_token_set,
+    origin_term_key,
+    tokens_overlap,
+)
+from repro.parallel.cache import ResultCache
+from repro.sources.documents import Document, SourceType
+from repro.world.events import ChurnRates, ChurnSimulator
+from repro.world.generator import WorldGenerator
+
+
+def _doc(doc_id: str, names, url: str = "https://example.com/x") -> Document:
+    return Document(
+        doc_id=doc_id,
+        source_type=SourceType.NEWS,
+        cc="NO",
+        url=url,
+        language="en",
+        subject_names=tuple(names),
+        claims=(),
+    )
+
+
+#: Monthly churn draws use rates/12; scale the annual rates up so a
+#: two-month test sequence reliably produces events.
+_HOT_RATES = ChurnRates(
+    privatization=0.4,
+    nationalization=0.15,
+    new_subsidiary_per_expander=0.9,
+)
+
+
+# -- fingerprints ------------------------------------------------------------
+class TestFingerprints:
+    def test_stable_across_calls(self, tiny_world):
+        assert routing_fingerprint(tiny_world) == routing_fingerprint(tiny_world)
+        assert prefix_fingerprint(tiny_world) == prefix_fingerprint(tiny_world)
+        assert geolocation_fingerprint(tiny_world) == geolocation_fingerprint(
+            tiny_world
+        )
+
+    def test_churn_leaves_routing_and_prefixes_unchanged(self):
+        """Ownership churn never touches the graph, monitors or announced
+        prefixes — the invariant the warm CTI path rests on."""
+        world = WorldGenerator(WorldConfig.tiny(seed=2024)).generate()
+        routing_before = routing_fingerprint(world)
+        prefix_before = prefix_fingerprint(world)
+        geo_before = geolocation_fingerprint(world)
+        events = ChurnSimulator(world, _HOT_RATES).simulate_months(2021, 4)
+        assert any(batch for batch in events), "churn produced no events"
+        assert routing_fingerprint(world) == routing_before
+        assert prefix_fingerprint(world) == prefix_before
+        assert geolocation_fingerprint(world) == geo_before
+
+    def test_keys_are_injective_in_inputs(self):
+        assert origin_term_key("r1", 7) != origin_term_key("r1", 8)
+        assert origin_term_key("r1", 7) != origin_term_key("r2", 7)
+        assert country_score_key("r", "s", 1e-3) != country_score_key(
+            "r", "s", 1e-2
+        )
+
+    def test_tokens_overlap(self):
+        assert tokens_overlap(["Telenor Group"], name_token_set("Telenor ASA"))
+        assert not tokens_overlap(["Telenor"], name_token_set("Orange SA"))
+        assert not tokens_overlap(["Telenor"], set())
+
+
+# -- the corpus layer --------------------------------------------------------
+class TestCorpusDelta:
+    def test_identical_corpora_empty_delta(self):
+        docs = [_doc("d1", ["Telenor ASA"])]
+        delta = corpus_delta(docs, list(docs))
+        assert delta.is_empty
+        assert not delta.dirty_tokens
+
+    def test_changed_document_dirties_tokens_and_domain(self):
+        old = [_doc("d1", ["Telenor ASA"], "https://telenor.no/ir")]
+        new = [_doc("d1", ["Telenor Norge"], "https://telenor.no/ir")]
+        delta = corpus_delta(old, new)
+        assert delta.changed_docs == 2  # old value + new value
+        assert name_token_set("Telenor") <= delta.dirty_tokens
+        assert "telenor.no" in delta.dirty_domains
+
+    def test_seed_from_skips_dirty_queries(self):
+        old_docs = [
+            _doc("d1", ["Telenor ASA"], "https://telenor.no/ir"),
+            _doc("d2", ["Orange SA"], "https://orange.fr/ir"),
+        ]
+        old = CachingCorpus(old_docs)
+        old.find_documents("Telenor ASA")
+        old.find_documents("Orange SA")
+        old.find_by_domain("telenor.no")
+        old.find_by_domain("orange.fr")
+        new_docs = [
+            _doc("d1", ["Telenor Norge"], "https://telenor.no/ir"),
+            _doc("d2", ["Orange SA"], "https://orange.fr/ir"),
+        ]
+        new = CachingCorpus(new_docs)
+        count = new.seed_from(old, corpus_delta(old_docs, new_docs))
+        # The Telenor query and telenor.no domain entry are dirty; the
+        # Orange pair survives.
+        assert count == 2
+        new.stats.hits = 0
+        new.find_documents("Orange SA")
+        assert new.stats.hits == 1
+        new.find_documents("Telenor ASA")
+        assert new.stats.computed == 1
+
+    def test_memoized_answers_match_fresh(self, small_inputs):
+        plain = small_inputs.corpus
+        caching = CachingCorpus(plain.all_documents())
+        for doc in plain.all_documents()[:40]:
+            name = doc.subject_names[0]
+            assert caching.find_documents(name) == plain.find_documents(name)
+            # second call comes from the memo and must be identical
+            assert caching.find_documents(name) == plain.find_documents(name)
+        assert caching.stats.hits > 0
+
+
+# -- the confirmation layer --------------------------------------------------
+class TestAnalystSeeding:
+    def test_seed_memo_respects_dirty_tokens(self, small_inputs, pipeline_config):
+        corpus = CachingCorpus(small_inputs.corpus.all_documents())
+        first = OwnershipAnalyst(corpus, pipeline_config)
+        names = [
+            doc.subject_names[0]
+            for doc in small_inputs.corpus.all_documents()[:10]
+        ]
+        for name in names:
+            first.investigate(name)
+        memo, footprints, volatile, minority = first.carry_state()
+        assert memo and footprints
+
+        # No dirty tokens: every non-volatile footprinted entry survives.
+        clean = OwnershipAnalyst(corpus, pipeline_config)
+        seeded = clean.seed_memo(memo, footprints, volatile, minority, set())
+        assert seeded == sum(
+            1 for k in memo if k not in volatile and k in footprints
+        )
+        assert seeded > 0
+
+        # Dirtying one investigated company's tokens never seeds an entry
+        # whose footprint mentions it.
+        dirty = set(name_token_set(names[0]))
+        partial = OwnershipAnalyst(corpus, pipeline_config)
+        partial_seeded = partial.seed_memo(
+            memo, footprints, volatile, minority, dirty
+        )
+        assert partial_seeded <= seeded
+        overlapping = [
+            key
+            for key, footprint in footprints.items()
+            if tokens_overlap(footprint, dirty)
+        ]
+        assert overlapping  # the investigated name itself, at minimum
+        for key in overlapping:
+            assert key not in partial._memo
+
+    def test_seeded_verdicts_equal_fresh(self, small_inputs, pipeline_config):
+        corpus = CachingCorpus(small_inputs.corpus.all_documents())
+        first = OwnershipAnalyst(corpus, pipeline_config)
+        names = [
+            doc.subject_names[0]
+            for doc in small_inputs.corpus.all_documents()[:10]
+        ]
+        baseline = {name: first.investigate(name) for name in names}
+        second = OwnershipAnalyst(corpus, pipeline_config)
+        second.seed_memo(*first.carry_state(), set())
+        for name in names:
+            assert second.investigate(name) == baseline[name]
+
+
+# -- the engine --------------------------------------------------------------
+class TestEngine:
+    def test_quiet_snapshot_carries_everything(self):
+        """Same world, no events: the second snapshot reuses the whole CTI
+        computer, walks zero origins, and emits an identical dataset."""
+        world = WorldGenerator(WorldConfig.tiny(seed=42)).generate()
+        engine = IncrementalEngine()
+        cold = engine.run_snapshot(world)
+        warm = engine.run_snapshot(world)
+        assert warm.provenance["computer_carried"] is True
+        assert warm.provenance["trie_reused"] is True
+        assert warm.provenance["dirty_origins"] == 0
+        assert warm.provenance["reused_fraction"] > 0.9
+        from repro.io.jsonio import dataset_to_json
+
+        assert dataset_to_json(warm.result.dataset) == dataset_to_json(
+            cold.result.dataset
+        )
+
+    def test_trie_object_reused_when_prefixes_unchanged(self):
+        world = WorldGenerator(WorldConfig.tiny(seed=42)).generate()
+        engine = IncrementalEngine()
+        first = engine.run_snapshot(world)
+        ChurnSimulator(world, _HOT_RATES).simulate_months(2021, 1)
+        second = engine.run_snapshot(world)
+        # Same Prefix2ASTable object ⇒ same already-built trie.
+        assert second.inputs.prefix2as is first.inputs.prefix2as
+
+    def test_disk_tier_warm_starts_a_fresh_engine(self, tmp_path):
+        world = WorldGenerator(WorldConfig.tiny(seed=42)).generate()
+        cache = ResultCache(tmp_path / "cache")
+        IncrementalEngine(cache=cache).run_snapshot(world)
+        stats = cache.stats()
+        assert stats["cti-terms"]["entries"] > 1
+        assert stats["cti-scores"]["entries"] >= 1
+        # A brand-new engine (new process, same disk) preloads the terms.
+        fresh = IncrementalEngine(cache=cache)
+        run = fresh.run_snapshot(world)
+        assert run.provenance["terms_preloaded"] > 0
+        assert run.provenance["dirty_origins"] == 0
+        assert run.provenance["scores_seeded"] >= 1
+
+
+# -- the maintain loop: randomized event-sequence equivalence ---------------
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [7, 20210701])
+def test_incremental_exports_byte_identical_to_cold(tmp_path, seed):
+    """The correctness bar: for a randomized churn sequence, every
+    incremental export must match a cold full recompute byte for byte
+    (``verify=True`` raises on any drift)."""
+    world = WorldGenerator(WorldConfig.tiny(seed=seed)).generate()
+    out = tmp_path / f"seq-{seed}"
+    report = run_maintenance(
+        world,
+        out_dir=out,
+        months=2,
+        rates=_HOT_RATES,
+        verify=True,
+    )
+    assert [rec.verified for rec in report.snapshots] == [True, True]
+    assert (out / "MAINTAIN.json").exists()
+    # The churned month must actually have exercised the delta path.
+    assert report.snapshots[1].events
+    manifest = json.loads((out / "MAINTAIN.json").read_text())
+    assert [s["label"] for s in manifest["snapshots"]] == [
+        "2021-07",
+        "2021-08",
+    ]
+    for rec in report.snapshots:
+        assert Path(rec.dataset_path).exists()
+        if rec.cti_path:
+            assert Path(rec.cti_path).exists()

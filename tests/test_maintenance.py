@@ -48,3 +48,117 @@ class TestPlan:
         midpoint = len(plan) / 2
         in_top_half = sum(1 for org_id in marginal if order[org_id] < midpoint)
         assert in_top_half / len(marginal) > 0.7
+
+
+class TestEquityMarginBuckets:
+    """The risk lattice of ``_equity_margin_risk`` at its bucket edges."""
+
+    def test_missing_percentage(self):
+        from repro.core.maintenance import _equity_margin_risk
+
+        risk, reason = _equity_margin_risk(None)
+        assert risk == 0.35
+        assert "without a percentage" in reason
+
+    def test_threshold_hugging(self):
+        from repro.core.maintenance import _equity_margin_risk
+
+        risk, reason = _equity_margin_risk(0.52)
+        assert risk == 0.9
+        assert "within 5 pts" in reason
+
+    def test_moderate_margin(self):
+        from repro.core.maintenance import _equity_margin_risk
+
+        risk, _ = _equity_margin_risk(0.60)
+        assert risk == 0.5
+
+    def test_comfortable_margin(self):
+        from repro.core.maintenance import _equity_margin_risk
+
+        risk, reason = _equity_margin_risk(0.80)
+        assert risk == 0.1
+        assert reason is None
+
+    def test_bucket_boundaries(self):
+        from repro.core.maintenance import _equity_margin_risk
+
+        # margin == 0.05 falls out of the hot bucket, == 0.15 out of the
+        # moderate one (strict < comparisons).
+        assert _equity_margin_risk(0.55)[0] == 0.5
+        assert _equity_margin_risk(0.65)[0] == 0.1
+
+
+class TestRunMaintenance:
+    def test_two_month_walk_writes_snapshots_and_manifest(self, tmp_path):
+        import json
+
+        from repro.config import WorldConfig
+        from repro.core.maintenance import run_maintenance
+        from repro.world.generator import WorldGenerator
+
+        world = WorldGenerator(WorldConfig.tiny(seed=77)).generate()
+        out = tmp_path / "maint"
+        report = run_maintenance(world, out_dir=out, months=2)
+        assert [rec.label for rec in report.snapshots] == ["2021-07", "2021-08"]
+        manifest = json.loads((out / "MAINTAIN.json").read_text())
+        assert manifest["format_version"] == 1
+        assert len(manifest["snapshots"]) == 2
+        first, second = manifest["snapshots"]
+        # The baseline snapshot carries no events; both carry provenance.
+        assert first["events"] == []
+        for entry in (first, second):
+            assert (out / entry["dataset"]).exists()
+            prov = entry["provenance"]
+            assert "reused_fraction" in prov
+            assert "wall_s" in prov
+        # Warm snapshot reuses most of the work.
+        assert second["provenance"]["reused_fraction"] > 0.5
+        # The report table renders one line per snapshot plus a header.
+        assert len(report.as_text().splitlines()) == 3
+
+    def test_cold_mode_records_no_reuse(self, tmp_path):
+        from repro.config import WorldConfig
+        from repro.core.maintenance import run_maintenance
+        from repro.world.generator import WorldGenerator
+
+        world = WorldGenerator(WorldConfig.tiny(seed=77)).generate()
+        report = run_maintenance(
+            world, out_dir=tmp_path / "cold", months=2, cold=True
+        )
+        assert all(
+            rec.provenance["mode"] == "cold" for rec in report.snapshots
+        )
+        assert report.reused_fractions() == [0.0, 0.0]
+
+    def test_publish_installs_latest_snapshot(self, tmp_path):
+        from repro.config import WorldConfig
+        from repro.core.maintenance import run_maintenance
+        from repro.world.generator import WorldGenerator
+
+        world = WorldGenerator(WorldConfig.tiny(seed=77)).generate()
+        target = tmp_path / "live" / "dataset.json"
+        report = run_maintenance(
+            world, out_dir=tmp_path / "maint", months=1, publish=target
+        )
+        assert report.published == str(target)
+        assert target.exists()
+        from pathlib import Path
+
+        last = report.snapshots[-1]
+        assert target.read_bytes() == Path(last.dataset_path).read_bytes()
+        if last.cti_path:
+            sidecar = tmp_path / "live" / "dataset.json.cti.json"
+            assert sidecar.exists()
+
+    def test_zero_months_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.config import WorldConfig
+        from repro.core.maintenance import run_maintenance
+        from repro.errors import PipelineError
+        from repro.world.generator import WorldGenerator
+
+        world = WorldGenerator(WorldConfig.tiny(seed=77)).generate()
+        with _pytest.raises(PipelineError):
+            run_maintenance(world, out_dir=tmp_path / "x", months=0)

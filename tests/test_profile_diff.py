@@ -131,8 +131,10 @@ class TestChurnFraction:
     def test_no_churn_is_zero(self):
         assert self._diff([1, 2], [1, 2]).churn_fraction == 0.0
 
-    def test_empty_old_snapshot_is_total_churn(self):
-        assert self._diff([], [1]).churn_fraction == 1.0
+    def test_empty_old_snapshot_is_no_churn(self):
+        # A bootstrap snapshot has no previous release to churn against:
+        # 0.0, not the alarm-tripping 1.0 the old formula reported.
+        assert self._diff([], [1]).churn_fraction == 0.0
 
     def test_both_empty_is_zero(self):
         assert self._diff([], []).churn_fraction == 0.0
@@ -141,7 +143,7 @@ class TestChurnFraction:
         old, new = frozenset({1, 2, 3, 4}), frozenset({1, 2, 3, 5})
         assert asn_churn_fraction(old, new) == pytest.approx(0.5)
         assert asn_churn_fraction(old, old) == 0.0
-        assert asn_churn_fraction(frozenset(), new) == 1.0
+        assert asn_churn_fraction(frozenset(), new) == 0.0
         assert asn_churn_fraction(frozenset(), frozenset()) == 0.0
 
     def test_to_dict_round_trips_through_json(self):
