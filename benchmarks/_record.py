@@ -53,9 +53,7 @@ def append_record(
         "context": dict(context or {}),
         "tracked": {k: round(float(v), 6) for k, v in tracked.items()},
         **extra,
-        "recorded_at": time.strftime(
-            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
-        ),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     path = _ROOT / f"BENCH_{trajectory}.json"
     with path.open("a", encoding="utf-8") as fh:

@@ -23,10 +23,26 @@ from repro.core import (
     validate_against_world,
 )
 from repro.obs import get_metrics, reset_metrics
+from repro.parallel import ResultCache, resolve_cache_dir
 from repro.world.generator import WorldGenerator
+from repro.world.worldcache import load_or_generate
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210701"))
+
+
+def _materialize_world(config: WorldConfig):
+    """Fixture worlds go through the digest-verified blob cache when
+    ``REPRO_WORLD_CACHE=1`` (the CI jobs share blobs via ``actions/cache``).
+
+    Only the *fixture* worlds: benchmarks that time generation itself
+    keep calling :class:`WorldGenerator` directly.
+    """
+    if os.environ.get("REPRO_WORLD_CACHE") == "1":
+        root = resolve_cache_dir()
+        cache = ResultCache(root) if root is not None else None
+        return load_or_generate(config, cache)
+    return WorldGenerator(config).generate()
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -55,8 +71,7 @@ def _attach_stage_metrics(request):
 
 @pytest.fixture(scope="session")
 def bench_world():
-    config = WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
-    return WorldGenerator(config).generate()
+    return _materialize_world(WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
 
 
 @pytest.fixture(scope="session")
@@ -77,7 +92,7 @@ def bench_validation(bench_result, bench_world):
 @pytest.fixture(scope="session")
 def small_bench_world():
     """A reduced world for the expensive ablation sweeps."""
-    return WorldGenerator(WorldConfig(seed=BENCH_SEED, scale=0.3)).generate()
+    return _materialize_world(WorldConfig(seed=BENCH_SEED, scale=0.3))
 
 
 @pytest.fixture(scope="session")

@@ -25,8 +25,7 @@ def _sweep(world, prefix2as, truth_asns):
         selected = candidates.asns()
         covered = len(selected & truth_asns)
         rows.append(
-            (accuracy, len(selected), covered,
-             round(covered / len(truth_asns), 3))
+            (accuracy, len(selected), covered, round(covered / len(truth_asns), 3))
         )
     return rows
 
@@ -52,15 +51,22 @@ def test_bench_geolocation_accuracy(benchmark, bench_world, bench_inputs):
     rows = benchmark.pedantic(
         _sweep,
         args=(bench_world, bench_inputs.prefix2as, truth),
-        rounds=1, iterations=1,
+        rounds=1,
+        iterations=1,
     )
     print()
-    print(render_table(
-        ("accuracy", "geolocation candidates", "state-owned covered",
-         "truth coverage"),
-        rows,
-        title="Ablation — geolocation accuracy (paper band: 74-98 %)",
-    ))
+    print(
+        render_table(
+            (
+                "accuracy",
+                "geolocation candidates",
+                "state-owned covered",
+                "truth coverage",
+            ),
+            rows,
+            title="Ablation — geolocation accuracy (paper band: 74-98 %)",
+        )
+    )
     by_accuracy = {acc: cov for acc, _n, _c, cov in rows}
     # Coverage degrades monotonically as geolocation gets noisier (diluted
     # country shares push ASes under the 5 % rule) but the source stays

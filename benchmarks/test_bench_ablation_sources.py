@@ -18,29 +18,31 @@ def baseline(small_bench_inputs):
 
 
 @pytest.mark.parametrize("source", list(InputSource), ids=lambda s: s.name)
-def test_bench_ablation_drop_source(
-    benchmark, small_bench_inputs, baseline, source
-):
+def test_bench_ablation_drop_source(benchmark, small_bench_inputs, baseline, source):
     pipeline = StateOwnershipPipeline(small_bench_inputs)
     result = benchmark.pedantic(
-        pipeline.run, kwargs={"skip_sources": [source]},
-        rounds=1, iterations=1,
+        pipeline.run,
+        kwargs={"skip_sources": [source]},
+        rounds=1,
+        iterations=1,
     )
     base_asns = baseline.dataset.all_asns()
     ablated_asns = result.dataset.all_asns()
     lost = base_asns - ablated_asns
     gained = ablated_asns - base_asns
     print()
-    print(render_table(
-        ("metric", "value"),
-        [
-            ("baseline ASes", len(base_asns)),
-            (f"ASes without {source.name}", len(ablated_asns)),
-            ("lost", len(lost)),
-            ("spuriously gained", len(gained)),
-        ],
-        title=f"Ablation — drop {source.name} ({source.value})",
-    ))
+    print(
+        render_table(
+            ("metric", "value"),
+            [
+                ("baseline ASes", len(base_asns)),
+                (f"ASes without {source.name}", len(ablated_asns)),
+                ("lost", len(lost)),
+                ("spuriously gained", len(gained)),
+            ],
+            title=f"Ablation — drop {source.name} ({source.value})",
+        )
+    )
     # Every source's removal costs coverage (unique contribution), and
     # removal never massively *adds* ASes.
     assert len(ablated_asns) <= len(base_asns) + 10

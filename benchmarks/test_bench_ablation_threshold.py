@@ -22,8 +22,7 @@ def _sweep(inputs, truth_asns):
         selected = candidates.asns()
         covered = len(selected & truth_asns)
         rows.append(
-            (threshold, len(selected), covered,
-             round(covered / len(truth_asns), 3))
+            (threshold, len(selected), covered, round(covered / len(truth_asns), 3))
         )
     return rows
 
@@ -34,12 +33,13 @@ def test_bench_threshold_sweep(benchmark, bench_inputs, bench_world):
         _sweep, args=(bench_inputs, truth), rounds=1, iterations=1
     )
     print()
-    print(render_table(
-        ("threshold", "candidate ASes", "state-owned covered",
-         "truth coverage"),
-        rows,
-        title="Ablation — candidate market-share threshold (paper uses 5 %)",
-    ))
+    print(
+        render_table(
+            ("threshold", "candidate ASes", "state-owned covered", "truth coverage"),
+            rows,
+            title="Ablation — candidate market-share threshold (paper uses 5 %)",
+        )
+    )
     counts = [count for _t, count, _c, _r in rows]
     coverage = [cov for *_x, cov in rows]
     # Monotonicity: higher thresholds shrink the candidate set and its

@@ -34,20 +34,36 @@ def test_bench_dataset_ageing(benchmark, small_bench_inputs):
                 new_subsidiary_per_expander=0.12,
             ),
         },
-        rounds=1, iterations=1,
+        rounds=1,
+        iterations=1,
     )
     print()
-    print(render_table(
-        ("year", "events", "priv", "natl", "new subs",
-         "frozen precision", "frozen recall"),
-        [
-            (r["year"], r["events"], r["privatizations"],
-             r["nationalizations"], r["new_subsidiaries"],
-             r["precision"], r["recall"])
-            for r in rows
-        ],
-        title="Dataset ageing — a frozen 2020 snapshot vs evolving truth",
-    ))
+    print(
+        render_table(
+            (
+                "year",
+                "events",
+                "priv",
+                "natl",
+                "new subs",
+                "frozen precision",
+                "frozen recall",
+            ),
+            [
+                (
+                    r["year"],
+                    r["events"],
+                    r["privatizations"],
+                    r["nationalizations"],
+                    r["new_subsidiaries"],
+                    r["precision"],
+                    r["recall"],
+                )
+                for r in rows
+            ],
+            title="Dataset ageing — a frozen 2020 snapshot vs evolving truth",
+        )
+    )
     # Decay is gradual (the paper: updating later is far cheaper than
     # rebuilding) — after five years the snapshot is degraded but usable.
     assert rows[-1]["precision"] >= 0.75

@@ -15,8 +15,7 @@ def test_bench_candidate_funnel(benchmark, bench_result, bench_inputs):
             eyeballs=inputs.eyeballs,
             cti_selection=bench_result.cti_selection,
             orbis_companies=[
-                (r.company_name, r.cc)
-                for r in inputs.orbis.state_owned_telcos()
+                (r.company_name, r.cc) for r in inputs.orbis.state_owned_telcos()
             ],
             wiki_fh_companies=inputs.wikipedia.state_owned_company_names(),
         )
@@ -33,8 +32,11 @@ def test_bench_candidate_funnel(benchmark, bench_result, bench_inputs):
         for key in sorted(set(stats) | set(paper.CANDIDATE_FUNNEL))
     ]
     print()
-    print(render_table(("stat", "measured", "paper"), rows,
-                       title="Candidate funnel (§4)"))
+    print(
+        render_table(
+            ("stat", "measured", "paper"), rows, title="Candidate funnel (§4)"
+        )
+    )
     # Shape: geolocation and eyeballs are comparable in size with a large
     # intersection; CTI is an order of magnitude smaller.
     geo, eye = stats["geolocation_asns"], stats["eyeball_asns"]

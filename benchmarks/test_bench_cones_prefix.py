@@ -114,9 +114,7 @@ def test_bench_address_summarization(benchmark, request, world_fixture, scale):
     # pits the one-pass post-order walk against per-prefix queries on one
     # prebuilt trie.
     fast_s = _best_of(lambda: summarize_address_counts(pairs), 7)
-    reference_s = _best_of(
-        lambda: _reference_summarize_address_counts(pairs), 3
-    )
+    reference_s = _best_of(lambda: _reference_summarize_address_counts(pairs), 3)
     speedup = reference_s / fast_s
 
     trie = PrefixTrie()

@@ -9,22 +9,22 @@ def test_bench_cti_selection(benchmark, small_bench_world, small_bench_inputs):
     world, inputs = small_bench_world, small_bench_inputs
 
     def compute():
-        cti = CTIComputer(
-            inputs.prefix2as, inputs.geolocation, world.collector
-        )
+        cti = CTIComputer(inputs.prefix2as, inputs.geolocation, world.collector)
         return select_cti_candidates(cti, sorted(world.transit_dominant_ccs))
 
     selection = benchmark.pedantic(compute, rounds=1, iterations=1)
     truth = world.ground_truth_asns()
     print()
-    print(render_table(
-        ("metric", "value"),
-        [
-            ("countries applied", len(selection.countries_applied)),
-            ("ASes selected", len(selection.asns)),
-            ("state-owned among them", len(set(selection.asns) & truth)),
-        ],
-        title="CTI candidate selection",
-    ))
+    print(
+        render_table(
+            ("metric", "value"),
+            [
+                ("countries applied", len(selection.countries_applied)),
+                ("ASes selected", len(selection.asns)),
+                ("state-owned among them", len(set(selection.asns) & truth)),
+            ],
+            title="CTI candidate selection",
+        )
+    )
     assert selection.asns
     assert len(set(selection.asns) & truth) >= 3

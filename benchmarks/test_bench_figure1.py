@@ -29,14 +29,16 @@ def test_bench_figure1(benchmark, footprints):
     data = benchmark(figure1_map_data, footprints)
     top = sorted(data.items(), key=lambda kv: -max(kv[1]))[:25]
     print()
-    print(render_table(
-        ("cc", "region", "domestic (blue)", "foreign (green)"),
-        [
-            (cc, _region(cc), f"{blue:.2f}", f"{green:.2f}")
-            for cc, (blue, green) in top
-        ],
-        title="Figure 1 — strongest state footprints",
-    ))
+    print(
+        render_table(
+            ("cc", "region", "domestic (blue)", "foreign (green)"),
+            [
+                (cc, _region(cc), f"{blue:.2f}", f"{green:.2f}")
+                for cc, (blue, green) in top
+            ],
+            title="Figure 1 — strongest state footprints",
+        )
+    )
     # Shape: Africa and Asia lead domestic state footprint (the paper's
     # headline geographic finding); the US shows none.
     region_means = {}
@@ -50,6 +52,4 @@ def test_bench_figure1(benchmark, footprints):
     foreign_by_region = {}
     for cc, (_blue, green) in data.items():
         foreign_by_region.setdefault(_region(cc), []).append(green)
-    assert mean(foreign_by_region["Africa"]) >= mean(
-        foreign_by_region["Europe"]
-    )
+    assert mean(foreign_by_region["Africa"]) >= mean(foreign_by_region["Europe"])

@@ -8,12 +8,15 @@ from repro.io.tables import render_table
 def test_bench_figure3(benchmark, bench_result):
     venn = benchmark(venn_three_categories, bench_result)
     print()
-    print(render_table(
-        ("region", "ASes"), sorted(venn.items()),
-        title=f"Figure 3 — category Venn (paper: all_three "
-              f"{paper.FIGURE3_VENN['all_three']}, technical_only "
-              f"{paper.FIGURE3_VENN['technical_only']})",
-    ))
+    print(
+        render_table(
+            ("region", "ASes"),
+            sorted(venn.items()),
+            title=f"Figure 3 — category Venn (paper: all_three "
+            f"{paper.FIGURE3_VENN['all_three']}, technical_only "
+            f"{paper.FIGURE3_VENN['technical_only']})",
+        )
+    )
     # Shape: a large shared core, and *every* category contributes a
     # meaningful unique slice — the paper's central methodological claim.
     assert venn["all_three"] > 30

@@ -27,15 +27,20 @@ def test_bench_figure4a_addresses(benchmark, footprints):
     bins = benchmark(figure4_histograms, footprints, "addresses")
     totals = _bin_totals(bins)
     print()
-    print(render_table(
-        ("bin", "countries", "per-RIR"),
-        [
-            (label, totals[label],
-             " ".join(f"{rir}:{count}" for rir, count in bins[label]))
-            for label in sorted(bins)
-        ],
-        title="Figure 4a — countries' state-owned address-space footprint",
-    ))
+    print(
+        render_table(
+            ("bin", "countries", "per-RIR"),
+            [
+                (
+                    label,
+                    totals[label],
+                    " ".join(f"{rir}:{count}" for rir, count in bins[label]),
+                )
+                for label in sorted(bins)
+            ],
+            title="Figure 4a — countries' state-owned address-space footprint",
+        )
+    )
     # Shape: a big zero bin (ARIN/private world), a visible >= 0.5 tail
     # (paper: 49 countries) and a >= 0.9 club (paper: 13).
     assert totals["0.0"] == max(totals.values())
@@ -48,19 +53,22 @@ def test_bench_figure4b_eyeballs(benchmark, footprints):
     bins = benchmark(figure4_histograms, footprints, "eyeballs")
     totals = _bin_totals(bins)
     print()
-    print(render_table(
-        ("bin", "countries", "per-RIR"),
-        [
-            (label, totals[label],
-             " ".join(f"{rir}:{count}" for rir, count in bins[label]))
-            for label in sorted(bins)
-        ],
-        title="Figure 4b — countries' state-owned eyeball footprint",
-    ))
+    print(
+        render_table(
+            ("bin", "countries", "per-RIR"),
+            [
+                (
+                    label,
+                    totals[label],
+                    " ".join(f"{rir}:{count}" for rir, count in bins[label]),
+                )
+                for label in sorted(bins)
+            ],
+            title="Figure 4b — countries' state-owned eyeball footprint",
+        )
+    )
     high = sum(totals[f"{i / 10:.1f}"] for i in range(5, 11))
     assert high >= 20   # paper: 42 countries above 0.5
     # ARIN countries concentrate in the zero bin.
-    zero_rirs = dict(
-        (rir, int(count)) for rir, count in bins["0.0"]
-    )
+    zero_rirs = dict((rir, int(count)) for rir, count in bins["0.0"])
     assert zero_rirs.get("ARIN", 0) >= 5

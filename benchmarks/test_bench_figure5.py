@@ -28,9 +28,6 @@ def test_bench_figure5(benchmark, bench_result, bench_inputs, bench_world):
         assert linear_trend(history) > 0
     # At least one of the two is a cable/transit operator.
     roles = {
-        bench_world.asn_records[a].role
-        for a in series
-        if a in bench_world.asn_records
+        bench_world.asn_records[a].role for a in series if a in bench_world.asn_records
     }
-    assert roles & {OperatorRole.CABLE, OperatorRole.TRANSIT,
-                    OperatorRole.INCUMBENT}
+    assert roles & {OperatorRole.CABLE, OperatorRole.TRANSIT, OperatorRole.INCUMBENT}

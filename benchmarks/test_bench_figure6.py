@@ -16,14 +16,16 @@ def test_bench_figure6(benchmark, bench_result):
         region = country_by_cc(cc).region
         by_region.setdefault(region, Counter())[color] += 1
     print()
-    print(render_table(
-        ("region", "majority", "minority", "none"),
-        [
-            (region, counts["majority"], counts["minority"], counts["none"])
-            for region, counts in sorted(by_region.items())
-        ],
-        title="Figure 6 — state-ownership map by region",
-    ))
+    print(
+        render_table(
+            ("region", "majority", "minority", "none"),
+            [
+                (region, counts["majority"], counts["minority"], counts["none"])
+                for region, counts in sorted(by_region.items())
+            ],
+            title="Figure 6 — state-ownership map by region",
+        )
+    )
     # Shape: the majority color dominates Africa and Asia; the Americas
     # (ARIN + LACNIC mix) lean to "none"; minority countries exist but are
     # a small band (paper's orange).

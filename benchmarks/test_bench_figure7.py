@@ -7,11 +7,13 @@ from repro.io.tables import render_table
 def test_bench_figure7(benchmark, bench_result):
     regions = benchmark(venn_regions, bench_result)
     print()
-    print(render_table(
-        ("region (GECWO)", "ASes"),
-        sorted(regions.items(), key=lambda kv: (-kv[1], kv[0]))[:20],
-        title="Figure 7 — five-source Venn regions (top 20 of 31)",
-    ))
+    print(
+        render_table(
+            ("region (GECWO)", "ASes"),
+            sorted(regions.items(), key=lambda kv: (-kv[1], kv[0]))[:20],
+            title="Figure 7 — five-source Venn regions (top 20 of 31)",
+        )
+    )
     # Shape: multiple regions are populated (the sources overlap but none
     # subsumes another), the heaviest mass sits in multi-source regions,
     # and a CTI-only region exists (paper: '00100' = 11).

@@ -12,14 +12,11 @@ def test_bench_headline(benchmark, bench_result, bench_inputs):
         for key in sorted(set(stats) | set(paper.HEADLINE))
     ]
     print()
-    print(render_table(("metric", "measured", "paper"), rows,
-                       title="Headline (§7)"))
+    print(render_table(("metric", "measured", "paper"), rows, title="Headline (§7)"))
     # Shape assertions: state ownership is widespread, the US exclusion
     # raises the share, foreign subsidiaries are a visible minority.
     assert stats["state_owned_asns"] > 300
     assert stats["countries_with_majority"] > 80
     assert 0.08 < stats["announced_space_share"] < 0.3
-    assert (
-        stats["announced_space_share_ex_us"] > stats["announced_space_share"]
-    )
+    assert (stats["announced_space_share_ex_us"] > stats["announced_space_share"])
     assert 0 < stats["foreign_subsidiary_asns"] < stats["state_owned_asns"]

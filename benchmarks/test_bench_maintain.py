@@ -41,9 +41,7 @@ def test_bench_maintain_loop(tmp_path):
     cold = run_maintenance(
         _world(), out_dir=tmp_path / "cold", months=_MONTHS, cold=True
     )
-    warm = run_maintenance(
-        _world(), out_dir=tmp_path / "warm", months=_MONTHS
-    )
+    warm = run_maintenance(_world(), out_dir=tmp_path / "warm", months=_MONTHS)
 
     for cold_rec, warm_rec in zip(cold.snapshots, warm.snapshots):
         cold_bytes = open(cold_rec.dataset_path, "rb").read()
@@ -73,11 +71,13 @@ def test_bench_maintain_loop(tmp_path):
         )
         for i, rec in enumerate(warm.snapshots)
     ]
-    print(render_table(
-        ("snapshot", "events", "cold", "incremental", "reused"),
-        rows,
-        title=f"Maintain loop (scale {BENCH_SCALE}, {_MONTHS} months)",
-    ))
+    print(
+        render_table(
+            ("snapshot", "events", "cold", "incremental", "reused"),
+            rows,
+            title=f"Maintain loop (scale {BENCH_SCALE}, {_MONTHS} months)",
+        )
+    )
     print(f"steady-state speedup: {speedup:.1f}x")
 
     # The acceptance bar: a warm snapshot that dirtied at most 5% of the

@@ -11,12 +11,10 @@ def _orbis_quality(bench_result, bench_inputs, bench_world):
     """Compare Orbis labels against the pipeline-confirmed dataset, the way
     the paper audited the commercial database."""
     confirmed_names = {
-        normalize_name(org.org_name)
-        for org in bench_result.dataset.organizations()
+        normalize_name(org.org_name) for org in bench_result.dataset.organizations()
     }
     truth_names = {
-        normalize_name(gto.operator.name)
-        for gto in bench_world.ground_truth()
+        normalize_name(gto.operator.name) for gto in bench_world.ground_truth()
     }
     labeled = {
         normalize_name(r.company_name): r
@@ -44,12 +42,14 @@ def test_bench_orbis_quality(benchmark, bench_result, bench_inputs, bench_world)
     quality = benchmark(_orbis_quality, bench_result, bench_inputs, bench_world)
     rows = [
         (key, quality[key], paper.ORBIS_QUALITY.get(key, "-"))
-        for key in ("false_positives", "false_negatives",
-                    "false_negative_countries")
+        for key in ("false_positives", "false_negatives", "false_negative_countries")
     ]
     print()
-    print(render_table(("metric", "measured", "paper"), rows,
-                       title="Orbis quality audit (§7)"))
+    print(
+        render_table(
+            ("metric", "measured", "paper"), rows, title="Orbis quality audit (§7)"
+        )
+    )
     # Shape: a handful of FPs, an order of magnitude more FNs, spread over
     # many countries and skewed toward the developing world.
     assert 1 <= quality["false_positives"] <= 60

@@ -41,15 +41,17 @@ def _cold_inputs(inputs):
 
 def _report(title, result):
     print()
-    print(render_table(
-        ("metric", "value"),
-        [
-            ("companies confirmed", len(result.dataset)),
-            ("state-owned ASNs", len(result.dataset.all_asns())),
-            ("runtime (s)", f"{result.stats['runtime_seconds']:.2f}"),
-        ],
-        title=title,
-    ))
+    print(
+        render_table(
+            ("metric", "value"),
+            [
+                ("companies confirmed", len(result.dataset)),
+                ("state-owned ASNs", len(result.dataset.all_asns())),
+                ("runtime (s)", f"{result.stats['runtime_seconds']:.2f}"),
+            ],
+            title=title,
+        )
+    )
 
 
 def test_bench_pipeline_serial(benchmark, small_bench_inputs):
@@ -85,9 +87,7 @@ def test_bench_pipeline_parallel(benchmark, small_bench_inputs):
     benchmark.extra_info["pool_spawns"] = (
         metrics.counter("parallel.pool_spawns") - spawns
     )
-    benchmark.extra_info["pool_reuse"] = (
-        metrics.counter("parallel.pool_reuse") - reuses
-    )
+    benchmark.extra_info["pool_reuse"] = metrics.counter("parallel.pool_reuse") - reuses
     benchmark.extra_info["state_ships"] = (
         metrics.counter("parallel.state_ships") - ships
     )
@@ -107,15 +107,11 @@ def test_bench_pipeline_parallel(benchmark, small_bench_inputs):
     )
 
 
-def test_bench_pipeline_warm_cache(
-    benchmark, small_bench_inputs, tmp_path_factory
-):
+def test_bench_pipeline_warm_cache(benchmark, small_bench_inputs, tmp_path_factory):
     cache_dir = str(tmp_path_factory.mktemp("repro-cache"))
     parallel = ParallelConfig(cache_dir=cache_dir)
     # Prime the persistent cache (not part of the measurement).
-    StateOwnershipPipeline(
-        _cold_inputs(small_bench_inputs), parallel=parallel
-    ).run()
+    StateOwnershipPipeline(_cold_inputs(small_bench_inputs), parallel=parallel).run()
 
     metrics = get_metrics()
     hits_before = metrics.counter("cache.hits")

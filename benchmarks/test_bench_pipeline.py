@@ -16,17 +16,19 @@ def test_bench_full_pipeline(benchmark, small_bench_inputs, small_bench_world):
     result = benchmark.pedantic(pipeline.run, rounds=1, iterations=1)
     report = validate_against_world(result, small_bench_world)
     print()
-    print(render_table(
-        ("metric", "value"),
-        [
-            ("state-owned ASNs found", len(result.dataset.all_asns())),
-            ("companies confirmed", len(result.dataset)),
-            ("ASN precision", f"{report.asn_precision:.3f}"),
-            ("ASN recall", f"{report.asn_recall:.3f}"),
-            ("company precision", f"{report.company_precision:.3f}"),
-            ("company recall", f"{report.company_recall:.3f}"),
-        ],
-        title="Full pipeline run (reduced world)",
-    ))
+    print(
+        render_table(
+            ("metric", "value"),
+            [
+                ("state-owned ASNs found", len(result.dataset.all_asns())),
+                ("companies confirmed", len(result.dataset)),
+                ("ASN precision", f"{report.asn_precision:.3f}"),
+                ("ASN recall", f"{report.asn_recall:.3f}"),
+                ("company precision", f"{report.company_precision:.3f}"),
+                ("company recall", f"{report.company_recall:.3f}"),
+            ],
+            title="Full pipeline run (reduced world)",
+        )
+    )
     assert report.asn_precision > 0.9
     assert report.asn_recall > 0.6

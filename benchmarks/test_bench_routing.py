@@ -1,0 +1,124 @@
+"""Micro-benchmark: policy route propagation vs the static oracle.
+
+For each scale in ``REPRO_BENCH_SWEEP`` (default ``0.3,1``) this builds a
+world and times, over the exact origin set CTI scoring walks:
+
+* tree propagation through the static :class:`RoutingTreeCache` oracle;
+* tree propagation through the policy engine under a neutral policy;
+* full CTI scoring of every eligible country on top of each cache.
+
+The neutral-policy scores are asserted bit-identical to the static scores
+before anything is recorded — the overhead number can never come from an
+engine that quietly routes differently.  With ``REPRO_BENCH_RECORD=1``
+each scale appends one record to ``BENCH_routing.json`` (all tracked
+numbers lower-is-better, gated by ``repro bench-diff``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from _record import append_record
+from conftest import _materialize_world
+
+from repro.config import WorldConfig
+from repro.core import PipelineInputs
+from repro.cti.metric import CTIComputer
+from repro.io.tables import render_table
+from repro.net.monitors import RouteCollector
+from repro.net.routing import NEUTRAL_POLICY
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210701"))
+_SWEEP = [
+    float(token)
+    for token in os.environ.get("REPRO_BENCH_SWEEP", "0.3,1").split(",")
+    if token.strip()
+]
+
+
+@pytest.mark.parametrize("scale", _SWEEP)
+def test_bench_routing(benchmark, scale):
+    world = _materialize_world(WorldConfig(seed=BENCH_SEED, scale=scale))
+    graph = world.graph
+    monitors = world.collector.monitors
+    inputs = PipelineInputs.from_world(world)
+    eligible = sorted(inputs.cti_eligible_ccs)
+
+    def propagate_and_score():
+        timings = {}
+        static_collector = RouteCollector(graph, monitors)
+        policy_collector = RouteCollector(graph, monitors, policy=NEUTRAL_POLICY)
+        static_cti = CTIComputer(inputs.prefix2as, inputs.geolocation, static_collector)
+        policy_cti = CTIComputer(inputs.prefix2as, inputs.geolocation, policy_collector)
+        origins = sorted(
+            {origin for cc in eligible for origin in static_cti.scored_origins(cc)}
+        )
+
+        started = time.perf_counter()
+        for origin in origins:
+            static_collector.paths_to(origin)
+        timings["static_trees_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for origin in origins:
+            policy_collector.paths_to(origin)
+        timings["policy_trees_s"] = time.perf_counter() - started
+
+        # Scoring reuses the per-collector tree caches warmed above, so
+        # the CTI pair isolates the scoring arithmetic from propagation.
+        started = time.perf_counter()
+        static_cti.score_countries(eligible)
+        timings["static_cti_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        policy_cti.score_countries(eligible)
+        timings["policy_cti_s"] = time.perf_counter() - started
+        return static_cti, policy_cti, origins, timings
+
+    static_cti, policy_cti, origins, timings = benchmark.pedantic(
+        propagate_and_score, rounds=1, iterations=1
+    )
+
+    # Propagated CTI must equal static CTI exactly on a policy-neutral
+    # world: same floats, not approximately the same.
+    for cc in eligible:
+        assert policy_cti.country_cti(cc) == static_cti.country_cti(cc), cc
+
+    overhead = (
+        timings["policy_trees_s"] / timings["static_trees_s"]
+        if timings["static_trees_s"]
+        else float("inf")
+    )
+    print()
+    print(
+        render_table(
+            ("metric", "value"),
+            [
+                ("ASes", len(graph)),
+                ("origins propagated", len(origins)),
+                ("countries scored", len(eligible)),
+                ("static trees", f"{timings['static_trees_s']:.3f}s"),
+                ("policy trees", f"{timings['policy_trees_s']:.3f}s"),
+                ("policy overhead", f"{overhead:.2f}x"),
+                ("static CTI", f"{timings['static_cti_s']:.3f}s"),
+                ("policy CTI", f"{timings['policy_cti_s']:.3f}s"),
+            ],
+            title=f"Route propagation (scale {scale})",
+        )
+    )
+
+    append_record(
+        "routing",
+        f"routing_scale_{scale}",
+        tracked=timings,
+        context={
+            "scale": scale,
+            "seed": BENCH_SEED,
+            "origins": len(origins),
+            "countries": len(eligible),
+        },
+        policy_overhead_x=round(overhead, 3),
+    )

@@ -60,9 +60,7 @@ def test_bench_scale_sweep(benchmark, scale):
             from repro.core import PipelineInputs
 
             inputs = PipelineInputs.from_world(world)
-            cti = CTIComputer(
-                inputs.prefix2as, inputs.geolocation, inputs.collector
-            )
+            cti = CTIComputer(inputs.prefix2as, inputs.geolocation, inputs.collector)
             eligible = sorted(inputs.cti_eligible_ccs)
             started = time.perf_counter()
             cti.score_countries(eligible, context=context)
@@ -75,9 +73,7 @@ def test_bench_scale_sweep(benchmark, scale):
 
     # Equivalence spot check: the serial scorer must reproduce the
     # parallel-precomputed scores bit for bit on a sample country.
-    serial = CTIComputer(
-        inputs.prefix2as, inputs.geolocation, inputs.collector
-    )
+    serial = CTIComputer(inputs.prefix2as, inputs.geolocation, inputs.collector)
     for cc in eligible[:3]:
         assert serial.country_cti(cc) == cti.country_cti(cc), cc
 

@@ -29,9 +29,7 @@ from repro.io.jsonio import dump_json
 from repro.serve import ServerThread, SnapshotStore
 
 _CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "4"))
-_REQUESTS_PER_CLIENT = int(
-    os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "300")
-)
+_REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "300"))
 _ORGS = 200
 _ASNS_PER_ORG = 4
 
@@ -105,9 +103,7 @@ def _client_worker(port, endpoints, n_requests, result):
             except Exception as exc:  # noqa: BLE001 - failure is the metric
                 failures.append(f"{target} -> {exc!r}")
                 conn.close()
-                conn = http.client.HTTPConnection(
-                    "127.0.0.1", port, timeout=30
-                )
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
             latencies.append(time.perf_counter() - started)
     finally:
         conn.close()
@@ -119,9 +115,7 @@ def _client_worker(port, endpoints, n_requests, result):
 def _percentile(sorted_values, fraction):
     if not sorted_values:
         return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1)))
     return sorted_values[index]
 
 

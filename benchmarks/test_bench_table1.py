@@ -8,15 +8,21 @@ from repro.io.tables import render_table
 def test_bench_table1(benchmark, bench_result):
     table = benchmark(table1_confirmation_sources, bench_result)
     rows = [
-        (source, table.get(source, "-"),
-         paper.TABLE1_CONFIRMATION_SOURCES.get(source, "-"))
-        for source in sorted(
-            set(table) | set(paper.TABLE1_CONFIRMATION_SOURCES)
+        (
+            source,
+            table.get(source, "-"),
+            paper.TABLE1_CONFIRMATION_SOURCES.get(source, "-"),
         )
+        for source in sorted(set(table) | set(paper.TABLE1_CONFIRMATION_SOURCES))
     ]
     print()
-    print(render_table(("confirmation source", "measured", "paper"), rows,
-                       title="Table 1 — confirmation sources"))
+    print(
+        render_table(
+            ("confirmation source", "measured", "paper"),
+            rows,
+            title="Table 1 — confirmation sources",
+        )
+    )
     total = sum(table.values())
     websites = table.get("Company's website", 0)
     # Shape: company websites are the dominant confirmation source (paper:

@@ -13,8 +13,13 @@ def test_bench_table2(benchmark, bench_result):
         for key in sorted(set(table) | set(paper.TABLE2_PARTICIPATION))
     ]
     print()
-    print(render_table(("participation", "measured", "paper"), rows,
-                       title="Table 2 — country participation"))
+    print(
+        render_table(
+            ("participation", "measured", "paper"),
+            rows,
+            title="Table 2 — country participation",
+        )
+    )
     # Shape: roughly half the world's countries majority-own an operator;
     # subsidiary owners are an order of magnitude fewer; minority owners a
     # small set.

@@ -8,15 +8,21 @@ from repro.io.tables import render_table
 def test_bench_table3(benchmark, bench_result, bench_world):
     rows = benchmark(table3_foreign_subsidiaries, bench_result)
     print()
-    print(render_table(
-        ("owner", "#targets", "paper", "target countries"),
-        [
-            (owner, count, paper.TABLE3_SUBSIDIARIES.get(owner, "-"),
-             " ".join(targets))
-            for owner, count, targets in rows
-        ],
-        title="Table 3 — foreign subsidiaries",
-    ))
+    print(
+        render_table(
+            ("owner", "#targets", "paper", "target countries"),
+            [
+                (
+                    owner,
+                    count,
+                    paper.TABLE3_SUBSIDIARIES.get(owner, "-"),
+                    " ".join(targets),
+                )
+                for owner, count, targets in rows
+            ],
+            title="Table 3 — foreign subsidiaries",
+        )
+    )
     measured = {owner: count for owner, count, _ in rows}
     # Shape: every measured owner is a configured expander (no spurious
     # empires), the big expanders are recovered, and reach correlates with
@@ -24,8 +30,6 @@ def test_bench_table3(benchmark, bench_result, bench_world):
     profiles = set(bench_world.config.expansion_profiles)
     assert set(measured) <= profiles
     assert len(measured) >= len(profiles) * 0.6
-    top_measured = {o for o, _ in sorted(
-        measured.items(), key=lambda kv: -kv[1]
-    )[:6]}
+    top_measured = {o for o, _ in sorted(measured.items(), key=lambda kv: -kv[1])[:6]}
     top_paper = {"AE", "CN", "QA", "NO", "VN", "SG", "MY"}
     assert len(top_measured & top_paper) >= 4

@@ -8,15 +8,22 @@ from repro.io.tables import render_table
 def test_bench_table4(benchmark, bench_result):
     table = benchmark(table4_by_rir, bench_result)
     print()
-    print(render_table(
-        ("RIR", "companies", "countries", "% countries", "paper (c/c/%)"),
-        [
-            (rir, companies, countries, pct,
-             "/".join(str(v) for v in paper.TABLE4_BY_RIR.get(rir, ())))
-            for rir, (companies, countries, pct) in sorted(table.items())
-        ],
-        title="Table 4 — state-owned operators by RIR",
-    ))
+    print(
+        render_table(
+            ("RIR", "companies", "countries", "% countries", "paper (c/c/%)"),
+            [
+                (
+                    rir,
+                    companies,
+                    countries,
+                    pct,
+                    "/".join(str(v) for v in paper.TABLE4_BY_RIR.get(rir, ())),
+                )
+                for rir, (companies, countries, pct) in sorted(table.items())
+            ],
+            title="Table 4 — state-owned operators by RIR",
+        )
+    )
     # Shape: every non-ARIN RIR has >40 % member-country participation
     # while ARIN stays far below (paper: 7 %).
     for rir in ("AFRINIC", "APNIC", "LACNIC", "RIPE"):

@@ -11,19 +11,26 @@ _PAPER_TOP_CONE_CCS = {"SG", "RU", "AO", "CO", "CN", "CH", "PL", "BD"}
 def test_bench_table5(benchmark, bench_result, bench_inputs):
     rows = benchmark(
         table5_top_cones,
-        bench_result.dataset, bench_inputs.asrank, bench_inputs.whois,
+        bench_result.dataset,
+        bench_inputs.asrank,
+        bench_inputs.whois,
     )
     print()
-    print(render_table(
-        ("ASN", "AS name", "cc", "cone size"),
-        rows,
-        title="Table 5 — largest customer cones of state-owned ASes "
-              "(paper: SingTel 4235 ... BSCCL 556)",
-    ))
+    print(
+        render_table(
+            ("ASN", "AS name", "cc", "cone size"),
+            rows,
+            title="Table 5 — largest customer cones of state-owned ASes "
+            "(paper: SingTel 4235 ... BSCCL 556)",
+        )
+    )
     print("paper's table for comparison:")
-    print(render_table(
-        ("AS", "cc", "cone"), paper.TABLE5_TOP_CONES,
-    ))
+    print(
+        render_table(
+            ("AS", "cc", "cone"),
+            paper.TABLE5_TOP_CONES,
+        )
+    )
     assert len(rows) == 10
     sizes = [size for *_x, size in rows]
     assert sizes == sorted(sizes, reverse=True)

@@ -8,16 +8,25 @@ from repro.io.tables import render_table
 def test_bench_table6(benchmark, bench_result):
     table = benchmark(source_contributions, bench_result)
     print()
-    print(render_table(
-        ("source", "ASes", "subsidiaries", "minority", "paper (a/s/m)"),
-        [
-            (source, ases, subs, minority,
-             "/".join(str(v) for v in
-                      paper.TABLE6_SOURCE_CONTRIBUTIONS.get(source, ())))
-            for source, (ases, subs, minority) in table.items()
-        ],
-        title="Table 6 — individual contribution of each data source",
-    ))
+    print(
+        render_table(
+            ("source", "ASes", "subsidiaries", "minority", "paper (a/s/m)"),
+            [
+                (
+                    source,
+                    ases,
+                    subs,
+                    minority,
+                    "/".join(
+                        str(v)
+                        for v in paper.TABLE6_SOURCE_CONTRIBUTIONS.get(source, ())
+                    ),
+                )
+                for source, (ases, subs, minority) in table.items()
+            ],
+            title="Table 6 — individual contribution of each data source",
+        )
+    )
     # Shape: each source contributes hundreds of ASes except CTI, which
     # contributes an order of magnitude fewer (paper: 15 vs 586-728);
     # subsidiaries appear in every popularity-based source; CTI finds none

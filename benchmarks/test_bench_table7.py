@@ -9,11 +9,14 @@ from repro.world.entities import OperatorRole
 def test_bench_table7(benchmark, bench_result, bench_inputs, bench_world):
     rows = benchmark(cti_only_ases, bench_result, bench_inputs.whois)
     print()
-    print(render_table(
-        ("ASN", "cc", "AS name"), rows,
-        title=f"Table 7 — ASes only discovered by CTI "
-              f"(measured {len(rows)}, paper {paper.TABLE7_CTI_ONLY_COUNT})",
-    ))
+    print(
+        render_table(
+            ("ASN", "cc", "AS name"),
+            rows,
+            title=f"Table 7 — ASes only discovered by CTI "
+            f"(measured {len(rows)}, paper {paper.TABLE7_CTI_ONLY_COUNT})",
+        )
+    )
     # Shape: a small but non-empty set (paper: 9), dominated by
     # transit/cable/gateway companies that serve no eyeball population.
     assert 1 <= len(rows) <= 40

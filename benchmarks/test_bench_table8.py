@@ -20,11 +20,14 @@ def footprints(bench_result, bench_inputs):
 def test_bench_table8(benchmark, footprints):
     dominant = benchmark(table8_dominant_countries, footprints)
     print()
-    print(render_table(
-        ("cc", "footprint"), dominant,
-        title=f"Table 8 — >= 0.9 state footprint (measured {len(dominant)}, "
-              f"paper {len(paper.TABLE8_DOMINANT_COUNTRIES)})",
-    ))
+    print(
+        render_table(
+            ("cc", "footprint"),
+            dominant,
+            title=f"Table 8 — >= 0.9 state footprint (measured {len(dominant)}, "
+            f"paper {len(paper.TABLE8_DOMINANT_COUNTRIES)})",
+        )
+    )
     print(f"paper's club: {', '.join(paper.TABLE8_DOMINANT_COUNTRIES)}")
     # Shape: a club of roughly a dozen-and-a-half countries, overlapping
     # the famous monopolies the paper names.

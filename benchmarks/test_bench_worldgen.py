@@ -76,9 +76,7 @@ def test_bench_worldgen_parallel(benchmark):
     ships = metrics.counter("parallel.state_ships")
 
     def build():
-        with ExecutionContext(
-            jobs=_PARALLEL_JOBS, backend="process"
-        ) as context:
+        with ExecutionContext(jobs=_PARALLEL_JOBS, backend="process") as context:
             return WorldGenerator(_config(), context=context).generate()
 
     world = benchmark.pedantic(build, rounds=1, iterations=1)
@@ -87,9 +85,7 @@ def test_bench_worldgen_parallel(benchmark):
     benchmark.extra_info["pool_spawns"] = (
         metrics.counter("parallel.pool_spawns") - spawns
     )
-    benchmark.extra_info["pool_reuse"] = (
-        metrics.counter("parallel.pool_reuse") - reuses
-    )
+    benchmark.extra_info["pool_reuse"] = metrics.counter("parallel.pool_reuse") - reuses
     benchmark.extra_info["state_ships"] = (
         metrics.counter("parallel.state_ships") - ships
     )

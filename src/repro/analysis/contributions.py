@@ -55,11 +55,7 @@ def source_contributions(
             minority_asns_by_source[source].update(item.seed_asns)
 
     for source in _SOURCE_ORDER:
-        owned = {
-            asn
-            for asn, sources in result.asn_inputs.items()
-            if source in sources
-        }
+        owned = {asn for asn, sources in result.asn_inputs.items() if source in sources}
         per_source[source.value] = (
             len(owned),
             len(owned & foreign),
@@ -88,9 +84,7 @@ def venn_regions(result: PipelineResult) -> Dict[str, int]:
     regions: Dict[str, int] = {}
     for asn in result.dataset.all_asns():
         sources = result.asn_inputs.get(asn, frozenset())
-        bits = "".join(
-            "1" if source in sources else "0" for source in _SOURCE_ORDER
-        )
+        bits = "".join("1" if source in sources else "0" for source in _SOURCE_ORDER)
         if bits == "00000":
             continue  # discovered only through subsidiary walks
         regions[bits] = regions.get(bits, 0) + 1
@@ -104,9 +98,7 @@ def venn_three_categories(result: PipelineResult) -> Dict[str, int]:
     "orbis_only", "technical_wiki_fh", "technical_orbis", "wiki_fh_orbis",
     "all_three".
     """
-    technical = {
-        InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI
-    }
+    technical = {InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI}
     counts = {
         "technical_only": 0,
         "wiki_fh_only": 0,

@@ -62,7 +62,9 @@ def build_country_profile(
             profile.owns_abroad.append((org.org_name, org.target_cc))
     if footprints is None:
         footprints = compute_footprints(
-            result.dataset, inputs.prefix2as, inputs.geolocation,
+            result.dataset,
+            inputs.prefix2as,
+            inputs.geolocation,
             inputs.eyeballs,
         )
     profile.footprint = footprints.get(country.cc)
@@ -114,8 +116,7 @@ def profile_text(profile: CountryProfile) -> str:
             lines.append(f"  - {name} (operates in {target})")
     if profile.minority_ccs:
         lines.append(
-            "minority government stakes seen from: "
-            + ", ".join(profile.minority_ccs)
+            "minority government stakes seen from: " + ", ".join(profile.minority_ccs)
         )
     if profile.cti_applied:
         gateway = (

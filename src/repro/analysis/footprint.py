@@ -126,8 +126,7 @@ def figure1_map_data(
 ) -> Dict[str, Tuple[float, float]]:
     """Figure 1's per-country (blue, green) = (domestic max, foreign max)."""
     return {
-        cc: (fp.domestic_max, fp.foreign_max)
-        for cc, fp in sorted(footprints.items())
+        cc: (fp.domestic_max, fp.foreign_max) for cc, fp in sorted(footprints.items())
     }
 
 
@@ -157,9 +156,7 @@ def figure4_histograms(
         bins[f"{edge / 10:.1f}"].setdefault(rir, []).append(cc)
     # Flatten to bin -> [rir, count] rows for easy rendering.
     return {
-        label: [
-            [rir, str(len(ccs))] for rir, ccs in sorted(groups.items())
-        ]
+        label: [[rir, str(len(ccs))] for rir, ccs in sorted(groups.items())]
         for label, groups in bins.items()
     }
 

@@ -66,7 +66,5 @@ def minority_report(
                 asn_count=asn_count,
             )
         )
-    holdings.sort(
-        key=lambda h: (-(h.fraction or 0.0), h.company_name)
-    )
+    holdings.sort(key=lambda h: (-(h.fraction or 0.0), h.company_name))
     return holdings

@@ -74,9 +74,25 @@ TABLE2_PARTICIPATION: Dict[str, int] = {
 
 #: Table 3 — owner country -> number of subsidiary target countries.
 TABLE3_SUBSIDIARIES: Dict[str, int] = {
-    "AE": 12, "CN": 9, "QA": 9, "NO": 9, "VN": 9, "SG": 6, "MY": 5,
-    "CO": 4, "RS": 3, "ID": 3, "BH": 3, "TN": 3, "SA": 2, "FJ": 1,
-    "MU": 1, "BE": 1, "CH": 1, "RU": 1, "SI": 1,
+    "AE": 12,
+    "CN": 9,
+    "QA": 9,
+    "NO": 9,
+    "VN": 9,
+    "SG": 6,
+    "MY": 5,
+    "CO": 4,
+    "RS": 3,
+    "ID": 3,
+    "BH": 3,
+    "TN": 3,
+    "SA": 2,
+    "FJ": 1,
+    "MU": 1,
+    "BE": 1,
+    "CH": 1,
+    "RU": 1,
+    "SI": 1,
 }
 
 #: Table 4 — per-RIR company and country counts.
@@ -121,8 +137,24 @@ TABLE7_CTI_ONLY_COUNT: int = 9
 #: Table 8 (Appendix F) — countries with >= 0.9 estimated access-market
 #: footprint held by domestic state-owned ASes.
 TABLE8_DOMINANT_COUNTRIES: Tuple[str, ...] = (
-    "ET", "TV", "CU", "GL", "DJ", "SY", "AE", "ER", "SR", "CN", "LY",
-    "YE", "DZ", "MO", "AD", "IR", "UY", "TM",
+    "ET",
+    "TV",
+    "CU",
+    "GL",
+    "DJ",
+    "SY",
+    "AE",
+    "ER",
+    "SR",
+    "CN",
+    "LY",
+    "YE",
+    "DZ",
+    "MO",
+    "AD",
+    "IR",
+    "UY",
+    "TM",
 )
 
 #: Figure 3 — three-category Venn (technical / Wikipedia+FH / Orbis).

@@ -33,26 +33,20 @@ from repro.sources.base import InputSource
 __all__ = ["headline_stats", "full_report"]
 
 
-def headline_stats(
-    result: PipelineResult, inputs: PipelineInputs
-) -> Dict[str, float]:
+def headline_stats(result: PipelineResult, inputs: PipelineInputs) -> Dict[str, float]:
     """The §7 headline numbers for one run."""
     counts = inputs.prefix2as.announced_address_counts()
     total = sum(counts.values())
     state_asns = result.dataset.all_asns()
     state_space = sum(counts.get(asn, 0) for asn in state_asns)
-    us_asns = {
-        record.asn for record in inputs.whois if record.cc == "US"
-    }
+    us_asns = {record.asn for record in inputs.whois if record.cc == "US"}
     us_space = sum(counts.get(asn, 0) for asn in us_asns)
     ex_us_total = total - us_space
     return {
         "state_owned_asns": len(state_asns),
         "foreign_subsidiary_asns": len(result.dataset.foreign_subsidiary_asns()),
         "companies": len(result.dataset),
-        "foreign_subsidiary_companies": len(
-            result.dataset.foreign_subsidiaries()
-        ),
+        "foreign_subsidiary_companies": len(result.dataset.foreign_subsidiaries()),
         "countries_with_majority": len(result.dataset.owner_countries()),
         "announced_space_share": round(state_space / total, 4) if total else 0.0,
         "announced_space_share_ex_us": (
@@ -63,9 +57,7 @@ def headline_stats(
 
 def _compare_rows(measured: Dict, published: Dict) -> list:
     keys = sorted(set(measured) | set(published), key=str)
-    return [
-        (key, measured.get(key, "-"), published.get(key, "-")) for key in keys
-    ]
+    return [(key, measured.get(key, "-"), published.get(key, "-")) for key in keys]
 
 
 def full_report(
@@ -140,8 +132,13 @@ def full_report(
     table4 = table4_by_rir(result)
     sections.append(
         render_table(
-            ("RIR", "companies", "countries", "% countries",
-             "paper (companies/countries/%)"),
+            (
+                "RIR",
+                "companies",
+                "countries",
+                "% countries",
+                "paper (companies/countries/%)",
+            ),
             [
                 (
                     rir,
@@ -168,8 +165,13 @@ def full_report(
     contributions = source_contributions(result)
     sections.append(
         render_table(
-            ("source", "ASes", "subsidiaries", "minority",
-             "paper (ASes/subs/minority)"),
+            (
+                "source",
+                "ASes",
+                "subsidiaries",
+                "minority",
+                "paper (ASes/subs/minority)",
+            ),
             [
                 (
                     source,
@@ -194,8 +196,8 @@ def full_report(
             ("ASN", "cc", "AS name"),
             cti_only,
             title=f"Table 7 — ASes only discovered by CTI "
-                  f"(measured {len(cti_only)}, paper "
-                  f"{paper.TABLE7_CTI_ONLY_COUNT})",
+            f"(measured {len(cti_only)}, paper "
+            f"{paper.TABLE7_CTI_ONLY_COUNT})",
         )
     )
     # Footprints need the raw geolocation/eyeball sources; skip the table
@@ -216,8 +218,8 @@ def full_report(
                 ("cc", "footprint"),
                 dominant,
                 title=f"Table 8 — countries with >= 0.9 state footprint "
-                      f"(measured {len(dominant)}, paper "
-                      f"{len(paper.TABLE8_DOMINANT_COUNTRIES)})",
+                f"(measured {len(dominant)}, paper "
+                f"{len(paper.TABLE8_DOMINANT_COUNTRIES)})",
             )
         )
     venn3 = venn_three_categories(result)

@@ -72,10 +72,7 @@ def table3_foreign_subsidiaries(
         if org.target_cc is None:
             continue
         targets.setdefault(org.ownership_cc, set()).add(org.target_cc)
-    rows = [
-        (owner, len(ccs), tuple(sorted(ccs)))
-        for owner, ccs in targets.items()
-    ]
+    rows = [(owner, len(ccs), tuple(sorted(ccs))) for owner, ccs in targets.items()]
     rows.sort(key=lambda row: (-row[1], row[0]))
     return rows
 

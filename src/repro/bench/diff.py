@@ -61,9 +61,7 @@ class MetricDelta:
 
 def _higher_is_better(metric: str) -> bool:
     return (
-        metric in _HIGHER_BETTER
-        or metric.endswith("_per_s")
-        or metric.endswith("_x")
+        metric in _HIGHER_BETTER or metric.endswith("_per_s") or metric.endswith("_x")
     )
 
 
@@ -85,9 +83,7 @@ def _tracked_metrics(record: dict) -> Dict[str, float]:
 def _pair_key(record: dict) -> Tuple[str, str]:
     context = record.get("context")
     context_key = (
-        json.dumps(context, sort_keys=True)
-        if isinstance(context, dict)
-        else "{}"
+        json.dumps(context, sort_keys=True) if isinstance(context, dict) else "{}"
     )
     return str(record.get("benchmark", "?")), context_key
 
@@ -107,9 +103,7 @@ def _parse_lines(path: Path) -> List[dict]:
     return records
 
 
-def diff_file(
-    path: Path, threshold: float = DEFAULT_THRESHOLD
-) -> List[MetricDelta]:
+def diff_file(path: Path, threshold: float = DEFAULT_THRESHOLD) -> List[MetricDelta]:
     """Deltas for the last comparable record pair of each benchmark."""
     groups: Dict[Tuple[str, str], List[dict]] = {}
     for record in _parse_lines(path):
@@ -241,8 +235,7 @@ class MetricTrend:
             return _SPARK_CHARS[3] * len(self.values)
         top = len(_SPARK_CHARS) - 1
         return "".join(
-            _SPARK_CHARS[round((v - lo) / (hi - lo) * top)]
-            for v in self.values
+            _SPARK_CHARS[round((v - lo) / (hi - lo) * top)] for v in self.values
         )
 
 
@@ -272,9 +265,7 @@ def trend_file(path: Path) -> List[MetricTrend]:
     return trends
 
 
-def trend_trajectories(
-    root: Path, pattern: str = "BENCH_*.json"
-) -> List[MetricTrend]:
+def trend_trajectories(root: Path, pattern: str = "BENCH_*.json") -> List[MetricTrend]:
     """Trends across every trajectory file under ``root`` (sorted)."""
     trends: List[MetricTrend] = []
     for path in sorted(Path(root).glob(pattern)):

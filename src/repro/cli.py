@@ -8,6 +8,7 @@ Subcommands::
     validate   run the pipeline and score it against the ground truth
     show       pretty-print organizations from a dataset file
     maintain   walk a monthly churn/snapshot sequence incrementally
+    scenario   run adversarial scenario packs and assert expected shifts
     bench-diff compare committed BENCH_*.json trajectories for regressions
 
 Examples::
@@ -37,11 +38,9 @@ from repro.parallel import (
     ExecutionContext,
     ResultCache,
     resolve_cache_dir,
-    stable_digest,
-    world_fingerprint,
 )
 from repro.resilience import FaultPlan, install_fault_plan
-from repro.world.generator import GENERATOR_VERSION, World, WorldGenerator
+from repro.world.worldcache import load_or_generate
 
 __all__ = ["main", "build_parser"]
 
@@ -50,65 +49,106 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="state-owned-ases",
         description="Identify ASes of state-owned Internet operators "
-                    "(IMC 2021 reproduction).",
+        "(IMC 2021 reproduction).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_world_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--seed", type=int, default=20210701,
-                       help="world seed (default: 20210701)")
-        p.add_argument("--scale", type=float, default=0.3,
-                       help="world size multiplier (default: 0.3)")
+        p.add_argument(
+            "--seed", type=int, default=20210701, help="world seed (default: 20210701)"
+        )
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=0.3,
+            help="world size multiplier (default: 0.3)",
+        )
 
     def add_obs_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--trace", action="store_true",
-                       help="print per-stage wall time and counters to stderr")
-        p.add_argument("--log-json", metavar="PATH",
-                       help="append structured trace events as JSON-lines")
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="print per-stage wall time and counters to stderr",
+        )
+        p.add_argument(
+            "--log-json",
+            metavar="PATH",
+            help="append structured trace events as JSON-lines",
+        )
 
     def add_resilience_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--inject-faults", metavar="SPEC", default=None,
-                       help="deterministic fault plan, e.g. "
-                            "'seed=42;source.orbis=fatal;cache.get=corrupt' "
-                            "(default: $REPRO_FAULTS)")
-        p.add_argument("--fail-fast", action="store_true",
-                       help="abort on the first source failure instead of "
-                            "degrading the run")
+        p.add_argument(
+            "--inject-faults",
+            metavar="SPEC",
+            default=None,
+            help="deterministic fault plan, e.g. "
+            "'seed=42;source.orbis=fatal;cache.get=corrupt' "
+            "(default: $REPRO_FAULTS)",
+        )
+        p.add_argument(
+            "--fail-fast",
+            action="store_true",
+            help="abort on the first source failure instead of " "degrading the run",
+        )
+
+    def add_routing_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--routing",
+            choices=("static", "policy"),
+            default=None,
+            help="route-propagation engine: 'static' Gao-Rexford "
+            "trees (the oracle) or the 'policy' engine "
+            "(default: $REPRO_ROUTING or static)",
+        )
 
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
-                       help="worker count (0 = all cores; default: "
-                            "$REPRO_JOBS or 1)")
-        p.add_argument("--backend", choices=BACKENDS, default=None,
-                       help="execution backend (default: $REPRO_BACKEND, or "
-                            "'process' when --jobs > 1)")
-        p.add_argument("--no-cache", action="store_true",
-                       help="disable the persistent result cache "
-                            "($REPRO_CACHE_DIR, default ~/.cache/repro)")
+        p.add_argument(
+            "--jobs",
+            "-j",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker count (0 = all cores; default: " "$REPRO_JOBS or 1)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=BACKENDS,
+            default=None,
+            help="execution backend (default: $REPRO_BACKEND, or "
+            "'process' when --jobs > 1)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the persistent result cache "
+            "($REPRO_CACHE_DIR, default ~/.cache/repro)",
+        )
 
     p_generate = sub.add_parser(
         "generate", help="synthesize a world and summarize its ground truth"
     )
     add_world_args(p_generate)
 
-    p_run = sub.add_parser(
-        "run", help="run the pipeline and export the dataset"
-    )
+    p_run = sub.add_parser("run", help="run the pipeline and export the dataset")
     add_world_args(p_run)
     add_obs_args(p_run)
+    add_routing_args(p_run)
     add_parallel_args(p_run)
     add_resilience_args(p_run)
     p_run.add_argument("--json", metavar="PATH", help="write dataset JSON")
     p_run.add_argument("--sqlite", metavar="PATH", help="write dataset SQLite")
-    p_run.add_argument("--cti-json", metavar="PATH",
-                       help="write the CTI rankings sidecar (default with "
-                            "--json: <PATH>.cti.json)")
+    p_run.add_argument(
+        "--cti-json",
+        metavar="PATH",
+        help="write the CTI rankings sidecar (default with " "--json: <PATH>.cti.json)",
+    )
 
     p_report = sub.add_parser(
         "report", help="run the pipeline and print the evaluation report"
     )
     add_world_args(p_report)
     add_obs_args(p_report)
+    add_routing_args(p_report)
     add_parallel_args(p_report)
     add_resilience_args(p_report)
 
@@ -117,27 +157,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_world_args(p_validate)
     add_obs_args(p_validate)
+    add_routing_args(p_validate)
     add_parallel_args(p_validate)
     add_resilience_args(p_validate)
 
     p_show = sub.add_parser("show", help="print organizations from a dataset")
     p_show.add_argument("path", help="dataset .json or .db/.sqlite file")
-    p_show.add_argument("--country", metavar="CC",
-                        help="filter by operating country code")
+    p_show.add_argument(
+        "--country", metavar="CC", help="filter by operating country code"
+    )
 
     p_churn = sub.add_parser(
         "churn", help="simulate ownership churn and measure dataset ageing"
     )
     add_world_args(p_churn)
-    p_churn.add_argument("--years", type=int, default=5,
-                         help="years of churn to simulate (default: 5)")
+    p_churn.add_argument(
+        "--years", type=int, default=5, help="years of churn to simulate (default: 5)"
+    )
 
     p_plan = sub.add_parser(
         "plan", help="run the pipeline and print a re-verification plan"
     )
     add_world_args(p_plan)
-    p_plan.add_argument("--top", type=int, default=15,
-                        help="number of organizations to list (default: 15)")
+    p_plan.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="number of organizations to list (default: 15)",
+    )
 
     p_profile = sub.add_parser(
         "profile", help="run the pipeline and print one country's dossier"
@@ -150,78 +197,123 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a dataset over HTTP/JSON with hot-swap snapshot reload",
     )
     p_serve.add_argument("path", help="dataset .json file (a --json export)")
-    p_serve.add_argument("--host", default="127.0.0.1",
-                         help="bind address (default: 127.0.0.1)")
-    p_serve.add_argument("--port", type=int, default=8645,
-                         help="TCP port (default: 8645; 0 = ephemeral)")
-    p_serve.add_argument("--cti", metavar="PATH", default=None,
-                         help="CTI rankings sidecar (default: "
-                              "<dataset>.cti.json when present)")
-    p_serve.add_argument("--poll-interval", type=float, default=2.0,
-                         metavar="SECONDS",
-                         help="snapshot change-poll interval (default: 2.0)")
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8645, help="TCP port (default: 8645; 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--cti",
+        metavar="PATH",
+        default=None,
+        help="CTI rankings sidecar (default: " "<dataset>.cti.json when present)",
+    )
+    p_serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="snapshot change-poll interval (default: 2.0)",
+    )
 
     p_maintain = sub.add_parser(
         "maintain",
         help="walk a monthly churn/snapshot sequence with incremental "
-             "recompute, exporting one dataset per month",
+        "recompute, exporting one dataset per month",
     )
     add_world_args(p_maintain)
     add_obs_args(p_maintain)
     add_parallel_args(p_maintain)
     add_resilience_args(p_maintain)
-    p_maintain.add_argument("--out", required=True, metavar="DIR",
-                            help="directory for snapshot exports and the "
-                                 "MAINTAIN.json manifest")
-    p_maintain.add_argument("--months", type=int, default=6,
-                            help="number of monthly snapshots (default: 6)")
-    p_maintain.add_argument("--start-year", type=int, default=2021,
-                            help="calendar year of the first snapshot "
-                                 "(default: 2021)")
-    p_maintain.add_argument("--start-month", type=int, default=7,
-                            help="calendar month of the first snapshot, "
-                                 "1-12 (default: 7)")
-    p_maintain.add_argument("--cold", action="store_true",
-                            help="recompute every snapshot from scratch "
-                                 "(the incremental engine's baseline)")
-    p_maintain.add_argument("--verify", action="store_true",
-                            help="cold-recompute each snapshot and fail "
-                                 "unless the exports are byte-identical")
-    p_maintain.add_argument("--publish", metavar="PATH", default=None,
-                            help="atomically install the newest snapshot "
-                                 "(and sidecar) at PATH for `repro serve` "
-                                 "hot swap")
+    p_maintain.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="directory for snapshot exports and the " "MAINTAIN.json manifest",
+    )
+    p_maintain.add_argument(
+        "--months", type=int, default=6, help="number of monthly snapshots (default: 6)"
+    )
+    p_maintain.add_argument(
+        "--start-year",
+        type=int,
+        default=2021,
+        help="calendar year of the first snapshot " "(default: 2021)",
+    )
+    p_maintain.add_argument(
+        "--start-month",
+        type=int,
+        default=7,
+        help="calendar month of the first snapshot, " "1-12 (default: 7)",
+    )
+    p_maintain.add_argument(
+        "--cold",
+        action="store_true",
+        help="recompute every snapshot from scratch "
+        "(the incremental engine's baseline)",
+    )
+    p_maintain.add_argument(
+        "--verify",
+        action="store_true",
+        help="cold-recompute each snapshot and fail "
+        "unless the exports are byte-identical",
+    )
+    p_maintain.add_argument(
+        "--publish",
+        metavar="PATH",
+        default=None,
+        help="atomically install the newest snapshot "
+        "(and sidecar) at PATH for `repro serve` "
+        "hot swap",
+    )
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="run adversarial scenario packs (depeering, leaks, hijacks, "
+        "re-homing, privatization) and assert their expected shifts",
+    )
+    add_world_args(p_scenario)
+    add_obs_args(p_scenario)
+    add_parallel_args(p_scenario)
+    p_scenario.add_argument(
+        "packs", nargs="*", metavar="PACK", help="pack names to run (default: all)"
+    )
+    p_scenario.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_packs",
+        help="list available packs and exit",
+    )
+    p_scenario.add_argument(
+        "--json", metavar="PATH", help="write the canonical scenario report JSON"
+    )
 
     p_bench_diff = sub.add_parser(
         "bench-diff",
         help="compare the last two records of each BENCH_*.json trajectory "
-             "and fail on perf regressions",
+        "and fail on perf regressions",
     )
     p_bench_diff.add_argument(
-        "--dir", default=".", metavar="PATH",
+        "--dir",
+        default=".",
+        metavar="PATH",
         help="directory holding BENCH_*.json files (default: .)",
     )
     p_bench_diff.add_argument(
-        "--threshold", type=float, default=None, metavar="FRACTION",
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
         help="relative regression gate on tracked metrics (default: 0.20)",
     )
     p_bench_diff.add_argument(
-        "--trend", action="store_true",
+        "--trend",
+        action="store_true",
         help="report full multi-point trajectories (first/last/best + "
-             "sparkline) instead of gating the last pair",
+        "sparkline) instead of gating the last pair",
     )
     return parser
-
-
-def _world_cache_key(config: WorldConfig) -> str:
-    """Blob-cache key for a generated world: config plus generator revision,
-    so a blob written by an older generator is never served stale."""
-    return stable_digest(
-        {
-            "config": world_fingerprint(config),
-            "generator": GENERATOR_VERSION,
-        }
-    )
 
 
 def _make_world(
@@ -231,30 +323,21 @@ def _make_world(
 ):
     """Generate (or load from the blob cache) the configured world.
 
-    The world is a pure function of its config, so a pickled copy keyed by
-    the config fingerprint lets warm ``run``/``report``/``validate``
-    invocations skip generation entirely.  An unpicklable cached entry
-    (e.g. written by an older code revision) is evicted and regenerated.
+    Delegates to :func:`repro.world.worldcache.load_or_generate`, the
+    shared load-or-generate path also used by the test fixtures and CI.
+    A ``--routing policy`` request additionally installs a neutral
+    routing policy, forcing every path lookup through the policy engine
+    (path-identical to the static oracle, by the equivalence suite).
     """
-    import pickle
-
     config = WorldConfig(seed=args.seed, scale=args.scale)
-    key = _world_cache_key(config)
-    if cache is not None:
-        blob = cache.get_blob("world", key)
-        if blob is not None:
-            try:
-                world = pickle.loads(blob)
-            except Exception:
-                world = None
-            if isinstance(world, World):
-                return world
-            cache.evict("world", key)
-    world = WorldGenerator(config, context=context).generate()
-    if cache is not None:
-        cache.put_blob(
-            "world", key, pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
-        )
+    world = load_or_generate(config, cache=cache, context=context)
+    routing = getattr(args, "routing", None) or os.environ.get(
+        "REPRO_ROUTING", "static"
+    )
+    if routing == "policy":
+        from repro.net.routing import RoutingPolicy
+
+        world.set_routing_policy(RoutingPolicy.build())
     return world
 
 
@@ -370,9 +453,7 @@ def _make_parallel_config(args: argparse.Namespace) -> ParallelConfig:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
-    configured = bool(
-        getattr(args, "trace", False) or getattr(args, "log_json", None)
-    )
+    configured = bool(getattr(args, "trace", False) or getattr(args, "log_json", None))
     if configured:
         from repro.obs import configure
         try:
@@ -418,23 +499,17 @@ def _dispatch(args: argparse.Namespace) -> int:
         cache = ResultCache(parallel.cache_dir) if parallel.cache_dir else None
         # One execution context (and therefore one worker pool) serves the
         # whole invocation: world generation and all pipeline stages.
-        with ExecutionContext(
-            jobs=parallel.jobs, backend=parallel.backend
-        ) as context:
+        with ExecutionContext(jobs=parallel.jobs, backend=parallel.backend) as context:
             world = _make_world(args, cache=cache, context=context)
             try:
-                inputs, result = _run_pipeline(
-                    world, parallel, resilience, context
-                )
+                inputs, result = _run_pipeline(world, parallel, resilience, context)
             except ReproError as exc:
                 # fail-fast aborts (and genuinely unrecoverable source
                 # failures) land here; degraded runs never do.
                 print(f"error: pipeline aborted: {exc}", file=sys.stderr)
                 return 3
         if result.degraded_sources:
-            names = ", ".join(
-                sorted(s.name for s in result.degraded_sources)
-            )
+            names = ", ".join(sorted(s.name for s in result.degraded_sources))
             print(
                 f"warning: degraded run — quarantined sources: {names}",
                 file=sys.stderr,
@@ -479,17 +554,32 @@ def _dispatch(args: argparse.Namespace) -> int:
         world = _make_world(args)
         frozen = world.ground_truth_asns()
         rows = ageing_study(world, frozen, start_year=2021, years=args.years)
-        print(render_table(
-            ("year", "events", "privatizations", "nationalizations",
-             "new subsidiaries", "precision", "recall"),
-            [
-                (r["year"], r["events"], r["privatizations"],
-                 r["nationalizations"], r["new_subsidiaries"],
-                 r["precision"], r["recall"])
-                for r in rows
-            ],
-            title="Frozen-snapshot decay under ownership churn",
-        ))
+        print(
+            render_table(
+                (
+                    "year",
+                    "events",
+                    "privatizations",
+                    "nationalizations",
+                    "new subsidiaries",
+                    "precision",
+                    "recall",
+                ),
+                [
+                    (
+                        r["year"],
+                        r["events"],
+                        r["privatizations"],
+                        r["nationalizations"],
+                        r["new_subsidiaries"],
+                        r["precision"],
+                        r["recall"],
+                    )
+                    for r in rows
+                ],
+                title="Frozen-snapshot decay under ownership churn",
+            )
+        )
         from repro.core.diffing import asn_churn_fraction
         evolved = world.ground_truth_asns()
         print(
@@ -506,15 +596,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         world = _make_world(args)
         _inputs, result = _run_pipeline(world)
         plan = plan_reverification(result, limit=args.top)
-        print(render_table(
-            ("organization", "fragility", "reasons"),
-            [
-                (item.org_name[:40], f"{item.fragility:.2f}",
-                 "; ".join(item.reasons)[:70])
-                for item in plan
-            ],
-            title=f"Re-verification plan (top {args.top})",
-        ))
+        print(
+            render_table(
+                ("organization", "fragility", "reasons"),
+                [
+                    (
+                        item.org_name[:40],
+                        f"{item.fragility:.2f}",
+                        "; ".join(item.reasons)[:70],
+                    )
+                    for item in plan
+                ],
+                title=f"Re-verification plan (top {args.top})",
+            )
+        )
         return 0
 
     if args.command == "profile":
@@ -573,9 +668,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         cache = ResultCache(parallel.cache_dir) if parallel.cache_dir else None
-        with ExecutionContext(
-            jobs=parallel.jobs, backend=parallel.backend
-        ) as context:
+        with ExecutionContext(jobs=parallel.jobs, backend=parallel.backend) as context:
             world = _make_world(args, cache=cache, context=context)
             try:
                 report = run_maintenance(
@@ -602,14 +695,48 @@ def _dispatch(args: argparse.Namespace) -> int:
         _emit_run_summary()
         return 0
 
+    if args.command == "scenario":
+        from repro.world.scenarios import all_pack_names, run_scenario_packs
+
+        if args.list_packs:
+            from repro.world.scenarios import SCENARIO_PACKS
+
+            for pack in SCENARIO_PACKS:
+                print(f"{pack.name:24s} {pack.description}")
+            return 0
+        try:
+            parallel = _make_parallel_config(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cache = ResultCache(parallel.cache_dir) if parallel.cache_dir else None
+        with ExecutionContext(jobs=parallel.jobs, backend=parallel.backend) as context:
+            world = load_or_generate(
+                WorldConfig(seed=args.seed, scale=args.scale),
+                cache=cache,
+                context=context,
+            )
+            try:
+                report = run_scenario_packs(
+                    world, names=args.packs or None, context=context
+                )
+            except ReproError as exc:
+                print(f"error: scenario run aborted: {exc}", file=sys.stderr)
+                return 3
+        print(report.as_text())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+            print(f"wrote {args.json}")
+        _emit_run_summary()
+        return 0 if report.passed else 1
+
     if args.command == "bench-diff":
         from pathlib import Path
 
         from repro.bench.diff import DEFAULT_THRESHOLD, run_diff, run_trend
 
-        threshold = (
-            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
-        )
+        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
         root = Path(args.dir)
         if not root.is_dir():
             print(f"error: not a directory: {args.dir}", file=sys.stderr)

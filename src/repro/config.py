@@ -92,7 +92,10 @@ class WorldConfig:
     #: Ownership-structure mix for state-owned operators:
     #: (direct, funds-aggregate, holding-chain, joint-venture) probabilities.
     ownership_structure_mix: Tuple[float, float, float, float] = (
-        0.62, 0.14, 0.16, 0.08,
+        0.62,
+        0.14,
+        0.16,
+        0.08,
     )
 
     #: Number of significant access operators per country by addr_class.
@@ -105,7 +108,12 @@ class WorldConfig:
     addr_budget_by_class: Tuple[int, ...] = (24, 90, 340, 1300, 5200, 48000)
     #: Eyeball budget per pop_class (Internet users).
     eyeball_budget_by_class: Tuple[int, ...] = (
-        60_000, 450_000, 2_600_000, 11_000_000, 46_000_000, 240_000_000,
+        60_000,
+        450_000,
+        2_600_000,
+        11_000_000,
+        46_000_000,
+        240_000_000,
     )
 
     #: Sibling-ASN count ranges by operator role weight: incumbents get the
@@ -119,8 +127,16 @@ class WorldConfig:
     #: China 0.97, UAE 0.99, Syria 1.0...).
     forced_state_share: Mapping[str, float] = field(
         default_factory=lambda: {
-            "CN": 0.95, "AE": 0.97, "ET": 0.99, "CU": 0.98, "SY": 0.97,
-            "ER": 0.97, "DJ": 0.96, "TM": 0.91, "UY": 0.92, "IR": 0.9,
+            "CN": 0.95,
+            "AE": 0.97,
+            "ET": 0.99,
+            "CU": 0.98,
+            "SY": 0.97,
+            "ER": 0.97,
+            "DJ": 0.96,
+            "TM": 0.91,
+            "UY": 0.92,
+            "IR": 0.9,
         }
     )
 
@@ -227,10 +243,15 @@ class SourceNoiseConfig:
 
     def __post_init__(self) -> None:
         for name in (
-            "geolocation_accuracy", "eyeball_coverage", "whois_stale_prob",
-            "whois_unrelated_alias_prob", "peeringdb_coverage",
-            "as2org_miss_prob", "orbis_false_positive_rate",
-            "freedomhouse_recall", "wikipedia_recall",
+            "geolocation_accuracy",
+            "eyeball_coverage",
+            "whois_stale_prob",
+            "whois_unrelated_alias_prob",
+            "peeringdb_coverage",
+            "as2org_miss_prob",
+            "orbis_false_positive_rate",
+            "freedomhouse_recall",
+            "wikipedia_recall",
             "developing_doc_penalty",
         ):
             value = getattr(self, name)
@@ -299,9 +320,7 @@ class ResilienceConfig:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ConfigError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.base_delay < 0 or self.max_delay < 0:
             raise ConfigError("backoff delays must be >= 0")
         if self.multiplier < 1.0:
@@ -338,6 +357,5 @@ class ParallelConfig:
             raise invalid_jobs(self.jobs)
         if self.backend not in PARALLEL_BACKENDS:
             raise ConfigError(
-                f"backend must be one of {PARALLEL_BACKENDS}, "
-                f"got {self.backend!r}"
+                f"backend must be one of {PARALLEL_BACKENDS}, " f"got {self.backend!r}"
             )

@@ -128,9 +128,7 @@ def _eyeball_candidates(
                 candidates.add_asn(asn, InputSource.EYEBALLS, cc, share)
 
 
-def _cti_candidates(
-    candidates: CandidateSet, selection: CTISelection
-) -> None:
+def _cti_candidates(candidates: CandidateSet, selection: CTISelection) -> None:
     for asn in sorted(selection.asns):
         for cc, _rank, score in selection.provenance.get(asn, ()):
             candidates.add_asn(asn, InputSource.CTI, cc, score)
@@ -226,9 +224,7 @@ def harvest_candidates(
         if key not in seen_names:
             seen_names.add(key)
             candidates.companies.append(
-                CompanyCandidate(
-                    name=name, cc=cc, source=InputSource.WIKIPEDIA_FH
-                )
+                CompanyCandidate(name=name, cc=cc, source=InputSource.WIKIPEDIA_FH)
             )
 
     candidates.stats = {
@@ -242,9 +238,7 @@ def harvest_candidates(
             1 for c in candidates.companies if c.source is InputSource.ORBIS
         ),
         "wiki_fh_companies": sum(
-            1
-            for c in candidates.companies
-            if c.source is InputSource.WIKIPEDIA_FH
+            1 for c in candidates.companies if c.source is InputSource.WIKIPEDIA_FH
         ),
     }
     return candidates

@@ -114,9 +114,7 @@ class ConfirmationVerdict:
     @property
     def source_type(self) -> Optional[SourceType]:
         return (
-            self.confirming_doc.source_type
-            if self.confirming_doc is not None
-            else None
+            self.confirming_doc.source_type if self.confirming_doc is not None else None
         )
 
 
@@ -278,20 +276,14 @@ class OwnershipAnalyst:
         """Position in the footprint log before a task starts."""
         return len(self._footprint_log)
 
-    def footprint_delta(
-        self, mark: int
-    ) -> Tuple[Dict[str, Tuple[str, ...]], Set[str]]:
+    def footprint_delta(self, mark: int) -> Tuple[Dict[str, Tuple[str, ...]], Set[str]]:
         """Footprints (and volatile keys) recorded since ``mark``.
 
         What a process-pool worker ships back alongside its verdict so the
         coordinator's analyst accumulates the full footprint map.
         """
         keys = self._footprint_log[mark:]
-        delta = {
-            key: self._footprints[key]
-            for key in keys
-            if key in self._footprints
-        }
+        delta = {key: self._footprints[key] for key in keys if key in self._footprints}
         volatile = {key for key in keys if key in self._volatile}
         return delta, volatile
 
@@ -368,7 +360,9 @@ class OwnershipAnalyst:
             company_name = docs[0].subject_names[0]
 
         # Gather de-duplicated claims: one entry per holder name.
-        holder_claims: Dict[str, Tuple[Optional[float], bool, Optional[str], bool, Document]] = {}
+        holder_claims: Dict[
+            str, Tuple[Optional[float], bool, Optional[str], bool, Document]
+        ] = {}
         assertions: List[Tuple[str, Document]] = []  # (gov cc, doc) w/o %
         subsidiary_names: List[str] = []
         any_claims = False
@@ -400,9 +394,7 @@ class OwnershipAnalyst:
             if fraction is None:
                 continue
             if is_gov and holder_cc is not None:
-                state_equity[holder_cc] = (
-                    state_equity.get(holder_cc, 0.0) + fraction
-                )
+                state_equity[holder_cc] = state_equity.get(holder_cc, 0.0) + fraction
                 equity_docs.setdefault(holder_cc, doc)
                 continue
             if is_subnat:

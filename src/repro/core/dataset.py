@@ -75,12 +75,9 @@ class StateOwnedDataset:
         for code in degraded_sources:
             if not isinstance(code, str) or not code:
                 raise DatasetError(
-                    f"degraded source codes must be non-empty strings, "
-                    f"got {code!r}"
+                    f"degraded source codes must be non-empty strings, " f"got {code!r}"
                 )
-        self._degraded_sources: Tuple[str, ...] = tuple(
-            sorted(set(degraded_sources))
-        )
+        self._degraded_sources: Tuple[str, ...] = tuple(sorted(set(degraded_sources)))
         self._organizations: List[OrganizationRecord] = list(organizations)
         seen: Set[str] = set()
         for org in self._organizations:
@@ -91,8 +88,7 @@ class StateOwnedDataset:
         if unknown:
             raise DatasetError(f"ASN lists for unknown orgs: {sorted(unknown)}")
         self._asns_of_org: Dict[str, Tuple[int, ...]] = {
-            org_id: tuple(sorted(set(asns)))
-            for org_id, asns in asns_of_org.items()
+            org_id: tuple(sorted(set(asns))) for org_id, asns in asns_of_org.items()
         }
 
     # -- container protocol ------------------------------------------------------
@@ -129,9 +125,7 @@ class StateOwnedDataset:
 
     def all_asns(self) -> FrozenSet[int]:
         """Every state-owned ASN in the dataset."""
-        return frozenset(
-            asn for asns in self._asns_of_org.values() for asn in asns
-        )
+        return frozenset(asn for asns in self._asns_of_org.values() for asn in asns)
 
     def foreign_subsidiary_asns(self) -> FrozenSet[int]:
         return frozenset(
@@ -154,18 +148,12 @@ class StateOwnedDataset:
     def subsidiary_owner_countries(self) -> FrozenSet[str]:
         """Countries owning foreign subsidiaries."""
         return frozenset(
-            org.ownership_cc
-            for org in self._organizations
-            if org.is_foreign_subsidiary
+            org.ownership_cc for org in self._organizations if org.is_foreign_subsidiary
         )
 
     def organizations_in(self, operating_cc: str) -> List[OrganizationRecord]:
         """Organizations operating in one country (domestic + foreign)."""
-        return [
-            org
-            for org in self._organizations
-            if org.operating_cc == operating_cc
-        ]
+        return [org for org in self._organizations if org.operating_cc == operating_cc]
 
     def domestic_organizations(self) -> List[OrganizationRecord]:
         return [o for o in self._organizations if not o.is_foreign_subsidiary]

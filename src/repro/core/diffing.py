@@ -92,35 +92,25 @@ class DatasetDiff:
         }
 
 
-def diff_datasets(
-    old: StateOwnedDataset, new: StateOwnedDataset
-) -> DatasetDiff:
+def diff_datasets(old: StateOwnedDataset, new: StateOwnedDataset) -> DatasetDiff:
     """Compare two snapshots by (normalized) organization name and ASN."""
-    old_by_name = {
-        normalize_name(org.org_name): org for org in old.organizations()
-    }
-    new_by_name = {
-        normalize_name(org.org_name): org for org in new.organizations()
-    }
+    old_by_name = {normalize_name(org.org_name): org for org in old.organizations()}
+    new_by_name = {normalize_name(org.org_name): org for org in new.organizations()}
     added_orgs = tuple(
         sorted(
-            new_by_name[key].org_name
-            for key in new_by_name.keys() - old_by_name.keys()
+            new_by_name[key].org_name for key in new_by_name.keys() - old_by_name.keys()
         )
     )
     removed_orgs = tuple(
         sorted(
-            old_by_name[key].org_name
-            for key in old_by_name.keys() - new_by_name.keys()
+            old_by_name[key].org_name for key in old_by_name.keys() - new_by_name.keys()
         )
     )
     owner_changes: Dict[str, Tuple[str, str]] = {}
     for key in old_by_name.keys() & new_by_name.keys():
         before, after = old_by_name[key], new_by_name[key]
         if before.ownership_cc != after.ownership_cc:
-            owner_changes[after.org_name] = (
-                before.ownership_cc, after.ownership_cc
-            )
+            owner_changes[after.org_name] = (before.ownership_cc, after.ownership_cc)
     return DatasetDiff(
         added_orgs=added_orgs,
         removed_orgs=removed_orgs,

@@ -68,14 +68,10 @@ def expert_review(
     countries = _scope_ccs(scope)
     cc_of_asn = {asn: rec.cc for asn, rec in world.asn_records.items()}
     truth = {
-        asn
-        for asn in world.ground_truth_asns()
-        if cc_of_asn.get(asn) in countries
+        asn for asn in world.ground_truth_asns() if cc_of_asn.get(asn) in countries
     }
     claimed = {
-        asn
-        for asn in result.dataset.all_asns()
-        if cc_of_asn.get(asn) in countries
+        asn for asn in result.dataset.all_asns() if cc_of_asn.get(asn) in countries
     }
     findings: List[ExpertFinding] = []
     for asn in sorted(claimed - truth):

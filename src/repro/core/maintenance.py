@@ -107,9 +107,7 @@ def plan_reverification(
         if source_risk >= 0.5:
             reasons.append(f"confirmed only via {org.source or 'unknown'}")
 
-        churn_risk = {0: 0.5, 1: 0.3, 2: 0.1}.get(
-            _TIER.get(org.ownership_cc, 1), 0.3
-        )
+        churn_risk = {0: 0.5, 1: 0.3, 2: 0.1}.get(_TIER.get(org.ownership_cc, 1), 0.3)
         if churn_risk >= 0.5:
             reasons.append("home country has high ownership churn")
 
@@ -168,14 +166,12 @@ class MaintainReport:
 
     def reused_fractions(self) -> List[float]:
         return [
-            float(rec.provenance.get("reused_fraction", 0.0))
-            for rec in self.snapshots
+            float(rec.provenance.get("reused_fraction", 0.0)) for rec in self.snapshots
         ]
 
     def as_text(self) -> str:
         lines = [
-            f"{'snapshot':<10} {'events':>6} {'dirty':>6} "
-            f"{'reused':>7} {'wall':>8}"
+            f"{'snapshot':<10} {'events':>6} {'dirty':>6} " f"{'reused':>7} {'wall':>8}"
         ]
         for rec in self.snapshots:
             prov = rec.provenance
@@ -406,9 +402,7 @@ def run_maintenance(
     from repro.io.atomic import atomic_replace
 
     with atomic_replace(Path(report.manifest_path)) as tmp:
-        tmp.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
-        )
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
     if publish and report.snapshots:
         last = report.snapshots[-1]
         _publish(

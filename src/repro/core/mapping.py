@@ -89,9 +89,7 @@ class CompanyMapper:
         """Resolve one ASN to a company identity (None if hopeless)."""
         whois_record = self._whois.lookup(asn)
         pdb_record = self._peeringdb.lookup(asn)
-        cc = whois_record.cc if whois_record else (
-            pdb_record.cc if pdb_record else ""
-        )
+        cc = whois_record.cc if whois_record else (pdb_record.cc if pdb_record else "")
         attempts: List[Tuple[str, str]] = []
         if pdb_record is not None:
             attempts.append((pdb_record.name, "peeringdb"))
@@ -159,14 +157,10 @@ class CompanyMapper:
     @staticmethod
     def _best_subject_score(query: str, doc: Document) -> float:
         """How well ``query`` matches the document's best subject name."""
-        return max(
-            name_similarity(query, name) for name in doc.subject_names
-        )
+        return max(name_similarity(query, name) for name in doc.subject_names)
 
     # -- reverse: company -> ASNs ----------------------------------------------------
-    def asns_of_company(
-        self, company_name: str, cc: Optional[str] = None
-    ) -> Set[int]:
+    def asns_of_company(self, company_name: str, cc: Optional[str] = None) -> Set[int]:
         """All ASNs whose registry names match ``company_name``.
 
         ``cc`` restricts matches to one operating country when given — the
@@ -184,10 +178,7 @@ class CompanyMapper:
             if whois_record is not None:
                 if cc is not None and whois_record.cc != cc:
                     continue
-                if (
-                    name_similarity(company_name, whois_record.org_name)
-                    >= threshold
-                ):
+                if (name_similarity(company_name, whois_record.org_name) >= threshold):
                     result.add(asn)
                     continue
             pdb_record = self._peeringdb.lookup(asn)

@@ -137,9 +137,7 @@ class PipelineInputs:
                 metrics.incr("resilience.quarantined")
                 for flag in flags:
                     degraded.add(flag)
-                    metrics.incr(
-                        f"resilience.quarantined.{flag.name.lower()}"
-                    )
+                    metrics.incr(f"resilience.quarantined.{flag.name.lower()}")
                 failed_sites.append(site)
                 return QuarantinedSource(site)
 
@@ -147,9 +145,7 @@ class PipelineInputs:
             prefix2as = build(
                 "source.prefix2as", lambda: Prefix2ASTable.from_world(world)
             )
-        whois = build(
-            "source.whois", lambda: WhoisDatabase.from_world(world, noise)
-        )
+        whois = build("source.whois", lambda: WhoisDatabase.from_world(world, noise))
         freedomhouse = build_optional(
             "source.freedomhouse",
             lambda: FreedomHouseReports.from_world(world, noise),
@@ -195,9 +191,7 @@ class PipelineInputs:
             "source.corpus",
             lambda: ConfirmationCorpus.from_world(world, fh_for_corpus, noise),
         )
-        asrank = build(
-            "source.asrank", lambda: AsRankDataset.from_world(world)
-        )
+        asrank = build("source.asrank", lambda: AsRankDataset.from_world(world))
         return cls(
             prefix2as=prefix2as,
             geolocation=geolocation,
@@ -267,9 +261,7 @@ class PipelineResult:
         return self.dataset.all_asns()
 
 
-def _investigate_task(
-    state: Dict[str, object], company_name: str
-) -> Tuple[
+def _investigate_task(state: Dict[str, object], company_name: str) -> Tuple[
     ConfirmationVerdict,
     Dict[str, ConfirmationVerdict],
     Dict[str, Tuple[str, ...]],
@@ -375,18 +367,14 @@ class StateOwnershipPipeline:
         skip = set(skip_sources) | degraded
         self._whois_memo = {}
         cache = (
-            ResultCache(self._parallel.cache_dir)
-            if self._parallel.cache_dir
-            else None
+            ResultCache(self._parallel.cache_dir) if self._parallel.cache_dir else None
         )
         get_metrics().gauge("parallel.jobs", context.jobs)
 
         def quarantine(source: InputSource) -> None:
             """Fold a run-time source failure into the degradation state."""
             if resilience.fail_fast:
-                raise PipelineError(
-                    f"source {source.name} failed and fail_fast is set"
-                )
+                raise PipelineError(f"source {source.name} failed and fail_fast is set")
             metrics = get_metrics()
             metrics.incr("resilience.quarantined")
             metrics.incr(f"resilience.quarantined.{source.name.lower()}")
@@ -428,9 +416,7 @@ class StateOwnershipPipeline:
                     )
                     wiki_fh = wiki_fh + guard.call(
                         "source.freedomhouse",
-                        lambda: list(
-                            inputs.freedomhouse.state_owned_company_names()
-                        ),
+                        lambda: list(inputs.freedomhouse.state_owned_company_names()),
                     )
                 except (SourceError, ResilienceError):
                     wiki_fh = []
@@ -456,9 +442,7 @@ class StateOwnershipPipeline:
             sp_candidates.incr("companies", len(candidates.companies))
 
         # ---- mapping: candidates -> company worklist ------------------------------
-        mapper = CompanyMapper(
-            inputs.whois, inputs.peeringdb, inputs.corpus, config
-        )
+        mapper = CompanyMapper(inputs.whois, inputs.peeringdb, inputs.corpus, config)
         work: Dict[str, CompanyWork] = {}
         unmapped_asns = 0
         with span("pipeline.mapping") as sp_mapping:
@@ -542,7 +526,7 @@ class StateOwnershipPipeline:
                 else:
                     unconfirmed.add(key)
 
-        # ---- stage 2b: parent / subsidiary discovery ----------------------------------
+        # ---- stage 2b: parent / subsidiary discovery ---------------------------------
         with span("pipeline.discovery") as sp_discovery:
             explorer = SubsidiaryExplorer(analyst)
             discoveries = explorer.explore(
@@ -564,9 +548,7 @@ class StateOwnershipPipeline:
                 )
                 if parent_key in work:
                     item.sources |= work[parent_key].sources
-            minority |= {
-                key for key in analyst.minority_log if key not in confirmed
-            }
+            minority |= {key for key in analyst.minority_log if key not in confirmed}
 
         # ---- stage 3: expansion + dataset assembly ----------------------------------
         with span("pipeline.expansion") as sp_expand:
@@ -757,9 +739,7 @@ class StateOwnershipPipeline:
         for parent_name, _fraction in verdict.parent_candidates:
             parent_key = normalize_name(parent_name)
             if parent_key in confirmed and parent_key != key:
-                name = self._conglomerate_name(
-                    parent_key, confirmed, memo, guard
-                )
+                name = self._conglomerate_name(parent_key, confirmed, memo, guard)
                 break
         memo[key] = name
         return name
@@ -772,7 +752,11 @@ class StateOwnershipPipeline:
         candidates: CandidateSet,
         parent_discovered: Optional[Set[str]] = None,
         degraded: FrozenSet[InputSource] = frozenset(),
-    ) -> Tuple[StateOwnedDataset, Dict[int, FrozenSet[InputSource]], Dict[str, FrozenSet[InputSource]]]:
+    ) -> Tuple[
+        StateOwnedDataset,
+        Dict[int, FrozenSet[InputSource]],
+        Dict[str, FrozenSet[InputSource]],
+    ]:
         parent_discovered = parent_discovered or set()
         inputs = self._inputs
         organizations: List[OrganizationRecord] = []
@@ -878,8 +862,7 @@ class StateOwnershipPipeline:
             if verdict.total_equity is None:
                 notes.append("state control asserted without percentage")
             elif len(verdict.state_equity) > 1 or (
-                verdict.total_equity < 0.999
-                and verdict.parent_candidates
+                verdict.total_equity < 0.999 and verdict.parent_candidates
             ):
                 notes.append("control via aggregated/indirect holdings")
             organizations.append(
@@ -899,9 +882,7 @@ class StateOwnershipPipeline:
                     quote_lang=doc.language if doc is not None else "",
                     url=doc.url if doc is not None else "",
                     additional_info="; ".join(notes),
-                    inputs=tuple(
-                        sorted(source.value for source in sources)
-                    ),
+                    inputs=tuple(sorted(source.value for source in sources)),
                     parent_org=parent_org,
                     target_cc=operating_cc if foreign else None,
                     target_country_name=_COUNTRY_NAME.get(operating_cc)
@@ -933,9 +914,7 @@ class StateOwnershipPipeline:
             org_inputs,
         )
 
-    def _pick_org_id(
-        self, key: str, asns: Set[int], used: Set[str]
-    ) -> str:
+    def _pick_org_id(self, key: str, asns: Set[int], used: Set[str]) -> str:
         for asn in sorted(asns):
             org = self._inputs.as2org.org_of(asn)
             if org is not None and org not in used:

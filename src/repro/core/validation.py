@@ -23,11 +23,7 @@ _RIR_OF = {c.cc: c.rir for c in COUNTRIES}
 def _prf(tp: int, fp: int, fn: int) -> Tuple[float, float, float]:
     precision = tp / (tp + fp) if tp + fp else 0.0
     recall = tp / (tp + fn) if tp + fn else 0.0
-    f1 = (
-        2 * precision * recall / (precision + recall)
-        if precision + recall
-        else 0.0
-    )
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
     return precision, recall, f1
 
 
@@ -113,9 +109,7 @@ def validate_against_world(result, world) -> ValidationReport:
 
     # Company level: compare by operator entity via ASN attribution where
     # possible, falling back to name comparison for ASN-less records.
-    truth_ops = {
-        gto.operator.entity_id: gto for gto in world.ground_truth()
-    }
+    truth_ops = {gto.operator.entity_id: gto for gto in world.ground_truth()}
     operator_of_asn = {
         asn: record.operator_id for asn, record in world.asn_records.items()
     }

@@ -185,6 +185,14 @@ class CTIComputer:
         return self._ensure_index().total(cc)
 
     # -- shared per-origin transit terms -----------------------------------
+    def scored_origins(self, cc: str) -> List[int]:
+        """Public view of the origins CTI actually scores for ``cc``.
+
+        Scenario packs use this to aim perturbations (hijack victims,
+        leak beneficiaries) at origins that contribute to the metric.
+        """
+        return self._scored_origins(cc)
+
     def _scored_origins(self, cc: str) -> List[int]:
         """Origins of ``cc`` passing the address-fraction prune, in the
         index column order the scoring loop uses."""
@@ -296,8 +304,7 @@ class CTIComputer:
         shard_size = max(1, shard_size)
         pending = [cc for cc in ccs if cc not in self._cti_cache]
         shards = [
-            pending[i : i + shard_size]
-            for i in range(0, len(pending), shard_size)
+            pending[i : i + shard_size] for i in range(0, len(pending), shard_size)
         ]
         if len(shards) > 1:
             get_metrics().incr("cti.country_shards", len(shards))
@@ -314,9 +321,7 @@ class CTIComputer:
                 self.release_terms(keep=keep)
 
     # -- persistent-cache interchange --------------------------------------
-    def preload_terms(
-        self, terms: Mapping[int, Tuple[TransitTerm, ...]]
-    ) -> None:
+    def preload_terms(self, terms: Mapping[int, Tuple[TransitTerm, ...]]) -> None:
         """Install externally computed transit terms (incremental reuse).
 
         Sound only when the terms were walked under the same routing view
@@ -396,9 +401,7 @@ class CTIComputer:
             # order of the original nested loop: same additions, same
             # float associativity, bit-identical scores.
             for asn, w, distance in self._origin_terms(origins[i]):
-                scores[asn] = scores.get(asn, 0.0) + (
-                    w * address_fraction / distance
-                )
+                scores[asn] = scores.get(asn, 0.0) + (w * address_fraction / distance)
         metrics.incr("cti.origins_scored", origins_scored)
         metrics.incr("cti.origins_pruned", origins_pruned)
         self._cti_cache[cc] = scores
@@ -425,9 +428,7 @@ class CTIComputer:
             if address_fraction < self._min_address_fraction:
                 continue
             for asn, w, distance in self._origin_terms(origin):
-                scores[asn] = scores.get(asn, 0.0) + (
-                    w * address_fraction / distance
-                )
+                scores[asn] = scores.get(asn, 0.0) + (w * address_fraction / distance)
         return scores
 
     def _reference_scored_origins(self, cc: str) -> List[int]:

@@ -66,8 +66,6 @@ def select_cti_candidates(
             provenance.setdefault(asn, []).append((cc, rank, score))
     return CTISelection(
         asns=frozenset(selected),
-        provenance={
-            asn: tuple(entries) for asn, entries in provenance.items()
-        },
+        provenance={asn: tuple(entries) for asn, entries in provenance.items()},
         countries_applied=tuple(applied),
     )

@@ -100,7 +100,11 @@ class CountryWeightIndex:
             starts.append(count)
             total_col.append(totals.get(cc, 0))
         return cls(
-            b"".join(blob_parts), cc_offsets, starts, origins, weights,
+            b"".join(blob_parts),
+            cc_offsets,
+            starts,
+            origins,
+            weights,
             total_col,
         )
 
@@ -170,8 +174,6 @@ class CountryWeightIndex:
         weights = self.weights
         for slot, cc in enumerate(self.ccs):
             start, end = self.starts[slot], self.starts[slot + 1]
-            weights_by_cc[cc] = {
-                origins[i]: weights[i] for i in range(start, end)
-            }
+            weights_by_cc[cc] = {origins[i]: weights[i] for i in range(start, end)}
             totals[cc] = self.totals[slot]
         return weights_by_cc, totals

@@ -76,9 +76,7 @@ def _manifest_key(routing_fp: str) -> str:
 
 
 def _decode_terms(payload: Dict[str, object]) -> Tuple[TransitTerm, ...]:
-    return tuple(
-        (int(asn), float(w), int(d)) for asn, w, d in payload.get("terms", ())
-    )
+    return tuple((int(asn), float(w), int(d)) for asn, w, d in payload.get("terms", ()))
 
 
 @dataclass
@@ -162,9 +160,7 @@ class IncrementalEngine:
             prefix_fp = prefix_fingerprint(world)
             geo_fp = geolocation_fingerprint(world, self._noise)
         routing_reused = routing_fp == self._routing_fp
-        prefix_reused = (
-            self._prefix2as is not None and prefix_fp == self._prefix_fp
-        )
+        prefix_reused = self._prefix2as is not None and prefix_fp == self._prefix_fp
 
         inputs = PipelineInputs.from_world(
             world,
@@ -207,9 +203,7 @@ class IncrementalEngine:
             # map — is exact as-is.
             cti = self._cti
         else:
-            cti = CTIComputer(
-                inputs.prefix2as, inputs.geolocation, inputs.collector
-            )
+            cti = CTIComputer(inputs.prefix2as, inputs.geolocation, inputs.collector)
             if routing_reused and self._term_carry:
                 cti.preload_terms(self._term_carry)
                 terms_preloaded = len(self._term_carry)
@@ -232,16 +226,9 @@ class IncrementalEngine:
 
         # -- accounting ----------------------------------------------------
         dirty_origins = metrics.counter("cti.origins_walked") - walked_before
-        countries_computed = (
-            metrics.counter("cti.countries_computed") - scored_before
-        )
+        countries_computed = metrics.counter("cti.countries_computed") - scored_before
         scores_served = metrics.counter("cti.cache_hits") - served_before
-        reused = (
-            corpus.stats.hits
-            + seeded_verdicts
-            + terms_preloaded
-            + scores_served
-        )
+        reused = corpus.stats.hits + seeded_verdicts + terms_preloaded + scores_served
         fresh = corpus.stats.computed + dirty_origins + countries_computed
         reused_fraction = reused / (reused + fresh) if (reused + fresh) else 0.0
         metrics.incr("incremental.snapshots")
@@ -334,9 +321,7 @@ class IncrementalEngine:
             if self._cache is not None:
                 payload = self._cache.get(
                     _SCORES_SECTION,
-                    country_score_key(
-                        routing_fp, digest, cti.min_address_fraction
-                    ),
+                    country_score_key(routing_fp, digest, cti.min_address_fraction),
                 )
                 if payload is not None:
                     seeded[cc] = {

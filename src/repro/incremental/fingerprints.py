@@ -55,8 +55,7 @@ def routing_fingerprint(world) -> str:
     if memo is not None and memo[0] == version and memo[1] == monitors:
         return memo[2]
     edges = {
-        str(asn): [graph.providers_of(asn), graph.peers_of(asn)]
-        for asn in graph.asns
+        str(asn): [graph.providers_of(asn), graph.peers_of(asn)] for asn in graph.asns
     }
     fingerprint = stable_digest(
         {"edges": edges, "monitors": [list(m) for m in monitors]}
@@ -74,8 +73,7 @@ def prefix_fingerprint(world) -> str:
     the flat SoA counts from the previous snapshot are all still exact.
     """
     rows = sorted(
-        (prefix.base, prefix.length, origin)
-        for prefix, origin in world.prefix_table()
+        (prefix.base, prefix.length, origin) for prefix, origin in world.prefix_table()
     )
     return stable_digest({"prefixes": [list(row) for row in rows]})
 
@@ -90,9 +88,7 @@ def geolocation_fingerprint(world, noise=None) -> str:
     import dataclasses
 
     payload = {
-        "true_cc": {
-            str(asn): record.cc for asn, record in world.asn_records.items()
-        },
+        "true_cc": {str(asn): record.cc for asn, record in world.asn_records.items()},
         "ccs": [c.cc for c in world.countries],
         "seed": world.config.seed,
         "noise": dataclasses.asdict(noise) if noise is not None else None,
@@ -162,9 +158,7 @@ def country_slice_digest(index, cc: str) -> str:
         start, end = span
         origins = index.origins
         weights = index.weights
-        rows = tuple(
-            (int(origins[i]), int(weights[i])) for i in range(start, end)
-        )
+        rows = tuple((int(origins[i]), int(weights[i])) for i in range(start, end))
     return stable_digest(
         {"cc": cc, "total": index.total(cc), "rows": [list(r) for r in rows]}
     )

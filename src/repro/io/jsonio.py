@@ -88,9 +88,7 @@ def dataset_from_json(text: str) -> StateOwnedDataset:
         raise DatasetError(
             f"degraded_sources must be a list, got {type(degraded).__name__}"
         )
-    return StateOwnedDataset(
-        organizations, asns, degraded_sources=tuple(degraded)
-    )
+    return StateOwnedDataset(organizations, asns, degraded_sources=tuple(degraded))
 
 
 def dump_json(dataset: StateOwnedDataset, path: Union[str, Path]) -> None:
@@ -116,9 +114,7 @@ def load_json(path: Union[str, Path]) -> StateOwnedDataset:
     except OSError as exc:
         raise DatasetError(f"cannot read dataset {path}: {exc}") from exc
     except UnicodeDecodeError as exc:
-        raise DatasetError(
-            f"dataset {path} is not valid UTF-8: {exc}"
-        ) from exc
+        raise DatasetError(f"dataset {path} is not valid UTF-8: {exc}") from exc
     return dataset_from_json(text)
 
 
@@ -139,8 +135,7 @@ def dump_cti_json(selection, path: Union[str, Path]) -> None:
             {
                 "asn": asn,
                 "entries": [
-                    [cc, rank, score]
-                    for cc, rank, score in selection.provenance[asn]
+                    [cc, rank, score] for cc, rank, score in selection.provenance[asn]
                 ],
             }
             for asn in sorted(selection.provenance)
@@ -166,17 +161,14 @@ def load_cti_json(path: Union[str, Path]) -> Dict[str, object]:
     except OSError as exc:
         raise DatasetError(f"cannot read CTI sidecar {path}: {exc}") from exc
     except UnicodeDecodeError as exc:
-        raise DatasetError(
-            f"CTI sidecar {path} is not valid UTF-8: {exc}"
-        ) from exc
+        raise DatasetError(f"CTI sidecar {path} is not valid UTF-8: {exc}") from exc
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise DatasetError(f"malformed CTI sidecar JSON: {exc}") from exc
     if payload.get("format_version") != _CTI_FORMAT_VERSION:
         raise DatasetError(
-            f"unsupported CTI format_version "
-            f"{payload.get('format_version')!r}"
+            f"unsupported CTI format_version " f"{payload.get('format_version')!r}"
         )
     provenance: Dict[int, List[tuple]] = {}
     for entry in payload.get("rankings", []):
@@ -190,7 +182,6 @@ def load_cti_json(path: Union[str, Path]) -> Dict[str, object]:
     applied = payload.get("countries_applied", [])
     if not isinstance(applied, list):
         raise DatasetError(
-            f"countries_applied must be a list, "
-            f"got {type(applied).__name__}"
+            f"countries_applied must be a list, " f"got {type(applied).__name__}"
         )
     return {"countries_applied": applied, "provenance": provenance}

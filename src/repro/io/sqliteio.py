@@ -50,9 +50,7 @@ CREATE TABLE meta (
 """
 
 
-def dataset_to_sqlite(
-    dataset: StateOwnedDataset, path: Union[str, Path]
-) -> None:
+def dataset_to_sqlite(dataset: StateOwnedDataset, path: Union[str, Path]) -> None:
     """Write the dataset to an SQLite file (atomically replaces existing).
 
     The database is built in a temporary file next to ``path`` and renamed

@@ -27,9 +27,7 @@ def render_table(
     widths = [len(h) for h in headers]
     for row in materialized:
         if len(row) != len(widths):
-            raise ValueError(
-                f"row has {len(row)} cells, expected {len(widths)}"
-            )
+            raise ValueError(f"row has {len(row)} cells, expected {len(widths)}")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     lines: List[str] = []

@@ -9,6 +9,11 @@ from repro.net.asn import ASN, ASNAllocator
 from repro.net.prefix import Prefix, PrefixTrie, summarize_address_counts
 from repro.net.topology import ASGraph, Relationship
 from repro.net.bgp import Route, RoutingTree, propagate_routes
+from repro.net.routing import (
+    NEUTRAL_POLICY,
+    RoutingPolicy,
+    propagate_policy_routes,
+)
 from repro.net.monitors import Monitor, MonitorSet, RouteCollector
 
 __all__ = [
@@ -22,6 +27,9 @@ __all__ = [
     "Route",
     "RoutingTree",
     "propagate_routes",
+    "RoutingPolicy",
+    "NEUTRAL_POLICY",
+    "propagate_policy_routes",
     "Monitor",
     "MonitorSet",
     "RouteCollector",

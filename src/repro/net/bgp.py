@@ -161,8 +161,11 @@ def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
     # its peers; peer routes are not re-exported to other peers/providers.
     # Process exporters in increasing distance for shortest-path selection.
     exporters = sorted(
-        (i for i in range(n) if route_class[i] in
-         (int(RouteClass.ORIGIN), int(RouteClass.CUSTOMER))),
+        (
+            i
+            for i in range(n)
+            if route_class[i] in (int(RouteClass.ORIGIN), int(RouteClass.CUSTOMER))
+        ),
         key=lambda i: (dist[i], graph.asn_at(i)),
     )
     peer_updates: List[Tuple[int, int, int]] = []

@@ -129,9 +129,7 @@ class FlatASGraph:
         peers: CSRRows,
     ) -> None:
         self._asns = asns
-        self._index: Dict[int, int] = {
-            asn: i for i, asn in enumerate(asns)
-        }
+        self._index: Dict[int, int] = {asn: i for i, asn in enumerate(asns)}
         self.providers = providers
         self.customers = customers
         self.peers = peers
@@ -161,7 +159,5 @@ class FlatASGraph:
     def degree(self, asn: int) -> int:
         idx = self.index_of(asn)
         return (
-            len(self.providers[idx])
-            + len(self.customers[idx])
-            + len(self.peers[idx])
+            len(self.providers[idx]) + len(self.customers[idx]) + len(self.peers[idx])
         )

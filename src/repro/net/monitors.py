@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.net.bgp import RoutingTreeCache
+from repro.net.routing import PolicyRoutingCache, RoutingPolicy
 from repro.net.topology import ASGraph
 
 __all__ = ["Monitor", "MonitorSet", "RouteCollector"]
@@ -65,8 +66,7 @@ class MonitorSet:
         if self._normalized is None:
             count = len(self._monitors)
             self._normalized = tuple(
-                (monitor, self.weight(monitor) / count)
-                for monitor in self._monitors
+                (monitor, self.weight(monitor) / count) for monitor in self._monitors
             )
         return self._normalized
 
@@ -111,26 +111,53 @@ class RouteCollector:
     Mirrors a RouteViews/RIS collector: for each (monitor, origin) pair it
     reports the AS path the monitor's host AS prefers toward the origin.
     Routing trees are computed lazily and cached per origin.
+
+    With ``policy=None`` paths come from the static Gao-Rexford trees of
+    :mod:`repro.net.bgp` (the reference oracle).  Passing a
+    :class:`~repro.net.routing.RoutingPolicy` — even a neutral one —
+    switches to the policy engine; a neutral policy yields byte-identical
+    paths, which is what the equivalence suite pins down.
     """
 
-    def __init__(self, graph: ASGraph, monitors: MonitorSet) -> None:
+    def __init__(
+        self,
+        graph: ASGraph,
+        monitors: MonitorSet,
+        policy: Optional[RoutingPolicy] = None,
+    ) -> None:
         self._graph = graph
         self.monitors = monitors
-        self._cache = RoutingTreeCache(graph)
+        self._policy = policy
+        self._cache = self._fresh_cache()
+
+    def _fresh_cache(self):
+        if self._policy is None:
+            return RoutingTreeCache(self._graph)
+        return PolicyRoutingCache(self._graph, self._policy)
+
+    @property
+    def policy(self) -> Optional[RoutingPolicy]:
+        """The routing policy in force (None = static oracle trees)."""
+        return self._policy
 
     def __getstate__(self) -> dict:
-        """Pickle only the graph and monitors, never the materialized trees.
+        """Pickle only the graph, monitors and policy, never the trees.
 
         Process-pool workers receive a collector once per worker; shipping
         an already-warm tree cache would bloat that transfer with data the
         worker is about to recompute for *its* origins anyway.
         """
-        return {"graph": self._graph, "monitors": self.monitors}
+        return {
+            "graph": self._graph,
+            "monitors": self.monitors,
+            "policy": self._policy,
+        }
 
     def __setstate__(self, state: dict) -> None:
         self._graph = state["graph"]
         self.monitors = state["monitors"]
-        self._cache = RoutingTreeCache(self._graph)
+        self._policy = state.get("policy")
+        self._cache = self._fresh_cache()
 
     # -- zero-copy shipping (repro.parallel.shm protocol) -------------------
     def __shm_export__(self):
@@ -143,9 +170,8 @@ class RouteCollector:
         from repro.net.flatgraph import flatten_graph
 
         meta = {
-            "monitors": tuple(
-                (m.monitor_id, m.host_asn) for m in self.monitors
-            )
+            "monitors": tuple((m.monitor_id, m.host_asn) for m in self.monitors),
+            "policy": (None if self._policy is None else self._policy.as_dict()),
         }
         _, buffers = flatten_graph(self._graph).__shm_export__()
         return meta, buffers
@@ -156,10 +182,11 @@ class RouteCollector:
 
         graph = GraphArrays(views).view()
         monitors = MonitorSet(
-            Monitor(monitor_id=mid, host_asn=host)
-            for mid, host in meta["monitors"]
+            Monitor(monitor_id=mid, host_asn=host) for mid, host in meta["monitors"]
         )
-        return cls(graph, monitors)
+        policy_data = meta.get("policy")
+        policy = None if policy_data is None else RoutingPolicy.from_dict(policy_data)
+        return cls(graph, monitors, policy=policy)
 
     def path(self, monitor: Monitor, origin: int) -> Optional[Tuple[int, ...]]:
         """AS path from the monitor's host AS to ``origin`` (inclusive).
@@ -194,4 +221,4 @@ class RouteCollector:
         snapshot would silently grant the cold path the very reuse it is
         supposed to measure the absence of.
         """
-        self._cache = RoutingTreeCache(self._graph)
+        self._cache = self._fresh_cache()

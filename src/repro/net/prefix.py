@@ -105,9 +105,7 @@ class Prefix:
     def subprefixes(self, length: int) -> Iterator["Prefix"]:
         """Yield all sub-prefixes of the given (longer) ``length``."""
         if length < self.length or length > 32:
-            raise PrefixError(
-                f"cannot split /{self.length} into /{length} subprefixes"
-            )
+            raise PrefixError(f"cannot split /{self.length} into /{length} subprefixes")
         step = 1 << (32 - length)
         for base in range(self.base, self.base + self.num_addresses, step):
             yield Prefix(base, length)
@@ -123,9 +121,7 @@ class Prefix:
     # -- formatting ---------------------------------------------------------
     @staticmethod
     def _format_addr(address: int) -> str:
-        return ".".join(
-            str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0)
-        )
+        return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
     def __str__(self) -> str:
         return f"{self._format_addr(self.base)}/{self.length}"
@@ -230,7 +226,9 @@ class PrefixTrie(Generic[V]):
     def items(self) -> Iterator[Tuple[Prefix, V]]:
         """Yield all (prefix, value) pairs in address order."""
 
-        def _walk(node: _TrieNode[V], base: int, depth: int) -> Iterator[Tuple[Prefix, V]]:
+        def _walk(
+            node: _TrieNode[V], base: int, depth: int
+        ) -> Iterator[Tuple[Prefix, V]]:
             if node.has_value:
                 yield Prefix(base, depth), node.value  # type: ignore[misc]
             for bit in (0, 1):
@@ -361,9 +359,7 @@ class PrefixTrie(Generic[V]):
         return prefix.num_addresses - covered
 
 
-def summarize_address_counts(
-    prefixes: Iterable[Tuple[Prefix, V]]
-) -> Dict[V, int]:
+def summarize_address_counts(prefixes: Iterable[Tuple[Prefix, V]]) -> Dict[V, int]:
     """Aggregate announced address counts per value (e.g. per origin AS).
 
     Overlapping announcements are de-duplicated with the more-specific rule:

@@ -118,9 +118,7 @@ def infer_relationships(
     top_edge_flags: Dict[Tuple[int, int], int] = defaultdict(int)
     for path in path_list:
         uphill = tuple(reversed(path))  # origin ... monitor host
-        top_index = max(
-            range(len(uphill)), key=lambda i: (degrees[uphill[i]], -i)
-        )
+        top_index = max(range(len(uphill)), key=lambda i: (degrees[uphill[i]], -i))
         for i, (a, b) in enumerate(zip(uphill, uphill[1:])):
             if i < top_index:
                 votes_c2p[(a, b)] += 1      # a is b's customer

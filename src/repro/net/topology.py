@@ -21,7 +21,17 @@ from functools import reduce
 from itertools import chain
 from operator import or_
 from types import MappingProxyType
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import TopologyError
 from repro.obs import get_metrics
@@ -196,7 +206,9 @@ class ASGraph:
     def degree(self, asn: int) -> int:
         """Total neighbor count of ``asn``."""
         idx = self.index_of(asn)
-        return len(self.providers[idx]) + len(self.customers[idx]) + len(self.peers[idx])
+        return (
+            len(self.providers[idx]) + len(self.customers[idx]) + len(self.peers[idx])
+        )
 
     def relationship(self, asn_a: int, asn_b: int) -> Optional[Relationship]:
         """Relationship of ``asn_b`` from ``asn_a``'s point of view (O(1))."""

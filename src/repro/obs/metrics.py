@@ -92,9 +92,7 @@ class Metrics:
         return {
             "counters": counters,
             "gauges": gauges,
-            "timings": {
-                name: self.timing_summary(name) for name in timing_names
-            },
+            "timings": {name: self.timing_summary(name) for name in timing_names},
         }
 
     def reset(self) -> None:

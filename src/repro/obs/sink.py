@@ -72,14 +72,10 @@ class TextSink(EventSink):
             parts.append(f"{float(event['wall_s']) * 1000.0:.1f} ms")
         counters = event.get("counters") or {}
         if isinstance(counters, dict):
-            parts.extend(
-                f"{key}={_fmt(val)}" for key, val in sorted(counters.items())
-            )
+            parts.extend(f"{key}={_fmt(val)}" for key, val in sorted(counters.items()))
         fields = event.get("fields") or {}
         if isinstance(fields, dict):
-            parts.extend(
-                f"{key}={_fmt(val)}" for key, val in sorted(fields.items())
-            )
+            parts.extend(f"{key}={_fmt(val)}" for key, val in sorted(fields.items()))
         detail = "  ".join(parts)
         print(
             f"[trace] {pad}{name}" + (f": {detail}" if detail else ""),
@@ -105,9 +101,7 @@ class JsonLinesSink(EventSink):
             self._owned = True
 
     def emit(self, event: Dict[str, object]) -> None:
-        self._stream.write(
-            json.dumps(event, sort_keys=True, default=str) + "\n"
-        )
+        self._stream.write(json.dumps(event, sort_keys=True, default=str) + "\n")
         try:
             self._stream.flush()
         except (AttributeError, ValueError):
@@ -179,7 +173,11 @@ def configure_from_env(environ: Optional[Dict[str, str]] = None) -> EventSink:
     """Honour ``REPRO_TRACE`` (truthy) and ``REPRO_LOG_JSON`` (a path)."""
     env = os.environ if environ is None else environ
     trace = env.get("REPRO_TRACE", "").strip().lower() not in (
-        "", "0", "false", "no", "off",
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
     )
     log_json = env.get("REPRO_LOG_JSON") or None
     if trace or log_json:

@@ -102,9 +102,7 @@ def world_fingerprint(world_config, noise_config=None) -> str:
     return stable_digest(payload)
 
 
-def resolve_cache_dir(
-    env: Optional[Mapping[str, str]] = None
-) -> Optional[Path]:
+def resolve_cache_dir(env: Optional[Mapping[str, str]] = None) -> Optional[Path]:
     """The cache directory the CLI should use.
 
     ``REPRO_CACHE_DIR`` wins when set; setting it to an empty string

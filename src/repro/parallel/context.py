@@ -204,8 +204,6 @@ class ExecutionContext:
         if state is None:
             return None
         handle = (
-            state
-            if isinstance(state, StateHandle)
-            else self.runtime.handle_for(state)
+            state if isinstance(state, StateHandle) else self.runtime.handle_for(state)
         )
         return ("handle", handle.token)

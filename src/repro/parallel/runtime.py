@@ -296,13 +296,9 @@ class WorkerRuntime:
         if not pending:
             return
         blob, _ = self._ship_blob(pending)
-        futures = [
-            self._pool.submit(_install_states, blob) for _ in range(self.jobs)
-        ]
+        futures = [self._pool.submit(_install_states, blob) for _ in range(self.jobs)]
         try:
-            ok = all(
-                future.result(timeout=_SYNC_TIMEOUT * 2) for future in futures
-            )
+            ok = all(future.result(timeout=_SYNC_TIMEOUT * 2) for future in futures)
         except (BrokenProcessPool, FuturesTimeoutError, OSError):
             ok = False
         if not ok:
@@ -409,9 +405,7 @@ class WorkerRuntime:
                 except BrokenProcessPool:
                     broken = True
                     requeue.append((index, attempt + 1))
-                    metrics.incr(
-                        "parallel.requeued_tasks", len(chunks[index])
-                    )
+                    metrics.incr("parallel.requeued_tasks", len(chunks[index]))
                 else:
                     results_by_chunk[chunk_index] = chunk_results
             if broken:
@@ -427,7 +421,5 @@ class WorkerRuntime:
             requeue.sort()
             pending = requeue
         return [
-            result
-            for index in range(len(chunks))
-            for result in results_by_chunk[index]
+            result for index in range(len(chunks)) for result in results_by_chunk[index]
         ]

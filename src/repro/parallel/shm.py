@@ -78,9 +78,7 @@ class ShmRef:
 
 def is_shareable(state: Any) -> bool:
     """True when ``state`` implements the shm export/rebuild protocol."""
-    return hasattr(state, "__shm_export__") and hasattr(
-        type(state), "__shm_rebuild__"
-    )
+    return hasattr(state, "__shm_export__") and hasattr(type(state), "__shm_rebuild__")
 
 
 def _aligned(offset: int) -> int:

@@ -139,9 +139,7 @@ class FaultPlan:
                 try:
                     param = float(param_text)
                 except ValueError:
-                    raise ConfigError(
-                        f"fault parameter must be numeric: {entry!r}"
-                    )
+                    raise ConfigError(f"fault parameter must be numeric: {entry!r}")
             else:
                 param = _DEFAULT_PARAM[kind]
             specs.append(FaultSpec(site=left, kind=kind, param=param))
@@ -172,9 +170,7 @@ class FaultPlan:
             return self._calls.get(site, 0)
 
     # -- fault application -------------------------------------------------
-    def before(
-        self, site: str, sleep: Callable[[float], None] = time.sleep
-    ) -> None:
+    def before(self, site: str, sleep: Callable[[float], None] = time.sleep) -> None:
         """Apply transient/fatal/slow faults for one call at ``site``."""
         specs = self._matching(site)
         if not specs:
@@ -295,8 +291,5 @@ def worker_fault_point(site: str, attempt: int) -> None:
     for spec in plan._matching(site):
         if spec.kind == "slow":
             time.sleep(spec.param)
-    if (
-        multiprocessing.parent_process() is not None
-        and plan.crash_due(site, attempt)
-    ):
+    if (multiprocessing.parent_process() is not None and plan.crash_due(site, attempt)):
         os._exit(3)

@@ -61,9 +61,7 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ConfigError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.base_delay < 0 or self.max_delay < 0:
             raise ConfigError("backoff delays must be >= 0")
         if self.multiplier < 1.0:
@@ -78,9 +76,7 @@ class RetryPolicy:
         Deterministic: the jitter stream is seeded per (policy seed, site,
         attempt), so replaying a run reproduces the exact delays.
         """
-        base = min(
-            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
-        )
+        base = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
         if not self.jitter or not base:
             return base
         rng = random.Random(derive_seed(self.seed, f"{site}:{attempt}"))

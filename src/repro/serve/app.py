@@ -28,9 +28,7 @@ def run_server(
     """Serve until interrupted (the ``repro serve`` entry point)."""
 
     async def main() -> None:
-        server = QueryServer(
-            store, host=host, port=port, poll_interval=poll_interval
-        )
+        server = QueryServer(store, host=host, port=port, poll_interval=poll_interval)
         await server.start()
         if announce is not None:
             announce(

@@ -65,9 +65,7 @@ class QueryServer:
             self._handle_client, self._host, self._requested_port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._reload_task = asyncio.get_running_loop().create_task(
-            self._reload_loop()
-        )
+        self._reload_task = asyncio.get_running_loop().create_task(self._reload_loop())
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI entry point)."""
@@ -110,7 +108,9 @@ class QueryServer:
                 parts = request_line.decode("latin-1").split()
                 if len(parts) != 3:
                     await self._respond(
-                        writer, 400, {"error": "malformed request line"},
+                        writer,
+                        400,
+                        {"error": "malformed request line"},
                         keep_alive=False,
                     )
                     break
@@ -124,9 +124,7 @@ class QueryServer:
                     if name.strip().lower() == "connection":
                         keep_alive = value.strip().lower() != "close"
                 status, payload = self._route(method, target)
-                await self._respond(
-                    writer, status, payload, keep_alive=keep_alive
-                )
+                await self._respond(writer, status, payload, keep_alive=keep_alive)
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
@@ -146,8 +144,9 @@ class QueryServer:
         keep_alive: bool,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed"}.get(status, "Error")
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"
+        }.get(status, "Error")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
@@ -159,23 +158,17 @@ class QueryServer:
         await writer.drain()
 
     # -- routing -----------------------------------------------------------
-    def _route(
-        self, method: str, target: str
-    ) -> Tuple[int, Dict[str, object]]:
+    def _route(self, method: str, target: str) -> Tuple[int, Dict[str, object]]:
         started = time.perf_counter()
         route, status, payload = self._dispatch(method, target)
         metrics = get_metrics()
         metrics.incr(f"serve.requests.{route}")
         if status >= 400:
             metrics.incr(f"serve.errors.{route}")
-        metrics.observe(
-            f"serve.latency.{route}", time.perf_counter() - started
-        )
+        metrics.observe(f"serve.latency.{route}", time.perf_counter() - started)
         return status, payload
 
-    def _dispatch(
-        self, method: str, target: str
-    ) -> Tuple[str, int, Dict[str, object]]:
+    def _dispatch(self, method: str, target: str) -> Tuple[str, int, Dict[str, object]]:
         if method != "GET":
             return _UNKNOWN, 405, {"error": f"method {method} not allowed"}
         path, _, query = target.partition("?")
@@ -189,9 +182,7 @@ class QueryServer:
         if path == "/health":
             payload = index.metadata()
             payload["reload"] = self._store.status()
-            payload["status"] = (
-                "degraded" if self._store.last_error else "ok"
-            )
+            payload["status"] = "degraded" if self._store.last_error else "ok"
             return "health", 200, payload
         if path == "/snapshot":
             return "snapshot", 200, index.metadata()
@@ -218,9 +209,7 @@ class QueryServer:
         if path == "/diff":
             previous = self._store.previous
             if previous is None:
-                return "diff", 404, {
-                    "error": "no previous snapshot to diff against"
-                }
+                return "diff", 404, {"error": "no previous snapshot to diff against"}
             diff = diff_datasets(previous.dataset, index.dataset)
             payload = diff.to_dict()
             payload["old_snapshot"] = previous.stamp.digest

@@ -160,11 +160,7 @@ class SnapshotIndex:
         chain: List[Dict[str, object]] = []
         seen: set = set()
         current: Optional[str] = org_id
-        while (
-            current is not None
-            and current not in seen
-            and len(chain) < _MAX_CHAIN
-        ):
+        while (current is not None and current not in seen and len(chain) < _MAX_CHAIN):
             seen.add(current)
             org = self._org_by_id.get(current)
             if org is None:
@@ -223,9 +219,7 @@ class SnapshotIndex:
             "top_cti_gateway": top_gateway,
         }
 
-    def top_cti(
-        self, n: int, cc: Optional[str] = None
-    ) -> Dict[str, object]:
+    def top_cti(self, n: int, cc: Optional[str] = None) -> Dict[str, object]:
         """The /cti/top payload: global or per-country CTI rankings."""
         # CTI selection happens *before* confirmation, so rankings can
         # include candidates that did not survive into the dataset;
@@ -282,9 +276,7 @@ def build_index(
     try:
         text = data.decode("utf-8")
     except UnicodeDecodeError as exc:
-        raise DatasetError(
-            f"dataset {path} is not valid UTF-8: {exc}"
-        ) from exc
+        raise DatasetError(f"dataset {path} is not valid UTF-8: {exc}") from exc
     dataset = dataset_from_json(text)
     stamp = SnapshotStamp(
         path=str(path),

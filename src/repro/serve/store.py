@@ -170,9 +170,7 @@ class SnapshotStore:
                 }
             )
 
-    def _record_failure(
-        self, exc: Exception, file_state: Tuple[int, int]
-    ) -> None:
+    def _record_failure(self, exc: Exception, file_state: Tuple[int, int]) -> None:
         with self._lock:
             self.reload_failures += 1
             self.last_error = f"{type(exc).__name__}: {exc}"

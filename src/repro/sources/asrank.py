@@ -149,9 +149,7 @@ class AsRankDataset:
     ) -> List[Tuple[int, float]]:
         """The ``k`` ASes with the steepest cone growth (Figure 5 ranking)."""
         slopes = [
-            (asn, self.growth_slope(asn))
-            for asn in asns
-            if asn in self._cone_sizes
+            (asn, self.growth_slope(asn)) for asn in asns if asn in self._cone_sizes
         ]
         slopes.sort(key=lambda pair: (-pair[1], pair[0]))
         return slopes[:k]

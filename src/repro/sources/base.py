@@ -25,9 +25,7 @@ class InputSource(enum.Enum):
     @property
     def is_technical(self) -> bool:
         """True for the computer-networking (AS-list) sources (§4.1)."""
-        return self in (
-            InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI
-        )
+        return self in (InputSource.GEOLOCATION, InputSource.EYEBALLS, InputSource.CTI)
 
 
 #: Code-to-source lookup, e.g. ``SOURCE_CODES["G"]``.

@@ -157,10 +157,7 @@ class ConfirmationCorpus:
     def find_by_domain(self, domain: str) -> List[Document]:
         """Documents hosted on ``domain`` — the "search the contact domain"
         fallback the paper uses when names fail (§4.2)."""
-        return [
-            self._documents[i]
-            for i in self._domain_index.get(domain.lower(), [])
-        ]
+        return [self._documents[i] for i in self._domain_index.get(domain.lower(), [])]
 
     def count_by_source(self) -> Dict[SourceType, int]:
         counts: Dict[SourceType, int] = {}
@@ -242,9 +239,7 @@ class _CorpusBuilder:
 
     def build(self) -> List[Document]:
         ownership = self._world.ownership
-        for operator in sorted(
-            ownership.operators(), key=lambda o: o.entity_id
-        ):
+        for operator in sorted(ownership.operators(), key=lambda o: o.entity_id):
             if operator.role is OperatorRole.ENTERPRISE:
                 continue  # the long tail has no ownership paper trail
             self._emit_operator_documents(operator)
@@ -265,7 +260,9 @@ class _CorpusBuilder:
         ownership = self._world.ownership
         holder = ownership.entity(stake.owner_id)
         if holder.kind is EntityKind.GOVERNMENT:
-            holder_name = f"Government of {self._country_name.get(holder.cc, holder.cc)}"
+            holder_name = (
+                f"Government of {self._country_name.get(holder.cc, holder.cc)}"
+            )
             return OwnershipClaim(
                 subject_name=operator_name,
                 holder_name=holder_name,
@@ -299,9 +296,7 @@ class _CorpusBuilder:
 
     def _subsidiary_names(self, operator: Operator) -> Tuple[str, ...]:
         subs = self._world.ownership.majority_subsidiaries(operator.entity_id)
-        return tuple(
-            sub.display_name for sub in subs if isinstance(sub, Operator)
-        )
+        return tuple(sub.display_name for sub in subs if isinstance(sub, Operator))
 
     def _subjects(self, operator: Operator) -> Tuple[str, ...]:
         names = [operator.name]
@@ -321,7 +316,9 @@ class _CorpusBuilder:
         website_prob = _WEBSITE_PROB[tier]
         disclose_prob = _WEBSITE_DISCLOSES[tier]
         if operator.role is OperatorRole.INCUMBENT and operator.cc in getattr(
-            self._world.config, "forced_state_share", {}
+            self._world.config,
+            "forced_state_share",
+            {},
         ):
             # The famous state monopolies (Ethio-Telecom/ETECSA class)
             # document their ownership prominently.
@@ -382,11 +379,7 @@ class _CorpusBuilder:
             )
 
         # Government transparency portal (Nordic-style disclosure).
-        if (
-            gov_claims
-            and tier == 2
-            and rng.random() < _TRANSPARENCY_PORTAL_PROB
-        ):
+        if (gov_claims and tier == 2 and rng.random() < _TRANSPARENCY_PORTAL_PROB):
             top = gov_claims[0]
             self._docs.append(
                 Document(
@@ -488,9 +481,7 @@ class _CorpusBuilder:
 
         # FCC / SEC filings for groups with US operations.
         if self._has_us_presence(operator) and gov_claims and self._rng.random() < 0.5:
-            source = (
-                SourceType.FCC if self._rng.random() < 0.6 else SourceType.SEC
-            )
+            source = SourceType.FCC if self._rng.random() < 0.6 else SourceType.SEC
             top = gov_claims[0]
             self._docs.append(
                 Document(
@@ -519,12 +510,12 @@ class _CorpusBuilder:
                     source_type=SourceType.REGULATOR,
                     cc=operator.cc,
                     url=f"https://regulator.example/{operator.cc.lower()}"
-                        f"/licensees/{operator.entity_id}",
+                    f"/licensees/{operator.entity_id}",
                     language=rng.choice(("English", "Spanish")),
                     subject_names=subjects,
                     claims=claims,
                     quote=f"License holder ownership on record for "
-                          f"{operator.display_name}.",
+                    f"{operator.display_name}.",
                 )
             )
         if claims and rng.random() < _NEWS_PROB:

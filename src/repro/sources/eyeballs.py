@@ -76,6 +76,4 @@ class EyeballDataset:
         total = self.country_total(cc)
         if total == 0:
             return {}
-        return {
-            asn: users / total for asn, users in self._by_country.get(cc, [])
-        }
+        return {asn: users / total for asn, users in self._by_country.get(cc, [])}

@@ -56,8 +56,7 @@ class FreedomHouseReports:
         # Coverage favors populous and developing countries (the project
         # tracks Internet freedom where it is most contested).
         weights = {
-            c.cc: (c.pop_class + 1) * (3 - c.dev_tier + 1)
-            for c in world.countries
+            c.cc: (c.pop_class + 1) * (3 - c.dev_tier + 1) for c in world.countries
         }
         ordered = sorted(
             world.countries,
@@ -65,9 +64,7 @@ class FreedomHouseReports:
         )
         covered = {c.cc for c in ordered[: noise.freedomhouse_country_count]}
         mentions: List[FreedomHouseMention] = []
-        for gto in sorted(
-            world.ground_truth(), key=lambda g: g.operator.entity_id
-        ):
+        for gto in sorted(world.ground_truth(), key=lambda g: g.operator.entity_id):
             operator = gto.operator
             if operator.cc not in covered:
                 continue

@@ -61,9 +61,7 @@ class PeeringDBDataset:
             operator = world.operator(rec.operator_id)
             probability = noise.peeringdb_coverage
             if rec.role in (OperatorRole.TRANSIT, OperatorRole.CABLE):
-                probability = min(
-                    1.0, probability * noise.peeringdb_transit_boost
-                )
+                probability = min(1.0, probability * noise.peeringdb_transit_boost)
             elif rec.role is OperatorRole.INCUMBENT:
                 probability = min(1.0, probability * 2.0)
             if rng.random() > probability:

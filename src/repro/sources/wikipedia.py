@@ -46,18 +46,14 @@ class WikipediaArticles:
         noise = noise or SourceNoiseConfig()
         rng = random.Random(derive_seed(world.config.seed, "wikipedia"))
         truth_by_cc: Dict[str, List[Tuple[str, str]]] = {}
-        for gto in sorted(
-            world.ground_truth(), key=lambda g: g.operator.entity_id
-        ):
+        for gto in sorted(world.ground_truth(), key=lambda g: g.operator.entity_id):
             truth_by_cc.setdefault(gto.operator.cc, []).append(
                 (gto.operator.display_name, gto.operator.role.value)
             )
         minority_by_cc: Dict[str, List[str]] = {}
         for operator_id in sorted(world.minority_operator_ids()):
             operator = world.operator(operator_id)
-            minority_by_cc.setdefault(operator.cc, []).append(
-                operator.display_name
-            )
+            minority_by_cc.setdefault(operator.cc, []).append(operator.display_name)
         articles: List[WikipediaArticle] = []
         country_by_cc = {c.cc: c for c in world.countries}
         for cc in sorted(country_by_cc):
@@ -87,9 +83,7 @@ class WikipediaArticles:
                 )
             )
             articles.append(
-                WikipediaArticle(
-                    cc=cc, title=title, claimed_state_owned=tuple(claimed)
-                )
+                WikipediaArticle(cc=cc, title=title, claimed_state_owned=tuple(claimed))
             )
         return cls(articles)
 

@@ -16,19 +16,52 @@ from typing import List, Tuple
 __all__ = ["NameForge"]
 
 _TELCO_STEMS = [
-    "Telecom", "Telekom", "Telecomunicaciones", "Communications", "Telia",
-    "Connect", "Net", "Link", "Datacom", "Teleservices", "Broadband",
+    "Telecom",
+    "Telekom",
+    "Telecomunicaciones",
+    "Communications",
+    "Telia",
+    "Connect",
+    "Net",
+    "Link",
+    "Datacom",
+    "Teleservices",
+    "Broadband",
 ]
 
 _TRANSIT_STEMS = [
-    "Backbone", "Transit", "Carrier", "IX", "Gateway", "Cables", "Fiber",
-    "Longhaul", "Exchange",
+    "Backbone",
+    "Transit",
+    "Carrier",
+    "IX",
+    "Gateway",
+    "Cables",
+    "Fiber",
+    "Longhaul",
+    "Exchange",
 ]
 
 _GENERIC_WORDS = [
-    "National", "United", "Global", "First", "Royal", "Pacific", "Atlantic",
-    "Equatorial", "Continental", "Premier", "Horizon", "Summit", "Meridian",
-    "Aurora", "Vector", "Nimbus", "Zenith", "Quantum", "Stellar", "Crescent",
+    "National",
+    "United",
+    "Global",
+    "First",
+    "Royal",
+    "Pacific",
+    "Atlantic",
+    "Equatorial",
+    "Continental",
+    "Premier",
+    "Horizon",
+    "Summit",
+    "Meridian",
+    "Aurora",
+    "Vector",
+    "Nimbus",
+    "Zenith",
+    "Quantum",
+    "Stellar",
+    "Crescent",
 ]
 
 _LEGAL_BY_RIR = {
@@ -143,8 +176,12 @@ class NameForge:
     def fund(self, country_name: str) -> str:
         """Name of a state-controlled investment/pension fund."""
         kind = self._rng.choice(
-            ["Sovereign Wealth Fund", "National Investment Fund",
-             "Employees Pension Fund", "State Holding"]
+            [
+                "Sovereign Wealth Fund",
+                "National Investment Fund",
+                "Employees Pension Fund",
+                "State Holding",
+            ]
         )
         return self._unique(f"{country_name} {kind}", _GENERIC_WORDS)
 
@@ -164,8 +201,12 @@ class NameForge:
         """An outdated WHOIS variant of ``name`` (pre-rebrand legal name)."""
         prefix = self._rng.choice(["", "The ", ""])
         marker = self._rng.choice(
-            ["Posts and Telecommunications", "PTT", "Telegraph and Telephone",
-             "State Telecommunication Enterprise"]
+            [
+                "Posts and Telecommunications",
+                "PTT",
+                "Telegraph and Telephone",
+                "State Telecommunication Enterprise",
+            ]
         )
         head = name.split(" ")[0]
         return f"{prefix}{head} {marker}".strip()
@@ -178,8 +219,16 @@ class NameForge:
         ch = name[pos]
         if not ch.isalpha():
             return name
-        swap = {"c": "k", "k": "c", "i": "y", "y": "i", "s": "z", "z": "s",
-                "f": "ph", "o": "ou"}
+        swap = {
+            "c": "k",
+            "k": "c",
+            "i": "y",
+            "y": "i",
+            "s": "z",
+            "z": "s",
+            "f": "ph",
+            "o": "ou",
+        }
         replacement = swap.get(ch.lower(), ch)
         if ch.isupper():
             replacement = replacement.capitalize()

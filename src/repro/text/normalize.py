@@ -29,13 +29,66 @@ __all__ = [
 #: five registries (and in the paper's own examples: "S.A.", "Berhad", ...).
 LEGAL_SUFFIXES: FrozenSet[str] = frozenset(
     {
-        "sa", "s a", "ltd", "limited", "llc", "inc", "incorporated", "corp",
-        "corporation", "co", "company", "plc", "pjsc", "jsc", "ojsc", "cjsc",
-        "gmbh", "ag", "bv", "nv", "spa", "srl", "sarl", "pte", "pty", "pt",
-        "berhad", "bhd", "sdn", "tbk", "kk", "oy", "ab", "as", "asa", "aps",
-        "ao", "ooo", "pao", "zao", "sae", "saoc", "saog", "qsc", "kft", "doo",
-        "dd", "ad", "sl", "cv", "ep", "epe", "spc", "wll", "psc", "group",
-        "holding", "holdings", "intl", "international",
+        "sa",
+        "s a",
+        "ltd",
+        "limited",
+        "llc",
+        "inc",
+        "incorporated",
+        "corp",
+        "corporation",
+        "co",
+        "company",
+        "plc",
+        "pjsc",
+        "jsc",
+        "ojsc",
+        "cjsc",
+        "gmbh",
+        "ag",
+        "bv",
+        "nv",
+        "spa",
+        "srl",
+        "sarl",
+        "pte",
+        "pty",
+        "pt",
+        "berhad",
+        "bhd",
+        "sdn",
+        "tbk",
+        "kk",
+        "oy",
+        "ab",
+        "as",
+        "asa",
+        "aps",
+        "ao",
+        "ooo",
+        "pao",
+        "zao",
+        "sae",
+        "saoc",
+        "saog",
+        "qsc",
+        "kft",
+        "doo",
+        "dd",
+        "ad",
+        "sl",
+        "cv",
+        "ep",
+        "epe",
+        "spc",
+        "wll",
+        "psc",
+        "group",
+        "holding",
+        "holdings",
+        "intl",
+        "international",
     }
 )
 
@@ -153,9 +206,7 @@ def acronym_match(short: str, long_name: str) -> bool:
         return True
     # Also accept the acronym of the suffix-stripped name: sources differ in
     # whether they spell out the legal form ("... Company Limited").
-    stripped = "".join(
-        token[0] for token in name_tokens(long_name) if token
-    ).upper()
+    stripped = "".join(token[0] for token in name_tokens(long_name) if token).upper()
     return len(stripped) >= 4 and candidate == stripped
 
 

@@ -18,6 +18,14 @@ from repro.world.entities import (
 )
 from repro.world.ownership import OwnershipGraph, ControlAssessment
 from repro.world.generator import World, WorldGenerator
+from repro.world.scenarios import (
+    SCENARIO_PACKS,
+    ScenarioPack,
+    ScenarioReport,
+    all_pack_names,
+    run_scenario_packs,
+)
+from repro.world.worldcache import cache_epoch, load_or_generate
 
 __all__ = [
     "Country",
@@ -34,4 +42,11 @@ __all__ = [
     "ControlAssessment",
     "World",
     "WorldGenerator",
+    "SCENARIO_PACKS",
+    "ScenarioPack",
+    "ScenarioReport",
+    "all_pack_names",
+    "run_scenario_packs",
+    "cache_epoch",
+    "load_or_generate",
 ]

@@ -104,9 +104,7 @@ class Operator(Entity):
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.kind is not EntityKind.OPERATOR:
-            raise OwnershipError(
-                f"operator {self.entity_id} must have kind OPERATOR"
-            )
+            raise OwnershipError(f"operator {self.entity_id} must have kind OPERATOR")
 
     @property
     def offers_unrestricted_service(self) -> bool:

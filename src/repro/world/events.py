@@ -30,7 +30,14 @@ from repro.world.entities import (
     OwnershipStake,
 )
 
-__all__ = ["EventKind", "OwnershipEvent", "ChurnSimulator", "ageing_study"]
+__all__ = [
+    "EventKind",
+    "OwnershipEvent",
+    "ChurnSimulator",
+    "ageing_study",
+    "privatize_operator",
+    "replace_stakes",
+]
 
 
 class EventKind(enum.Enum):
@@ -75,9 +82,7 @@ class ChurnSimulator:
     ) -> None:
         self._world = world
         self._rates = rates or ChurnRates()
-        self._rng = random.Random(
-            derive_seed(world.config.seed, seed_label)
-        )
+        self._rng = random.Random(derive_seed(world.config.seed, seed_label))
         self._forge = NameForge(
             random.Random(derive_seed(world.config.seed, seed_label + "-names"))
         )
@@ -118,9 +123,7 @@ class ChurnSimulator:
         for offset in range(months):
             absolute = start_month - 1 + offset
             year = start_year + absolute // 12
-            batches.append(
-                self._simulate_one_year(year, rate_scale=1.0 / 12.0)
-            )
+            batches.append(self._simulate_one_year(year, rate_scale=1.0 / 12.0))
         return batches
 
     # -- one period -------------------------------------------------------------
@@ -172,44 +175,7 @@ class ChurnSimulator:
 
     # -- event implementations -----------------------------------------------------
     def _privatize(self, year: int, gto) -> Optional[OwnershipEvent]:
-        """Reduce the controlling interest below the threshold.
-
-        Mutates the largest state-side stake; if the structure is an
-        indirect chain we sever the intermediary's stake instead.
-        """
-        ownership = self._world.ownership
-        operator_id = gto.operator.entity_id
-        stakes = ownership.shareholders_of(operator_id)
-        if not stakes:
-            return None
-        controlled = ownership.controlled_set(gto.controlling_cc) | {
-            e.entity_id
-            for e in ownership.governments()
-            if e.cc == gto.controlling_cc
-        }
-        state_stakes = [s for s in stakes if s.owner_id in controlled]
-        if not state_stakes:
-            return None
-        # Replace state stakes with a single residual minority position.
-        residual = round(self._rng.uniform(0.05, 0.35), 3)
-        self._replace_stakes(
-            operator_id,
-            drop=[s for s in state_stakes],
-            add=[
-                OwnershipStake(
-                    state_stakes[0].owner_id, operator_id, residual,
-                    since_year=year,
-                )
-            ],
-        )
-        return OwnershipEvent(
-            year=year,
-            kind=EventKind.PRIVATIZATION,
-            operator_id=operator_id,
-            operator_name=gto.operator.display_name,
-            cc=gto.controlling_cc,
-            detail=f"state holding reduced to {residual:.0%}",
-        )
+        return privatize_operator(self._world, gto, self._rng, year)
 
     def _nationalize(self, year: int, op: Operator) -> OwnershipEvent:
         ownership = self._world.ownership
@@ -220,9 +186,7 @@ class ChurnSimulator:
             op.entity_id,
             drop=ownership.shareholders_of(op.entity_id),
             add=[
-                OwnershipStake(
-                    f"gov-{op.cc}", op.entity_id, fraction, since_year=year
-                )
+                OwnershipStake(f"gov-{op.cc}", op.entity_id, fraction, since_year=year)
             ],
         )
         return OwnershipEvent(
@@ -253,9 +217,7 @@ class ChurnSimulator:
             parents,
             key=lambda op: len(world.operator_asns.get(op.entity_id, [])),
         )
-        targets = [
-            c for c in world.countries if c.cc != owner_cc
-        ]
+        targets = [c for c in world.countries if c.cc != owner_cc]
         target = self._rng.choice(targets)
         legal, brand = self._forge.subsidiary(
             parent.display_name, target.name, target.rir
@@ -275,7 +237,8 @@ class ChurnSimulator:
         ownership.add_entity(subsidiary)
         ownership.add_stake(
             OwnershipStake(
-                parent.entity_id, entity_id,
+                parent.entity_id,
+                entity_id,
                 round(self._rng.uniform(0.51, 1.0), 3),
                 since_year=year,
             )
@@ -291,26 +254,74 @@ class ChurnSimulator:
         )
 
     def _replace_stakes(self, owned_id: str, drop, add) -> None:
-        """Swap stakes into ``owned_id`` (the graph has no public removal,
-        so this reaches into its internals deliberately)."""
-        ownership = self._world.ownership
-        drop_set = {(s.owner_id, s.fraction) for s in drop}
-        stakes_in = ownership._stakes_in[owned_id]
-        removed = [
-            s for s in stakes_in if (s.owner_id, s.fraction) in drop_set
+        replace_stakes(self._world, owned_id, drop, add)
+
+
+def replace_stakes(world, owned_id: str, drop, add) -> None:
+    """Swap stakes into ``owned_id`` (the graph has no public removal,
+    so this reaches into its internals deliberately)."""
+    ownership = world.ownership
+    drop_set = {(s.owner_id, s.fraction) for s in drop}
+    stakes_in = ownership._stakes_in[owned_id]
+    removed = [s for s in stakes_in if (s.owner_id, s.fraction) in drop_set]
+    ownership._stakes_in[owned_id] = [
+        s for s in stakes_in if (s.owner_id, s.fraction) not in drop_set
+    ]
+    for stake in removed:
+        ownership._stakes_out[stake.owner_id] = [
+            s
+            for s in ownership._stakes_out[stake.owner_id]
+            if not (s.owned_id == owned_id and s.fraction == stake.fraction)
         ]
-        ownership._stakes_in[owned_id] = [
-            s for s in stakes_in if (s.owner_id, s.fraction) not in drop_set
-        ]
-        for stake in removed:
-            ownership._stakes_out[stake.owner_id] = [
-                s
-                for s in ownership._stakes_out[stake.owner_id]
-                if not (s.owned_id == owned_id and s.fraction == stake.fraction)
-            ]
-        ownership._assessment_cache = None
-        for stake in add:
-            ownership.add_stake(stake)
+    ownership._assessment_cache = None
+    for stake in add:
+        ownership.add_stake(stake)
+
+
+def privatize_operator(world, gto, rng, year: int) -> Optional[OwnershipEvent]:
+    """Reduce a state operator's controlling interest below the threshold.
+
+    Mutates the largest state-side stake; if the structure is an indirect
+    chain we sever the intermediary's stake instead.  Shared by the churn
+    simulator and the ``privatization_wave`` scenario pack; the caller owns
+    ``rng`` so both stay seed-deterministic.  Invalidates the world's
+    ground-truth cache when a change was applied.
+    """
+    ownership = world.ownership
+    operator_id = gto.operator.entity_id
+    stakes = ownership.shareholders_of(operator_id)
+    if not stakes:
+        return None
+    controlled = ownership.controlled_set(gto.controlling_cc) | {
+        e.entity_id for e in ownership.governments() if e.cc == gto.controlling_cc
+    }
+    state_stakes = [s for s in stakes if s.owner_id in controlled]
+    if not state_stakes:
+        return None
+    # Replace state stakes with a single residual minority position.
+    residual = round(rng.uniform(0.05, 0.35), 3)
+    replace_stakes(
+        world,
+        operator_id,
+        drop=[s for s in state_stakes],
+        add=[
+            OwnershipStake(
+                state_stakes[0].owner_id,
+                operator_id,
+                residual,
+                since_year=year,
+            )
+        ],
+    )
+    world._truth_cache = None
+    return OwnershipEvent(
+        year=year,
+        kind=EventKind.PRIVATIZATION,
+        operator_id=operator_id,
+        operator_name=gto.operator.display_name,
+        cc=gto.controlling_cc,
+        detail=f"state holding reduced to {residual:.0%}",
+    )
 
 
 def ageing_study(

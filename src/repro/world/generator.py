@@ -46,6 +46,7 @@ from repro.errors import WorldError
 from repro.net.asn import ASNAllocator
 from repro.net.monitors import MonitorSet, RouteCollector
 from repro.net.prefix import Prefix, summarize_address_counts
+from repro.net.routing import RoutingPolicy
 from repro.net.topology import ASGraph
 from repro.obs import get_metrics, span
 from repro.rng import SeedSequenceFactory
@@ -72,15 +73,35 @@ __all__ = ["World", "WorldGenerator", "GroundTruthOperator"]
 #: BSCCL...).
 #: Bumped whenever a change alters the world a given config generates, so
 #: cached world blobs written by older revisions are never served stale.
-GENERATOR_VERSION = 3
+GENERATOR_VERSION = 4
 
 INTERNATIONAL_CARRIER_CCS: Tuple[str, ...] = (
-    "SG", "RU", "CN", "AO", "CO", "CH", "PL", "BD", "QA", "AE", "NO", "MY",
+    "SG",
+    "RU",
+    "CN",
+    "AO",
+    "CO",
+    "CH",
+    "PL",
+    "BD",
+    "QA",
+    "AE",
+    "NO",
+    "MY",
 )
 
 #: Advanced economies hosting the private global tier-1 carriers.
 _TIER1_HOME_CCS: Tuple[str, ...] = (
-    "US", "US", "US", "GB", "DE", "FR", "JP", "NL", "SE", "IT",
+    "US",
+    "US",
+    "US",
+    "GB",
+    "DE",
+    "FR",
+    "JP",
+    "NL",
+    "SE",
+    "IT",
 )
 
 #: Private multinational groups (America-Movil-style) that own operators in
@@ -98,14 +119,58 @@ _COUNTRY_BY_CC: Dict[str, Country] = {c.cc: c for c in COUNTRIES}
 #: doubles mapping wall time.  Rare invented tokens keep each candidate
 #: set small and make renamed names highly distinctive to match.
 _SALT_HEADS: Tuple[str, ...] = (
-    "Vel", "Nor", "Zen", "Ald", "Bren", "Cor", "Dal", "Eri", "Fen", "Gal",
-    "Hel", "Ost", "Jur", "Kel", "Lum", "Mir", "Nex", "Ori", "Pel", "Quor",
-    "Rav", "Sol", "Tarn", "Ulm", "Vor", "Wes", "Xan", "Yar", "Zor", "Arc",
+    "Vel",
+    "Nor",
+    "Zen",
+    "Ald",
+    "Bren",
+    "Cor",
+    "Dal",
+    "Eri",
+    "Fen",
+    "Gal",
+    "Hel",
+    "Ost",
+    "Jur",
+    "Kel",
+    "Lum",
+    "Mir",
+    "Nex",
+    "Ori",
+    "Pel",
+    "Quor",
+    "Rav",
+    "Sol",
+    "Tarn",
+    "Ulm",
+    "Vor",
+    "Wes",
+    "Xan",
+    "Yar",
+    "Zor",
+    "Arc",
 )
 _SALT_TAILS: Tuple[str, ...] = (
-    "via", "dane", "mont", "tara", "lith", "band", "mere", "stad", "wick",
-    "holm", "gate", "ford", "nova", "crest", "field", "haven", "port",
-    "reach", "ridge", "vale",
+    "via",
+    "dane",
+    "mont",
+    "tara",
+    "lith",
+    "band",
+    "mere",
+    "stad",
+    "wick",
+    "holm",
+    "gate",
+    "ford",
+    "nova",
+    "crest",
+    "field",
+    "haven",
+    "port",
+    "reach",
+    "ridge",
+    "vale",
 )
 _SALT_WORDS: Tuple[str, ...] = tuple(
     head + tail for head in _SALT_HEADS for tail in _SALT_TAILS
@@ -139,18 +204,35 @@ class World:
     international_carrier_asns: Dict[str, int]   # cc -> carrier ASN
     gateway_asns: Dict[str, List[int]]            # cc -> gateway ASNs
     transit_dominant_ccs: Set[str]
+    routing_policy: Optional[RoutingPolicy] = field(default=None, repr=False)
     _collector: Optional[RouteCollector] = field(default=None, repr=False)
-    _truth_cache: Optional[List[GroundTruthOperator]] = field(
-        default=None, repr=False
-    )
+    _truth_cache: Optional[List[GroundTruthOperator]] = field(default=None, repr=False)
 
     # -- derived views -------------------------------------------------------
     @property
     def collector(self) -> RouteCollector:
         """Lazy route collector over the world's monitors."""
         if self._collector is None:
-            self._collector = RouteCollector(self.graph, self.monitors)
+            self._collector = RouteCollector(
+                self.graph, self.monitors, policy=self.routing_policy
+            )
         return self._collector
+
+    def set_routing_policy(self, policy: Optional[RoutingPolicy]) -> None:
+        """Install (or clear) a routing policy, invalidating cached trees.
+
+        ``None`` restores the static oracle trees.  A non-``None`` policy —
+        even a neutral one — routes every subsequent path lookup through
+        the policy engine of :mod:`repro.net.routing`.
+        """
+        self.routing_policy = policy
+        self._collector = None
+
+    def rewire(self, graph: ASGraph) -> None:
+        """Swap in a rebuilt topology (scenario re-homing), dropping the
+        collector so routing trees re-propagate over the new graph."""
+        self.graph = graph
+        self._collector = None
 
     def operators(self) -> List[Operator]:
         return self.ownership.operators()
@@ -232,8 +314,20 @@ class World:
         """
         from repro.parallel.cache import stable_digest
 
+        # A non-neutral routing policy changes which paths monitors observe,
+        # so it must key every derived cache entry.  Neutral/absent policies
+        # are deliberately omitted: the policy engine is path-identical to
+        # the static oracle there, and keeping the digest unchanged lets
+        # static and neutral-policy runs share persistent CTI cache entries.
+        policy_key = (
+            self.routing_policy.as_dict()
+            if self.routing_policy is not None
+            and not self.routing_policy.is_neutral
+            else None
+        )
         return stable_digest(
             {
+                **({"routing_policy": policy_key} if policy_key is not None else {}),
                 "records": {
                     str(asn): [
                         record.operator_id,
@@ -272,9 +366,7 @@ class World:
                     ]
                     for asn in self.graph
                 },
-                "monitors": [
-                    [m.monitor_id, m.host_asn] for m in self.monitors
-                ],
+                "monitors": [[m.monitor_id, m.host_asn] for m in self.monitors],
                 "tier1": list(self.tier1_asns),
                 "carriers": self.international_carrier_asns,
                 "gateways": self.gateway_asns,
@@ -470,19 +562,14 @@ def _attach_ownership_plan(
     gov_id = f"gov-{country.cc}"
     if archetype == "state_direct":
         fraction = rng.uniform(0.51, 1.0)
-        stakes.append(
-            OwnershipStake(gov_id, operator.entity_id, round(fraction, 3))
-        )
+        stakes.append(OwnershipStake(gov_id, operator.entity_id, round(fraction, 3)))
     elif archetype == "state_funds":
         # 2-3 funds, each a minority holder; their aggregate confers
         # control (Telekom Malaysia pattern).
         fund_count = rng.randint(2, 3)
         target_total = rng.uniform(0.52, 0.72)
         cuts = sorted(rng.random() for _ in range(fund_count - 1))
-        shares = [
-            (b - a) * target_total
-            for a, b in zip([0.0] + cuts, cuts + [1.0])
-        ]
+        shares = [(b - a) * target_total for a, b in zip([0.0] + cuts, cuts + [1.0])]
         for i, share in enumerate(shares):
             fund = Entity(
                 entity_id=f"fund-{country.cc}-{operator.entity_id}-{i}",
@@ -492,13 +579,12 @@ def _attach_ownership_plan(
             )
             entities.append(fund)
             stakes.append(
-                OwnershipStake(
-                    gov_id, fund.entity_id, round(rng.uniform(0.7, 1.0), 3)
-                )
+                OwnershipStake(gov_id, fund.entity_id, round(rng.uniform(0.7, 1.0), 3))
             )
             stakes.append(
                 OwnershipStake(
-                    fund.entity_id, operator.entity_id,
+                    fund.entity_id,
+                    operator.entity_id,
                     round(min(share, 0.49), 3),
                 )
             )
@@ -511,13 +597,12 @@ def _attach_ownership_plan(
         )
         entities.append(holding)
         stakes.append(
-            OwnershipStake(
-                gov_id, holding.entity_id, round(rng.uniform(0.55, 1.0), 3)
-            )
+            OwnershipStake(gov_id, holding.entity_id, round(rng.uniform(0.55, 1.0), 3))
         )
         stakes.append(
             OwnershipStake(
-                holding.entity_id, operator.entity_id,
+                holding.entity_id,
+                operator.entity_id,
                 round(rng.uniform(0.51, 0.95), 3),
             )
         )
@@ -525,25 +610,20 @@ def _attach_ownership_plan(
         partner = rng.choice([c for c in COUNTRIES if c.cc != country.cc])
         major = rng.uniform(0.51, 0.7)
         minor = rng.uniform(0.1, min(0.3, 0.99 - major))
+        stakes.append(OwnershipStake(gov_id, operator.entity_id, round(major, 3)))
         stakes.append(
-            OwnershipStake(gov_id, operator.entity_id, round(major, 3))
-        )
-        stakes.append(
-            OwnershipStake(
-                f"gov-{partner.cc}", operator.entity_id, round(minor, 3)
-            )
+            OwnershipStake(f"gov-{partner.cc}", operator.entity_id, round(minor, 3))
         )
     elif archetype == "minority":
         fraction = rng.uniform(0.08, 0.45)
-        stakes.append(
-            OwnershipStake(gov_id, operator.entity_id, round(fraction, 3))
-        )
+        stakes.append(OwnershipStake(gov_id, operator.entity_id, round(fraction, 3)))
     elif archetype == "private":
         if private_group_ids and rng.random() < 0.22:
             group_id = rng.choice(private_group_ids)
             stakes.append(
                 OwnershipStake(
-                    group_id, operator.entity_id,
+                    group_id,
+                    operator.entity_id,
                     round(rng.uniform(0.51, 1.0), 3),
                 )
             )
@@ -582,17 +662,25 @@ def _build_operator(
     entities: List[Entity] = [operator]
     stakes: List[OwnershipStake] = []
     _attach_ownership_plan(
-        operator, op_plan.archetype, country, rng, forge,
-        private_group_ids, entities, stakes,
+        operator,
+        op_plan.archetype,
+        country,
+        rng,
+        forge,
+        private_group_ids,
+        entities,
+        stakes,
     )
     budget_24s = config.addr_budget_by_class[country.addr_class]
     addr_24s = max(1, round(op_plan.addr_share * budget_24s))
     eyeballs_total = round(
-        op_plan.eyeball_share
-        * config.eyeball_budget_by_class[country.pop_class]
+        op_plan.eyeball_share * config.eyeball_budget_by_class[country.pop_class]
     )
     spec = _plan_asns(
-        operator.name, operator.role, country.cc, country.rir,
+        operator.name,
+        operator.role,
+        country.cc,
+        country.rir,
         sibling_count=op_plan.sibling_count,
         addr_24s=addr_24s,
         eyeballs=eyeballs_total,
@@ -631,17 +719,17 @@ def _build_excluded(
         stakes = [OwnershipStake(f"gov-{country.cc}", operator.entity_id, 1.0)]
         budget_24s = config.addr_budget_by_class[country.addr_class]
         spec = _plan_asns(
-            operator.name, operator.role, country.cc, country.rir,
+            operator.name,
+            operator.role,
+            country.cc,
+            country.rir,
             sibling_count=1,
             addr_24s=max(1, round(0.008 * budget_24s * rng.uniform(0.5, 1.5))),
-            eyeballs=rng.randint(0, 20000)
-            if role is OperatorRole.ACADEMIC else 0,
+            eyeballs=rng.randint(0, 20000) if role is OperatorRole.ACADEMIC else 0,
             rng=rng,
             forge=forge,
         )
-        bundles.append(
-            _OperatorBundle(operator.entity_id, [operator], stakes, spec)
-        )
+        bundles.append(_OperatorBundle(operator.entity_id, [operator], stakes, spec))
     # Subnational state operators in large countries (§5.3 excludes them
     # from the dataset even though a state entity owns them).
     if country.addr_class >= 3 and rng.random() < 0.35:
@@ -663,13 +751,17 @@ def _build_excluded(
         )
         stakes = [
             OwnershipStake(
-                province.entity_id, operator.entity_id,
+                province.entity_id,
+                operator.entity_id,
                 round(rng.uniform(0.6, 1.0), 3),
             )
         ]
         budget_24s = config.addr_budget_by_class[country.addr_class]
         spec = _plan_asns(
-            operator.name, operator.role, country.cc, country.rir,
+            operator.name,
+            operator.role,
+            country.cc,
+            country.rir,
             sibling_count=1,
             addr_24s=max(2, round(0.006 * budget_24s * rng.uniform(0.5, 1.5))),
             eyeballs=rng.randint(5000, 80000),
@@ -677,9 +769,7 @@ def _build_excluded(
             forge=forge,
         )
         bundles.append(
-            _OperatorBundle(
-                operator.entity_id, [province, operator], stakes, spec
-            )
+            _OperatorBundle(operator.entity_id, [province, operator], stakes, spec)
         )
     return bundles
 
@@ -706,17 +796,24 @@ def _build_tail(
             kind=EntityKind.OPERATOR,
             name=legal,
             cc=country.cc,
-            role=OperatorRole.ENTERPRISE
-            if rng.random() < 0.6 else OperatorRole.ACCESS,
+            role=(
+                OperatorRole.ENTERPRISE if rng.random() < 0.6 else OperatorRole.ACCESS
+            ),
             scope=OperatorScope.NATIONAL,
             founded_year=rng.randint(1995, 2019),
         )
         spec = _plan_asns(
-            operator.name, operator.role, country.cc, country.rir,
+            operator.name,
+            operator.role,
+            country.cc,
+            country.rir,
             sibling_count=1,
             addr_24s=max(1, round(tail_24s_each * rng.uniform(0.5, 1.5))),
-            eyeballs=max(0, round(tail_eyeballs / max(count, 1)))
-            if operator.role is OperatorRole.ACCESS else 0,
+            eyeballs=(
+                max(0, round(tail_eyeballs / max(count, 1)))
+                if operator.role is OperatorRole.ACCESS
+                else 0
+            ),
             rng=rng,
             forge=forge,
         )
@@ -750,9 +847,7 @@ def _build_country_task(state: dict, cc: str) -> _CountryBundle:
 
     rng = factory.fresh(f"operators:{cc}")
     operators = [
-        _build_operator(
-            config, country, op_plan, i + 1, rng, forge, private_group_ids
-        )
+        _build_operator(config, country, op_plan, i + 1, rng, forge, private_group_ids)
         for i, op_plan in enumerate(plan.operators)
     ]
 
@@ -811,7 +906,7 @@ def _plan_subsidiary(
     # a sliver of the announced space (China Telecom Americas in the US);
     # eyeball share is dampened less (Optus serves 18 % of Australians).
     addr_damp = (1.0, 1.0, 0.8, 0.25, 0.06, 0.02)[target.addr_class]
-    eyeball_share = share * addr_damp ** 0.5
+    eyeball_share = share * addr_damp**0.5
     share *= addr_damp
     budget_24s = config.addr_budget_by_class[target.addr_class]
     eyeball_budget = config.eyeball_budget_by_class[target.pop_class]
@@ -820,16 +915,15 @@ def _plan_subsidiary(
     # budget, so hitting a *net* share of s requires allocating
     # s/(1-s) of the budget on top (s/(1-s) / (1 + s/(1-s)) == s).
     addr_grossup = share / max(1e-6, 1.0 - min(share, 0.85))
-    eyeball_grossup = eyeball_share / max(
-        1e-6, 1.0 - min(eyeball_share, 0.85)
-    )
+    eyeball_grossup = eyeball_share / max(1e-6, 1.0 - min(eyeball_share, 0.85))
     spec = _plan_asns(
-        legal, role, target.cc, target.rir,
+        legal,
+        role,
+        target.cc,
+        target.rir,
         sibling_count=sub_plan_siblings,
         addr_24s=max(1, round(addr_grossup * budget_24s)),
-        eyeballs=round(
-            eyeball_grossup * eyeball_budget * rng.uniform(0.8, 1.2)
-        ),
+        eyeballs=round(eyeball_grossup * eyeball_budget * rng.uniform(0.8, 1.2)),
         rng=rng,
         forge=forge,
         unrelated_alias_prob=0.35,
@@ -932,9 +1026,7 @@ def _plan_country_wiring(state: _WiringScaffold, cc: str) -> _CountryWiring:
     for gateway in gateways:
         if gateway in carrier_set:
             continue  # already wired to tier-1s
-        providers = rng.sample(
-            intl_pool, k=min(len(intl_pool), rng.randint(1, 3))
-        )
+        providers = rng.sample(intl_pool, k=min(len(intl_pool), rng.randint(1, 3)))
         for provider in providers:
             c2p(gateway, provider)
 
@@ -953,9 +1045,7 @@ def _plan_country_wiring(state: _WiringScaffold, cc: str) -> _CountryWiring:
             if not transit_dominant and rng.random() < 0.4:
                 c2p(primary, rng.choice(intl_pool))
         else:
-            providers = rng.sample(
-                intl_pool, k=min(len(intl_pool), rng.randint(1, 2))
-            )
+            providers = rng.sample(intl_pool, k=min(len(intl_pool), rng.randint(1, 2)))
             for provider in providers:
                 c2p(primary, provider)
             if gateways and rng.random() < 0.3:
@@ -1002,8 +1092,7 @@ def _plan_country_wiring(state: _WiringScaffold, cc: str) -> _CountryWiring:
         if role_of[gateway] is not OperatorRole.CABLE:
             continue
         neighbors = [
-            c.cc for c in COUNTRIES
-            if c.region == country.region and c.cc != cc
+            c.cc for c in COUNTRIES if c.region == country.region and c.cc != cc
         ]
         rng.shuffle(neighbors)
         exports.append((gateway, neighbors[: rng.randint(2, 6)]))
@@ -1233,17 +1322,13 @@ class WorldGenerator:
             "private_groups": [g.entity_id for g in self._private_groups],
         }
         ccs = [c.cc for c in COUNTRIES]
-        shard_size = max(
-            1, int(os.environ.get("REPRO_SHARD_COUNTRIES", "32"))
-        )
+        shard_size = max(1, int(os.environ.get("REPRO_SHARD_COUNTRIES", "32")))
         with span("world.countries") as sp:
             bundles: List[_CountryBundle] = []
             for i in range(0, len(ccs), shard_size):
                 shard = ccs[i : i + shard_size]
                 bundles.extend(
-                    self._map(
-                        _build_country_task, shard, state, "world.countries"
-                    )
+                    self._map(_build_country_task, shard, state, "world.countries")
                 )
             sp.incr("countries", len(bundles))
             if len(ccs) > shard_size:
@@ -1339,9 +1424,7 @@ class WorldGenerator:
             self._records[asn] = record
         if spec.more_specific and len(asns) > 1:
             donor = self._records[asns[0]]
-            wide = next(
-                ((b, l) for b, l in donor.prefixes if l <= 22), None
-            )
+            wide = next(((b, l) for b, l in donor.prefixes if l <= 22), None)
             if wide is not None:
                 base, _ = wide
                 self._records[asns[1]].prefixes.append((base, 24))
@@ -1359,7 +1442,10 @@ class WorldGenerator:
     ) -> None:
         """Serial-phase delegation (tier-1 carriers): plan + commit inline."""
         spec = _plan_asns(
-            operator.name, operator.role, cc, rir,
+            operator.name,
+            operator.role,
+            cc,
+            rir,
             sibling_count=sibling_count,
             addr_24s=addr_24s,
             eyeballs=eyeballs,
@@ -1482,7 +1568,9 @@ class WorldGenerator:
             )
             self._commit_entity(operator, {})
             self._register_asns(
-                operator, cc, country.rir,
+                operator,
+                cc,
+                country.rir,
                 sibling_count=1,
                 addr_24s=rng.randint(20, 80),
                 eyeballs=0,
@@ -1490,7 +1578,7 @@ class WorldGenerator:
             )
             self._tier1_asns.append(self._primary_asn[operator.entity_id])
 
-    # -- step 8: topology ---------------------------------------------------------------
+    # -- step 8: topology --------------------------------------------------------------
     def _build_topology(self) -> None:
         rng = self._factory.stream("topology")
         graph = self._graph
@@ -1520,12 +1608,8 @@ class WorldGenerator:
         scaffold = self._wiring_scaffold()
         ccs = [c.cc for c in COUNTRIES]
         with span("world.wiring") as sp:
-            plans = self._map(
-                _plan_country_wiring, ccs, scaffold, "world.wiring"
-            )
-            sp.incr(
-                "edges", sum(len(wiring.edges) for wiring in plans)
-            )
+            plans = self._map(_plan_country_wiring, ccs, scaffold, "world.wiring")
+            sp.incr("edges", sum(len(wiring.edges) for wiring in plans))
         for wiring in plans:
             self._commit_wiring(wiring, carrier_asns)
 
@@ -1551,9 +1635,7 @@ class WorldGenerator:
             ops_by_cc=ops_by_cc,
         )
 
-    def _commit_wiring(
-        self, wiring: _CountryWiring, carrier_asns: Set[int]
-    ) -> None:
+    def _commit_wiring(self, wiring: _CountryWiring, carrier_asns: Set[int]) -> None:
         """Apply one country's planned edges, then resolve its exports.
 
         Commit runs in country order, so a regional export from country

@@ -33,7 +33,10 @@ __all__ = ["OwnershipArchetype", "OperatorPlan", "CountryMarketPlan", "plan_coun
 OwnershipArchetype = str  # one of the literals documented above
 
 _STATE_ARCHETYPES: Tuple[str, ...] = (
-    "state_direct", "state_funds", "state_holding", "state_jv",
+    "state_direct",
+    "state_funds",
+    "state_holding",
+    "state_jv",
 )
 
 
@@ -80,9 +83,7 @@ def _pick_archetype(config: WorldConfig, rng: random.Random) -> str:
     return "state_direct"
 
 
-def _split_shares(
-    rng: random.Random, leader_share: float, count: int
-) -> List[float]:
+def _split_shares(rng: random.Random, leader_share: float, count: int) -> List[float]:
     """Split ``1 - leader_share`` across ``count`` followers, descending."""
     if count == 0:
         return []
@@ -156,9 +157,7 @@ def plan_country(
     plan.operators.append(incumbent)
 
     # --- challengers -------------------------------------------------------
-    challenger_count = max(
-        1, config.access_operators_by_class[country.addr_class] - 1
-    )
+    challenger_count = max(1, config.access_operators_by_class[country.addr_class] - 1)
     challenger_shares = _split_shares(rng, leader_share, challenger_count)
     # Reserve a slice of the remainder for the long tail of small networks.
     tail_fraction = rng.uniform(0.25, 0.6)

@@ -139,9 +139,7 @@ class OwnershipGraph:
         already-controlled entities reach :data:`CONTROL_THRESHOLD`.
         """
         government_ids = {
-            e.entity_id
-            for e in self.governments()
-            if e.cc == government_cc
+            e.entity_id for e in self.governments() if e.cc == government_cc
         }
         if not government_ids:
             raise OwnershipError(f"no government entity for {government_cc!r}")
@@ -262,9 +260,7 @@ class OwnershipGraph:
             ):
                 return current
             if parent.entity_id in seen:
-                raise OwnershipError(
-                    f"ownership cycle through {parent.entity_id}"
-                )
+                raise OwnershipError(f"ownership cycle through {parent.entity_id}")
             seen.add(parent.entity_id)
             current = parent
 

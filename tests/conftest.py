@@ -3,27 +3,45 @@
 Expensive artifacts (worlds, a full pipeline run) are session-scoped: the
 small world takes a couple of seconds to generate and the pipeline run ~20
 seconds, so every integration test reuses one instance.
+
+With ``REPRO_WORLD_CACHE=1`` (set by the CI workflow, whose
+``actions/cache`` step restores ``~/.cache/repro`` across jobs) the world
+fixtures go through the digest-verified blob cache in
+:mod:`repro.world.worldcache` instead of regenerating; a cold run writes
+the blobs back for the next job.  Local runs default to plain generation.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.config import PipelineConfig, SourceNoiseConfig, WorldConfig
 from repro.core import PipelineInputs, StateOwnershipPipeline
+from repro.parallel import ResultCache, resolve_cache_dir
 from repro.world.generator import World, WorldGenerator
+from repro.world.worldcache import load_or_generate
+
+
+def _materialize_world(config: WorldConfig) -> World:
+    if os.environ.get("REPRO_WORLD_CACHE") == "1":
+        root = resolve_cache_dir()
+        cache = ResultCache(root) if root is not None else None
+        return load_or_generate(config, cache)
+    return WorldGenerator(config).generate()
 
 
 @pytest.fixture(scope="session")
 def tiny_world() -> World:
     """A minimal world for fast structural tests."""
-    return WorldGenerator(WorldConfig.tiny()).generate()
+    return _materialize_world(WorldConfig.tiny())
 
 
 @pytest.fixture(scope="session")
 def small_world() -> World:
     """The standard integration-test world."""
-    return WorldGenerator(WorldConfig.small()).generate()
+    return _materialize_world(WorldConfig.small())
 
 
 @pytest.fixture(scope="session")

@@ -41,17 +41,12 @@ class TestHeadline:
     def test_shares_in_paper_band(self, pipeline_result, small_inputs):
         stats = headline_stats(pipeline_result, small_inputs)
         assert 0.08 <= stats["announced_space_share"] <= 0.3
-        assert (
-            stats["announced_space_share_ex_us"]
-            > stats["announced_space_share"]
-        )
+        assert (stats["announced_space_share_ex_us"] > stats["announced_space_share"])
 
     def test_counts_consistent(self, pipeline_result, small_inputs):
         stats = headline_stats(pipeline_result, small_inputs)
         assert stats["foreign_subsidiary_asns"] <= stats["state_owned_asns"]
-        assert (
-            stats["foreign_subsidiary_companies"] <= stats["companies"]
-        )
+        assert (stats["foreign_subsidiary_companies"] <= stats["companies"])
 
 
 class TestTable1:
@@ -78,9 +73,7 @@ class TestTable3:
         assert counts == sorted(counts, reverse=True)
 
     def test_targets_differ_from_owner(self, pipeline_result):
-        for owner, _count, targets in table3_foreign_subsidiaries(
-            pipeline_result
-        ):
+        for owner, _count, targets in table3_foreign_subsidiaries(pipeline_result):
             assert owner not in targets
 
 
@@ -139,9 +132,7 @@ class TestContributions:
         rows = cti_only_ases(pipeline_result, small_inputs.whois)
         assert rows, "CTI must contribute ASes no other source finds"
         for asn, cc, name in rows:
-            assert pipeline_result.asn_inputs[asn] == frozenset(
-                {InputSource.CTI}
-            )
+            assert pipeline_result.asn_inputs[asn] == frozenset({InputSource.CTI})
 
     def test_venn_regions_sum(self, pipeline_result):
         regions = venn_regions(pipeline_result)
@@ -160,8 +151,10 @@ class TestFootprint:
     def test_shares_bounded(self, footprints):
         for fp in footprints.values():
             for value in (
-                fp.domestic_addr_share, fp.domestic_eyeball_share,
-                fp.foreign_addr_share, fp.foreign_eyeball_share,
+                fp.domestic_addr_share,
+                fp.domestic_eyeball_share,
+                fp.foreign_addr_share,
+                fp.foreign_eyeball_share,
             ):
                 assert 0.0 <= value <= 1.0 + 1e-9
 
@@ -211,8 +204,16 @@ class TestFullReport:
         validation = validate_against_world(pipeline_result, small_world)
         text = full_report(pipeline_result, small_inputs, validation)
         for marker in (
-            "Headline", "Table 1", "Table 2", "Table 3", "Table 4",
-            "Table 5", "Table 6", "Table 7", "Table 8", "Figure 3",
+            "Headline",
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Table 8",
+            "Figure 3",
             "Validation",
         ):
             assert marker in text

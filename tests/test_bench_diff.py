@@ -117,24 +117,30 @@ class TestDiffFile:
 
     def test_zero_baseline_is_skipped(self, tmp_path):
         path = tmp_path / "BENCH_a.json"
-        _write(path, [
-            _rec("b", {"wall_s": 0.0}),
-            _rec("b", {"wall_s": 5.0}),
-        ])
+        _write(
+            path,
+            [
+                _rec("b", {"wall_s": 0.0}),
+                _rec("b", {"wall_s": 5.0}),
+            ],
+        )
         assert diff_file(path) == []
 
 
 class TestTrajectorySweep:
     def test_multiple_files_sorted(self, tmp_path):
         _write(tmp_path / "BENCH_b.json", [
-            _rec("x", {"wall_s": 1.0}), _rec("x", {"wall_s": 1.0}),
+            _rec("x", {"wall_s": 1.0}),
+            _rec("x", {"wall_s": 1.0}),
         ])
         _write(tmp_path / "BENCH_a.json", [
-            _rec("y", {"wall_s": 2.0}), _rec("y", {"wall_s": 2.0}),
+            _rec("y", {"wall_s": 2.0}),
+            _rec("y", {"wall_s": 2.0}),
         ])
         deltas = diff_trajectories(tmp_path)
         assert [d.trajectory for d in deltas] == [
-            "BENCH_a.json", "BENCH_b.json",
+            "BENCH_a.json",
+            "BENCH_b.json",
         ]
 
     def test_non_bench_files_ignored(self, tmp_path):
@@ -144,7 +150,8 @@ class TestTrajectorySweep:
     def test_report_empty_and_nonempty(self, tmp_path):
         assert "no comparable record pairs" in format_report([])
         _write(tmp_path / "BENCH_a.json", [
-            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 2.0}),
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 2.0}),
         ])
         report = format_report(diff_trajectories(tmp_path))
         assert "REGRESSED" in report
@@ -152,19 +159,22 @@ class TestTrajectorySweep:
 
     def test_run_diff_exit_codes(self, tmp_path):
         _write(tmp_path / "BENCH_a.json", [
-            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 1.05}),
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 1.05}),
         ])
         code, report = run_diff(tmp_path)
         assert code == 0 and "0 regression(s)" in report
         _write(tmp_path / "BENCH_a.json", [
-            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 2.0}),
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 2.0}),
         ])
         code, _ = run_diff(tmp_path)
         assert code == 1
 
     def test_threshold_parameter(self, tmp_path):
         _write(tmp_path / "BENCH_a.json", [
-            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 1.3}),
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 1.3}),
         ])
         assert run_diff(tmp_path, threshold=0.5)[0] == 0
         assert run_diff(tmp_path, threshold=DEFAULT_THRESHOLD)[0] == 1
@@ -192,9 +202,7 @@ class TestCLI:
             _rec("b", {"wall_s": 1.0}, {"scale": 1}),
             _rec("b", {"wall_s": 1.3}, {"scale": 1}),
         ])
-        assert main(
-            ["bench-diff", "--dir", str(tmp_path), "--threshold", "0.5"]
-        ) == 0
+        assert main(["bench-diff", "--dir", str(tmp_path), "--threshold", "0.5"]) == 0
 
     def test_bench_diff_bad_dir(self, tmp_path, capsys):
         missing = tmp_path / "nope"
@@ -287,7 +295,8 @@ class TestTrends:
         from repro.bench.diff import run_trend
 
         _write(tmp_path / "BENCH_a.json", [
-            _rec("b", {"wall_s": 1.0}), _rec("b", {"wall_s": 99.0}),
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 99.0}),
         ])
         code, report = run_trend(tmp_path)
         assert code == 0  # trends inform; only diff gates

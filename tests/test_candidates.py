@@ -33,8 +33,7 @@ def candidates(small_inputs):
         eyeballs=small_inputs.eyeballs,
         cti_selection=None,
         orbis_companies=[
-            (r.company_name, r.cc)
-            for r in small_inputs.orbis.state_owned_telcos()
+            (r.company_name, r.cc) for r in small_inputs.orbis.state_owned_telcos()
         ],
         wiki_fh_companies=small_inputs.wikipedia.state_owned_company_names(),
     )
@@ -94,7 +93,5 @@ class TestCompanyCandidates:
         assert sources == {InputSource.ORBIS, InputSource.WIKIPEDIA_FH}
 
     def test_deduplicated(self, candidates):
-        keys = [
-            (c.name.lower(), c.cc, c.source) for c in candidates.companies
-        ]
+        keys = [(c.name.lower(), c.cc, c.source) for c in candidates.companies]
         assert len(keys) == len(set(keys))

@@ -73,8 +73,17 @@ class TestRunAndShow:
         db_path = tmp_path / "out.db"
         events_path = tmp_path / "events.jsonl"
         assert main(
-            ["run", *ARGS, "--trace", "--log-json", str(events_path),
-             "--json", str(json_path), "--sqlite", str(db_path)]
+            [
+                "run",
+                *ARGS,
+                "--trace",
+                "--log-json",
+                str(events_path),
+                "--json",
+                str(json_path),
+                "--sqlite",
+                str(db_path),
+            ]
         ) == 0
         assert json_path.exists() and db_path.exists()
         err = capsys.readouterr().err
@@ -86,10 +95,7 @@ class TestRunAndShow:
         # ...and ends with the cache / pool-reuse counter summary.
         assert "run.summary" in err
         # --log-json emits one valid JSON object per line.
-        events = [
-            json.loads(line)
-            for line in events_path.read_text().splitlines()
-        ]
+        events = [json.loads(line) for line in events_path.read_text().splitlines()]
         assert events
         names = {event["name"] for event in events}
         assert "pipeline.expansion" in names

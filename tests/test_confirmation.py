@@ -16,8 +16,15 @@ from repro.sources.documents import (
 )
 
 
-def doc(doc_id, subject, claims=(), source=SourceType.COMPANY_WEBSITE,
-        cc="XX", subsidiaries=(), quote="q"):
+def doc(
+    doc_id,
+    subject,
+    claims=(),
+    source=SourceType.COMPANY_WEBSITE,
+    cc="XX",
+    subsidiaries=(),
+    quote="q",
+):
     return Document(
         doc_id=doc_id,
         source_type=source,
@@ -83,8 +90,11 @@ class TestDirectConfirmation:
 
     def test_private_holders_not_state(self):
         corpus = ConfirmationCorpus(
-            [doc("d1", "Privy Netco",
-                 [corp_claim("Privy Netco", "Owner Capital Partners", 0.8)])]
+            [doc(
+                "d1",
+                "Privy Netco",
+                [corp_claim("Privy Netco", "Owner Capital Partners", 0.8)],
+            )]
         )
         verdict = OwnershipAnalyst(corpus).investigate("Privy Netco")
         assert verdict.status is ConfirmationStatus.NOT_STATE
@@ -102,8 +112,11 @@ class TestChains:
                 ]),
                 doc("d2", "Khaz Fund", [gov_claim("Khaz Fund", 1.0)]),
                 doc("d3", "Amanah Fund", [gov_claim("Amanah Fund", 0.9)]),
-                doc("d4", "Pension Fund Alpha",
-                    [gov_claim("Pension Fund Alpha", 0.8)]),
+                doc(
+                    "d4",
+                    "Pension Fund Alpha",
+                    [gov_claim("Pension Fund Alpha", 0.8)],
+                ),
             ]
         )
         verdict = OwnershipAnalyst(corpus).investigate("Malaco Telecom")
@@ -130,8 +143,12 @@ class TestChains:
                 doc("d1", "Qtel Tunisia", [
                     corp_claim("Qtel Tunisia", "Qtel Group", 0.9, cc="QA"),
                 ], cc="TN"),
-                doc("d2", "Qtel Group", [gov_claim("Qtel Group", 0.68, cc="QA")],
-                    cc="QA"),
+                doc(
+                    "d2",
+                    "Qtel Group",
+                    [gov_claim("Qtel Group", 0.68, cc="QA")],
+                    cc="QA",
+                ),
             ]
         )
         verdict = OwnershipAnalyst(corpus).investigate("Qtel Tunisia")
@@ -142,15 +159,15 @@ class TestChains:
         ]
 
     def test_cycle_terminates(self):
+        alpha = "Alpha Loop Holdings Xq"
+        beta = "Beta Loop Holdings Xq"
         corpus = ConfirmationCorpus(
             [
-                doc("d1", "Alpha Loop Holdings Xq",
-                    [corp_claim("Alpha Loop Holdings Xq", "Beta Loop Holdings Xq", 0.6)]),
-                doc("d2", "Beta Loop Holdings Xq",
-                    [corp_claim("Beta Loop Holdings Xq", "Alpha Loop Holdings Xq", 0.6)]),
+                doc("d1", alpha, [corp_claim(alpha, beta, 0.6)]),
+                doc("d2", beta, [corp_claim(beta, alpha, 0.6)]),
             ]
         )
-        verdict = OwnershipAnalyst(corpus).investigate("Alpha Loop Holdings Xq")
+        verdict = OwnershipAnalyst(corpus).investigate(alpha)
         assert verdict.status in (
             ConfirmationStatus.NOT_STATE, ConfirmationStatus.NO_EVIDENCE
         )
@@ -166,8 +183,7 @@ class TestAssertions:
             holder_cc="ML",
         )
         corpus = ConfirmationCorpus(
-            [doc("d1", "Sahel Telecom", [claim], source=SourceType.WORLD_BANK,
-                 cc="ML")]
+            [doc("d1", "Sahel Telecom", [claim], source=SourceType.WORLD_BANK, cc="ML")]
         )
         verdict = OwnershipAnalyst(corpus).investigate("Sahel Telecom")
         assert verdict.status is ConfirmationStatus.CONFIRMED
@@ -186,8 +202,12 @@ class TestAssertions:
         corpus = ConfirmationCorpus(
             [
                 doc("d1", "Dual Evidence Telco", claims),
-                doc("d2", "Dual Evidence Telco", [assertion],
-                    source=SourceType.FREEDOM_HOUSE),
+                doc(
+                    "d2",
+                    "Dual Evidence Telco",
+                    [assertion],
+                    source=SourceType.FREEDOM_HOUSE,
+                ),
             ]
         )
         verdict = OwnershipAnalyst(corpus).investigate("Dual Evidence Telco")
@@ -225,9 +245,13 @@ class TestJointVenture:
 class TestSubsidiaryNames:
     def test_subsidiary_list_surfaces(self):
         corpus = ConfirmationCorpus(
-            [doc("d1", "Expansion Grp Telco", [gov_claim("Expansion Grp Telco", 0.7)],
-                 source=SourceType.ANNUAL_REPORT,
-                 subsidiaries=("Expansion Grp Kenya", "Expansion Grp Ghana"))]
+            [doc(
+                "d1",
+                "Expansion Grp Telco",
+                [gov_claim("Expansion Grp Telco", 0.7)],
+                source=SourceType.ANNUAL_REPORT,
+                subsidiaries=("Expansion Grp Kenya", "Expansion Grp Ghana"),
+            )]
         )
         verdict = OwnershipAnalyst(corpus).investigate("Expansion Grp Telco")
         assert verdict.subsidiary_names == [
@@ -239,8 +263,7 @@ class TestExclusionClassifier:
     @pytest.mark.parametrize(
         "name,reason",
         [
-            ("Kenya National Research and Education Network",
-             ExclusionReason.ACADEMIC),
+            ("Kenya National Research and Education Network", ExclusionReason.ACADEMIC),
             ("University of Testland Network", ExclusionReason.ACADEMIC),
             ("Testland Government Network Agency", ExclusionReason.GOVNET),
             ("Testland Network Information Centre", ExclusionReason.NIC),
@@ -259,8 +282,7 @@ class TestExclusionClassifier:
             is ExclusionReason.ACADEMIC
         )
         assert (
-            classify_exclusion("Plain Name", "Government")
-            is ExclusionReason.GOVNET
+            classify_exclusion("Plain Name", "Government") is ExclusionReason.GOVNET
         )
         assert classify_exclusion("Plain Name", "NSP") is None
 

@@ -34,8 +34,10 @@ def gateway_scenario():
     table = Prefix2ASTable(entries)
     true_cc = {100: "XX", 101: "XX", 10: "XX", 1: "T1", 2: "T1"}
     geo = GeolocationService(
-        true_cc, ["XX", "T1"],
-        SourceNoiseConfig(geolocation_accuracy=1.0), seed=1,
+        true_cc,
+        ["XX", "T1"],
+        SourceNoiseConfig(geolocation_accuracy=1.0),
+        seed=1,
     )
     monitors = MonitorSet([Monitor("m0", 2)])
     collector = RouteCollector(graph, monitors)
@@ -122,9 +124,7 @@ def _reference_country_cti(cti, cc):
                     continue
                 if asn == monitor.host_asn:
                     continue
-                scores[asn] = scores.get(asn, 0.0) + (
-                    w * address_fraction / distance
-                )
+                scores[asn] = scores.get(asn, 0.0) + (w * address_fraction / distance)
     return scores
 
 
@@ -178,9 +178,7 @@ class TestSelection:
             small_inputs.geolocation,
             small_world.collector,
         )
-        selection = select_cti_candidates(
-            cti, sorted(small_world.transit_dominant_ccs)
-        )
+        selection = select_cti_candidates(cti, sorted(small_world.transit_dominant_ccs))
         so = small_world.ground_truth_asns()
         # CTI candidates include a meaningful number of state-owned ASes.
         assert len(set(selection.asns) & so) >= 5

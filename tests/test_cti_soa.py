@@ -79,9 +79,7 @@ def random_scenario(seed: int) -> CTIComputer:
         seed=seed,
     )
     hosts = rng.sample(tier1 + gateways, rng.randint(1, 3))
-    monitors = MonitorSet(
-        [Monitor(f"m{i}", host) for i, host in enumerate(hosts)]
-    )
+    monitors = MonitorSet([Monitor(f"m{i}", host) for i, host in enumerate(hosts)])
     return CTIComputer(table, geo, RouteCollector(graph, monitors))
 
 
@@ -228,10 +226,7 @@ class TestMemoryCeiling:
             # the index bytes travel through the shared segment.
             blob_bytes = metrics.counter("runtime.state_bytes") - blob_before
             assert blob_bytes < 4096, blob_bytes
-            assert (
-                metrics.counter("runtime.shm_bytes") - shm_before
-                >= state_bytes
-            )
+            assert (metrics.counter("runtime.shm_bytes") - shm_before >= state_bytes)
             assert all(r[0] > 0 for r in results)
             peak_anon_delta[jobs] = max(r[1] for r in results)
             # At least one worker demonstrably paged the column in as
@@ -242,6 +237,4 @@ class TestMemoryCeiling:
         for jobs, anon in peak_anon_delta.items():
             assert anon < state_bytes // 8, (jobs, anon, state_bytes)
         # ...and stays flat when the pool doubles.
-        assert (
-            peak_anon_delta[4] < peak_anon_delta[2] + 8 * 2**20
-        ), peak_anon_delta
+        assert (peak_anon_delta[4] < peak_anon_delta[2] + 8 * 2**20), peak_anon_delta

@@ -198,7 +198,8 @@ class TestAtomicExport:
                 else:
                     dump_json(_ExplodingDataset([org()], {}), target)
         assert sorted(p.name for p in tmp_path.iterdir()) == [
-            "dataset.db", "dataset.json",
+            "dataset.db",
+            "dataset.json",
         ]
 
     def test_atomic_replace_overwrites_on_success(self, tmp_path):
@@ -242,9 +243,7 @@ class TestAtomicExport:
         dump_json(self._good([1]), tmp_path / "dataset.json")
         assert events == ["fsync-file", "replace", "fsync-dir"]
 
-    def test_replace_survives_unsyncable_directory(
-        self, tmp_path, monkeypatch
-    ):
+    def test_replace_survives_unsyncable_directory(self, tmp_path, monkeypatch):
         """Directory fsync is best-effort (some filesystems refuse it)."""
         import os as real_os
         import stat as stat_mod
@@ -340,9 +339,7 @@ class TestRenderTable:
             render_table(("a", "b"), [(1,)])
 
 
-_text = st.text(
-    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20
-)
+_text = st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20)
 
 
 class TestJsonProperty:

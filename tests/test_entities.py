@@ -56,9 +56,7 @@ class TestOperator:
         assert not op.offers_unrestricted_service
 
     def test_default_scope_national(self):
-        op = Operator(
-            entity_id="x", kind=EntityKind.OPERATOR, name="N", cc="NO"
-        )
+        op = Operator(entity_id="x", kind=EntityKind.OPERATOR, name="N", cc="NO")
         assert op.scope is OperatorScope.NATIONAL
 
 
@@ -78,15 +76,24 @@ class TestAsnRecord:
     def test_invalid_asn(self):
         with pytest.raises(OwnershipError):
             AsnRecord(
-                asn=0, operator_id="op", cc="NO", rir="RIPE",
-                registered_name="N", role=OperatorRole.ACCESS,
+                asn=0,
+                operator_id="op",
+                cc="NO",
+                rir="RIPE",
+                registered_name="N",
+                role=OperatorRole.ACCESS,
             )
 
     def test_negative_eyeballs(self):
         with pytest.raises(OwnershipError):
             AsnRecord(
-                asn=5, operator_id="op", cc="NO", rir="RIPE",
-                registered_name="N", role=OperatorRole.ACCESS, eyeballs=-1,
+                asn=5,
+                operator_id="op",
+                cc="NO",
+                rir="RIPE",
+                registered_name="N",
+                role=OperatorRole.ACCESS,
+                eyeballs=-1,
             )
 
 

@@ -47,9 +47,7 @@ class TestSimulator:
         simulator = ChurnSimulator(churn_world, HOT_RATES)
         events = simulator.simulate_years(2021, 1)
         privatized_ids = {
-            e.operator_id
-            for e in events
-            if e.kind is EventKind.PRIVATIZATION
+            e.operator_id for e in events if e.kind is EventKind.PRIVATIZATION
         }
         if not privatized_ids:
             pytest.skip("no privatization drawn")
@@ -61,9 +59,7 @@ class TestSimulator:
         simulator = ChurnSimulator(churn_world, HOT_RATES)
         events = simulator.simulate_years(2021, 2)
         nationalized = {
-            e.operator_id
-            for e in events
-            if e.kind is EventKind.NATIONALIZATION
+            e.operator_id for e in events if e.kind is EventKind.NATIONALIZATION
         }
         if not nationalized:
             pytest.skip("no nationalization drawn")
@@ -169,9 +165,7 @@ class TestMonthlyStepping:
         assert len(monthly) <= max(3 * len(annual), len(annual) + 10)
 
     def test_ownership_stays_consistent(self, churn_world):
-        batches = ChurnSimulator(churn_world, HOT_RATES).simulate_months(
-            2021, 12
-        )
+        batches = ChurnSimulator(churn_world, HOT_RATES).simulate_months(2021, 12)
         if not any(batches):
             pytest.skip("no events drawn")
         churn_world.ownership.validate()

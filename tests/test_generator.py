@@ -55,9 +55,7 @@ class TestGroundTruth:
                 assert gto.is_foreign_subsidiary
 
     def test_restricted_roles_excluded(self, tiny_world):
-        roles = {
-            gto.operator.role for gto in tiny_world.ground_truth()
-        }
+        roles = {gto.operator.role for gto in tiny_world.ground_truth()}
         assert OperatorRole.ACADEMIC not in roles
         assert OperatorRole.GOVNET not in roles
         assert OperatorRole.NIC not in roles
@@ -79,9 +77,7 @@ class TestGroundTruth:
     def test_foreign_subsidiaries_have_parents(self, tiny_world):
         for gto in tiny_world.ground_truth():
             if gto.is_foreign_subsidiary:
-                parent = tiny_world.ownership.majority_parent(
-                    gto.operator.entity_id
-                )
+                parent = tiny_world.ownership.majority_parent(gto.operator.entity_id)
                 assert parent is not None
 
     def test_forced_cable_countries(self, tiny_world):
@@ -103,18 +99,14 @@ class TestCalibration:
     def test_address_share_in_band(self, small_world):
         counts = small_world.true_address_counts()
         total = sum(counts.values())
-        so = sum(
-            counts.get(a, 0) for a in small_world.ground_truth_asns()
-        )
+        so = sum(counts.get(a, 0) for a in small_world.ground_truth_asns())
         assert 0.10 <= so / total <= 0.30   # paper: 0.17
 
     def test_us_overrepresented(self, small_world):
         counts = small_world.true_address_counts()
         total = sum(counts.values())
         us = sum(
-            counts.get(a, 0)
-            for a, r in small_world.asn_records.items()
-            if r.cc == "US"
+            counts.get(a, 0) for a, r in small_world.asn_records.items() if r.cc == "US"
         )
         assert us / total > 0.2
 

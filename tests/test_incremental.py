@@ -82,9 +82,7 @@ class TestFingerprints:
     def test_keys_are_injective_in_inputs(self):
         assert origin_term_key("r1", 7) != origin_term_key("r1", 8)
         assert origin_term_key("r1", 7) != origin_term_key("r2", 7)
-        assert country_score_key("r", "s", 1e-3) != country_score_key(
-            "r", "s", 1e-2
-        )
+        assert country_score_key("r", "s", 1e-3) != country_score_key("r", "s", 1e-2)
 
     def test_tokens_overlap(self):
         assert tokens_overlap(["Telenor Group"], name_token_set("Telenor ASA"))
@@ -150,8 +148,7 @@ class TestAnalystSeeding:
         corpus = CachingCorpus(small_inputs.corpus.all_documents())
         first = OwnershipAnalyst(corpus, pipeline_config)
         names = [
-            doc.subject_names[0]
-            for doc in small_inputs.corpus.all_documents()[:10]
+            doc.subject_names[0] for doc in small_inputs.corpus.all_documents()[:10]
         ]
         for name in names:
             first.investigate(name)
@@ -161,18 +158,14 @@ class TestAnalystSeeding:
         # No dirty tokens: every non-volatile footprinted entry survives.
         clean = OwnershipAnalyst(corpus, pipeline_config)
         seeded = clean.seed_memo(memo, footprints, volatile, minority, set())
-        assert seeded == sum(
-            1 for k in memo if k not in volatile and k in footprints
-        )
+        assert seeded == sum(1 for k in memo if k not in volatile and k in footprints)
         assert seeded > 0
 
         # Dirtying one investigated company's tokens never seeds an entry
         # whose footprint mentions it.
         dirty = set(name_token_set(names[0]))
         partial = OwnershipAnalyst(corpus, pipeline_config)
-        partial_seeded = partial.seed_memo(
-            memo, footprints, volatile, minority, dirty
-        )
+        partial_seeded = partial.seed_memo(memo, footprints, volatile, minority, dirty)
         assert partial_seeded <= seeded
         overlapping = [
             key
@@ -187,8 +180,7 @@ class TestAnalystSeeding:
         corpus = CachingCorpus(small_inputs.corpus.all_documents())
         first = OwnershipAnalyst(corpus, pipeline_config)
         names = [
-            doc.subject_names[0]
-            for doc in small_inputs.corpus.all_documents()[:10]
+            doc.subject_names[0] for doc in small_inputs.corpus.all_documents()[:10]
         ]
         baseline = {name: first.investigate(name) for name in names}
         second = OwnershipAnalyst(corpus, pipeline_config)

@@ -169,7 +169,10 @@ class TestTrieAccountingEquivalence:
     def test_summarize_byte_identical(self, seed):
         rng = random.Random(5000 + seed)
         items = [
-            (Prefix.from_host(rng.getrandbits(32), rng.randint(0, 32)), rng.randint(1, 4))
+            (
+                Prefix.from_host(rng.getrandbits(32), rng.randint(0, 32)),
+                rng.randint(1, 4),
+            )
             for _ in range(rng.randint(1, 30))
         ]
         fast = summarize_address_counts(items)

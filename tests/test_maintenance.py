@@ -123,12 +123,8 @@ class TestRunMaintenance:
         from repro.world.generator import WorldGenerator
 
         world = WorldGenerator(WorldConfig.tiny(seed=77)).generate()
-        report = run_maintenance(
-            world, out_dir=tmp_path / "cold", months=2, cold=True
-        )
-        assert all(
-            rec.provenance["mode"] == "cold" for rec in report.snapshots
-        )
+        report = run_maintenance(world, out_dir=tmp_path / "cold", months=2, cold=True)
+        assert all(rec.provenance["mode"] == "cold" for rec in report.snapshots)
         assert report.reused_fractions() == [0.0, 0.0]
 
     def test_publish_installs_latest_snapshot(self, tmp_path):

@@ -61,9 +61,7 @@ class TestReverseMapping:
             if not gto.asns:
                 continue
             total += 1
-            found = mapper.asns_of_company(
-                gto.operator.name, cc=gto.operator.cc
-            )
+            found = mapper.asns_of_company(gto.operator.name, cc=gto.operator.cc)
             if gto.asns[0] in found:
                 hit += 1
         assert hit / total > 0.75
@@ -80,9 +78,7 @@ class TestReverseMapping:
         """Reverse mapping must not pull in other operators' ASNs."""
         wrong = total = 0
         for gto in small_world.ground_truth()[:60]:
-            found = mapper.asns_of_company(
-                gto.operator.name, cc=gto.operator.cc
-            )
+            found = mapper.asns_of_company(gto.operator.name, cc=gto.operator.cc)
             for asn in found:
                 record = small_world.asn_records.get(asn)
                 if record is None:

@@ -10,9 +10,7 @@ from repro.world.markets import plan_country
 
 
 def plan(cc, seed=11, config=None):
-    return plan_country(
-        country_by_cc(cc), config or WorldConfig(), random.Random(seed)
-    )
+    return plan_country(country_by_cc(cc), config or WorldConfig(), random.Random(seed))
 
 
 class TestStructure:
@@ -75,12 +73,8 @@ class TestPolicyKnobs:
         assert state_count <= 8
 
     def test_africa_prior_dominates_europe(self):
-        africa = sum(
-            plan("TZ", seed=s).operators[0].is_state_owned for s in range(60)
-        )
-        europe = sum(
-            plan("CZ", seed=s).operators[0].is_state_owned for s in range(60)
-        )
+        africa = sum(plan("TZ", seed=s).operators[0].is_state_owned for s in range(60))
+        europe = sum(plan("CZ", seed=s).operators[0].is_state_owned for s in range(60))
         assert africa > europe
 
 

@@ -19,9 +19,7 @@ def small_graph():
 
 class TestMonitorSet:
     def test_weights_inverse_of_colocation(self):
-        monitors = MonitorSet(
-            [Monitor("a", 1), Monitor("b", 1), Monitor("c", 2)]
-        )
+        monitors = MonitorSet([Monitor("a", 1), Monitor("b", 1), Monitor("c", 2)])
         assert monitors.weight(Monitor("a", 1)) == 0.5
         assert monitors.weight(Monitor("b", 1)) == 0.5
         assert monitors.weight(Monitor("c", 2)) == 1.0

@@ -93,8 +93,9 @@ class TestNameSimilarity:
     def test_generic_stem_does_not_connect(self):
         # Different distinctive tokens, shared generic vocabulary.
         assert name_similarity("Macao Telekom", "Canada Telekom") < 0.5
-        assert name_similarity("Honduras State Holding",
-                               "Honduras Communications Ltd") < 0.7
+        assert name_similarity(
+            "Honduras State Holding", "Honduras Communications Ltd"
+        ) < 0.7
 
     def test_brand_containment(self):
         assert name_similarity("ZamTel", "ZamTel Communications Ltd") >= 0.8

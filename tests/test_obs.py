@@ -74,7 +74,9 @@ class TestMetrics:
         metrics.observe("b", 1.0)
         metrics.reset()
         assert metrics.snapshot() == {
-            "counters": {}, "gauges": {}, "timings": {},
+            "counters": {},
+            "gauges": {},
+            "timings": {},
         }
 
     def test_global_registry_identity(self):
@@ -193,9 +195,7 @@ class TestSinks:
 
     def test_configure_from_env(self, tmp_path):
         path = tmp_path / "env.jsonl"
-        sink = configure_from_env(
-            {"REPRO_TRACE": "0", "REPRO_LOG_JSON": str(path)}
-        )
+        sink = configure_from_env({"REPRO_TRACE": "0", "REPRO_LOG_JSON": str(path)})
         assert sink.enabled
         with span("via_env"):
             pass

@@ -119,9 +119,7 @@ class TestParallelConfig:
 
 class TestStableDigest:
     def test_key_order_is_irrelevant(self):
-        assert stable_digest({"a": 1, "b": 2}) == stable_digest(
-            {"b": 2, "a": 1}
-        )
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
 
     def test_values_matter(self):
         assert stable_digest({"a": 1}) != stable_digest({"a": 2})
@@ -138,9 +136,7 @@ class TestStableDigest:
 
 class TestResolveCacheDir:
     def test_env_override(self, tmp_path):
-        assert resolve_cache_dir(
-            env={"REPRO_CACHE_DIR": str(tmp_path)}
-        ) == tmp_path
+        assert resolve_cache_dir(env={"REPRO_CACHE_DIR": str(tmp_path)}) == tmp_path
 
     def test_empty_env_disables(self):
         assert resolve_cache_dir(env={"REPRO_CACHE_DIR": ""}) is None
@@ -158,9 +154,7 @@ class TestResultCache:
         cache.put("cti", "k1", {"scores": scores})
         loaded = cache.get("cti", "k1")
         assert loaded == {"scores": scores}
-        assert (
-            loaded["scores"]["NO"]["64512"] == scores["NO"]["64512"]
-        )  # bit-exact
+        assert (loaded["scores"]["NO"]["64512"] == scores["NO"]["64512"])  # bit-exact
 
     def test_absent_key_is_a_miss(self, tmp_path):
         metrics = get_metrics()
@@ -252,9 +246,7 @@ class TestCTILaziness:
 
 def _result_key(result):
     """Everything observable about a run, modulo wall-clock."""
-    stats = {
-        k: v for k, v in result.stats.items() if k != "runtime_seconds"
-    }
+    stats = {k: v for k, v in result.stats.items() if k != "runtime_seconds"}
     return dataset_to_json(result.dataset), stats
 
 

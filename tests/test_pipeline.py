@@ -92,9 +92,7 @@ class TestDiagnostics:
             stats["geo_eyeball_intersection"]
             <= min(stats["geolocation_asns"], stats["eyeball_asns"])
         )
-        assert stats["state_owned_asns"] == len(
-            pipeline_result.dataset.all_asns()
-        )
+        assert stats["state_owned_asns"] == len(pipeline_result.dataset.all_asns())
 
     def test_verdict_partition(self, pipeline_result):
         # Every investigated work item lands in exactly one outcome bucket.

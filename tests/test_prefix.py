@@ -32,8 +32,16 @@ class TestPrefixParsing:
 
     @pytest.mark.parametrize(
         "bad",
-        ["", "10.0.0.0", "10.0.0/24", "10.0.0.0/33", "10.0.0.0/-1",
-         "256.0.0.0/8", "a.b.c.d/8", "10.0.0.0/8/8"],
+        [
+            "",
+            "10.0.0.0",
+            "10.0.0/24",
+            "10.0.0.0/33",
+            "10.0.0.0/-1",
+            "256.0.0.0/8",
+            "a.b.c.d/8",
+            "10.0.0.0/8/8",
+        ],
     )
     def test_parse_rejects_malformed(self, bad):
         with pytest.raises(PrefixError):
@@ -138,9 +146,7 @@ class TestPrefixTrie:
         for text in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"):
             trie.insert(Prefix.parse(text), text)
         covering = trie.covering(Prefix.parse("10.1.2.0/24"))
-        assert [v for _, v in covering] == [
-            "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"
-        ]
+        assert [v for _, v in covering] == ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
 
     def test_covered_by(self):
         trie = PrefixTrie()
@@ -232,8 +238,9 @@ class TestPrefixProperties:
         if a.covers(b) and b.covers(c):
             assert a.covers(c)
 
-    @given(st.lists(st.tuples(prefix_strategy, st.integers(1, 5)),
-                    min_size=1, max_size=20))
+    @given(st.lists(
+        st.tuples(prefix_strategy, st.integers(1, 5)), min_size=1, max_size=20
+    ))
     @settings(max_examples=50, deadline=None)
     def test_uncovered_bounded(self, items):
         trie = PrefixTrie(items)
@@ -241,8 +248,9 @@ class TestPrefixProperties:
             uncovered = trie.uncovered_addresses(p)
             assert 0 <= uncovered <= p.num_addresses
 
-    @given(st.lists(st.tuples(prefix_strategy, st.integers(1, 3)),
-                    min_size=1, max_size=15))
+    @given(st.lists(
+        st.tuples(prefix_strategy, st.integers(1, 3)), min_size=1, max_size=15
+    ))
     @settings(max_examples=50, deadline=None)
     def test_summary_conserves_union(self, items):
         # Total attributed addresses equals the size of the union of all
@@ -250,8 +258,6 @@ class TestPrefixProperties:
         trie = PrefixTrie()
         for p, v in items:
             trie.insert(p, v)
-        union_total = sum(
-            trie.uncovered_addresses(p) for p, _ in trie.items()
-        )
+        union_total = sum(trie.uncovered_addresses(p) for p, _ in trie.items())
         counts = summarize_address_counts(items)
         assert sum(counts.values()) == union_total

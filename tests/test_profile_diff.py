@@ -25,9 +25,7 @@ def make_org(org_id, name, cc="NO", target_cc=None):
 
 
 class TestCountryProfile:
-    def test_profile_for_state_owned_country(
-        self, pipeline_result, small_inputs
-    ):
+    def test_profile_for_state_owned_country(self, pipeline_result, small_inputs):
         owner_ccs = sorted(pipeline_result.dataset.owner_countries())
         cc = owner_ccs[0]
         profile = build_country_profile(cc, pipeline_result, small_inputs)
@@ -41,9 +39,7 @@ class TestCountryProfile:
         assert profile.name in text
         assert "state" in text
 
-    def test_us_profile_is_clean_domestically(
-        self, pipeline_result, small_inputs
-    ):
+    def test_us_profile_is_clean_domestically(self, pipeline_result, small_inputs):
         profile = build_country_profile("US", pipeline_result, small_inputs)
         assert not profile.domestic_orgs
 

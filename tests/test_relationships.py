@@ -40,9 +40,7 @@ class TestInference:
 
     def test_star_recovers_most_edges(self):
         g = star_graph()
-        paths = observed_paths(
-            g, origins=[10, 11, 12, 20, 21], observers=g.asns
-        )
+        paths = observed_paths(g, origins=[10, 11, 12, 20, 21], observers=g.asns)
         inferred = infer_relationships(paths)
         assert inferred.agreement_with(g) > 0.7
 
@@ -66,9 +64,7 @@ class TestInference:
         # hub's observed degree dominates, so its customer edges all point
         # the right way and the inferred cone matches the true cone.
         g = star_graph()
-        paths = observed_paths(
-            g, origins=[10, 11, 12, 20, 21], observers=g.asns
-        )
+        paths = observed_paths(g, origins=[10, 11, 12, 20, 21], observers=g.asns)
         inferred = infer_relationships(paths)
         assert inferred.customer_cone_size(1) >= 4
         assert inferred.customer_cone_size(10) == 1
@@ -85,11 +81,7 @@ class TestInference:
         handful of monitors the degree anchor is often starved, so this is
         a floor, not the production fidelity.)"""
         collector = tiny_world.collector
-        origins = [
-            gto.asns[0]
-            for gto in tiny_world.ground_truth()[:40]
-            if gto.asns
-        ]
+        origins = [gto.asns[0] for gto in tiny_world.ground_truth()[:40] if gto.asns]
         paths = []
         for origin in origins:
             paths.extend(collector.paths_to(origin).values())

@@ -14,20 +14,13 @@ class TestHeadlineMath:
         stats = headline_stats(pipeline_result, small_inputs)
         counts = small_inputs.prefix2as.announced_address_counts()
         total = sum(counts.values())
-        state = sum(
-            counts.get(a, 0) for a in pipeline_result.dataset.all_asns()
-        )
-        assert stats["announced_space_share"] == pytest.approx(
-            state / total, abs=1e-4
-        )
+        state = sum(counts.get(a, 0) for a in pipeline_result.dataset.all_asns())
+        assert stats["announced_space_share"] == pytest.approx(state / total, abs=1e-4)
 
     def test_ex_us_denominator_smaller(self, pipeline_result, small_inputs):
         stats = headline_stats(pipeline_result, small_inputs)
         # Excluding the US removes denominator mass but no state ASes.
-        ratio = (
-            stats["announced_space_share_ex_us"]
-            / stats["announced_space_share"]
-        )
+        ratio = stats["announced_space_share_ex_us"] / stats["announced_space_share"]
         assert 1.1 < ratio < 2.5
 
 
@@ -85,7 +78,10 @@ class TestAliasExpansion:
         gto = next(g for g in small_world.ground_truth() if g.asns)
         operator = gto.operator
         once = expand_to_asns(
-            operator.name, mapper, small_inputs.as2org, cc=operator.cc,
+            operator.name,
+            mapper,
+            small_inputs.as2org,
+            cc=operator.cc,
             aliases=(operator.name,),
         )
         plain = expand_to_asns(

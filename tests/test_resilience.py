@@ -114,9 +114,7 @@ class TestRetryPolicy:
         assert len(first) == 3
 
     def test_backoff_grows_and_caps(self):
-        policy = RetryPolicy(
-            base_delay=0.1, multiplier=2.0, max_delay=0.25, jitter=0.0
-        )
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.25, jitter=0.0)
         delays = [policy.backoff_delay("s", n) for n in (1, 2, 3, 4)]
         assert delays == [0.1, 0.2, 0.25, 0.25]
 
@@ -303,16 +301,12 @@ class TestFaultPlan:
 class TestSourceGuard:
     def test_guard_retries_through_injected_faults(self):
         install_fault_plan(FaultPlan.parse("source.x=transient:2"))
-        guard = SourceGuard(
-            policy=RetryPolicy(max_attempts=3), sleep=lambda _s: None
-        )
+        guard = SourceGuard(policy=RetryPolicy(max_attempts=3), sleep=lambda _s: None)
         assert guard.call("source.x", lambda: "ok") == "ok"
 
     def test_guard_exhausts_on_fatal(self):
         install_fault_plan(FaultPlan.parse("source.x=fatal"))
-        guard = SourceGuard(
-            policy=RetryPolicy(max_attempts=2), sleep=lambda _s: None
-        )
+        guard = SourceGuard(policy=RetryPolicy(max_attempts=2), sleep=lambda _s: None)
         with pytest.raises(RetryExhaustedError):
             guard.call("source.x", lambda: "ok")
 
@@ -391,9 +385,7 @@ class TestWorkerCrashRequeue:
         items = list(range(12))
         before = get_metrics().counter("parallel.pool_restarts")
         with ExecutionContext(jobs=2, backend="process") as context:
-            results = context.map_ordered(
-                _square, items, label="square", chunksize=3
-            )
+            results = context.map_ordered(_square, items, label="square", chunksize=3)
         assert results == [i * i for i in items]
         assert get_metrics().counter("parallel.pool_restarts") > before
 
@@ -455,9 +447,7 @@ class TestGracefulDegradation:
     def test_degraded_run_replays_identically(self, resilience_world):
         first = _run(resilience_world, plan="seed=42;source.orbis=fatal")
         second = _run(resilience_world, plan="seed=42;source.orbis=fatal")
-        assert dataset_to_json(first.dataset) == dataset_to_json(
-            second.dataset
-        )
+        assert dataset_to_json(first.dataset) == dataset_to_json(second.dataset)
 
     def test_geolocation_failure_cascades_to_cti(self, resilience_world):
         install_fault_plan(FaultPlan.parse("seed=1;source.geolocation=fatal"))
@@ -465,9 +455,7 @@ class TestGracefulDegradation:
             inputs = PipelineInputs.from_world(resilience_world)
         finally:
             clear_fault_plan()
-        assert inputs.degraded == frozenset(
-            {InputSource.GEOLOCATION, InputSource.CTI}
-        )
+        assert inputs.degraded == frozenset({InputSource.GEOLOCATION, InputSource.CTI})
         assert inputs.degraded_sites == ("source.geolocation",)
         result = StateOwnershipPipeline(inputs).run()
         assert result.dataset.degraded_sources == ("C", "G")
@@ -494,9 +482,7 @@ class TestGracefulDegradation:
         assert loaded.degraded_sources == ("O",)
         assert loaded.is_degraded
 
-    def test_provenance_survives_sqlite_round_trip(
-        self, resilience_world, tmp_path
-    ):
+    def test_provenance_survives_sqlite_round_trip(self, resilience_world, tmp_path):
         result = _run(resilience_world, plan="seed=42;source.orbis=fatal")
         path = tmp_path / "degraded.db"
         dataset_to_sqlite(result.dataset, path)

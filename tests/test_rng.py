@@ -47,6 +47,5 @@ class TestFactory:
         child = parent.spawn("sub")
         assert child.master_seed != parent.master_seed
         assert (
-            child.stream("a").random()
-            != SeedSequenceFactory(7).stream("a").random()
+            child.stream("a").random() != SeedSequenceFactory(7).stream("a").random()
         )

@@ -9,7 +9,7 @@ import pickle
 
 import pytest
 
-from repro.cli import _make_world, _world_cache_key
+from repro.cli import _make_world
 from repro.config import ParallelConfig, WorldConfig
 from repro.errors import ConfigError, invalid_jobs
 from repro.obs import get_metrics
@@ -21,6 +21,7 @@ from repro.parallel import (
 )
 from repro.resilience import clear_fault_plan
 from repro.world.generator import World, WorldGenerator
+from repro.world.worldcache import world_cache_key as _world_cache_key
 
 
 def _add(state, item):
@@ -136,16 +137,12 @@ class TestStateShipping:
         for backend, jobs in (("serial", 1), ("thread", 2)):
             with ExecutionContext(jobs=jobs, backend=backend) as context:
                 handle = context.register({"base": 5})
-                assert context.map_ordered(
-                    _lookup, [1], state=handle
-                ) == [6]
+                assert context.map_ordered(_lookup, [1], state=handle) == [6]
 
     def test_unknown_handle_is_a_config_error(self):
         with ExecutionContext(jobs=1, backend="serial") as context:
             with pytest.raises(ConfigError):
-                context.map_ordered(
-                    _lookup, [1], state=StateHandle("state#999")
-                )
+                context.map_ordered(_lookup, [1], state=StateHandle("state#999"))
 
 
 # -- tentpole: crash-requeue must survive pool reuse ------------------------
@@ -214,13 +211,9 @@ class TestParallelWorldGeneration:
         return _world_snapshot(WorldGenerator(WorldConfig.tiny()).generate())
 
     @pytest.mark.parametrize("backend", ["thread", "process"])
-    def test_parallel_worlds_match_serial_exactly(
-        self, backend, serial_snapshot
-    ):
+    def test_parallel_worlds_match_serial_exactly(self, backend, serial_snapshot):
         with ExecutionContext(jobs=2, backend=backend) as context:
-            world = WorldGenerator(
-                WorldConfig.tiny(), context=context
-            ).generate()
+            world = WorldGenerator(WorldConfig.tiny(), context=context).generate()
         snapshot = _world_snapshot(world)
         for key, expected in serial_snapshot.items():
             assert snapshot[key] == expected, f"{backend} mismatch in {key}"
@@ -260,9 +253,7 @@ class TestWorldBlobCache:
         key_other = _world_cache_key(WorldConfig(seed=2, scale=0.12))
         assert cache.get_blob("world", key_other) is None
         assert (
-            cache.get_blob(
-                "world", _world_cache_key(WorldConfig(seed=1, scale=0.12))
-            )
+            cache.get_blob("world", _world_cache_key(WorldConfig(seed=1, scale=0.12)))
             is not None
         )
 
@@ -306,9 +297,7 @@ class TestContentDigest:
         assert rebuilt.content_digest() == tiny_world.content_digest()
 
     def test_digest_survives_pickling(self, tiny_world):
-        clone = pickle.loads(
-            pickle.dumps(tiny_world, protocol=pickle.HIGHEST_PROTOCOL)
-        )
+        clone = pickle.loads(pickle.dumps(tiny_world, protocol=pickle.HIGHEST_PROTOCOL))
         assert clone.content_digest() == tiny_world.content_digest()
 
     def test_digest_tracks_world_content(self, tiny_world):

@@ -122,9 +122,7 @@ class TestSnapshotIndex:
         payload = snapshot.current.country_footprint("se")
         assert payload["cc"] == "SE"
         assert not payload["domestic"]
-        assert [o["org_id"] for o in payload["foreign_operators_present"]] == [
-            "O2"
-        ]
+        assert [o["org_id"] for o in payload["foreign_operators_present"]] == ["O2"]
         assert payload["state_owned_asns"] == [200]
         assert payload["top_cti_gateway"] == {"asn": 200, "score": 0.30}
         norway = snapshot.current.country_footprint("NO")
@@ -139,9 +137,7 @@ class TestSnapshotIndex:
     def test_digest_matches_file_bytes(self, snapshot, tmp_path):
         import hashlib
 
-        expected = hashlib.sha256(
-            (tmp_path / "dataset.json").read_bytes()
-        ).hexdigest()
+        expected = hashlib.sha256((tmp_path / "dataset.json").read_bytes()).hexdigest()
         assert snapshot.current.stamp.digest == expected
 
     def test_parent_cycle_terminates(self, tmp_path):
@@ -255,9 +251,7 @@ class TestHotSwap:
         assert snapshot.poll() is False
         assert snapshot.swaps == 0
 
-    def test_reloader_picks_up_swap_without_explicit_poll(
-        self, server, snapshot
-    ):
+    def test_reloader_picks_up_swap_without_explicit_poll(self, server, snapshot):
         import time
 
         dump_json(dataset_v2(), snapshot.path)
@@ -269,9 +263,7 @@ class TestHotSwap:
         else:
             pytest.fail("reload poller never swapped the snapshot")
 
-    def test_concurrent_queries_never_see_mixed_snapshots(
-        self, server, snapshot
-    ):
+    def test_concurrent_queries_never_see_mixed_snapshots(self, server, snapshot):
         """Hammer the API from several threads while snapshots flip."""
         digests = {}
         for build in (dataset_v1, dataset_v2):
@@ -279,15 +271,12 @@ class TestHotSwap:
             snapshot.poll()
             digests[snapshot.current.stamp.digest] = build
         expected_counts = {
-            digest: len(build().all_asns())
-            for digest, build in digests.items()
+            digest: len(build().all_asns()) for digest, build in digests.items()
         }
         errors = []
 
         def client():
-            conn = http.client.HTTPConnection(
-                "127.0.0.1", server.port, timeout=10
-            )
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
             try:
                 for _ in range(150):
                     conn.request("GET", "/country/NO")
@@ -306,8 +295,7 @@ class TestHotSwap:
                         # The asn count must match the digest's dataset:
                         # a mixed response would pair them inconsistently.
                         errors.append(
-                            f"mixed snapshot: {meta['snapshot']} "
-                            f"-> {meta['asns']}"
+                            f"mixed snapshot: {meta['snapshot']} " f"-> {meta['asns']}"
                         )
             except Exception as exc:  # noqa: BLE001 - collected for assert
                 errors.append(repr(exc))

@@ -40,9 +40,7 @@ class _Columns:
 
 
 def _columns(n=100):
-    return _Columns(
-        "t", array("q", range(n)), array("i", [v * 3 for v in range(n)])
-    )
+    return _Columns("t", array("q", range(n)), array("i", [v * 3 for v in range(n)]))
 
 
 def _diamond_collector():

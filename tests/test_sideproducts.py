@@ -73,7 +73,5 @@ class TestExpertReview:
         from repro.core import validate_against_world
 
         report = validate_against_world(pipeline_result, small_world)
-        expected = len(report.asn_false_positives) + len(
-            report.asn_false_negatives
-        )
+        expected = len(report.asn_false_positives) + len(report.asn_false_negatives)
         assert total_findings == expected

@@ -33,19 +33,14 @@ def corpus(tiny_world, freedomhouse):
 
 
 def truth_names(world):
-    return {
-        normalize_name(gto.operator.name) for gto in world.ground_truth()
-    } | {
-        normalize_name(gto.operator.display_name)
-        for gto in world.ground_truth()
+    return {normalize_name(gto.operator.name) for gto in world.ground_truth()} | {
+        normalize_name(gto.operator.display_name) for gto in world.ground_truth()
     }
 
 
 class TestOrbis:
     def test_has_false_negatives(self, tiny_world, orbis):
-        labeled = {
-            normalize_name(r.company_name) for r in orbis.state_owned_telcos()
-        }
+        labeled = {normalize_name(r.company_name) for r in orbis.state_owned_telcos()}
         missed = [
             gto
             for gto in tiny_world.ground_truth()
@@ -55,9 +50,7 @@ class TestOrbis:
 
     def test_false_negatives_skew_developing(self, tiny_world, orbis):
         tier = {c.cc: c.dev_tier for c in tiny_world.countries}
-        labeled = {
-            normalize_name(r.company_name) for r in orbis.state_owned_telcos()
-        }
+        labeled = {normalize_name(r.company_name) for r in orbis.state_owned_telcos()}
         stats = {0: [0, 0], 2: [0, 0]}  # tier -> [missed, total]
         for gto in tiny_world.ground_truth():
             t = tier.get(gto.operator.cc)
@@ -84,7 +77,9 @@ class TestOrbis:
 
     def test_sectors_follow_roles(self, tiny_world, orbis):
         valid = {
-            "Telecommunications", "Education", "Public Administration",
+            "Telecommunications",
+            "Education",
+            "Public Administration",
             "Information Services",
         }
         sectors = {r.sector for r in orbis}
@@ -151,8 +146,7 @@ class TestCorpus:
         if docs:  # document existence is probabilistic
             top = docs[0]
             assert any(
-                name_similarity(gto.operator.name, s) >= 0.72
-                for s in top.subject_names
+                name_similarity(gto.operator.name, s) >= 0.72 for s in top.subject_names
             )
 
     def test_claims_reflect_truth(self, tiny_world, corpus):

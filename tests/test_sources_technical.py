@@ -56,9 +56,7 @@ class TestGeolocation:
     def test_determinism(self, tiny_world, p2a):
         geo = GeolocationService.from_world(tiny_world)
         prefix, origin = next(iter(p2a))
-        assert geo.locate_prefix(prefix, origin) == geo.locate_prefix(
-            prefix, origin
-        )
+        assert geo.locate_prefix(prefix, origin) == geo.locate_prefix(prefix, origin)
 
     def test_mostly_correct(self, tiny_world, p2a):
         geo = GeolocationService.from_world(tiny_world)
@@ -119,9 +117,7 @@ class TestEyeballs:
     def test_coverage_below_one(self, tiny_world):
         noise = SourceNoiseConfig(eyeball_coverage=0.5)
         eyeballs = EyeballDataset.from_world(tiny_world, noise)
-        candidates = sum(
-            1 for r in tiny_world.asn_records.values() if r.eyeballs > 0
-        )
+        candidates = sum(1 for r in tiny_world.asn_records.values() if r.eyeballs > 0)
         assert len(eyeballs) < candidates
 
 

@@ -16,8 +16,11 @@ class TestValidationReport:
     def test_metrics_bounded(self, pipeline_result, small_world):
         report = validate_against_world(pipeline_result, small_world)
         for value in (
-            report.asn_precision, report.asn_recall, report.asn_f1,
-            report.company_precision, report.company_recall,
+            report.asn_precision,
+            report.asn_recall,
+            report.asn_f1,
+            report.company_precision,
+            report.company_recall,
         ):
             assert 0.0 <= value <= 1.0
 
