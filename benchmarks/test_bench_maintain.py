@@ -82,7 +82,10 @@ def test_bench_maintain_loop(tmp_path):
 
     # The acceptance bar: a warm snapshot that dirtied at most 5% of the
     # origins the baseline walked must beat the cold recompute of the
-    # same month by at least 5x.
+    # same month by at least 3x.  (Was 5x when cold CTI walked object
+    # trees; the flat propagation kernel cut the cold baseline ~3x while
+    # the warm path — already skipping CTI — kept its absolute time, so
+    # the ratio bar moved with the denominator it divides by.)
     baseline_walks = warm.snapshots[0].provenance.get("dirty_origins") or 0
     quiet = [
         i
@@ -92,7 +95,7 @@ def test_bench_maintain_loop(tmp_path):
     ]
     if quiet:
         best = max(cold_walls[i] / max(warm_walls[i], 1e-9) for i in quiet)
-        assert best >= 5.0, f"best warm speedup {best:.1f}x < 5x"
+        assert best >= 3.0, f"best warm speedup {best:.1f}x < 3x"
 
     append_record(
         "maintain",

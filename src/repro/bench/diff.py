@@ -205,6 +205,9 @@ class MetricTrend:
     benchmark: str
     metric: str
     values: Tuple[float, ...]
+    #: The comparable group's context as a canonical JSON string ("{}" when
+    #: the records carry none) — series are never mixed across contexts.
+    context: str = "{}"
 
     @property
     def first(self) -> float:
@@ -219,6 +222,30 @@ class MetricTrend:
         if _higher_is_better(self.metric):
             return max(self.values)
         return min(self.values)
+
+    @property
+    def worst(self) -> float:
+        if _higher_is_better(self.metric):
+            return min(self.values)
+        return max(self.values)
+
+    @property
+    def slope(self) -> float:
+        """Least-squares slope in metric units per recorded point.
+
+        The x axis is the record index (the trajectory is append-only, so
+        index order IS time order); a negative slope on a wall-time metric
+        means the benchmark is getting faster across the whole history,
+        which single last-two deltas cannot see.
+        """
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        mean_x = (n - 1) / 2
+        mean_y = sum(self.values) / n
+        num = sum((i - mean_x) * (v - mean_y) for i, v in enumerate(self.values))
+        den = sum((i - mean_x) ** 2 for i in range(n))
+        return num / den
 
     @property
     def overall_change(self) -> float:
@@ -245,7 +272,7 @@ def trend_file(path: Path) -> List[MetricTrend]:
     for record in _parse_lines(path):
         groups.setdefault(_pair_key(record), []).append(record)
     trends: List[MetricTrend] = []
-    for (benchmark, _), records in sorted(groups.items()):
+    for (benchmark, context_key), records in sorted(groups.items()):
         series: Dict[str, List[float]] = {}
         for record in records:
             for metric, value in _tracked_metrics(record).items():
@@ -260,6 +287,7 @@ def trend_file(path: Path) -> List[MetricTrend]:
                     benchmark=benchmark,
                     metric=metric,
                     values=tuple(values),
+                    context=context_key,
                 )
             )
     return trends
@@ -283,11 +311,14 @@ def format_trend_report(trends: List[MetricTrend]) -> str:
     lines = []
     for trend in trends:
         direction = "↑" if _higher_is_better(trend.metric) else "↓"
+        context = "" if trend.context == "{}" else f"  {trend.context}"
         lines.append(
-            f"{trend.trajectory}  {trend.benchmark}  {trend.metric}"
+            f"{trend.trajectory}  {trend.benchmark}{context}  {trend.metric}"
             f"[{direction}]: "
             f"first {trend.first:g}  last {trend.last:g}  "
-            f"best {trend.best:g}  ({trend.overall_change:+.1%})  "
+            f"best {trend.best:g}  worst {trend.worst:g}  "
+            f"slope {trend.slope:+g}/pt over {len(trend.values)} pts  "
+            f"({trend.overall_change:+.1%})  "
             f"{trend.sparkline()}"
         )
     lines.append(

@@ -310,8 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_diff.add_argument(
         "--trend",
         action="store_true",
-        help="report full multi-point trajectories (first/last/best + "
-        "sparkline) instead of gating the last pair",
+        help="report full multi-point trajectories (first/last/best/worst, "
+        "slope, sparkline) instead of gating the last pair",
+    )
+    p_bench_diff.add_argument(
+        "--pattern",
+        default=None,
+        metavar="GLOB",
+        help="trajectory file glob relative to --dir "
+        "(default: BENCH_*.json); lets a CI job gate one suite",
     )
     return parser
 
@@ -371,6 +378,7 @@ _SUMMARY_COUNTERS = (
     "runtime.state_bytes",
     "runtime.shm_bytes",
     "runtime.shm_segments",
+    "runtime.shm_adopted",
     "runtime.attach",
     "cti.country_shards",
     "cti.terms_released",
@@ -742,9 +750,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"error: not a directory: {args.dir}", file=sys.stderr)
             return 2
         if args.trend:
-            exit_code, report = run_trend(root)
+            exit_code, report = run_trend(root, pattern=args.pattern)
         else:
-            exit_code, report = run_diff(root, threshold=threshold)
+            exit_code, report = run_diff(root, threshold=threshold, pattern=args.pattern)
         print(report)
         return exit_code
 

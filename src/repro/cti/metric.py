@@ -288,37 +288,75 @@ class CTIComputer:
     ) -> None:
         """Score many countries in bounded memory, sharded by country group.
 
+        Drains :meth:`stream_country_scores` with retention on: every
+        yielded score map also lands in the in-memory cache, exactly like
+        the historical eager pass.
+        """
+        for _ in self.stream_country_scores(ccs, context=context, shard_size=shard_size):
+            pass
+
+    def stream_country_scores(
+        self,
+        ccs: Iterable[str],
+        context=None,
+        shard_size: Optional[int] = None,
+        retain: bool = True,
+    ):
+        """Yield ``(cc, scores)`` per country, sharded, in input order.
+
         Splits ``ccs`` into shards of ``shard_size`` (default
         ``REPRO_CTI_SHARD``, falling back to 16), precomputes each shard's
-        origin terms over ``context``, scores the shard, then releases the
-        terms no remaining shard needs.  Peak term memory is bounded by
-        the widest shard + carryover instead of the whole country list,
-        and — because per-country scores depend only on that country's
-        column span and its origins' terms — the scores are bit-identical
-        to an unsharded pass regardless of shard size or backend.
+        origin terms over ``context``, scores and **yields** the shard's
+        countries one at a time, then releases the terms no remaining
+        shard needs.  Peak term memory is bounded by the widest shard +
+        carryover instead of the whole country list, and — because
+        per-country scores depend only on that country's column span and
+        its origins' terms — the scores are bit-identical to an unsharded
+        pass regardless of shard size or backend.
+
+        With ``retain=False`` each score map is dropped from the cache
+        right after it is yielded, so a consumer that reduces per country
+        (ranking, export, aggregation) never holds more than one shard of
+        scores — the coordinator-side merge streams instead of
+        accumulating.  Countries already cached are yielded from cache
+        (and kept, regardless of ``retain``).
         """
         if shard_size is None:
             shard_size = int(
                 os.environ.get("REPRO_CTI_SHARD", str(_DEFAULT_COUNTRY_SHARD))
             )
         shard_size = max(1, shard_size)
-        pending = [cc for cc in ccs if cc not in self._cti_cache]
-        shards = [
-            pending[i : i + shard_size] for i in range(0, len(pending), shard_size)
-        ]
+        ccs = list(ccs)
+        pending = {cc for cc in ccs if cc not in self._cti_cache}
+        order = [cc for cc in ccs if cc in pending]
+        shards = [order[i : i + shard_size] for i in range(0, len(order), shard_size)]
         if len(shards) > 1:
             get_metrics().incr("cti.country_shards", len(shards))
-        for position, shard in enumerate(shards):
-            self.precompute(shard, context=context)
-            for cc in shard:
-                self.country_cti(cc)
-            remaining = shards[position + 1 :]
-            if remaining:
-                keep: Set[int] = set()
-                for later in remaining:
-                    for cc in later:
-                        keep.update(self._scored_origins(cc))
-                self.release_terms(keep=keep)
+        # Shards are computed on demand as the consumer advances, so the
+        # in-flight buffer never exceeds one shard of score maps.
+        ready: Dict[str, Dict[int, float]] = {}
+        processed = 0
+        for cc in ccs:
+            if cc not in pending:
+                yield cc, self._cti_cache.get(cc, {})
+                continue
+            while cc not in ready:
+                shard = shards[processed]
+                processed += 1
+                self.precompute(shard, context=context)
+                for shard_cc in shard:
+                    scores = self.country_cti(shard_cc)
+                    if not retain:
+                        self._cti_cache.pop(shard_cc, None)
+                    ready[shard_cc] = scores
+                remaining = shards[processed:]
+                if remaining:
+                    keep: Set[int] = set()
+                    for later in remaining:
+                        for later_cc in later:
+                            keep.update(self._scored_origins(later_cc))
+                    self.release_terms(keep=keep)
+            yield cc, ready.pop(cc)
 
     # -- persistent-cache interchange --------------------------------------
     def preload_terms(self, terms: Mapping[int, Tuple[TransitTerm, ...]]) -> None:

@@ -48,15 +48,17 @@ def select_cti_candidates(
     scoring replays it — results are bit-identical to the serial path.
     The fan-out is sharded by country group (``REPRO_CTI_SHARD``): each
     shard precomputes, scores, and releases the transit terms no later
-    shard needs, so term memory stays bounded at internet scale.
+    shard needs, so term memory stays bounded at internet scale.  Scores
+    stream per country (:meth:`~repro.cti.metric.CTIComputer.
+    stream_country_scores`) and are ranked as they arrive, so selection
+    never waits on — or re-reads — the full score set.
     """
     eligible = sorted(set(eligible_countries))
-    cti.score_countries(eligible, context=context)
     provenance: Dict[int, List[Tuple[str, int, float]]] = {}
     selected: Set[int] = set()
     applied: List[str] = []
-    for cc in eligible:
-        ranked = cti.top_influencers(cc, k=top_k)
+    for cc, scores in cti.stream_country_scores(eligible, context=context):
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))[:top_k]
         kept = [(asn, score) for asn, score in ranked if score >= min_score]
         if not kept:
             continue

@@ -50,6 +50,20 @@ _RIR_BLOCKS = {
     "AFRINIC": [(36864, 37887), (327680, 347679)],
 }
 
+#: Overflow 32-bit blocks, drawn only after a RIR's primary pool empties.
+#: They tile the gaps between the primary 32-bit blocks, so `rir_of` stays
+#: unambiguous.  Keeping them out of the primary pools preserves the exact
+#: shuffle (and therefore every generated world) at scales that never
+#: exhaust a pool — only internet-scale worlds (scale ~30, ~68k ASes)
+#: reach into these.
+_RIR_OVERFLOW_BLOCKS = {
+    "ARIN": [(399261, 459260)],
+    "RIPE": [(210332, 262143)],
+    "APNIC": [(141626, 196607)],
+    "LACNIC": [(273821, 327679)],
+    "AFRINIC": [(347680, 393215)],
+}
+
 
 class ASNAllocator:
     """Deterministically allocate AS numbers from per-RIR ranges.
@@ -65,6 +79,7 @@ class ASNAllocator:
         self._cursors = {rir: 0 for rir in _RIR_BLOCKS}
         # Pre-shuffle candidate numbers per RIR so allocation is O(1) amortized.
         self._pools = {rir: self._build_pool(rir) for rir in _RIR_BLOCKS}
+        self._spilled: Set[str] = set()
 
     def _build_pool(self, rir: str) -> List[int]:
         pool: List[int] = []
@@ -77,6 +92,26 @@ class ASNAllocator:
         self._rng.shuffle(pool)
         return pool
 
+    def _spill(self, rir: str) -> bool:
+        """Extend ``rir``'s pool with its overflow block (once).
+
+        Shuffled with the allocator RNG at the moment of exhaustion — the
+        RNG state there is a pure function of the allocation history, so
+        spilled worlds are exactly as reproducible as unspilled ones.
+        """
+        if rir in self._spilled:
+            return False
+        self._spilled.add(rir)
+        overflow: List[int] = []
+        for low, high in _RIR_OVERFLOW_BLOCKS.get(rir, ()):
+            overflow.extend(range(low, high + 1))
+        overflow = [asn for asn in overflow if is_valid_asn(asn)]
+        if not overflow:
+            return False
+        self._rng.shuffle(overflow)
+        self._pools[rir].extend(overflow)
+        return True
+
     @property
     def allocated(self) -> Set[int]:
         """The set of ASNs handed out so far."""
@@ -88,14 +123,17 @@ class ASNAllocator:
             raise ConfigError(f"unknown RIR {rir!r}")
         pool = self._pools[rir]
         cursor = self._cursors[rir]
-        while cursor < len(pool):
-            candidate = pool[cursor]
-            cursor += 1
-            if candidate not in self._allocated:
+        while True:
+            while cursor < len(pool):
+                candidate = pool[cursor]
+                cursor += 1
+                if candidate not in self._allocated:
+                    self._cursors[rir] = cursor
+                    self._allocated.add(candidate)
+                    return candidate
+            if not self._spill(rir):
                 self._cursors[rir] = cursor
-                self._allocated.add(candidate)
-                return candidate
-        raise ConfigError(f"RIR {rir!r} exhausted its ASN pool")
+                raise ConfigError(f"RIR {rir!r} exhausted its ASN pool")
 
     def allocate_many(self, rir: str, count: int) -> List[int]:
         """Allocate ``count`` ASNs from ``rir``."""
@@ -104,6 +142,9 @@ class ASNAllocator:
     def rir_of(self, asn: int) -> Optional[str]:
         """Return the RIR whose block contains ``asn``, if any."""
         for rir, blocks in _RIR_BLOCKS.items():
+            if any(low <= asn <= high for low, high in blocks):
+                return rir
+        for rir, blocks in _RIR_OVERFLOW_BLOCKS.items():
             if any(low <= asn <= high for low, high in blocks):
                 return rir
         return None

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.net.topology import ASGraph
@@ -119,12 +119,31 @@ class RoutingTree:
 def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
     """Compute the Gao-Rexford routing tree toward ``origin``.
 
+    Delegates to the flat-array :class:`~repro.net.propagation.
+    PropagationKernel` (CSR adjacency pre-sorted by ASN, bytearray result
+    planes, per-hop frontier buckets), which makes the reference decisions
+    of :func:`_reference_propagate_routes` — same phases, same iteration
+    order, same tie-breaks — without per-visit sorting.  Building the
+    kernel costs one adjacency sort; callers computing trees for many
+    origins over one graph should hold a :class:`RoutingTreeCache`, which
+    reuses a single kernel across origins.
+    """
+    from repro.net.propagation import PropagationKernel
+
+    return PropagationKernel(graph).propagate(origin)
+
+
+def _reference_propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
+    """The original object/dict propagation, retained as the kernel oracle.
+
     Runs the classic three-phase breadth-first propagation: customer routes
     bubble up through providers, then spread one hop across peering edges,
     then provider routes sink down through customers.  Each phase processes
     nodes in increasing path length so that the first route installed at a
     node within a phase is its shortest; ties are broken on lowest next-hop
-    ASN by pre-sorting adjacency in ASN order.
+    ASN by pre-sorting adjacency in ASN order.  Adjacency rows are sorted
+    once up front (they used to be re-sorted at every visit — pure waste,
+    since sorting is deterministic and the graph is fixed for the call).
     """
     if origin not in graph:
         raise TopologyError(f"origin AS{origin} not in graph")
@@ -138,8 +157,12 @@ def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
     dist[origin_idx] = 0
     route_class[origin_idx] = int(RouteClass.ORIGIN)
 
-    def sorted_by_asn(indices: Iterable[int]) -> List[int]:
-        return sorted(indices, key=graph.asn_at)
+    # Hoisted adjacency-class resolution: one ASN-order sort per row, not
+    # one per visit.  Identical sort keys, so the output is bit-identical.
+    asn_at = graph.asn_at
+    sorted_providers = [sorted(graph.providers[i], key=asn_at) for i in range(n)]
+    sorted_customers = [sorted(graph.customers[i], key=asn_at) for i in range(n)]
+    sorted_peers = [sorted(graph.peers[i], key=asn_at) for i in range(n)]
 
     # Phase 1: customer routes climb provider edges (valley-free "uphill").
     # BFS by hop count; a node adopts the first (shortest, lowest-ASN) offer.
@@ -149,7 +172,7 @@ def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
         hop += 1
         next_frontier: List[int] = []
         for node in frontier:
-            for provider in sorted_by_asn(graph.providers[node]):
+            for provider in sorted_providers[node]:
                 if dist[provider] == _UNREACHED:
                     dist[provider] = hop
                     route_class[provider] = int(RouteClass.CUSTOMER)
@@ -170,7 +193,7 @@ def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
     )
     peer_updates: List[Tuple[int, int, int]] = []
     for node in exporters:
-        for peer in sorted_by_asn(graph.peers[node]):
+        for peer in sorted_peers[node]:
             if dist[peer] == _UNREACHED:
                 peer_updates.append((peer, node, dist[node] + 1))
     for peer, via, d in peer_updates:
@@ -191,7 +214,7 @@ def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
     )
     while queue:
         node = queue.popleft()
-        for customer in sorted_by_asn(graph.customers[node]):
+        for customer in sorted_customers[node]:
             if dist[customer] == _UNREACHED:
                 dist[customer] = dist[node] + 1
                 route_class[customer] = int(RouteClass.PROVIDER)
@@ -202,17 +225,29 @@ def propagate_routes(graph: ASGraph, origin: int) -> RoutingTree:
 
 
 class RoutingTreeCache:
-    """Lazy per-origin cache of routing trees over a fixed graph."""
+    """Lazy per-origin cache of routing trees over a fixed graph.
+
+    Owns one :class:`~repro.net.propagation.PropagationKernel` (built on
+    first use) so the CSR image and frontier scratch are shared by every
+    origin routed through this cache.
+    """
 
     def __init__(self, graph: ASGraph) -> None:
         self._graph = graph
         self._trees: Dict[int, RoutingTree] = {}
+        self._kernel = None
 
     def tree(self, origin: int) -> RoutingTree:
         """Return (computing if needed) the routing tree toward ``origin``."""
-        if origin not in self._trees:
-            self._trees[origin] = propagate_routes(self._graph, origin)
-        return self._trees[origin]
+        tree = self._trees.get(origin)
+        if tree is None:
+            if self._kernel is None:
+                from repro.net.propagation import PropagationKernel
+
+                self._kernel = PropagationKernel(self._graph)
+            tree = self._kernel.propagate(origin)
+            self._trees[origin] = tree
+        return tree
 
     def __len__(self) -> int:
         return len(self._trees)

@@ -145,12 +145,35 @@ def propagate_policy_routes(
 ) -> RoutingTree:
     """Compute the routing tree toward ``origin`` under ``policy``.
 
-    With a neutral (or absent) policy this makes exactly the decisions of
-    :func:`repro.net.bgp.propagate_routes` — same phases, same iteration
-    order, same tie-breaks — which the randomized equivalence suite in
-    ``tests/test_routing.py`` enforces.  ``graph`` may be a mutable
+    Delegates to the flat-array :class:`~repro.net.propagation.
+    PropagationKernel` (down-edges pruned from the CSR image at build
+    time, hijacks seeded at distance zero, leak relaxation over the flat
+    view), which makes the decisions of
+    :func:`_reference_propagate_policy_routes` bit-for-bit; the randomized
+    equivalence suite in ``tests/test_routing.py`` holds the kernel to both
+    oracles under every policy feature.  ``graph`` may be a mutable
     :class:`~repro.net.topology.ASGraph` or a read-only
-    :class:`~repro.net.flatgraph.FlatASGraph` view.
+    :class:`~repro.net.flatgraph.FlatASGraph` view.  Callers routing many
+    origins under one policy should hold a :class:`PolicyRoutingCache`,
+    which reuses a single kernel across origins.
+    """
+    from repro.net.propagation import PropagationKernel
+
+    return PropagationKernel(graph, policy).propagate(origin)
+
+
+def _reference_propagate_policy_routes(
+    graph,
+    origin: int,
+    policy: Optional[RoutingPolicy] = None,
+) -> RoutingTree:
+    """The original per-edge policy propagation, retained as the oracle.
+
+    With a neutral (or absent) policy this makes exactly the decisions of
+    :func:`repro.net.bgp._reference_propagate_routes` — same phases, same
+    iteration order, same tie-breaks.  Adjacency rows are ASN-sorted once
+    up front (hoisted out of the per-visit inner loops; identical sort
+    keys, bit-identical output).
     """
     policy = NEUTRAL_POLICY if policy is None else policy
     if origin not in graph:
@@ -176,17 +199,21 @@ def propagate_policy_routes(
     def edge_down(a: int, b: int) -> bool:
         return bool(down) and _normalize_edge(a, b) in down
 
-    def sorted_by_asn(indices: Iterable[int]) -> List[int]:
-        return sorted(indices, key=graph.asn_at)
+    # Hoisted adjacency-class resolution: one ASN-order sort per row, not
+    # one per visit (identical sort keys, so output is bit-identical).
+    asn_at = graph.asn_at
+    sorted_providers = [sorted(graph.providers[i], key=asn_at) for i in range(n)]
+    sorted_customers = [sorted(graph.customers[i], key=asn_at) for i in range(n)]
+    sorted_peers = [sorted(graph.peers[i], key=asn_at) for i in range(n)]
 
     # Phase 1: customer routes climb provider edges (valley-free "uphill").
-    frontier = sorted_by_asn(seeds)
+    frontier = sorted(seeds, key=asn_at)
     hop = 0
     while frontier:
         hop += 1
         next_frontier: List[int] = []
         for node in frontier:
-            for provider in sorted_by_asn(graph.providers[node]):
+            for provider in sorted_providers[node]:
                 if edge_down(node, provider):
                     continue
                 if dist[provider] == _UNREACHED:
@@ -203,7 +230,7 @@ def propagate_policy_routes(
     )
     peer_updates: List[Tuple[int, int, int]] = []
     for node in exporters:
-        for peer in sorted_by_asn(graph.peers[node]):
+        for peer in sorted_peers[node]:
             if edge_down(node, peer):
                 continue
             if dist[peer] == _UNREACHED:
@@ -223,7 +250,7 @@ def propagate_policy_routes(
     )
     while queue:
         node = queue.popleft()
-        for customer in sorted_by_asn(graph.customers[node]):
+        for customer in sorted_customers[node]:
             if edge_down(node, customer):
                 continue
             if dist[customer] == _UNREACHED:
@@ -339,17 +366,22 @@ class PolicyRoutingCache:
         self._graph = graph
         self._policy = policy
         self._trees: Dict[int, RoutingTree] = {}
+        self._kernel = None
 
     @property
     def policy(self) -> RoutingPolicy:
         return self._policy
 
     def tree(self, origin: int) -> RoutingTree:
-        if origin not in self._trees:
-            self._trees[origin] = propagate_policy_routes(
-                self._graph, origin, self._policy
-            )
-        return self._trees[origin]
+        tree = self._trees.get(origin)
+        if tree is None:
+            if self._kernel is None:
+                from repro.net.propagation import PropagationKernel
+
+                self._kernel = PropagationKernel(self._graph, self._policy)
+            tree = self._kernel.propagate(origin)
+            self._trees[origin] = tree
+        return tree
 
     def __len__(self) -> int:
         return len(self._trees)

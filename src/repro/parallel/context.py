@@ -148,12 +148,21 @@ class ExecutionContext:
         state: S = None,
         chunksize: Optional[int] = None,
         label: str = "map",
+        shm_results: bool = False,
     ) -> List[R]:
         """Apply ``fn(state, item)`` to every item; results in input order.
 
         ``state`` may be a raw object or a :class:`StateHandle` from
         :meth:`register`.  On the process backend either way ships the
         object to each worker at most once per run.
+
+        ``shm_results`` opts heavy *results* into the shared-memory return
+        path on the process backend: workers export each shareable result
+        into a segment (:func:`~repro.parallel.shm.export_result`) and only
+        the name card crosses the pipe; the runtime adopts the segments
+        during the ordered merge.  Serial and thread backends return the
+        objects directly (no pickling happens there anyway), and setting
+        ``REPRO_SHM_RESULTS=0`` disables the path globally.
         """
         items = list(items)
         metrics = get_metrics()
@@ -191,8 +200,11 @@ class ExecutionContext:
                 items[start : start + chunksize]
                 for start in range(0, len(items), chunksize)
             ]
+            use_shm = (
+                shm_results and os.environ.get("REPRO_SHM_RESULTS", "1") != "0"
+            )
             return self.runtime.process_map(
-                fn, chunks, self._state_ref(state), site, sp
+                fn, chunks, self._state_ref(state), site, sp, shm_results=use_shm
             )
 
     def _state_ref(self, state):

@@ -98,13 +98,14 @@ class GeolocationService:
 
         Address counts are de-duplicated with the more-specific rule before
         geolocation, matching how CAIDA's prefix2as list is consumed.  The
-        de-duplication reads the table's batch ``a(p, C)`` map — one trie
-        pass for the whole table instead of one subtree walk per prefix.
+        de-duplication reads the table's flat count column (the linear
+        sweep; same values as the trie's batch ``a(p, C)`` map) — the
+        column is in table order, so zipping it with the entry walk visits
+        the same (prefix, usable) pairs the dict lookups produced.
         """
-        uncovered = table.uncovered_address_counts()
+        flat = table.flat_counts()
         result: Dict[Tuple[int, str], int] = {}
-        for prefix, origin in table:
-            usable = uncovered[prefix]
+        for (prefix, origin), usable in zip(table, flat.uncovered):
             if usable == 0:
                 continue
             split = self.locate_prefix(prefix, origin)

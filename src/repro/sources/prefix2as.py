@@ -12,9 +12,25 @@ from array import array
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SourceError
-from repro.net.prefix import Prefix, PrefixTrie
+from repro.net.prefix import (
+    Prefix,
+    PrefixTrie,
+    sweep_cut_points,
+    sweep_uncovered_counts,
+)
 
 __all__ = ["FlatPrefixCounts", "Prefix2ASTable"]
+
+
+def _sweep_span_task(state, span: Tuple[int, int]) -> bytes:
+    """Sweep one independent table range; returns raw ``'q'`` count bytes.
+
+    Bytes (not arrays) cross the process boundary so the coordinator's
+    merge is a straight ``frombytes`` concatenation in span order.
+    """
+    bases, lengths = state
+    start, stop = span
+    return sweep_uncovered_counts(bases, lengths, start, stop).tobytes()
 
 
 class FlatPrefixCounts:
@@ -68,11 +84,22 @@ class Prefix2ASTable:
         if not entries:
             raise SourceError("prefix2as table cannot be empty")
         self._entries = sorted(entries, key=lambda pair: (pair[0].base, pair[0].length))
-        self._trie: PrefixTrie[int] = PrefixTrie(self._entries)
         self._by_origin: Dict[int, List[Prefix]] = {}
         for prefix, origin in self._entries:
             self._by_origin.setdefault(origin, []).append(prefix)
         self._flat: Optional[FlatPrefixCounts] = None
+        # The trie only serves point queries (longest match, per-prefix
+        # uncovered counts); the pipeline's batch accounting runs on the
+        # linear sweep over the sorted columns instead, so the trie build —
+        # formerly the dominant serial fraction of table construction at
+        # scale — is deferred until a point query actually needs it.
+        self._trie_obj: Optional[PrefixTrie[int]] = None
+
+    @property
+    def _trie(self) -> PrefixTrie[int]:
+        if self._trie_obj is None:
+            self._trie_obj = PrefixTrie(self._entries)
+        return self._trie_obj
 
     @classmethod
     def from_world(cls, world) -> "Prefix2ASTable":
@@ -113,33 +140,74 @@ class Prefix2ASTable:
         (memoized; the table is immutable).  Treat as read-only."""
         return self._trie.uncovered_address_counts()
 
-    def flat_counts(self) -> FlatPrefixCounts:
+    def flat_counts(self, context=None) -> FlatPrefixCounts:
         """The SoA prefix/count view (memoized; the table is immutable).
 
-        One trie pass sizes every prefix, then the columns are filled in
-        entry order.  The view is what the CTI index build iterates — and
-        being shm-shareable, what a sharded index build would ship.
+        The columns are filled in entry order and the usable counts come
+        from the linear stack sweep (:func:`~repro.net.prefix.
+        sweep_uncovered_counts`) over the already-sorted (base, length)
+        columns — no trie.  With an :class:`~repro.parallel.context.
+        ExecutionContext`, the table is split at covering-gap cut points
+        (per address block, i.e. per RIR in generated worlds) and the
+        independent ranges sweep in parallel; serial and parallel builds
+        are byte-identical because each range's counts depend only on its
+        own rows.  The view is what the CTI index build iterates — and
+        being shm-shareable, what a sharded index build ships.
         """
         if self._flat is None:
-            uncovered = self.uncovered_address_counts()
             bases = array("I")
             lengths = array("B")
             origins = array("q")
-            counts = array("q")
             for prefix, origin in self._entries:
                 bases.append(prefix.base)
                 lengths.append(prefix.length)
                 origins.append(origin)
-                counts.append(uncovered[prefix])
+            counts = self._sweep_counts(bases, lengths, context)
             self._flat = FlatPrefixCounts(bases, lengths, origins, counts)
         return self._flat
 
+    @staticmethod
+    def _sweep_counts(bases: array, lengths: array, context) -> array:
+        if context is None or getattr(context, "backend", None) in (None, "serial"):
+            return sweep_uncovered_counts(bases, lengths)
+        jobs = max(getattr(context, "jobs", 1), 1)
+        bounds = sweep_cut_points(bases, lengths, jobs * 4)
+        spans = list(zip(bounds, bounds[1:]))
+        if len(spans) <= 1:
+            return sweep_uncovered_counts(bases, lengths)
+        chunks = context.map_ordered(
+            _sweep_span_task,
+            spans,
+            state=(bases, lengths),
+            chunksize=1,
+            label="prefix.sweep",
+        )
+        counts = array("q")
+        for chunk in chunks:
+            counts.frombytes(chunk)
+        return counts
+
+    def _reference_flat_counts(self) -> FlatPrefixCounts:
+        """Trie-built SoA view: the pre-sweep implementation, retained as
+        the equivalence oracle for :meth:`flat_counts`."""
+        uncovered = self.uncovered_address_counts()
+        bases = array("I")
+        lengths = array("B")
+        origins = array("q")
+        counts = array("q")
+        for prefix, origin in self._entries:
+            bases.append(prefix.base)
+            lengths.append(prefix.length)
+            origins.append(origin)
+            counts.append(uncovered[prefix])
+        return FlatPrefixCounts(bases, lengths, origins, counts)
+
     def announced_address_counts(self) -> Dict[int, int]:
         """De-duplicated announced address count per origin AS."""
-        uncovered = self.uncovered_address_counts()
+        flat = self.flat_counts()
         totals: Dict[int, int] = {}
-        for prefix, origin in self._entries:
-            totals[origin] = totals.get(origin, 0) + uncovered[prefix]
+        for origin, count in zip(flat.origins, flat.uncovered):
+            totals[origin] = totals.get(origin, 0) + count
         return totals
 
     def total_announced_addresses(self) -> int:

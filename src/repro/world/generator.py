@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import zlib
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -484,6 +485,10 @@ class _WiringScaffold:
     ops_by_cc: Dict[str, List[_OpWire]]    # per-country, insertion order
 
 
+#: Edge-kind codes for the shared-memory wiring columns.
+_EDGE_KINDS: Tuple[str, ...] = ("c2p", "p2p")
+
+
 @dataclass
 class _CountryWiring:
     """One country's planned edges plus its commit-time export draws."""
@@ -493,6 +498,37 @@ class _CountryWiring:
     gateways: List[int]
     edges: List[Tuple[str, int, int]]      # ("c2p"|"p2p", a, b)
     exports: List[Tuple[int, List[str]]]   # (gateway, neighbor ccs to try)
+
+    # Shareable-result protocol: the edge list — the heavy part of a wiring
+    # plan — crosses the pool pipe as three shared-memory columns (kind
+    # code, endpoint a, endpoint b) instead of a pickled list of tuples;
+    # everything small rides in the meta dict.
+    def __shm_export__(self):
+        kinds = bytes(_EDGE_KINDS.index(kind) for kind, _, _ in self.edges)
+        a_col = array("q", (a for _, a, _ in self.edges))
+        b_col = array("q", (b for _, _, b in self.edges))
+        meta = {
+            "cc": self.cc,
+            "has_operators": self.has_operators,
+            "gateways": list(self.gateways),
+            "exports": [(g, list(ccs)) for g, ccs in self.exports],
+        }
+        return meta, [("B", kinds), ("q", a_col), ("q", b_col)]
+
+    @classmethod
+    def __shm_rebuild__(cls, meta, views):
+        kind_col, a_col, b_col = views
+        edges = [
+            (_EDGE_KINDS[kind], a, b)
+            for kind, a, b in zip(kind_col.tolist(), a_col.tolist(), b_col.tolist())
+        ]
+        return cls(
+            cc=meta["cc"],
+            has_operators=meta["has_operators"],
+            gateways=list(meta["gateways"]),
+            edges=edges,
+            exports=[(g, list(ccs)) for g, ccs in meta["exports"]],
+        )
 
 
 def _plan_asns(
@@ -1184,11 +1220,13 @@ class WorldGenerator:
         )
 
     # -- fan-out helper ------------------------------------------------------
-    def _map(self, fn, items, state, label):
+    def _map(self, fn, items, state, label, shm_results=False):
         """Run the plan function over items: fanned out or inline."""
         if self._context is None:
             return [fn(state, item) for item in items]
-        return self._context.map_ordered(fn, items, state=state, label=label)
+        return self._context.map_ordered(
+            fn, items, state=state, label=label, shm_results=shm_results
+        )
 
     # -- id + name helpers ---------------------------------------------------
     def _next_phase_id(self, cc: str, phase: str) -> str:
@@ -1608,7 +1646,9 @@ class WorldGenerator:
         scaffold = self._wiring_scaffold()
         ccs = [c.cc for c in COUNTRIES]
         with span("world.wiring") as sp:
-            plans = self._map(_plan_country_wiring, ccs, scaffold, "world.wiring")
+            plans = self._map(
+                _plan_country_wiring, ccs, scaffold, "world.wiring", shm_results=True
+            )
             sp.incr("edges", sum(len(wiring.edges) for wiring in plans))
         for wiring in plans:
             self._commit_wiring(wiring, carrier_asns)

@@ -311,3 +311,87 @@ class TestTrends:
         assert main(["bench-diff", "--dir", str(tmp_path), "--trend"]) == 0
         out = capsys.readouterr().out
         assert "first 1" in out and "last 9.9" in out
+
+
+class TestTrendSlopeAndWorst:
+    def test_slope_of_linear_series(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("build", {"wall_s": 10.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 8.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 6.0}, {"scale": 1}),
+            _rec("build", {"wall_s": 4.0}, {"scale": 1}),
+        ])
+        (trend,) = trend_file(path)
+        assert trend.slope == pytest.approx(-2.0)
+        assert trend.worst == 10.0
+        assert trend.best == 4.0
+
+    def test_slope_of_noisy_series(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("b", {"qps": 100.0}),
+            _rec("b", {"qps": 140.0}),
+            _rec("b", {"qps": 120.0}),
+        ])
+        (trend,) = trend_file(path)
+        # least squares over (0,100),(1,140),(2,120) -> slope 10/pt
+        assert trend.slope == pytest.approx(10.0)
+        assert trend.worst == 100.0  # qps: higher is better, worst is min
+
+    def test_trend_carries_context(self, tmp_path):
+        from repro.bench.diff import trend_file
+
+        path = tmp_path / "BENCH_a.json"
+        _write(path, [
+            _rec("b", {"wall_s": 1.0}, {"scale": 10, "jobs": 2}),
+            _rec("b", {"wall_s": 2.0}, {"scale": 10, "jobs": 2}),
+        ])
+        (trend,) = trend_file(path)
+        assert '"scale": 10' in trend.context
+        assert '"jobs": 2' in trend.context
+
+    def test_report_shows_slope_worst_and_context(self, tmp_path):
+        from repro.bench.diff import format_trend_report, trend_trajectories
+
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("b", {"wall_s": 3.0}, {"scale": 5}),
+            _rec("b", {"wall_s": 1.0}, {"scale": 5}),
+        ])
+        report = format_trend_report(trend_trajectories(tmp_path))
+        assert "slope -2/pt over 2 pts" in report
+        assert "worst 3" in report
+        assert '"scale": 5' in report
+
+
+class TestPatternFlag:
+    def test_pattern_restricts_gate_to_one_suite(self, tmp_path, capsys):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("a", {"wall_s": 1.0}),
+            _rec("a", {"wall_s": 99.0}),  # would regress the gate
+        ])
+        _write(tmp_path / "BENCH_b.json", [
+            _rec("b", {"wall_s": 1.0}),
+            _rec("b", {"wall_s": 1.0}),
+        ])
+        code = main([
+            "bench-diff", "--dir", str(tmp_path), "--pattern", "BENCH_b.json"
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_a.json" not in out
+
+    def test_pattern_applies_to_trend(self, tmp_path, capsys):
+        _write(tmp_path / "BENCH_a.json", [
+            _rec("a", {"wall_s": 1.0}),
+            _rec("a", {"wall_s": 2.0}),
+        ])
+        assert main([
+            "bench-diff", "--dir", str(tmp_path),
+            "--trend", "--pattern", "BENCH_nope.json",
+        ]) == 0
+        assert "no multi-point series" in capsys.readouterr().out

@@ -182,3 +182,34 @@ class TestSelection:
         so = small_world.ground_truth_asns()
         # CTI candidates include a meaningful number of state-owned ASes.
         assert len(set(selection.asns) & so) >= 5
+
+
+class TestStreamingScores:
+    """``stream_country_scores`` — the generator behind batch scoring."""
+
+    def test_stream_matches_batch(self):
+        batch = gateway_scenario()
+        batch.score_countries(["XX", "T1"])
+        streamed = gateway_scenario()
+        got = dict(streamed.stream_country_scores(["XX", "T1"]))
+        assert got == batch.computed_scores()
+
+    def test_stream_preserves_input_order(self):
+        cti = gateway_scenario()
+        order = [cc for cc, _ in cti.stream_country_scores(["T1", "XX"])]
+        assert order == ["T1", "XX"]
+
+    def test_retain_false_drops_cache_entries(self):
+        cti = gateway_scenario()
+        scores = dict(cti.stream_country_scores(["XX"], retain=False))
+        assert scores["XX"]
+        assert "XX" not in cti.computed_scores()
+        # Scoring again recomputes identically.
+        assert cti.country_cti("XX") == scores["XX"]
+
+    def test_sharded_stream_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CTI_SHARD", "1")
+        sharded = dict(gateway_scenario().stream_country_scores(["XX", "T1"]))
+        monkeypatch.delenv("REPRO_CTI_SHARD")
+        whole = dict(gateway_scenario().stream_country_scores(["XX", "T1"]))
+        assert sharded == whole

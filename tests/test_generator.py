@@ -131,3 +131,47 @@ class TestDeterminism:
         w1 = WorldGenerator(WorldConfig.tiny(seed=1)).generate()
         w2 = WorldGenerator(WorldConfig.tiny(seed=2)).generate()
         assert set(w1.asn_records) != set(w2.asn_records)
+
+
+class TestWiringShmProtocol:
+    """The per-country wiring plan survives the shared-memory result path."""
+
+    def test_country_wiring_roundtrip(self):
+        from repro.world.generator import _CountryWiring
+
+        original = _CountryWiring(
+            cc="BR",
+            has_operators=True,
+            gateways=[64512, 64513],
+            edges=[("c2p", 64512, 100), ("p2p", 64512, 64513), ("c2p", 64514, 64512)],
+            exports=[(64512, ["AR", "CL"]), (64513, [])],
+        )
+        meta, buffers = original.__shm_export__()
+        rebuilt = _CountryWiring.__shm_rebuild__(
+            meta, [memoryview(bytes(memoryview(buf))).cast(fmt) for fmt, buf in buffers]
+        )
+        assert rebuilt == original
+
+    def test_empty_wiring_roundtrip(self):
+        from repro.world.generator import _CountryWiring
+
+        original = _CountryWiring("AQ", False, [], [], [])
+        meta, buffers = original.__shm_export__()
+        rebuilt = _CountryWiring.__shm_rebuild__(
+            meta, [memoryview(bytes(memoryview(buf))).cast(fmt) for fmt, buf in buffers]
+        )
+        assert rebuilt == original
+
+    def test_parallel_worldgen_matches_serial(self):
+        from repro.parallel import ExecutionContext
+
+        config = WorldConfig(seed=97, scale=0.3)
+        serial = WorldGenerator(config).generate()
+        with ExecutionContext(jobs=2, backend="process") as context:
+            parallel = WorldGenerator(config, context=context).generate()
+        assert dict(serial.asn_records) == dict(parallel.asn_records)
+        ga, gb = serial.graph, parallel.graph
+        assert sorted(ga.asns) == sorted(gb.asns)
+        for asn in ga.asns:
+            assert sorted(ga.providers_of(asn)) == sorted(gb.providers_of(asn))
+            assert sorted(ga.peers_of(asn)) == sorted(gb.peers_of(asn))

@@ -241,3 +241,72 @@ class TestWorldLevelEquivalence:
             assert uncovered[prefix] == table._trie._reference_uncovered_addresses(
                 prefix
             )
+
+
+class TestLinearSweepEquivalence:
+    """The stack-sweep prefix accounting vs the trie oracle.
+
+    :func:`sweep_uncovered_counts` replaced the trie build + post-order
+    walk in the table's batch path; the trie-backed
+    ``_reference_flat_counts`` stays as the oracle.  Random tables include
+    nested prefixes and duplicate (base, length) rows under different
+    origins — the aliasing case the sweep must replay, not recompute.
+    """
+
+    @staticmethod
+    def _random_entries(rng: random.Random):
+        entries = []
+        for _ in range(rng.randint(1, 60)):
+            prefix = Prefix.from_host(rng.getrandbits(32), rng.randint(4, 30))
+            entries.append((prefix, rng.randint(1, 500)))
+            # Sprinkle nested more-specifics and exact duplicates.
+            if rng.random() < 0.4 and prefix.length <= 28:
+                sub = Prefix.from_host(prefix.base, prefix.length + 2)
+                entries.append((sub, rng.randint(1, 500)))
+            if rng.random() < 0.2:
+                entries.append((prefix, rng.randint(1, 500)))
+        return entries
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_sweep_matches_trie_oracle(self, seed):
+        from repro.sources.prefix2as import Prefix2ASTable
+
+        rng = random.Random(6000 + seed)
+        table = Prefix2ASTable(self._random_entries(rng))
+        fast = table.flat_counts()
+        reference = table._reference_flat_counts()
+        assert list(fast.bases) == list(reference.bases)
+        assert list(fast.lengths) == list(reference.lengths)
+        assert list(fast.origins) == list(reference.origins)
+        assert list(fast.uncovered) == list(reference.uncovered)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_partitioned_sweep_matches_whole_sweep(self, seed):
+        from array import array
+
+        from repro.net.prefix import sweep_cut_points, sweep_uncovered_counts
+        from repro.sources.prefix2as import Prefix2ASTable
+
+        rng = random.Random(7000 + seed)
+        table = Prefix2ASTable(self._random_entries(rng))
+        bases = array("I", (p.base for p, _ in table))
+        lengths = array("B", (p.length for p, _ in table))
+        whole = sweep_uncovered_counts(bases, lengths)
+        bounds = sweep_cut_points(bases, lengths, rng.randint(2, 8))
+        assert bounds[0] == 0 and bounds[-1] == len(bases)
+        assert bounds == sorted(bounds)
+        merged = array("q")
+        for start, stop in zip(bounds, bounds[1:]):
+            merged.extend(sweep_uncovered_counts(bases, lengths, start, stop))
+        assert list(merged) == list(whole)
+
+    def test_parallel_flat_counts_byte_identical(self):
+        from repro.parallel import ExecutionContext
+        from repro.sources.prefix2as import Prefix2ASTable
+
+        rng = random.Random(123456)
+        entries = self._random_entries(rng)
+        serial = Prefix2ASTable(entries).flat_counts()
+        with ExecutionContext(jobs=2, backend="process") as context:
+            parallel = Prefix2ASTable(entries).flat_counts(context=context)
+        assert parallel.uncovered.tobytes() == serial.uncovered.tobytes()

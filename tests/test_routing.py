@@ -23,13 +23,20 @@ import pytest
 from repro.config import SourceNoiseConfig
 from repro.cti.metric import CTIComputer
 from repro.errors import TopologyError
-from repro.net.bgp import RouteClass, propagate_routes
+from repro.net.bgp import (
+    RouteClass,
+    RoutingTreeCache,
+    _reference_propagate_routes,
+    propagate_routes,
+)
 from repro.net.monitors import Monitor, MonitorSet, RouteCollector
 from repro.net.prefix import Prefix
+from repro.net.propagation import PropagationKernel
 from repro.net.routing import (
     NEUTRAL_POLICY,
     PolicyRoutingCache,
     RoutingPolicy,
+    _reference_propagate_policy_routes,
     propagate_policy_routes,
 )
 from repro.net.topology import ASGraph
@@ -366,3 +373,114 @@ class TestPropagatedCTIByteIdentity:
         # same additions in the same order on the same policy paths.
         assert serial == threaded
         assert serial == forked
+
+
+class TestKernelOracleEquivalence:
+    """The flat-array kernel IS both retained oracles, feature by feature.
+
+    ``propagate_routes`` / ``propagate_policy_routes`` now delegate to
+    :class:`~repro.net.propagation.PropagationKernel`, so the neutral
+    50-seed suite above compares kernel to kernel.  This suite pins the
+    kernel against the retained ``_reference_*`` tree builders explicitly
+    — static and policy-aware — under every policy feature the engine
+    supports, and proves buffer reuse inside one kernel never bleeds
+    state between origins.
+    """
+
+    @staticmethod
+    def _assert_same_tree(graph, kernel_tree, oracle_tree):
+        for asn in graph.asns:
+            assert kernel_tree.has_route(asn) == oracle_tree.has_route(asn), asn
+            if not oracle_tree.has_route(asn):
+                continue
+            assert kernel_tree.path_from(asn) == oracle_tree.path_from(asn), asn
+            assert kernel_tree.route_class(asn) is oracle_tree.route_class(asn)
+            assert kernel_tree.distance(asn) == oracle_tree.distance(asn)
+
+    @staticmethod
+    def _random_policies(graph, rng):
+        asns = graph.asns
+        down = []
+        for asn in rng.sample(asns, k=4):
+            providers = sorted(graph.providers_of(asn))
+            if providers:
+                down.append((asn, rng.choice(providers)))
+            peers = sorted(graph.peers_of(asn))
+            if peers and rng.random() < 0.5:
+                down.append((asn, rng.choice(peers)))
+        leakers = rng.sample(asns, k=2)
+        victim, hijacker = rng.sample(asns, k=2)
+        return [
+            RoutingPolicy.build(down_edges=down),
+            RoutingPolicy.build(leakers=leakers),
+            RoutingPolicy.build(hijacks={victim: [hijacker]}),
+            RoutingPolicy.build(
+                down_edges=down, leakers=leakers, hijacks={victim: [hijacker]}
+            ),
+        ]
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_kernel_matches_static_oracle(self, seed):
+        rng = random.Random(7000 + seed)
+        graph = random_valley_free_graph(rng)
+        kernel = PropagationKernel(graph)
+        for origin in graph.asns:
+            self._assert_same_tree(
+                graph,
+                kernel.propagate(origin),
+                _reference_propagate_routes(graph, origin),
+            )
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_kernel_matches_policy_oracle_under_every_feature(self, seed):
+        rng = random.Random(8000 + seed)
+        graph = random_valley_free_graph(rng)
+        origins = rng.sample(graph.asns, k=6)
+        for policy in self._random_policies(graph, rng):
+            kernel = PropagationKernel(graph, policy)
+            for origin in origins:
+                self._assert_same_tree(
+                    graph,
+                    kernel.propagate(origin),
+                    _reference_propagate_policy_routes(graph, origin, policy),
+                )
+
+    def test_buffer_reuse_does_not_bleed_between_origins(self):
+        """A tree handed out earlier must be unchanged by later propagations
+        on the same kernel — its arrays are copies, not views of the
+        kernel's reusable scratch buffers."""
+        rng = random.Random(424242)
+        graph = random_valley_free_graph(rng)
+        kernel = PropagationKernel(graph)
+        first_origin = graph.asns[0]
+        first = kernel.propagate(first_origin)
+        snapshot = {
+            asn: (
+                first.has_route(asn),
+                first.path_from(asn) if first.has_route(asn) else None,
+                first.route_class(asn) if first.has_route(asn) else None,
+                first.distance(asn) if first.has_route(asn) else None,
+            )
+            for asn in graph.asns
+        }
+        for origin in graph.asns[1:]:
+            kernel.propagate(origin)
+        after = {
+            asn: (
+                first.has_route(asn),
+                first.path_from(asn) if first.has_route(asn) else None,
+                first.route_class(asn) if first.has_route(asn) else None,
+                first.distance(asn) if first.has_route(asn) else None,
+            )
+            for asn in graph.asns
+        }
+        assert after == snapshot
+
+    def test_kernel_is_reused_by_both_caches(self):
+        graph = leak_quad()
+        static_cache = RoutingTreeCache(graph)
+        static_cache.tree(4)
+        policy_cache = PolicyRoutingCache(graph, RoutingPolicy.build(leakers=[3]))
+        policy_cache.tree(4)
+        assert static_cache.tree(4).path_from(2) == (2, 1, 4)
+        assert policy_cache.tree(4).path_from(2) == (2, 3, 1, 4)

@@ -239,3 +239,96 @@ class TestFlatGraph:
         finally:
             release_worker_attachments()
             plane.close()
+
+
+def _grow_columns(state, n):
+    """Module-level shareable-result producer for the process backend."""
+    return _Columns(f"n{n}", array("q", range(n)), array("i", [v * 2 for v in range(n)]))
+
+
+def _square(state, n):
+    return n * n
+
+
+class TestResultPlane:
+    """Worker-exported results: the coordinator adopts, owns, and unlinks."""
+
+    def test_export_adopt_roundtrip(self):
+        from repro.parallel.shm import export_result
+
+        original = _columns(31)
+        ref = export_result(original)
+        plane = SharedStatePlane()
+        try:
+            rebuilt = plane.adopt(ref)
+            assert rebuilt.tag == "t"
+            assert list(rebuilt.ids) == list(original.ids)
+            assert list(rebuilt.values) == list(original.values)
+            assert ref.name in plane.segment_names
+            rebuilt.ids.release()
+            rebuilt.values.release()
+        finally:
+            plane.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.name)
+
+    def test_process_map_shm_results_identical(self):
+        metrics = get_metrics()
+        sizes = [3, 0, 17, 64, 5]
+        adopted = metrics.counter("runtime.shm_adopted")
+        with ExecutionContext(jobs=2, backend="process") as context:
+            results = context.map_ordered(
+                _grow_columns, sizes, chunksize=2, shm_results=True
+            )
+            assert metrics.counter("runtime.shm_adopted") - adopted == len(sizes)
+            for n, col in zip(sizes, results):
+                assert col.tag == f"n{n}"
+                assert list(col.ids) == list(range(n))
+                assert list(col.values) == [v * 2 for v in range(n)]
+            # Release the zero-copy views before the context (and with it
+            # the owning plane) closes — adopted objects must not outlive
+            # their segments.
+            for col in results:
+                col.ids.release()
+                col.values.release()
+
+    def test_non_shareable_results_pass_through(self):
+        metrics = get_metrics()
+        adopted = metrics.counter("runtime.shm_adopted")
+        with ExecutionContext(jobs=2, backend="process") as context:
+            results = context.map_ordered(_square, [1, 2, 3, 4], shm_results=True)
+        assert results == [1, 4, 9, 16]
+        assert metrics.counter("runtime.shm_adopted") == adopted
+
+    def test_env_gate_disables_result_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_RESULTS", "0")
+        metrics = get_metrics()
+        adopted = metrics.counter("runtime.shm_adopted")
+        with ExecutionContext(jobs=2, backend="process") as context:
+            results = context.map_ordered(_grow_columns, [4, 9], shm_results=True)
+        assert metrics.counter("runtime.shm_adopted") == adopted
+        assert [list(col.ids) for col in results] == [[0, 1, 2, 3], list(range(9))]
+
+    @pytest.mark.parametrize("backend,jobs", [("serial", 1), ("thread", 2)])
+    def test_non_process_backends_return_objects_directly(self, backend, jobs):
+        metrics = get_metrics()
+        adopted = metrics.counter("runtime.shm_adopted")
+        with ExecutionContext(jobs=jobs, backend=backend) as context:
+            results = context.map_ordered(_grow_columns, [6], shm_results=True)
+        assert metrics.counter("runtime.shm_adopted") == adopted
+        assert list(results[0].ids) == list(range(6))
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="POSIX shm filesystem only"
+    )
+    def test_result_segments_never_leak(self):
+        before = set(os.listdir("/dev/shm"))
+        for _ in range(2):
+            with ExecutionContext(jobs=2, backend="process") as context:
+                context.map_ordered(_grow_columns, [8, 2, 11], shm_results=True)
+        leaked = {
+            name
+            for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        assert not leaked, leaked
